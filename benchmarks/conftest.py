@@ -1,0 +1,44 @@
+"""Benchmark-suite configuration.
+
+Each bench reproduces one table/figure of the thesis: it runs the
+workload through the simulated cluster, prints the thesis-style table
+(visible with ``pytest -s`` and in failure reports), writes it to
+``bench_results/``, records the wall time of the whole experiment with
+pytest-benchmark, and asserts the figure's qualitative *shape* checks.
+
+Workload sizes scale with ``REPRO_BENCH_SCALE`` (default 0.05 of the
+thesis' tuple counts); raise it toward 1.0 to approach paper scale.
+"""
+
+import os
+import re
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "bench_results")
+
+
+def _save(result):
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    slug = re.sub(r"[^a-z0-9]+", "_", result.experiment_id.lower()).strip("_")
+    path = os.path.join(RESULTS_DIR, "%s.txt" % slug)
+    with open(path, "w") as handle:
+        handle.write(result.format_table())
+        handle.write("\n")
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Run an experiment function once under pytest-benchmark, print and
+    persist its table, and enforce its shape checks."""
+
+    def runner(experiment, **kwargs):
+        result = benchmark.pedantic(
+            lambda: experiment(**kwargs), rounds=1, iterations=1, warmup_rounds=0
+        )
+        result.report()
+        _save(result)
+        result.assert_checks()
+        return result
+
+    return runner

@@ -1,0 +1,7 @@
+"""Ablation: affinity scheduling on/off for ASL and PT."""
+
+from repro.bench.ablations import ablation_affinity_scheduling
+
+
+def test_ablation_affinity_scheduling(run_experiment):
+    run_experiment(ablation_affinity_scheduling)

@@ -1,0 +1,7 @@
+"""Ablation: skip list vs hash table as the cuboid container."""
+
+from repro.bench.ablations import ablation_container
+
+
+def test_ablation_container(run_experiment):
+    run_experiment(ablation_container)

@@ -1,0 +1,7 @@
+"""Ablation: comparison sort vs the BUC paper's counting sort."""
+
+from repro.bench.ablations import ablation_counting_sort
+
+
+def test_ablation_counting_sort(run_experiment):
+    run_experiment(ablation_counting_sort)

@@ -1,0 +1,7 @@
+"""Ablation: PT's binary-division ratio (load balance vs pruning)."""
+
+from repro.bench.ablations import ablation_pt_granularity
+
+
+def test_ablation_pt_granularity(run_experiment):
+    run_experiment(ablation_pt_granularity)

@@ -1,0 +1,8 @@
+"""Ablation: sequential baselines — BUC's pruning vs the top-down
+algorithms of Chapter 2."""
+
+from repro.bench.ablations import ablation_sequential_baselines
+
+
+def test_ablation_sequential_baselines(run_experiment):
+    run_experiment(ablation_sequential_baselines)

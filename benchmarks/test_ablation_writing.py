@@ -1,0 +1,7 @@
+"""Ablation: depth-first vs breadth-first writing on the same algorithm."""
+
+from repro.bench.ablations import ablation_writing_strategy
+
+
+def test_ablation_writing_strategy(run_experiment):
+    run_experiment(ablation_writing_strategy)

@@ -1,0 +1,7 @@
+"""Extension: Section 4.9.2's hash-function suggestion, measured."""
+
+from repro.bench.extensions import ext_aht_hash_function
+
+
+def test_ext_aht_hash_function(run_experiment):
+    run_experiment(ext_aht_hash_function)

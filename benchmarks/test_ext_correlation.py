@@ -1,0 +1,7 @@
+"""Extension: correlated attributes (the conclusion's future work)."""
+
+from repro.bench.extensions import ext_correlation
+
+
+def test_ext_correlation(run_experiment):
+    run_experiment(ext_correlation)

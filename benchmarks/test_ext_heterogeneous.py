@@ -1,0 +1,7 @@
+"""Extension: the full heterogeneous (fast+slow) testbed shape."""
+
+from repro.bench.extensions import ext_heterogeneous_cluster
+
+
+def test_ext_heterogeneous_cluster(run_experiment):
+    run_experiment(ext_heterogeneous_cluster)

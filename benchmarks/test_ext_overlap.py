@@ -1,0 +1,7 @@
+"""Extension: the Overlap baseline vs PipeSort/PipeHash."""
+
+from repro.bench.extensions import ext_overlap_baseline
+
+
+def test_ext_overlap_baseline(run_experiment):
+    run_experiment(ext_overlap_baseline)

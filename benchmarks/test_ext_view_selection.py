@@ -1,0 +1,7 @@
+"""Extension: HRU greedy view selection (Section 5.1's future work)."""
+
+from repro.bench.extensions import ext_view_selection
+
+
+def test_ext_view_selection(run_experiment):
+    run_experiment(ext_view_selection)

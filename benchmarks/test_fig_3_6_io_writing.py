@@ -1,0 +1,8 @@
+"""Figure 3.6 — I/O comparison: BPP's breadth-first writing vs RP's
+depth-first writing, on the 9-dimension baseline."""
+
+from repro.bench.experiments import fig_3_6_io_writing
+
+
+def test_fig_3_6_io_writing(run_experiment):
+    run_experiment(fig_3_6_io_writing)

@@ -1,0 +1,8 @@
+"""Figure 4.1 — load distribution over 8 processors for all five
+algorithms on the baseline configuration."""
+
+from repro.bench.experiments import fig_4_1_load_balance
+
+
+def test_fig_4_1_load_balance(run_experiment):
+    run_experiment(fig_4_1_load_balance)

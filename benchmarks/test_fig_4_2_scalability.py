@@ -1,0 +1,7 @@
+"""Figure 4.2 — wall clock vs number of processors (2..16)."""
+
+from repro.bench.experiments import fig_4_2_scalability
+
+
+def test_fig_4_2_scalability(run_experiment):
+    run_experiment(fig_4_2_scalability)

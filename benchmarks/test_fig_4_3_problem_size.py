@@ -1,0 +1,7 @@
+"""Figure 4.3 — wall clock vs dataset size (PT/ASL grow sublinearly)."""
+
+from repro.bench.experiments import fig_4_3_problem_size
+
+
+def test_fig_4_3_problem_size(run_experiment):
+    run_experiment(fig_4_3_problem_size)

@@ -1,0 +1,8 @@
+"""Figure 4.4 — wall clock vs cube dimensionality (AHT blows up, ASL's
+key comparisons grow, BUC-based algorithms degrade most gracefully)."""
+
+from repro.bench.experiments import fig_4_4_dimensions
+
+
+def test_fig_4_4_dimensions(run_experiment):
+    run_experiment(fig_4_4_dimensions)

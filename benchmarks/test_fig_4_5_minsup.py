@@ -1,0 +1,7 @@
+"""Figure 4.5 — wall clock and output volume vs minimum support."""
+
+from repro.bench.experiments import fig_4_5_minsup
+
+
+def test_fig_4_5_minsup(run_experiment):
+    run_experiment(fig_4_5_minsup)

@@ -1,0 +1,8 @@
+"""Figure 4.6 — dense vs sparse cubes: ASL/AHT win dense, BUC-based
+pruning wins sparse, BPP suffers on small cardinalities."""
+
+from repro.bench.experiments import fig_4_6_sparseness
+
+
+def test_fig_4_6_sparseness(run_experiment):
+    run_experiment(fig_4_6_sparseness)

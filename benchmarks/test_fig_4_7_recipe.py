@@ -1,0 +1,7 @@
+"""Figure 4.7 — the algorithm-selection recipe."""
+
+from repro.bench.experiments import fig_4_7_recipe
+
+
+def test_fig_4_7_recipe(run_experiment):
+    run_experiment(fig_4_7_recipe)

@@ -1,0 +1,7 @@
+"""Figure 5.3 — POL's scalability with processors on Cluster1/2/3."""
+
+from repro.bench.experiments import fig_5_3_pol_scalability
+
+
+def test_fig_5_3_pol_scalability(run_experiment):
+    run_experiment(fig_5_3_pol_scalability)

@@ -1,0 +1,7 @@
+"""Figure 5.4 — POL's scalability with the per-step buffer size."""
+
+from repro.bench.experiments import fig_5_4_pol_buffer
+
+
+def test_fig_5_4_pol_buffer(run_experiment):
+    run_experiment(fig_5_4_pol_buffer)

@@ -1,0 +1,8 @@
+"""Section 5.1 — selective materialization: precompute the processing
+tree's leaf cuboids at minsup 1, answer any threshold instantly."""
+
+from repro.bench.experiments import sec_5_1_materialization
+
+
+def test_sec_5_1_materialization(run_experiment):
+    run_experiment(sec_5_1_materialization)

@@ -1,0 +1,7 @@
+"""Table 1.1 — key features of the parallel algorithms."""
+
+from repro.bench.experiments import table_1_1_features
+
+
+def test_table_1_1_features(run_experiment):
+    run_experiment(table_1_1_features)

@@ -1,0 +1,7 @@
+"""Table 5.1 — POL's n x n chunk-task array for four processors."""
+
+from repro.bench.experiments import table_5_1_task_array
+
+
+def test_table_5_1_task_array(run_experiment):
+    run_experiment(table_5_1_task_array)

@@ -1,0 +1,49 @@
+"""Compare all five parallel algorithms across cluster sizes.
+
+Reproduces the *story* of Chapter 4 on one screen: run RP, BPP, ASL, PT
+and AHT on 2/4/8 simulated processors, print wall clock, per-processor
+load spread, and the I/O split — then check the recipe's advice against
+the measurements.
+
+Run:  python examples/cluster_comparison.py
+"""
+
+from repro import cluster1, recommend_for, weather_relation
+from repro.data import baseline_dims
+from repro.parallel import AHT, ASL, BPP, PT, RP
+
+
+def main():
+    relation = weather_relation(8_000, dims=baseline_dims(7))
+    print("workload: %d tuples, %d dims, cardinality product %.1e, minsup 2"
+          % (len(relation), len(relation.dims), relation.cardinality_product()))
+
+    algorithms = [RP(), BPP(), ASL(), PT(), AHT()]
+    print("\n%-6s %-12s %-10s %-10s %-10s" % ("procs", "algorithm", "wall (s)",
+                                              "imbalance", "io (s)"))
+    best = {}
+    for n in (2, 4, 8):
+        for algo in algorithms:
+            run = algo.run(relation, minsup=2, cluster_spec=cluster1(n))
+            io_total = run.simulation.time_breakdown()[1]
+            print("%-6d %-12s %-10.2f %-10.2f %-10.2f"
+                  % (n, algo.name, run.makespan,
+                     run.simulation.load_imbalance(), io_total))
+            if n == 8:
+                best[algo.name] = run.makespan
+        print()
+
+    winner = min(best, key=best.get)
+    print("fastest on 8 processors: %s (%.2f s)" % (winner, best[winner]))
+    print("recipe recommends:       %s" % ", ".join(recommend_for(relation)))
+    print("\nwhat to look for (Chapter 4's findings):")
+    print(" - RP: worst wall clock and worst imbalance (static subtree tasks,")
+    print("   depth-first writes make its I/O several times everyone else's)")
+    print(" - BPP: competitive totals but imbalance grows with processors")
+    print("   (range partitioning inherits the data's skew)")
+    print(" - ASL/AHT: near-perfect balance; pay structure maintenance instead")
+    print(" - PT: pruning + sort-sharing + fine tasks -> the default choice")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Real (non-simulated) parallelism on your machine.
+
+Everything else in this library *models* the thesis' cluster; this
+example uses the multiprocess backend to actually compute a cube faster
+on local cores, and cross-checks the cells against the simulated PT run.
+
+Run:  python examples/real_parallel.py
+"""
+
+import os
+import time
+
+from repro import PT, cluster1, weather_relation
+from repro.data import baseline_dims
+from repro.parallel import multiprocess_iceberg_cube
+
+
+def main():
+    relation = weather_relation(30_000, dims=baseline_dims(5))
+    print("input: %d tuples, %d dims; machine has %d CPUs\n"
+          % (len(relation), len(relation.dims), os.cpu_count() or 1))
+
+    timings = {}
+    results = {}
+    for workers in (1, min(4, os.cpu_count() or 1)):
+        t0 = time.perf_counter()
+        results[workers] = multiprocess_iceberg_cube(relation, minsup=2,
+                                                     workers=workers)
+        timings[workers] = time.perf_counter() - t0
+        print("workers=%d : %6.2f real seconds, %d cells"
+              % (workers, timings[workers], results[workers].total_cells()))
+
+    lo, hi = min(timings), max(timings)
+    if hi > lo:
+        print("\nspeedup %d -> %d workers: %.2fx"
+              % (lo, hi, timings[lo] / timings[hi]))
+        assert results[lo].equals(results[hi])
+
+    simulated = PT().run(relation, minsup=2, cluster_spec=cluster1(8))
+    assert simulated.result.equals(results[lo])
+    print("cells identical to the simulated PT run "
+          "(%.2f *simulated* seconds on 8 PIII-500s)" % simulated.makespan)
+
+
+if __name__ == "__main__":
+    main()

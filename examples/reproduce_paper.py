@@ -1,0 +1,45 @@
+"""Regenerate every table and figure of the thesis in one run.
+
+Runs the full experiment registry (Tables 1.1 and 5.1, Figures 3.6,
+4.1-4.7, Section 5.1, Figures 5.3 and 5.4) at the configured bench
+scale, prints each thesis-style table with its shape checks, and exits
+nonzero if any reproduced shape disagrees with the paper.  With
+``--ablations`` / ``--extensions`` / ``--all`` it also runs the
+design-decision ablations and the future-work extension experiments.
+
+Run:  python examples/reproduce_paper.py            (scaled workloads)
+      python examples/reproduce_paper.py --all
+      REPRO_BENCH_SCALE=0.2 python examples/reproduce_paper.py  (bigger)
+"""
+
+import sys
+import time
+
+from repro.bench import ALL_ABLATIONS, ALL_EXPERIMENTS, ALL_EXTENSIONS, bench_scale
+
+
+def main(argv):
+    experiments = list(ALL_EXPERIMENTS)
+    if "--ablations" in argv or "--all" in argv:
+        experiments += list(ALL_ABLATIONS)
+    if "--extensions" in argv or "--all" in argv:
+        experiments += list(ALL_EXTENSIONS)
+    print("reproducing the thesis' evaluation at scale factor %.2f (%d experiments)"
+          % (bench_scale(), len(experiments)))
+    failures = 0
+    for experiment in experiments:
+        t0 = time.time()
+        result = experiment()
+        result.report()
+        print("(%.1f s)" % (time.time() - t0))
+        failures += len(result.failures())
+    print()
+    if failures:
+        print("%d shape check(s) FAILED" % failures)
+        return 1
+    print("every reproduced table and figure matches the thesis' shape")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,98 @@
+"""repro — iceberg-cube computation with (simulated) PC clusters.
+
+A from-scratch reproduction of *Iceberg-cube Computation with PC
+Cluster* (Yu Yin, UBC, 2001; the SIGMOD 2001 line of work with Ng and
+Wagner): the parallel CUBE algorithms RP, BPP, ASL, PT and AHT, the
+parallel online-aggregation algorithm POL, the sequential baselines they
+build on (BUC, PipeSort, PipeHash, PartitionedCube/MemoryCube, the
+Apriori hash-tree cube), and a deterministic simulated PC cluster that
+stands in for the paper's physical testbed.
+
+Quickstart::
+
+    from repro import weather_relation, iceberg_cube, cluster1
+
+    relation = weather_relation(20_000)
+    run = iceberg_cube(relation, minsup=2, algorithm="pt",
+                       cluster_spec=cluster1(8))
+    print(run.result.total_cells(), "cells in", run.makespan, "simulated s")
+"""
+
+from .cluster import (
+    CostModel,
+    ClusterSpec,
+    cluster1,
+    cluster2,
+    cluster3,
+    homogeneous,
+    paper_cluster,
+)
+from .core import (
+    AndThreshold,
+    CountThreshold,
+    CubeResult,
+    SumThreshold,
+    Threshold,
+    buc_iceberg_cube,
+    naive_iceberg_cube,
+)
+from .data import (
+    Relation,
+    dense_relation,
+    from_raw_rows,
+    load_csv,
+    save_csv,
+    uniform_relation,
+    weather_relation,
+    zipf_relation,
+)
+from .errors import MemoryBudgetExceeded, ReproError
+from .online import POL, LeafMaterialization
+from .parallel import AHT, ASL, BPP, PT, RP, features_table
+from .queries import IcebergQuery, iceberg_cube, iceberg_query
+from .recipe import Workload, recommend, recommend_for, recipe_table
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Relation",
+    "from_raw_rows",
+    "load_csv",
+    "save_csv",
+    "uniform_relation",
+    "zipf_relation",
+    "dense_relation",
+    "weather_relation",
+    "CubeResult",
+    "naive_iceberg_cube",
+    "buc_iceberg_cube",
+    "Threshold",
+    "CountThreshold",
+    "SumThreshold",
+    "AndThreshold",
+    "RP",
+    "BPP",
+    "ASL",
+    "PT",
+    "AHT",
+    "POL",
+    "LeafMaterialization",
+    "features_table",
+    "IcebergQuery",
+    "iceberg_cube",
+    "iceberg_query",
+    "Workload",
+    "recommend",
+    "recommend_for",
+    "recipe_table",
+    "ClusterSpec",
+    "CostModel",
+    "cluster1",
+    "cluster2",
+    "cluster3",
+    "homogeneous",
+    "paper_cluster",
+    "ReproError",
+    "MemoryBudgetExceeded",
+    "__version__",
+]

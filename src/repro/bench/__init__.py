@@ -1,0 +1,17 @@
+"""Benchmark harness reproducing every table and figure of the thesis,
+plus the design-choice ablations and future-work extensions."""
+
+from .ablations import ALL_ABLATIONS
+from .experiments import ALL_EXPERIMENTS
+from .extensions import ALL_EXTENSIONS
+from .harness import Check, ExperimentResult, bench_scale, scaled
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ALL_ABLATIONS",
+    "ALL_EXTENSIONS",
+    "ExperimentResult",
+    "Check",
+    "bench_scale",
+    "scaled",
+]

@@ -1,0 +1,295 @@
+"""Ablation experiments for the design decisions the thesis singles out.
+
+These go beyond the thesis' printed figures: each isolates one design
+choice the text argues for — breadth-first writing, affinity
+scheduling, PT's task-granularity ratio, the cuboid container, and
+bottom-up pruning — by toggling exactly that choice and re-measuring.
+"""
+
+from ..cluster.spec import cluster1
+from ..core.buc import buc_iceberg_cube
+from ..core.naive import naive_iceberg_cube
+from ..core.partitioned_cube import partitioned_cube
+from ..core.pipehash import pipehash_iceberg_cube
+from ..core.pipesort import pipesort_iceberg_cube
+from ..cluster.costmodel import CostModel
+from ..cluster.spec import PIII_500
+from ..data.weather import PAPER_CUBE_TUPLES, baseline_dims, dims_by_cardinality, weather_relation
+from ..parallel import AHT, ASL, PT, RP
+from .harness import ExperimentResult, scaled
+
+
+def _default_tuples(minimum=3000):
+    return scaled(PAPER_CUBE_TUPLES, minimum=minimum)
+
+
+def ablation_writing_strategy(n_tuples=None, n_dims=9, minsup=2, n_processors=8,
+                              seed=2001):
+    """Depth-first vs breadth-first writing on the *same* algorithm (RP).
+
+    Figure 3.6 compares RP with BPP, which also changes the data
+    decomposition; this ablation flips only the writer.
+    """
+    n_tuples = n_tuples or _default_tuples()
+    relation = weather_relation(n_tuples, dims=baseline_dims(n_dims), seed=seed)
+    depth = RP().run(relation, minsup=minsup, cluster_spec=cluster1(n_processors))
+    breadth = RP(breadth_first=True).run(relation, minsup=minsup,
+                                         cluster_spec=cluster1(n_processors))
+    depth_io = depth.simulation.time_breakdown()[1]
+    breadth_io = breadth.simulation.time_breakdown()[1]
+    rows = [
+        ["RP / depth-first", round(depth.makespan, 3), round(depth_io, 3)],
+        ["RP / breadth-first", round(breadth.makespan, 3), round(breadth_io, 3)],
+    ]
+    result = ExperimentResult(
+        "Ablation W",
+        "Writing strategy on RP (%d tuples, %d dims)" % (n_tuples, n_dims),
+        ["configuration", "wall (s)", "total io (s)"],
+        rows,
+    )
+    result.check(
+        "identical cells either way",
+        depth.result.equals(breadth.result),
+    )
+    result.check(
+        "breadth-first writing removes most of the write cost",
+        breadth_io < depth_io / 3,
+        "io %.2f -> %.2f" % (depth_io, breadth_io),
+    )
+    result.check(
+        "writing strategy alone improves RP's wall clock",
+        breadth.makespan < depth.makespan,
+        "%.2f -> %.2f" % (depth.makespan, breadth.makespan),
+    )
+    return result
+
+
+def ablation_affinity_scheduling(n_tuples=None, n_dims=7, minsup=2, n_processors=4,
+                                 seed=2001):
+    """Affinity vs FIFO demand scheduling for ASL and PT."""
+    n_tuples = n_tuples or _default_tuples()
+    relation = weather_relation(n_tuples, dims=baseline_dims(n_dims), seed=seed)
+    rows = []
+    gains = {}
+    for name, with_aff, without in (
+        ("ASL", ASL(), ASL(affinity=False)),
+        ("PT", PT(), PT(affinity=False)),
+    ):
+        on = with_aff.run(relation, minsup=minsup, cluster_spec=cluster1(n_processors))
+        off = without.run(relation, minsup=minsup, cluster_spec=cluster1(n_processors))
+        gains[name] = off.makespan / on.makespan
+        rows.append([name, round(on.makespan, 3), round(off.makespan, 3),
+                     round(gains[name], 2)])
+        if name == "ASL":
+            identical = on.result.equals(off.result)
+    result = ExperimentResult(
+        "Ablation A",
+        "Affinity scheduling on/off (%d tuples, %d dims, %d processors)"
+        % (n_tuples, n_dims, n_processors),
+        ["algorithm", "affinity (s)", "no affinity (s)", "gain"],
+        rows,
+    )
+    result.check("results identical with and without affinity", identical)
+    result.check(
+        "ASL's container reuse is the bigger win",
+        gains["ASL"] > 1.5,
+        "ASL gain %.2fx" % gains["ASL"],
+    )
+    result.check(
+        "PT's sort sharing helps too",
+        gains["PT"] >= 1.0,
+        "PT gain %.2fx" % gains["PT"],
+    )
+    return result
+
+
+def ablation_pt_granularity(n_tuples=None, n_dims=7, minsup=2, n_processors=8,
+                            ratios=(1, 2, 8, 32), seed=2001):
+    """PT's division ratio: load balance vs pruning (Figure 3.9's line)."""
+    n_tuples = n_tuples or _default_tuples()
+    relation = weather_relation(n_tuples, dims=baseline_dims(n_dims), seed=seed)
+    rows = []
+    imbalance = {}
+    total_cpu = {}
+    for ratio in ratios:
+        run = PT(task_ratio=ratio).run(relation, minsup=minsup,
+                                       cluster_spec=cluster1(n_processors))
+        imbalance[ratio] = run.simulation.load_imbalance()
+        total_cpu[ratio] = run.simulation.time_breakdown()[0]
+        rows.append([ratio, run.extras["n_tasks"], round(run.makespan, 3),
+                     round(total_cpu[ratio], 3), round(imbalance[ratio], 2)])
+    result = ExperimentResult(
+        "Ablation G",
+        "PT task-granularity ratio (%d tuples, %d dims, %d processors)"
+        % (n_tuples, n_dims, n_processors),
+        ["ratio", "tasks", "wall (s)", "total cpu (s)", "imbalance"],
+        rows,
+        notes="Figure 3.9's dotted line: moving toward finer tasks buys balance "
+              "and pays in duplicated sorting/pruning loss",
+    )
+    coarse, fine = ratios[0], ratios[-1]
+    result.check(
+        "finer tasks balance better",
+        imbalance[fine] <= imbalance[coarse],
+        "%.2f @%d -> %.2f @%d" % (imbalance[coarse], coarse, imbalance[fine], fine),
+    )
+    result.check(
+        "finer tasks cost more total work (lost sharing/pruning)",
+        total_cpu[fine] > total_cpu[coarse],
+        "%.2f @%d -> %.2f @%d" % (total_cpu[coarse], coarse, total_cpu[fine], fine),
+    )
+    return result
+
+
+def ablation_container(n_tuples=None, minsup=2, n_processors=8, seed=2001):
+    """Skip list vs hash table as the cuboid container (ASL vs AHT)."""
+    n_tuples = n_tuples or _default_tuples()
+    dense = weather_relation(n_tuples, dims=dims_by_cardinality("smallest", 7),
+                             seed=seed)
+    sparse = weather_relation(n_tuples, dims=dims_by_cardinality("largest", 7),
+                              seed=seed)
+    rows = []
+    times = {}
+    for label, relation in (("dense", dense), ("sparse", sparse)):
+        for algo in (ASL(), AHT()):
+            run = algo.run(relation, minsup=minsup, cluster_spec=cluster1(n_processors))
+            times[(algo.name, label)] = run.makespan
+            rows.append([label, algo.name, round(run.makespan, 3)])
+    result = ExperimentResult(
+        "Ablation C",
+        "Cuboid container: skip list (ASL) vs hash table (AHT), %d tuples"
+        % n_tuples,
+        ["cube", "algorithm", "wall (s)"],
+        rows,
+    )
+    result.check(
+        "the hash table wins while collisions are few (dense)",
+        times[("AHT", "dense")] <= times[("ASL", "dense")],
+        "AHT %.2f vs ASL %.2f" % (times[("AHT", "dense")], times[("ASL", "dense")]),
+    )
+    result.check(
+        "collisions flip the verdict on sparse cubes",
+        times[("AHT", "sparse")] / times[("ASL", "sparse")]
+        > times[("AHT", "dense")] / times[("ASL", "dense")],
+        "AHT/ASL dense %.2f -> sparse %.2f"
+        % (times[("AHT", "dense")] / times[("ASL", "dense")],
+           times[("AHT", "sparse")] / times[("ASL", "sparse")]),
+    )
+    return result
+
+
+def ablation_sequential_baselines(n_tuples=None, n_dims=7, seed=2001):
+    """Chapter 2's story: BUC's pruning beats the top-down baselines on
+    iceberg queries (total work units, single machine)."""
+    n_tuples = n_tuples or scaled(PAPER_CUBE_TUPLES, minimum=2000) // 2
+    relation = weather_relation(n_tuples, dims=baseline_dims(n_dims), seed=seed)
+    model = CostModel()
+    rows = []
+    seconds = {}
+    results = {}
+    peaks = {}
+    for name, runner in (
+        ("BUC", lambda m: buc_iceberg_cube(relation, minsup=m)[:2]),
+        ("PipeSort", lambda m: pipesort_iceberg_cube(relation, minsup=m)[:2]),
+        ("PipeHash", lambda m: pipehash_iceberg_cube(relation, minsup=m)[:2]),
+        ("PartitionedCube", lambda m: partitioned_cube(relation, minsup=m)),
+    ):
+        for minsup in (1, 4):
+            result_obj, stats = runner(minsup)
+            seconds[(name, minsup)] = model.cpu_seconds(stats, PIII_500)
+            results[(name, minsup)] = result_obj
+            peaks[name] = max(stats.peak_items, len(relation))
+            rows.append([name, minsup, round(seconds[(name, minsup)], 3),
+                         peaks[name]])
+    result = ExperimentResult(
+        "Ablation S",
+        "Sequential baselines, CPU work priced on one PIII-500 (%d tuples, %d dims)"
+        % (n_tuples, n_dims),
+        ["algorithm", "minsup", "cpu (s)", "peak in-memory items"],
+        rows,
+    )
+    oracle = {m: naive_iceberg_cube(relation, minsup=m) for m in (1, 4)}
+    result.check(
+        "all four baselines agree with the oracle at both thresholds",
+        all(results[(n, m)].equals(oracle[m]) for n, m in results),
+    )
+    result.check(
+        "pruning pays: BUC speeds up with the threshold",
+        seconds[("BUC", 4)] < seconds[("BUC", 1)],
+        "%.2f -> %.2f" % (seconds[("BUC", 1)], seconds[("BUC", 4)]),
+    )
+    result.check(
+        "top-down algorithms cannot prune (flat cost in the threshold)",
+        abs(seconds[("PipeSort", 4)] - seconds[("PipeSort", 1)])
+        < 0.05 * seconds[("PipeSort", 1)] + 1e-6,
+        "%.2f vs %.2f" % (seconds[("PipeSort", 1)], seconds[("PipeSort", 4)]),
+    )
+    result.check(
+        "BUC beats the sort-based top-down baselines on the iceberg query",
+        seconds[("BUC", 4)]
+        < min(seconds[("PipeSort", 4)], seconds[("PartitionedCube", 4)]),
+        "BUC %.2f vs best sort-based %.2f"
+        % (seconds[("BUC", 4)],
+           min(seconds[("PipeSort", 4)], seconds[("PartitionedCube", 4)])),
+    )
+    result.check(
+        "PipeHash buys its speed with memory it cannot sustain at scale",
+        peaks["PipeHash"] > 1.5 * len(relation),
+        "peak %d items vs %d input tuples" % (peaks["PipeHash"], len(relation)),
+    )
+    return result
+
+
+def ablation_counting_sort(n_tuples=None, n_dims=7, seed=2001):
+    """Comparison sort vs the BUC paper's counting sort in the kernel.
+
+    The original BUC implementation refines partitions with CountingSort
+    whenever a dimension's cardinality is small; this measures how much
+    of the kernel's comparison work that removes on the weather data.
+    """
+    n_tuples = n_tuples or scaled(PAPER_CUBE_TUPLES, minimum=2000) // 2
+    relation = weather_relation(n_tuples, dims=baseline_dims(n_dims), seed=seed)
+    model = CostModel()
+    rows = []
+    seconds = {}
+    results = {}
+    for label, kwargs in (
+        ("comparison sort", {}),
+        ("counting sort", {"counting_sort": True}),
+    ):
+        for minsup in (1, 2):
+            cube, stats, _writer = buc_iceberg_cube(relation, minsup=minsup,
+                                                    breadth_first=True, **kwargs)
+            seconds[(label, minsup)] = model.cpu_seconds(stats, PIII_500)
+            results[(label, minsup)] = cube
+            rows.append([label, minsup, round(seconds[(label, minsup)], 3),
+                         round(stats.sort_units), stats.partition_moves])
+    result = ExperimentResult(
+        "Ablation K",
+        "BUC refinement: comparison vs counting sort (%d tuples, %d dims)"
+        % (n_tuples, n_dims),
+        ["refinement", "minsup", "cpu (s)", "sort units", "partition moves"],
+        rows,
+    )
+    result.check(
+        "identical cells under both refinements",
+        all(results[("comparison sort", m)].equals(results[("counting sort", m)])
+            for m in (1, 2)),
+    )
+    result.check(
+        "counting sort removes most of the comparison work",
+        seconds[("counting sort", 2)] < seconds[("comparison sort", 2)],
+        "%.2f -> %.2f" % (seconds[("comparison sort", 2)],
+                          seconds[("counting sort", 2)]),
+    )
+    return result
+
+
+ALL_ABLATIONS = (
+    ablation_writing_strategy,
+    ablation_affinity_scheduling,
+    ablation_pt_granularity,
+    ablation_container,
+    ablation_sequential_baselines,
+    ablation_counting_sort,
+)

@@ -1,0 +1,661 @@
+"""One function per table/figure of the thesis' evaluation.
+
+Each function generates the workload, runs the algorithms on the
+simulated cluster, renders the thesis-style table and attaches *shape*
+checks — the qualitative claims of the corresponding figure.  Sizes
+default to a scaled-down workload (``REPRO_BENCH_SCALE``) because the
+algorithms execute their real work in pure Python; every check is about
+ratios and orderings, which survive the scaling.
+"""
+
+from ..cluster.spec import cluster1, cluster2, cluster3
+from ..data.weather import (
+    PAPER_CUBE_TUPLES,
+    PAPER_ONLINE_TUPLES,
+    baseline_dims,
+    dims_by_cardinality,
+    weather_relation,
+)
+from ..online.materialize import LeafMaterialization
+from ..online.pol import POL, initial_assignment
+from ..parallel import AHT, ASL, BPP, PT, RP, features_table
+from ..recipe import recipe_table
+from .harness import ExperimentResult, scaled
+
+ALL_ALGOS = ("RP", "BPP", "ASL", "PT", "AHT")
+
+
+def _fresh(name):
+    return {"RP": RP, "BPP": BPP, "ASL": ASL, "PT": PT, "AHT": AHT}[name]()
+
+
+def _default_tuples(minimum=4000):
+    return scaled(PAPER_CUBE_TUPLES, minimum=minimum)
+
+
+# ----------------------------------------------------------------------
+# Table 1.1 — key features of the algorithms
+# ----------------------------------------------------------------------
+def table_1_1_features():
+    """Table 1.1, generated from the algorithm implementations."""
+    rows = features_table()
+    result = ExperimentResult(
+        "Table 1.1",
+        "Key features of the algorithms",
+        ["algorithm", "writing", "load balance", "cuboid relationship", "data"],
+        rows,
+    )
+    expected = {
+        "RP": ("depth-first", "weak", "bottom-up", "replicated"),
+        "BPP": ("breadth-first", "weak", "bottom-up", "partitioned"),
+        "ASL": ("breadth-first", "strong", "top-down", "replicated"),
+        "PT": ("breadth-first", "strong", "hybrid", "replicated"),
+    }
+    for name, features in expected.items():
+        actual = next(tuple(r[1:]) for r in rows if r[0] == name)
+        result.check("%s features match the thesis" % name, actual == features,
+                     "%r" % (actual,))
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 3.6 — I/O: breadth-first (BPP) vs depth-first (RP) writing
+# ----------------------------------------------------------------------
+def fig_3_6_io_writing(n_tuples=None, n_dims=9, minsup=2, processor_counts=(2, 4, 8),
+                       seed=2001):
+    """RP's scattered writes vs BPP's sequential cuboid blocks."""
+    n_tuples = n_tuples or _default_tuples()
+    relation = weather_relation(n_tuples, dims=baseline_dims(n_dims), seed=seed)
+    rows = []
+    ratios = {}
+    for n in processor_counts:
+        rp = RP().run(relation, minsup=minsup, cluster_spec=cluster1(n))
+        bpp = BPP().run(relation, minsup=minsup, cluster_spec=cluster1(n))
+        rp_io = rp.simulation.time_breakdown()[1]
+        bpp_io = bpp.simulation.time_breakdown()[1]
+        ratios[n] = rp_io / bpp_io if bpp_io else float("inf")
+        rows.append([n, rp_io, bpp_io, ratios[n]])
+    result = ExperimentResult(
+        "Figure 3.6",
+        "Total write-I/O time: RP (depth-first) vs BPP (breadth-first), %d tuples, %d dims"
+        % (n_tuples, n_dims),
+        ["processors", "RP io (s)", "BPP io (s)", "ratio"],
+        rows,
+        notes="the thesis measured RP's write time at >5x BPP's on the baseline",
+    )
+    result.check(
+        "depth-first writing costs several times breadth-first",
+        all(r >= 3.0 for r in ratios.values()),
+        "ratios: %s" % {n: round(r, 1) for n, r in ratios.items()},
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 4.1 — load distribution on 8 processors
+# ----------------------------------------------------------------------
+def fig_4_1_load_balance(n_tuples=None, n_dims=9, minsup=2, n_processors=8, seed=2001):
+    """Per-processor load: static RP/BPP vs demand-scheduled ASL/PT/AHT."""
+    n_tuples = n_tuples or _default_tuples()
+    relation = weather_relation(n_tuples, dims=baseline_dims(n_dims), seed=seed)
+    imbalance = {}
+    rows = []
+    for name in ALL_ALGOS:
+        run = _fresh(name).run(relation, minsup=minsup, cluster_spec=cluster1(n_processors))
+        loads = run.simulation.loads()
+        imbalance[name] = run.simulation.load_imbalance()
+        rows.append([name] + [round(x, 3) for x in loads] + [round(imbalance[name], 2)])
+    result = ExperimentResult(
+        "Figure 4.1",
+        "Load on each of %d processors (busy seconds)" % n_processors,
+        ["algorithm"] + ["P%d" % i for i in range(n_processors)] + ["max/mean"],
+        rows,
+        notes="RP and BPP distribute statically; ASL/PT/AHT use demand scheduling",
+    )
+    dynamic_worst = max(imbalance[a] for a in ("ASL", "PT", "AHT"))
+    result.check(
+        "RP badly imbalanced vs dynamic algorithms",
+        imbalance["RP"] > 1.5 * dynamic_worst,
+        "RP %.2f vs dynamic worst %.2f" % (imbalance["RP"], dynamic_worst),
+    )
+    result.check(
+        "BPP imbalanced by data skew",
+        imbalance["BPP"] > 1.3 * dynamic_worst,
+        "BPP %.2f vs dynamic worst %.2f" % (imbalance["BPP"], dynamic_worst),
+    )
+    result.check(
+        "ASL/PT/AHT evenly balanced",
+        dynamic_worst < 1.35,
+        "worst dynamic imbalance %.2f" % dynamic_worst,
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 4.2 — scalability with the number of processors
+# ----------------------------------------------------------------------
+def fig_4_2_scalability(n_tuples=None, n_dims=7, minsup=2,
+                        processor_counts=(2, 4, 8, 16), seed=2001):
+    """Wall clock vs cluster size for all five algorithms."""
+    n_tuples = n_tuples or _default_tuples()
+    relation = weather_relation(n_tuples, dims=baseline_dims(n_dims), seed=seed)
+    times = {}
+    for n in processor_counts:
+        for name in ALL_ALGOS:
+            run = _fresh(name).run(relation, minsup=minsup, cluster_spec=cluster1(n))
+            times[(name, n)] = run.makespan
+    rows = [
+        [n] + [round(times[(name, n)], 3) for name in ALL_ALGOS]
+        for n in processor_counts
+    ]
+    result = ExperimentResult(
+        "Figure 4.2",
+        "Wall clock (simulated s) vs processors, %d tuples, %d dims, minsup %d"
+        % (n_tuples, n_dims, minsup),
+        ["processors"] + list(ALL_ALGOS),
+        rows,
+    )
+    mid = [n for n in processor_counts if n >= 4]
+    result.check(
+        "RP is the worst performer (4+ processors)",
+        all(times[("RP", n)] > max(times[(a, n)] for a in ALL_ALGOS if a != "RP")
+            for n in mid),
+    )
+    two = min(processor_counts)
+    result.check(
+        "BPP does well on %d processors; ASL is poor there" % two,
+        times[("BPP", two)] < times[("ASL", two)]
+        and times[("PT", two)] < times[("ASL", two)],
+        "BPP %.2f, PT %.2f, ASL %.2f" % (times[("BPP", two)], times[("PT", two)],
+                                         times[("ASL", two)]),
+    )
+    eight = 8 if 8 in processor_counts else max(processor_counts)
+    most = max(processor_counts)
+    result.check(
+        "ASL overtakes BPP as processors grow",
+        times[("ASL", eight)] <= 1.15 * times[("BPP", eight)]
+        and times[("ASL", most)] < times[("BPP", most)],
+        "at %d procs: ASL %.2f vs BPP %.2f; at %d: %.2f vs %.2f"
+        % (eight, times[("ASL", eight)], times[("BPP", eight)],
+           most, times[("ASL", most)], times[("BPP", most)]),
+    )
+    result.check(
+        "PT beats ASL (pruning + sort sharing)",
+        times[("PT", eight)] < times[("ASL", eight)],
+        "PT %.2f vs ASL %.2f" % (times[("PT", eight)], times[("ASL", eight)]),
+    )
+    result.check(
+        "AHT tracks ASL (same task definition and scheduling)",
+        0.5 <= times[("AHT", eight)] / times[("ASL", eight)] <= 1.5,
+        "AHT/ASL = %.2f" % (times[("AHT", eight)] / times[("ASL", eight)]),
+    )
+    if 16 in processor_counts and 8 in processor_counts:
+        result.check(
+            "speedup from 8 to 16 processors is modest for PT/ASL",
+            all(times[(a, 8)] / times[(a, 16)] < 1.8 for a in ("PT", "ASL")),
+            "PT %.2fx, ASL %.2fx" % (times[("PT", 8)] / times[("PT", 16)],
+                                     times[("ASL", 8)] / times[("ASL", 16)]),
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 4.3 — varying the problem size
+# ----------------------------------------------------------------------
+def fig_4_3_problem_size(sizes=None, n_dims=7, minsup=2, n_processors=8, seed=2001):
+    """Wall clock vs dataset size (PT/ASL grow sublinearly)."""
+    if sizes is None:
+        base = _default_tuples()
+        sizes = (base // 2, base, base * 2, base * 4)
+    times = {}
+    for size in sizes:
+        relation = weather_relation(size, dims=baseline_dims(n_dims), seed=seed)
+        for name in ALL_ALGOS:
+            run = _fresh(name).run(relation, minsup=minsup,
+                                   cluster_spec=cluster1(n_processors))
+            times[(name, size)] = run.makespan
+    rows = [
+        [size] + [round(times[(name, size)], 3) for name in ALL_ALGOS]
+        for size in sizes
+    ]
+    result = ExperimentResult(
+        "Figure 4.3",
+        "Wall clock vs number of tuples (%d processors)" % n_processors,
+        ["tuples"] + list(ALL_ALGOS),
+        rows,
+    )
+    smallest, largest = sizes[0], sizes[-1]
+    growth = largest / smallest
+    ratio_asl = times[("ASL", largest)] / times[("ASL", smallest)]
+    result.check(
+        "ASL grows sublinearly with problem size",
+        ratio_asl < growth,
+        "%.1fx time for %.1fx data" % (ratio_asl, growth),
+    )
+    ratio_pt = times[("PT", largest)] / times[("PT", smallest)]
+    ratio_static = min(
+        times[(name, largest)] / times[(name, smallest)] for name in ("RP", "BPP")
+    )
+    result.check(
+        "PT's growth stays below the statically scheduled algorithms'",
+        ratio_pt < ratio_static and ratio_pt < growth * 1.15,
+        "PT %.1fx vs static best %.1fx for %.1fx data"
+        % (ratio_pt, ratio_static, growth),
+    )
+    result.check(
+        "PT and ASL handle large problems best",
+        max(times[("PT", largest)], times[("ASL", largest)])
+        < min(times[("RP", largest)], times[("BPP", largest)]) * 1.6,
+        "PT %.2f ASL %.2f vs RP %.2f BPP %.2f"
+        % (times[("PT", largest)], times[("ASL", largest)],
+           times[("RP", largest)], times[("BPP", largest)]),
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 4.4 — varying the number of dimensions
+# ----------------------------------------------------------------------
+def fig_4_4_dimensions(dimension_counts=(5, 7, 9), n_tuples=None, minsup=2,
+                       n_processors=8, seed=2001):
+    """Wall clock vs cube dimensionality (cuboids grow as 2^d)."""
+    n_tuples = n_tuples or scaled(PAPER_CUBE_TUPLES, minimum=2500) // 2
+    times = {}
+    for d in dimension_counts:
+        relation = weather_relation(n_tuples, dims=baseline_dims(d), seed=seed)
+        for name in ALL_ALGOS:
+            run = _fresh(name).run(relation, minsup=minsup,
+                                   cluster_spec=cluster1(n_processors))
+            times[(name, d)] = run.makespan
+    rows = [
+        [d] + [round(times[(name, d)], 3) for name in ALL_ALGOS]
+        for d in dimension_counts
+    ]
+    result = ExperimentResult(
+        "Figure 4.4",
+        "Wall clock vs cube dimensions (%d tuples, %d processors)"
+        % (n_tuples, n_processors),
+        ["dimensions"] + list(ALL_ALGOS),
+        rows,
+    )
+    low, high = dimension_counts[0], dimension_counts[-1]
+    for name in ALL_ALGOS:
+        result.check(
+            "%s cost grows steeply with dimensionality" % name,
+            times[(name, high)] > 2.5 * times[(name, low)],
+            "%.2f -> %.2f" % (times[(name, low)], times[(name, high)]),
+        )
+    result.check(
+        "AHT scales worst with dimensions (collisions + shrunken index bits)",
+        times[("AHT", high)] / times[("AHT", low)]
+        > max(times[(a, high)] / times[(a, low)] for a in ("PT", "BPP")),
+        "AHT %.1fx vs PT %.1fx, BPP %.1fx"
+        % (times[("AHT", high)] / times[("AHT", low)],
+           times[("PT", high)] / times[("PT", low)],
+           times[("BPP", high)] / times[("BPP", low)]),
+    )
+    result.check(
+        "ASL's key comparisons grow with dimensionality (loses ground to BUC-based)",
+        (times[("ASL", high)] / times[("ASL", low)])
+        > (times[("PT", high)] / times[("PT", low)]),
+        "ASL %.1fx vs PT %.1fx"
+        % (times[("ASL", high)] / times[("ASL", low)],
+           times[("PT", high)] / times[("PT", low)]),
+    )
+    result.check(
+        "at low dimensionality even simple RP stays within a small factor "
+        "of the BUC-based best",
+        times[("RP", low)] < 3.0 * min(times[("PT", low)], times[("BPP", low)]),
+        "RP %.2f vs BUC-based best %.2f"
+        % (times[("RP", low)], min(times[("PT", low)], times[("BPP", low)])),
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 4.5 — varying the minimum support
+# ----------------------------------------------------------------------
+def fig_4_5_minsup(minsups=(1, 2, 4, 8, 16, 32), n_tuples=None, n_dims=7,
+                   n_processors=8, seed=2001):
+    """Wall clock and output size vs the iceberg threshold."""
+    n_tuples = n_tuples or _default_tuples()
+    relation = weather_relation(n_tuples, dims=baseline_dims(n_dims), seed=seed)
+    times = {}
+    output_bytes = {}
+    for minsup in minsups:
+        for name in ALL_ALGOS:
+            run = _fresh(name).run(relation, minsup=minsup,
+                                   cluster_spec=cluster1(n_processors))
+            times[(name, minsup)] = run.makespan
+            output_bytes[minsup] = run.result.output_bytes()
+    rows = [
+        [m, output_bytes[m]] + [round(times[(name, m)], 3) for name in ALL_ALGOS]
+        for m in minsups
+    ]
+    result = ExperimentResult(
+        "Figure 4.5",
+        "Wall clock vs minimum support (%d tuples, %d dims)" % (n_tuples, n_dims),
+        ["minsup", "output bytes"] + list(ALL_ALGOS),
+        rows,
+        notes="thesis output sizes: 469MB @1, 86MB @2, 27MB @4, 14MB @8, little after",
+    )
+    result.check(
+        "output shrinks sharply from minsup 1 to 2",
+        output_bytes[minsups[0]] > 2.5 * output_bytes[minsups[1]],
+        "%d -> %d bytes" % (output_bytes[minsups[0]], output_bytes[minsups[1]]),
+    )
+    result.check(
+        "output size monotonically decreases with minsup",
+        all(output_bytes[a] >= output_bytes[b]
+            for a, b in zip(minsups, minsups[1:])),
+    )
+    if 8 in minsups:
+        result.check(
+            "most of the iceberg is cut by minsup 8 (thesis: 14MB of 469MB left)",
+            output_bytes[8] < 0.15 * output_bytes[minsups[0]],
+            "%d bytes @8 vs %d @%d" % (output_bytes[8], output_bytes[minsups[0]],
+                                       minsups[0]),
+        )
+    for name in ("RP", "BPP", "PT"):
+        result.check(
+            "%s benefits from raising minsup 1 -> max (pruning + less I/O)" % name,
+            times[(name, minsups[-1])] < times[(name, minsups[0])],
+            "%.2f -> %.2f" % (times[(name, minsups[0])], times[(name, minsups[-1])]),
+        )
+    result.check(
+        "ASL gains only I/O (no pruning): modest improvement",
+        times[("ASL", minsups[-1])] > 0.5 * times[("ASL", minsups[0])],
+        "%.2f -> %.2f" % (times[("ASL", minsups[0])], times[("ASL", minsups[-1])]),
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 4.6 — varying the sparseness of the dataset
+# ----------------------------------------------------------------------
+def fig_4_6_sparseness(n_tuples=None, n_dims=9, minsup=2, n_processors=8, seed=2001,
+                       dense_dims=7):
+    """Dense vs sparse dimension choices (smallest / middle / largest
+    cardinalities).
+
+    The thesis picks nine dimensions each time; its dense point has a
+    cardinality product ~1e7 against 176k tuples.  At bench scale the
+    tuple count is smaller, so the dense point uses the ``dense_dims``
+    smallest dimensions to keep the *density ratio* (tuples per possible
+    cell) in the regime the figure's dense end actually exercises.
+    """
+    n_tuples = n_tuples or _default_tuples()
+    selections = ("smallest", "middle", "largest")
+    times = {}
+    products = {}
+    for which in selections:
+        dims = dims_by_cardinality(which, dense_dims if which == "smallest" else n_dims)
+        relation = weather_relation(n_tuples, dims=dims, seed=seed)
+        products[which] = relation.cardinality_product()
+        for name in ALL_ALGOS:
+            run = _fresh(name).run(relation, minsup=minsup,
+                                   cluster_spec=cluster1(n_processors))
+            times[(name, which)] = run.makespan
+    rows = [
+        [which, "%.0e" % products[which]]
+        + [round(times[(name, which)], 3) for name in ALL_ALGOS]
+        for which in selections
+    ]
+    result = ExperimentResult(
+        "Figure 4.6",
+        "Wall clock vs cardinality product of the cube dimensions (%d tuples)"
+        % n_tuples,
+        ["dims by cardinality", "product"] + list(ALL_ALGOS),
+        rows,
+    )
+    result.check(
+        "ASL and AHT dominate on the dense cube",
+        max(times[("ASL", "smallest")], times[("AHT", "smallest")])
+        < min(times[(a, "smallest")] for a in ("RP", "BPP", "PT")),
+        "ASL %.2f AHT %.2f vs others best %.2f"
+        % (times[("ASL", "smallest")], times[("AHT", "smallest")],
+           min(times[(a, "smallest")] for a in ("RP", "BPP", "PT"))),
+    )
+    result.check(
+        "BPP does particularly poorly on small-cardinality dimensions",
+        times[("BPP", "smallest")]
+        > 1.5 * min(times[(a, "smallest")] for a in ("ASL", "AHT", "PT")),
+        "BPP %.2f" % times[("BPP", "smallest")],
+    )
+    result.check(
+        "BUC-based pruning wins as the cube gets sparse (ASL loses its lead)",
+        times[("ASL", "largest")] / times[("PT", "largest")]
+        > times[("ASL", "smallest")] / times[("PT", "smallest")],
+        "ASL/PT dense %.2f -> sparse %.2f"
+        % (times[("ASL", "smallest")] / times[("PT", "smallest")],
+           times[("ASL", "largest")] / times[("PT", "largest")]),
+    )
+    result.check(
+        "AHT is hurt by sparseness more than ASL",
+        times[("AHT", "largest")] / times[("AHT", "smallest")]
+        > times[("ASL", "largest")] / times[("ASL", "smallest")],
+        "AHT %.1fx vs ASL %.1fx"
+        % (times[("AHT", "largest")] / times[("AHT", "smallest")],
+           times[("ASL", "largest")] / times[("ASL", "smallest")]),
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 4.7 — the recipe
+# ----------------------------------------------------------------------
+def fig_4_7_recipe():
+    """The algorithm-selection recipe, checked against the rule engine."""
+    from ..recipe import Workload, recommend
+
+    rows = [[situation, ", ".join(algos)] for situation, algos in recipe_table()]
+    result = ExperimentResult(
+        "Figure 4.7",
+        "Recipe for selecting the best algorithm",
+        ["situation", "recommended"],
+        rows,
+    )
+    cases = [
+        ("dense cube -> ASL/AHT", Workload(100000, [4] * 6), ("ASL", "AHT")),
+        ("high dimensionality -> PT", Workload(100000, [50] * 13), ("PT",)),
+        ("memory constrained -> BPP",
+         Workload(100000, [50] * 9, memory_constrained=True), ("BPP",)),
+        ("online -> POL", Workload(1000000, [50] * 12, online=True), ("POL",)),
+        ("default sparse -> PT first", Workload(100000, [100] * 9), ("PT",)),
+    ]
+    for label, workload, expected_heads in cases:
+        picks = recommend(workload)
+        result.check(label, picks[0] in expected_heads, "recommended %s" % (picks,))
+    return result
+
+
+# ----------------------------------------------------------------------
+# Table 5.1 — POL's task array
+# ----------------------------------------------------------------------
+def table_5_1_task_array(n_processors=4):
+    """The n x n chunk/task array and its initial wrap-order assignment."""
+    assignment = initial_assignment(n_processors)
+    rows = []
+    for j in range(n_processors):
+        rows.append(
+            ["P%d" % j]
+            + ["Chunk%d%d" % (dest, src) for dest, src in assignment[j]]
+        )
+    result = ExperimentResult(
+        "Table 5.1",
+        "Task array for %d processors (work order per processor)" % n_processors,
+        ["processor"] + ["task %d" % k for k in range(n_processors)],
+        rows,
+    )
+    result.check(
+        "each processor starts with its local chunk",
+        all(assignment[j][0] == (j, j) for j in range(n_processors)),
+    )
+    result.check(
+        "wrap order spreads remote fetches (no source hit twice in a round)",
+        all(
+            len({src for _dest, src in assignment[j]}) == n_processors
+            for j in range(n_processors)
+        ),
+    )
+    result.check(
+        "every chunk of the n x n array is owned exactly once",
+        sorted(t for j in range(n_processors) for t in assignment[j])
+        == sorted((d, s) for d in range(n_processors) for s in range(n_processors)),
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Section 5.1 — selective materialization
+# ----------------------------------------------------------------------
+def sec_5_1_materialization(n_tuples=None, n_dims=7, seed=2001, n_processors=8):
+    """Full recompute at minsup 2 vs leaf precompute + instant roll-up."""
+    n_tuples = n_tuples or _default_tuples()
+    relation = weather_relation(n_tuples, dims=baseline_dims(n_dims), seed=seed)
+    full = ASL().run(relation, minsup=2, cluster_spec=cluster1(n_processors))
+    materialization = LeafMaterialization(relation, cluster_spec=cluster1(n_processors))
+    # The online stage: answer one cuboid at the new threshold and time a
+    # whole-cube roll-up for comparison.
+    import time
+
+    t0 = time.perf_counter()
+    answer = materialization.query(baseline_dims(3), minsup=2)
+    online_wall = time.perf_counter() - t0
+    rows = [
+        ["recompute full cube (ASL, minsup 2)", round(full.makespan, 3), "simulated s"],
+        ["precompute leaves (ASL, minsup 1)",
+         round(materialization.precompute_seconds, 3), "simulated s"],
+        ["online 3-dim query from a leaf", round(online_wall * 1000, 3), "real ms"],
+    ]
+    result = ExperimentResult(
+        "Section 5.1",
+        "Selective materialization (%d tuples, %d dims)" % (n_tuples, n_dims),
+        ["plan", "time", "unit"],
+        rows,
+        notes="thesis: full recompute ~60s; leaves-only precompute ~50s, then instant",
+    )
+    result.check(
+        "precomputing only the leaves is cheaper than the full cube",
+        materialization.precompute_seconds < full.makespan,
+        "%.2f vs %.2f" % (materialization.precompute_seconds, full.makespan),
+    )
+    result.check(
+        "the online answer is effectively instant",
+        online_wall < 1.0,
+        "%.1f ms" % (online_wall * 1000),
+    )
+    result.check(
+        "materialized answers are exact",
+        answer == {
+            cell: agg
+            for cell, agg in full.result.cuboid(baseline_dims(3)).items()
+        },
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 5.3 — POL's scalability with processors, on three clusters
+# ----------------------------------------------------------------------
+def fig_5_3_pol_scalability(n_tuples=None, n_dims=9, minsup=2, buffer_size=None,
+                            processor_counts=(1, 2, 4, 8), seed=2001):
+    """POL wall clock on Cluster1/2/3 (speedup favors slow CPUs + fast nets)."""
+    n_tuples = n_tuples or scaled(PAPER_ONLINE_TUPLES, minimum=20000)
+    buffer_size = buffer_size or max(500, n_tuples // 125)  # the thesis' 8000/1M
+    relation = weather_relation(n_tuples, dims=baseline_dims(n_dims), seed=seed)
+    clusters = {"cluster1": cluster1, "cluster2": cluster2, "cluster3": cluster3}
+    times = {}
+    for cname, factory in clusters.items():
+        for n in processor_counts:
+            run = POL(buffer_size=buffer_size).run(
+                relation, minsup=minsup, cluster_spec=factory(n)
+            )
+            times[(cname, n)] = run.makespan
+    rows = [
+        [n] + [round(times[(c, n)], 3) for c in clusters]
+        for n in processor_counts
+    ]
+    result = ExperimentResult(
+        "Figure 5.3",
+        "POL wall clock vs processors (%d tuples, %d dims, buffer %d)"
+        % (n_tuples, n_dims, buffer_size),
+        ["processors"] + list(clusters),
+        rows,
+    )
+    lo, hi = processor_counts[0], processor_counts[-1]
+    speedups = {c: times[(c, lo)] / times[(c, hi)] for c in clusters}
+    result.check(
+        "POL speeds up with more processors on every cluster",
+        all(s > 1.5 for s in speedups.values()),
+        "speedups %s" % {c: round(s, 2) for c, s in speedups.items()},
+    )
+    result.check(
+        "slower CPUs see better speedup (computation dominates communication)",
+        speedups["cluster2"] > speedups["cluster1"],
+        "cluster2 %.2fx vs cluster1 %.2fx" % (speedups["cluster2"], speedups["cluster1"]),
+    )
+    result.check(
+        "the faster network (Myrinet) helps at scale",
+        times[("cluster3", hi)] < times[("cluster2", hi)],
+        "%.2f vs %.2f at %d procs" % (times[("cluster3", hi)], times[("cluster2", hi)], hi),
+    )
+    result.check(
+        "Myrinet's speedup beats Ethernet's on identical machines",
+        speedups["cluster3"] >= speedups["cluster2"],
+        "cluster3 %.2fx vs cluster2 %.2fx" % (speedups["cluster3"], speedups["cluster2"]),
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 5.4 — POL's scalability with the buffer size
+# ----------------------------------------------------------------------
+def fig_5_4_pol_buffer(n_tuples=None, n_dims=9, minsup=2, buffer_sizes=None,
+                       n_processors=8, seed=2001):
+    """POL wall clock vs per-step buffer size (fewer steps, fewer syncs)."""
+    n_tuples = n_tuples or scaled(PAPER_ONLINE_TUPLES, minimum=20000)
+    if buffer_sizes is None:
+        base = max(250, n_tuples // 250)
+        buffer_sizes = (base, base * 2, base * 4, base * 8)
+    relation = weather_relation(n_tuples, dims=baseline_dims(n_dims), seed=seed)
+    rows = []
+    times = []
+    for buffer_size in buffer_sizes:
+        run = POL(buffer_size=buffer_size).run(
+            relation, minsup=minsup, cluster_spec=cluster1(n_processors)
+        )
+        times.append(run.makespan)
+        rows.append([buffer_size, run.extras["steps"], round(run.makespan, 3)])
+    result = ExperimentResult(
+        "Figure 5.4",
+        "POL wall clock vs buffer size (%d tuples, %d processors)"
+        % (n_tuples, n_processors),
+        ["buffer (tuples)", "steps", "wall clock (s)"],
+        rows,
+    )
+    result.check(
+        "larger buffers mean fewer steps and better performance",
+        times[-1] < times[0]
+        and all(t2 <= t1 * 1.05 for t1, t2 in zip(times, times[1:])),
+        "times %s" % [round(t, 2) for t in times],
+    )
+    return result
+
+
+#: Registry used by the bench suite and the reproduce-everything example.
+ALL_EXPERIMENTS = (
+    table_1_1_features,
+    fig_3_6_io_writing,
+    fig_4_1_load_balance,
+    fig_4_2_scalability,
+    fig_4_3_problem_size,
+    fig_4_4_dimensions,
+    fig_4_5_minsup,
+    fig_4_6_sparseness,
+    fig_4_7_recipe,
+    table_5_1_task_array,
+    sec_5_1_materialization,
+    fig_5_3_pol_scalability,
+    fig_5_4_pol_buffer,
+)

@@ -1,0 +1,110 @@
+"""Experiment harness: runs sweeps, renders paper-style tables, checks
+the reproduced *shapes* against the thesis' findings.
+
+Every figure/table of the thesis maps to one function in
+:mod:`repro.bench.experiments`; each returns an
+:class:`ExperimentResult` whose ``checks`` encode the qualitative claims
+(who wins, by roughly what factor, where the crossover falls).  Absolute
+seconds come from the simulated cluster and are not asserted.
+"""
+
+import os
+
+
+class Check:
+    """One qualitative claim from the thesis, evaluated on our numbers."""
+
+    __slots__ = ("name", "passed", "detail")
+
+    def __init__(self, name, passed, detail=""):
+        self.name = name
+        self.passed = bool(passed)
+        self.detail = detail
+
+    def __repr__(self):
+        return "Check(%r, %s)" % (self.name, "PASS" if self.passed else "FAIL")
+
+
+class ExperimentResult:
+    """A reproduced table/figure: rows, column headers and shape checks."""
+
+    def __init__(self, experiment_id, title, columns, rows, notes=""):
+        self.experiment_id = experiment_id
+        self.title = title
+        self.columns = list(columns)
+        self.rows = [list(r) for r in rows]
+        self.notes = notes
+        self.checks = []
+
+    def check(self, name, passed, detail=""):
+        """Attach one named shape check (chainable)."""
+        self.checks.append(Check(name, passed, detail))
+        return self
+
+    @property
+    def passed(self):
+        return all(c.passed for c in self.checks)
+
+    def failures(self):
+        """The checks that did not hold."""
+        return [c for c in self.checks if not c.passed]
+
+    def assert_checks(self):
+        """Raise if any shape check failed (used by the bench suite)."""
+        failures = self.failures()
+        if failures:
+            lines = ["%s: %d shape check(s) failed:" % (self.experiment_id, len(failures))]
+            lines += ["  - %s (%s)" % (c.name, c.detail) for c in failures]
+            lines.append(self.format_table())
+            raise AssertionError("\n".join(lines))
+
+    def format_table(self):
+        """Render the result as a fixed-width text table."""
+        headers = [str(c) for c in self.columns]
+        body = [[_fmt(v) for v in row] for row in self.rows]
+        widths = [len(h) for h in headers]
+        for row in body:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = ["%s — %s" % (self.experiment_id, self.title)]
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+        lines.append(sep)
+        for row in body:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if self.notes:
+            lines.append("note: %s" % self.notes)
+        for check in self.checks:
+            status = "PASS" if check.passed else "FAIL"
+            lines.append("[%s] %s%s" % (status, check.name,
+                                        " — " + check.detail if check.detail else ""))
+        return "\n".join(lines)
+
+    def report(self):
+        """Print the table (benches call this so results land in logs)."""
+        print()
+        print(self.format_table())
+        return self
+
+
+def _fmt(value):
+    if isinstance(value, float):
+        if value != 0 and abs(value) < 0.01:
+            return "%.2e" % value
+        return "%.3f" % value
+    return str(value)
+
+
+def bench_scale():
+    """Workload scale factor for the bench suite.
+
+    ``REPRO_BENCH_SCALE=1.0`` approaches the thesis' sizes (very slow in
+    pure Python); the default keeps the whole suite in minutes while
+    preserving every qualitative shape.
+    """
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
+
+
+def scaled(value, minimum=1):
+    """Scale a paper-sized parameter by the bench scale factor."""
+    return max(minimum, int(value * bench_scale()))

@@ -1,0 +1,224 @@
+"""Command-line interface: ``repro-cube``.
+
+Four subcommands cover the library's everyday uses:
+
+* ``cube``    — compute an iceberg cube from a CSV (or a synthetic
+  weather workload) with any of the five parallel algorithms, print a
+  summary and optionally export the cells;
+* ``query``   — answer one iceberg group-by and print its cells;
+* ``recipe``  — print the Figure 4.7 recommendation for a workload;
+* ``bench``   — run one of the paper's experiments by name (or list
+  them) and print the thesis-style table.
+
+Examples::
+
+    repro-cube cube --csv sales.csv --minsup 5 --algorithm pt --processors 8
+    repro-cube cube --weather 20000 --dims 7 --minsup 2 --export out/
+    repro-cube query --csv sales.csv --group-by city,item --min-sum 1000
+    repro-cube bench fig_4_2_scalability
+"""
+
+import argparse
+import sys
+
+from .cluster.spec import cluster1, cluster2, cluster3, paper_cluster
+from .core.export import save_cube
+from .core.thresholds import AndThreshold, CountThreshold, SumThreshold
+from .data.io import load_csv
+from .data.weather import baseline_dims, weather_relation
+from .errors import ReproError
+from .queries import iceberg_cube, iceberg_query
+from .recipe import recommend_for
+
+CLUSTERS = {
+    "cluster1": cluster1,
+    "cluster2": cluster2,
+    "cluster3": cluster3,
+    "paper": paper_cluster,
+}
+
+
+def build_parser():
+    """The argparse tree for ``repro-cube``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-cube",
+        description="Iceberg-cube computation with a simulated PC cluster",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    cube = sub.add_parser("cube", help="compute a full iceberg cube")
+    _add_input_options(cube)
+    _add_threshold_options(cube)
+    cube.add_argument("--algorithm", default="pt",
+                      choices=["rp", "bpp", "asl", "pt", "aht"],
+                      help="parallel algorithm (default: pt, the recipe's default)")
+    cube.add_argument("--processors", type=int, default=8)
+    cube.add_argument("--cluster", default="cluster1", choices=sorted(CLUSTERS))
+    cube.add_argument("--export", metavar="DIR",
+                      help="write the result cells under DIR (one CSV per cuboid)")
+
+    query = sub.add_parser("query", help="answer one iceberg group-by")
+    _add_input_options(query)
+    _add_threshold_options(query)
+    query.add_argument("--group-by", required=True,
+                       help="comma-separated dimension names")
+    query.add_argument("--aggregate", default="sum",
+                       choices=["count", "sum", "avg", "min", "max", "median"])
+    query.add_argument("--limit", type=int, default=20,
+                       help="print at most this many cells (default 20)")
+
+    recipe = sub.add_parser("recipe", help="recommend an algorithm (Figure 4.7)")
+    _add_input_options(recipe)
+
+    bench = sub.add_parser("bench", help="run one paper experiment by name")
+    bench.add_argument("experiment", nargs="?",
+                       help="experiment function name; omit to list them")
+    return parser
+
+
+def _add_input_options(parser):
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--csv", metavar="PATH",
+                        help="input relation (last column is the measure)")
+    source.add_argument("--weather", type=int, metavar="N",
+                        help="synthetic weather workload with N tuples")
+    parser.add_argument("--dims", default=None,
+                        help="comma-separated dimension names, or a count for "
+                             "--weather (default: all)")
+
+
+def _add_threshold_options(parser):
+    parser.add_argument("--minsup", type=int, default=1,
+                        help="HAVING COUNT(*) >= N (default 1)")
+    parser.add_argument("--min-sum", type=float, default=None,
+                        help="HAVING SUM(measure) >= S (combines with --minsup)")
+
+
+def _load_relation(args):
+    if args.csv:
+        relation = load_csv(args.csv)
+        dims = tuple(args.dims.split(",")) if args.dims else None
+        return relation, dims
+    if args.dims and args.dims.isdigit():
+        dims = baseline_dims(int(args.dims))
+    elif args.dims:
+        dims = tuple(args.dims.split(","))
+    else:
+        dims = None
+    return weather_relation(args.weather, dims=dims), None
+
+
+def _threshold(args):
+    conditions = []
+    if args.minsup > 1 or args.min_sum is None:
+        conditions.append(CountThreshold(max(1, args.minsup)))
+    if args.min_sum is not None:
+        conditions.append(SumThreshold(args.min_sum))
+    if len(conditions) == 1:
+        return conditions[0]
+    return AndThreshold(*conditions)
+
+
+def _decode_cell(relation, dims, cell):
+    if relation.encoder is not None:
+        return relation.encoder.decode_cell(dims, cell)
+    return cell
+
+
+def cmd_cube(args, out):
+    """Compute a full iceberg cube and print a summary (optionally export)."""
+    relation, dims = _load_relation(args)
+    threshold = _threshold(args)
+    cluster = CLUSTERS[args.cluster](args.processors)
+    run = iceberg_cube(relation, dims=dims, minsup=threshold,
+                       algorithm=args.algorithm, cluster_spec=cluster)
+    print("algorithm        : %s" % run.algorithm, file=out)
+    print("input            : %d tuples, dims %s"
+          % (len(relation), ", ".join(run.result.dims)), file=out)
+    print("threshold        : HAVING %s" % threshold.describe(), file=out)
+    print("qualifying cells : %d in %d cuboids"
+          % (run.result.total_cells(), len(run.result.cuboids)), file=out)
+    print("output volume    : %.1f KB" % (run.result.output_bytes() / 1024), file=out)
+    print("simulated wall   : %.3f s on %d x %s (%s)"
+          % (run.makespan, len(cluster), cluster.machines[0].name,
+             cluster.network.name), file=out)
+    print("load imbalance   : %.2f" % run.simulation.load_imbalance(), file=out)
+    if args.export:
+        manifest = save_cube(run.result, args.export)
+        print("exported         : %d cuboid files under %s"
+              % (len(manifest["cuboids"]), args.export), file=out)
+    return 0
+
+
+def cmd_query(args, out):
+    """Answer one iceberg group-by and print its top cells."""
+    relation, _dims = _load_relation(args)
+    group_by = tuple(args.group_by.split(","))
+    threshold = _threshold(args)
+    cells = iceberg_query(relation, group_by, having=threshold,
+                          aggregate=args.aggregate)
+    print("SELECT %s, %s(measure) GROUP BY %s HAVING %s"
+          % (", ".join(group_by), args.aggregate.upper(), ", ".join(group_by),
+             threshold.describe()), file=out)
+    ranked = sorted(cells.items(), key=lambda kv: (-(kv[1] or 0), kv[0]))
+    for cell, value in ranked[: args.limit]:
+        decoded = _decode_cell(relation, group_by, cell)
+        print("  %-50s %s" % (" / ".join(map(str, decoded)), value), file=out)
+    if len(ranked) > args.limit:
+        print("  ... and %d more cells" % (len(ranked) - args.limit), file=out)
+    print("%d qualifying cells" % len(cells), file=out)
+    return 0
+
+
+def cmd_recipe(args, out):
+    """Print the Figure 4.7 recommendation for the workload."""
+    relation, dims = _load_relation(args)
+    picks = recommend_for(relation, dims)
+    print("workload: %d tuples, %d dims, cardinality product %.2e"
+          % (len(relation), len(dims or relation.dims),
+             relation.cardinality_product(dims)), file=out)
+    print("recommended: %s" % ", ".join(picks), file=out)
+    return 0
+
+
+def cmd_bench(args, out):
+    """Run (or list) one of the paper's experiments."""
+    from .bench import ALL_ABLATIONS, ALL_EXPERIMENTS, ALL_EXTENSIONS
+
+    registry = {fn.__name__: fn for fn in
+                ALL_EXPERIMENTS + ALL_ABLATIONS + ALL_EXTENSIONS}
+    if not args.experiment:
+        print("available experiments:", file=out)
+        for name in registry:
+            print("  %s" % name, file=out)
+        return 0
+    fn = registry.get(args.experiment)
+    if fn is None:
+        print("unknown experiment %r; run 'repro-cube bench' to list them"
+              % args.experiment, file=out)
+        return 2
+    result = fn()
+    print(result.format_table(), file=out)
+    return 0 if result.passed else 1
+
+
+def main(argv=None, out=None):
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "cube": cmd_cube,
+        "query": cmd_query,
+        "recipe": cmd_recipe,
+        "bench": cmd_bench,
+    }
+    try:
+        return handlers[args.command](args, out)
+    except ReproError as exc:
+        print("error: %s" % exc, file=out)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

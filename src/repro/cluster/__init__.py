@@ -1,0 +1,51 @@
+"""Simulated PC-cluster substrate: specs, cost model and scheduler."""
+
+from .costmodel import CostModel
+from .simulator import (
+    Cluster,
+    Processor,
+    ScheduleEntry,
+    SimulationResult,
+    TaskExecution,
+    run_dynamic,
+    run_static,
+)
+from .spec import (
+    ETHERNET_100,
+    MYRINET,
+    PII_266,
+    PIII_500,
+    ClusterSpec,
+    DiskSpec,
+    MachineSpec,
+    NetworkSpec,
+    cluster1,
+    cluster2,
+    cluster3,
+    homogeneous,
+    paper_cluster,
+)
+
+__all__ = [
+    "CostModel",
+    "Cluster",
+    "Processor",
+    "ScheduleEntry",
+    "SimulationResult",
+    "TaskExecution",
+    "run_static",
+    "run_dynamic",
+    "ClusterSpec",
+    "MachineSpec",
+    "NetworkSpec",
+    "DiskSpec",
+    "PIII_500",
+    "PII_266",
+    "ETHERNET_100",
+    "MYRINET",
+    "homogeneous",
+    "cluster1",
+    "cluster2",
+    "cluster3",
+    "paper_cluster",
+]

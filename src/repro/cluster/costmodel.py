@@ -1,0 +1,64 @@
+"""The operation-count -> seconds cost model.
+
+Every algorithm kernel reports what it *did* (an
+:class:`~repro.core.stats.OpStats` ledger plus write-log and message
+deltas); this module prices that work.  The constants are calibrated so
+the thesis' baseline configuration — 176,631 nine-dimension tuples,
+minsup 2, eight 500 MHz processors — lands in the same tens-of-seconds
+regime the thesis reports, and more importantly so the *relative* costs
+(sorting vs scanning vs structure maintenance vs I/O vs communication)
+match a late-90s PC: a few hundred nanoseconds of useful work per tuple
+-level operation on the 500 MHz reference machine.
+
+Only ratios matter for the reproduced figures; absolute seconds are a
+convenience for readability against the thesis' plots.
+"""
+
+from ..core.stats import OpStats
+
+
+class CostModel:
+    """Prices :class:`OpStats` ledgers on a given machine."""
+
+    def __init__(
+        self,
+        read_tuple_s=0.9e-6,
+        sort_unit_s=0.28e-6,
+        scan_tuple_s=0.22e-6,
+        group_s=0.9e-6,
+        structure_unit_s=0.30e-6,
+        partition_move_s=0.6e-6,
+        task_overhead_s=0.004,
+        schedule_overhead_s=0.0008,
+    ):
+        self.read_tuple_s = read_tuple_s
+        self.sort_unit_s = sort_unit_s
+        self.scan_tuple_s = scan_tuple_s
+        self.group_s = group_s
+        self.structure_unit_s = structure_unit_s
+        self.partition_move_s = partition_move_s
+        #: fixed per-task startup cost (buffers, file opens, recursion setup)
+        self.task_overhead_s = task_overhead_s
+        #: manager round-trip for one dynamic task assignment
+        self.schedule_overhead_s = schedule_overhead_s
+
+    def cpu_seconds(self, stats, machine):
+        """CPU time for an :class:`OpStats` ledger on ``machine``."""
+        raw = (
+            stats.read_tuples * self.read_tuple_s
+            + stats.sort_units * self.sort_unit_s
+            + stats.scan_tuples * self.scan_tuple_s
+            + stats.groups * self.group_s
+            + stats.structure_units * self.structure_unit_s
+            + stats.partition_moves * self.partition_move_s
+        )
+        return raw / machine.speed
+
+    def task_seconds(self, machine):
+        """Fixed per-task cost on ``machine``."""
+        return self.task_overhead_s / machine.speed
+
+
+def empty_stats():
+    """A fresh ledger (convenience for drivers)."""
+    return OpStats()

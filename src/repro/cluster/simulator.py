@@ -1,0 +1,215 @@
+"""The deterministic cluster simulator.
+
+This is the substitution for the thesis' physical PC cluster: each
+algorithm executes its real work in-process (single-threaded, correct
+results) while the simulator keeps one virtual clock per processor and
+advances it by the *priced* cost of each task — CPU (operation ledger /
+machine speed), disk I/O (write log through the disk spec) and
+communication (message bytes through the network spec).
+
+Two scheduling modes cover all the thesis' algorithms:
+
+* :func:`run_static` — the task->processor map is fixed up front
+  (RP's round-robin, BPP's partition ownership);
+* :func:`run_dynamic` — demand scheduling: whenever a processor goes
+  idle the manager hands it the next task, chosen by a policy that sees
+  the worker's previous task (ASL/PT/AHT affinity scheduling).
+
+Determinism: ties on the clock break by processor index, and policies
+receive tasks in a stable order, so a run is exactly reproducible.
+"""
+
+from ..errors import ClusterError
+
+
+class TaskExecution:
+    """What one executed task cost, as reported by the algorithm driver."""
+
+    __slots__ = (
+        "label",
+        "stats",
+        "cells",
+        "bytes_written",
+        "switches",
+        "read_bytes",
+        "comm_bytes",
+        "comm_messages",
+    )
+
+    def __init__(
+        self,
+        label,
+        stats,
+        cells=0,
+        bytes_written=0,
+        switches=0,
+        read_bytes=0,
+        comm_bytes=0,
+        comm_messages=0,
+    ):
+        self.label = label
+        self.stats = stats
+        self.cells = cells
+        self.bytes_written = bytes_written
+        self.switches = switches
+        self.read_bytes = read_bytes
+        self.comm_bytes = comm_bytes
+        self.comm_messages = comm_messages
+
+
+class Processor:
+    """One simulated node: clock, time breakdown and worker state."""
+
+    def __init__(self, index, machine):
+        self.index = index
+        self.machine = machine
+        self.clock = 0.0
+        self.cpu_time = 0.0
+        self.io_time = 0.0
+        self.comm_time = 0.0
+        self.tasks_run = 0
+        #: algorithm-specific worker state (e.g. ASL's root skip list)
+        self.state = None
+
+    @property
+    def busy_time(self):
+        return self.cpu_time + self.io_time + self.comm_time
+
+    def __repr__(self):
+        return "Processor(%d, %s, clock=%.3f)" % (self.index, self.machine.name, self.clock)
+
+
+class ScheduleEntry:
+    """One task's placement in simulated time (for traces and plots)."""
+
+    __slots__ = ("label", "processor", "start", "end", "cpu", "io", "comm")
+
+    def __init__(self, label, processor, start, end, cpu, io, comm):
+        self.label = label
+        self.processor = processor
+        self.start = start
+        self.end = end
+        self.cpu = cpu
+        self.io = io
+        self.comm = comm
+
+    def __repr__(self):
+        return "ScheduleEntry(%r, p%d, %.3f..%.3f)" % (
+            self.label,
+            self.processor,
+            self.start,
+            self.end,
+        )
+
+
+class SimulationResult:
+    """Outcome of a simulated run: per-processor times and the schedule."""
+
+    def __init__(self, processors, schedule):
+        self.processors = processors
+        self.schedule = schedule
+
+    @property
+    def makespan(self):
+        """Wall-clock: the time the slowest processor finishes."""
+        return max(p.clock for p in self.processors)
+
+    def loads(self):
+        """Per-processor busy time (Figure 4.1's bars)."""
+        return [p.busy_time for p in self.processors]
+
+    def load_imbalance(self):
+        """max/mean busy time; 1.0 is perfectly balanced."""
+        loads = self.loads()
+        mean = sum(loads) / len(loads)
+        return max(loads) / mean if mean > 0 else 1.0
+
+    def time_breakdown(self):
+        """Totals of (cpu, io, comm) seconds across processors."""
+        return (
+            sum(p.cpu_time for p in self.processors),
+            sum(p.io_time for p in self.processors),
+            sum(p.comm_time for p in self.processors),
+        )
+
+
+class Cluster:
+    """A runnable simulated cluster: spec + cost model + processors."""
+
+    def __init__(self, spec, cost_model):
+        self.spec = spec
+        self.cost_model = cost_model
+        self.processors = [Processor(i, m) for i, m in enumerate(spec.machines)]
+
+    def __len__(self):
+        return len(self.processors)
+
+    def reset(self):
+        """Zero all clocks and worker state for a fresh run."""
+        self.processors = [Processor(i, m) for i, m in enumerate(self.spec.machines)]
+
+    def charge(self, processor, execution, include_task_overhead=True):
+        """Advance ``processor``'s clock by the priced cost of one task."""
+        cpu = self.cost_model.cpu_seconds(execution.stats, processor.machine)
+        if include_task_overhead:
+            cpu += self.cost_model.task_seconds(processor.machine)
+        io = self.spec.disk.write_seconds(execution.bytes_written, execution.switches)
+        io += self.spec.disk.read_seconds(execution.read_bytes)
+        comm = 0.0
+        if execution.comm_messages or execution.comm_bytes:
+            comm = self.spec.network.transfer_seconds(
+                execution.comm_bytes, max(1, execution.comm_messages)
+            )
+        start = processor.clock
+        processor.clock = start + cpu + io + comm
+        processor.cpu_time += cpu
+        processor.io_time += io
+        processor.comm_time += comm
+        processor.tasks_run += 1
+        return ScheduleEntry(
+            execution.label, processor.index, start, processor.clock, cpu, io, comm
+        )
+
+
+def run_static(cluster, assignments, execute):
+    """Run with a fixed task->processor map.
+
+    ``assignments`` is a list of ``(processor_index, task)`` pairs, run
+    in order per processor.  ``execute(processor, task)`` performs the
+    work and returns a :class:`TaskExecution`.
+    """
+    schedule = []
+    for proc_index, task in assignments:
+        try:
+            processor = cluster.processors[proc_index]
+        except IndexError:
+            raise ClusterError(
+                "assignment to processor %d of %d" % (proc_index, len(cluster))
+            ) from None
+        execution = execute(processor, task)
+        schedule.append(cluster.charge(processor, execution))
+    return SimulationResult(cluster.processors, schedule)
+
+
+def run_dynamic(cluster, tasks, select_task, execute):
+    """Run with demand (manager/worker) scheduling.
+
+    Whenever a processor's clock is the earliest, the manager gives it
+    the task chosen by ``select_task(processor, pending)`` (``pending``
+    is a list in stable order; the policy must return one of its
+    members).  Each assignment also pays the manager round-trip
+    (``schedule_overhead_s``) — the thesis overlaps the manager with a
+    worker on one node, so scheduling is cheap but not free.
+    """
+    pending = list(tasks)
+    schedule = []
+    overhead = cluster.cost_model.schedule_overhead_s
+    while pending:
+        processor = min(cluster.processors, key=lambda p: (p.clock, p.index))
+        task = select_task(processor, pending)
+        pending.remove(task)
+        execution = execute(processor, task)
+        processor.clock += overhead
+        processor.comm_time += overhead
+        schedule.append(cluster.charge(processor, execution))
+    return SimulationResult(cluster.processors, schedule)

@@ -1,0 +1,143 @@
+"""Cluster hardware descriptions: machines, networks, disks.
+
+The thesis' testbed (Section 4.2) was a heterogeneous PC cluster of
+eight 500 MHz PIII machines (256 MB) and eight 266 MHz PII machines
+(128 MB), each with a local 30 GB disk, connected by 100 Mbit Ethernet;
+the POL experiments add a Myrinet network "approximately three times
+faster than the Ethernet" (Section 5.4.1).  These specs parameterize the
+simulated cluster so those configurations can be reproduced exactly:
+
+* :func:`cluster1` — eight PIII-500/Ethernet (the CUBE baseline);
+* :func:`cluster2` — eight PII-266/Ethernet;
+* :func:`cluster3` — eight PII-266/Myrinet;
+* :func:`paper_cluster` — the full 16-node heterogeneous cluster.
+"""
+
+from ..errors import ClusterError
+
+
+class MachineSpec:
+    """One node: its clock speed sets its relative CPU cost factor."""
+
+    __slots__ = ("name", "cpu_mhz", "memory_mb")
+
+    #: Reference clock: cost-model constants are calibrated for this.
+    REFERENCE_MHZ = 500.0
+
+    def __init__(self, name, cpu_mhz, memory_mb):
+        self.name = name
+        self.cpu_mhz = float(cpu_mhz)
+        self.memory_mb = memory_mb
+
+    @property
+    def speed(self):
+        """Relative speed vs the 500 MHz reference (PIII-500 = 1.0)."""
+        return self.cpu_mhz / self.REFERENCE_MHZ
+
+    def __repr__(self):
+        return "MachineSpec(%s, %dMHz, %dMB)" % (self.name, self.cpu_mhz, self.memory_mb)
+
+
+class NetworkSpec:
+    """A cluster interconnect: per-message latency plus bandwidth."""
+
+    __slots__ = ("name", "bandwidth_bytes_per_s", "latency_s")
+
+    def __init__(self, name, bandwidth_bytes_per_s, latency_s):
+        self.name = name
+        self.bandwidth_bytes_per_s = float(bandwidth_bytes_per_s)
+        self.latency_s = float(latency_s)
+
+    def transfer_seconds(self, nbytes, messages=1):
+        """Time to move ``nbytes`` in ``messages`` point-to-point sends."""
+        return messages * self.latency_s + nbytes / self.bandwidth_bytes_per_s
+
+    def __repr__(self):
+        return "NetworkSpec(%s)" % self.name
+
+
+class DiskSpec:
+    """A local commodity disk: sequential bandwidth plus a scatter penalty.
+
+    ``scatter_s`` is charged once per cuboid switch in the write log —
+    the cost of abandoning a sequential stream for a different output
+    file (seek + buffer flush).  It is deliberately far below a raw seek
+    time because the OS buffers per-file writes; its default is
+    calibrated so depth-first writing lands ~5x breadth-first on the
+    thesis' baseline, as measured in Figure 3.6.
+    """
+
+    __slots__ = ("name", "read_bandwidth", "write_bandwidth", "scatter_s")
+
+    def __init__(self, name="commodity-ide", read_bandwidth=25e6, write_bandwidth=18e6,
+                 scatter_s=6e-5):
+        self.name = name
+        self.read_bandwidth = float(read_bandwidth)
+        self.write_bandwidth = float(write_bandwidth)
+        self.scatter_s = float(scatter_s)
+
+    def read_seconds(self, nbytes):
+        """Time to sequentially read ``nbytes`` from the local disk."""
+        return nbytes / self.read_bandwidth
+
+    def write_seconds(self, nbytes, switches=0):
+        """Time to write ``nbytes`` with ``switches`` cuboid-file changes."""
+        return nbytes / self.write_bandwidth + switches * self.scatter_s
+
+
+#: The thesis' machine types.
+PIII_500 = MachineSpec("PIII-500", 500, 256)
+PII_266 = MachineSpec("PII-266", 266, 128)
+
+#: The thesis' networks; Myrinet ~3x the Ethernet's speed.
+ETHERNET_100 = NetworkSpec("100Mbit-ethernet", 12.5e6, 120e-6)
+MYRINET = NetworkSpec("myrinet", 37.5e6, 40e-6)
+
+
+class ClusterSpec:
+    """An ordered set of machines plus the interconnect and disk model."""
+
+    def __init__(self, machines, network=ETHERNET_100, disk=None, name="cluster"):
+        self.machines = list(machines)
+        if not self.machines:
+            raise ClusterError("a cluster needs at least one machine")
+        self.network = network
+        self.disk = disk if disk is not None else DiskSpec()
+        self.name = name
+
+    def __len__(self):
+        return len(self.machines)
+
+    @property
+    def n_processors(self):
+        return len(self.machines)
+
+    def __repr__(self):
+        return "ClusterSpec(%s, %d nodes, %s)" % (self.name, len(self.machines),
+                                                  self.network.name)
+
+
+def homogeneous(n, machine=PIII_500, network=ETHERNET_100, name=None):
+    """``n`` identical machines on one network."""
+    return ClusterSpec([machine] * n, network, name=name or ("%dx%s" % (n, machine.name)))
+
+
+def cluster1(n=8):
+    """Eight 500 MHz PIII / 256 MB on Ethernet (the baseline cluster)."""
+    return homogeneous(n, PIII_500, ETHERNET_100, name="cluster1")
+
+
+def cluster2(n=8):
+    """Eight 266 MHz PII / 128 MB on Ethernet."""
+    return homogeneous(n, PII_266, ETHERNET_100, name="cluster2")
+
+
+def cluster3(n=8):
+    """Eight 266 MHz PII / 128 MB on Myrinet (~3x faster network)."""
+    return homogeneous(n, PII_266, MYRINET, name="cluster3")
+
+
+def paper_cluster(n=16):
+    """The full heterogeneous testbed: 8 fast nodes then 8 slow nodes."""
+    machines = ([PIII_500] * 8 + [PII_266] * 8)[:n]
+    return ClusterSpec(machines, ETHERNET_100, name="paper-cluster")

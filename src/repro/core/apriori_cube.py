@@ -1,0 +1,169 @@
+"""The hash-tree (Apriori-based) cube algorithm (Section 3.5.1).
+
+The thesis' first hash-based attempt: treat every ``(attribute, value)``
+pair as an *item* over a global index, so a group-by cell is an itemset
+with at most one item per attribute, and cells with support >= minsup
+are exactly the frequent itemsets.  Computation is Apriori's level-wise
+breadth-first search — generate candidate ``k``-itemsets from frequent
+``(k-1)``-itemsets, prune candidates with an infrequent subset, count
+supports with the hash tree's subset operation — adapted to cubes by (a)
+the one-item-per-attribute constraint during the self-join and (b) a
+global item index whose size is the *sum of all attribute
+cardinalities*.
+
+That global index is the algorithm's documented downfall: breadth-first
+generation materializes enormous candidate sets before pruning can act,
+and "the hash tree ... quickly consumes all available memory".  The
+implementation is faithful to that failure: all structures are charged
+to a :class:`~repro.structures.hash_tree.MemoryMeter` and the run dies
+with :class:`~repro.errors.MemoryBudgetExceeded` when the budget (128 MB
+by default, as on the thesis' small nodes) is crossed — which on sparse
+or low-minsup inputs it will be.
+"""
+
+from itertools import combinations
+
+from ..structures.hash_tree import ENTRY_BASE_BYTES, ENTRY_ITEM_BYTES, HashTree, MemoryMeter
+from .result import CubeResult
+from .stats import OpStats
+from .thresholds import as_threshold, validate_measures
+
+DEFAULT_BUDGET_BYTES = 128 * 1024 * 1024
+
+
+class ItemIndex:
+    """The global item universe: one id per (attribute, value) pair."""
+
+    def __init__(self, relation, dims):
+        self.dims = tuple(dims)
+        positions = relation.dim_indices(self.dims)
+        self.offsets = []
+        self.cardinalities = []
+        offset = 0
+        values_per_dim = []
+        for p in positions:
+            values = sorted({row[p] for row in relation.rows})
+            values_per_dim.append({v: i for i, v in enumerate(values)})
+            self.offsets.append(offset)
+            self.cardinalities.append(len(values))
+            offset += len(values)
+        self.n_items = offset
+        self._positions = positions
+        self._values_per_dim = values_per_dim
+        self._decode = []
+        for d, values in enumerate(values_per_dim):
+            for value, _i in sorted(values.items(), key=lambda kv: kv[1]):
+                self._decode.append((d, value))
+
+    def transaction(self, row):
+        """A tuple's sorted item-id list (one item per attribute)."""
+        return tuple(
+            self.offsets[d] + self._values_per_dim[d][row[p]]
+            for d, p in enumerate(self._positions)
+        )
+
+    def dim_of(self, item):
+        """Which attribute (index into ``dims``) an item belongs to."""
+        return self._decode[item][0]
+
+    def decode(self, item):
+        """``(dim_index, value_code)`` for an item id."""
+        return self._decode[item]
+
+
+def _generate_candidates(frequent, index, k):
+    """Apriori self-join + prune with the one-item-per-dimension rule."""
+    frequent_set = set(frequent)
+    by_prefix = {}
+    for itemset in frequent:
+        by_prefix.setdefault(itemset[:-1], []).append(itemset[-1])
+    candidates = []
+    for prefix, lasts in by_prefix.items():
+        lasts.sort()
+        for i in range(len(lasts)):
+            for j in range(i + 1, len(lasts)):
+                a, b = lasts[i], lasts[j]
+                if index.dim_of(a) == index.dim_of(b):
+                    continue  # a cell has one value per attribute
+                candidate = prefix + (a, b)
+                if _all_subsets_frequent(candidate, frequent_set, k):
+                    candidates.append(candidate)
+    return candidates
+
+
+def _all_subsets_frequent(candidate, frequent_set, k):
+    for subset in combinations(candidate, k - 1):
+        if subset not in frequent_set:
+            return False
+    return True
+
+
+def apriori_iceberg_cube(relation, dims=None, minsup=1, memory_budget=DEFAULT_BUDGET_BYTES):
+    """Run the hash-tree cube; returns ``(CubeResult, OpStats, meter)``.
+
+    Raises :class:`MemoryBudgetExceeded` when the candidate hash tree
+    outgrows ``memory_budget`` — the thesis' observed failure mode.
+    """
+    if dims is None:
+        dims = relation.dims
+    dims = tuple(dims)
+    minsup = as_threshold(minsup)
+    validate_measures(minsup, relation)
+    meter = MemoryMeter(memory_budget)
+    stats = OpStats()
+    stats.read_tuples += len(relation)
+    index = ItemIndex(relation, dims)
+    # The global index table itself occupies memory proportional to the
+    # sum of the cardinalities — the thesis calls this out explicitly.
+    meter.add(index.n_items * (ENTRY_BASE_BYTES + ENTRY_ITEM_BYTES))
+    result = CubeResult(dims)
+
+    transactions = [index.transaction(row) for row in relation.rows]
+    stats.add_scan(len(transactions))
+
+    # F1: count single items with a flat array.
+    counts = [0] * index.n_items
+    sums = [0.0] * index.n_items
+    for t, measure in zip(transactions, relation.measures):
+        for item in t:
+            counts[item] += 1
+            sums[item] += measure
+    stats.add_scan(len(transactions) * max(1, len(dims)))
+    frequent = []
+    for item in range(index.n_items):
+        if minsup.qualifies(counts[item], sums[item]):
+            frequent.append((item,))
+            _emit(result, dims, index, (item,), counts[item], sums[item])
+
+    k = 2
+    while frequent and k <= len(dims):
+        candidates = _generate_candidates(frequent, index, k)
+        if not candidates:
+            break
+        tree = HashTree(k, hash_mod=16, leaf_capacity=16, meter=meter)
+        for candidate in candidates:
+            tree.insert(candidate)
+        for t, measure in zip(transactions, relation.measures):
+            tree.count_subsets(t, measure)
+        stats.add_structure(tree.node_visits)
+        frequent = []
+        for itemset, count, value in tree.items():
+            if minsup.qualifies(count, value):
+                frequent.append(itemset)
+                _emit(result, dims, index, itemset, count, value)
+        frequent.sort()
+        k += 1
+
+    count = len(relation)
+    measure_sum = sum(relation.measures)
+    if minsup.qualifies(count, measure_sum):
+        result.add_cell((), (), count, measure_sum)
+    return result, stats, meter
+
+
+def _emit(result, dims, index, itemset, count, value):
+    """Record a frequent itemset as a cube cell."""
+    decoded = [index.decode(item) for item in itemset]
+    cuboid = tuple(dims[d] for d, _v in decoded)
+    cell = tuple(v for _d, v in decoded)
+    result.add_cell(cuboid, cell, count, value)

@@ -1,0 +1,167 @@
+"""Array-based cube computation (Zhao/Deshpande/Naughton, Section 2.4.1).
+
+MOLAP-style: the data lives in a dense d-dimensional array indexed by
+the dimension codes (mixed-radix addressing), so aggregation needs "no
+tuple comparison, only array indexing".  Each cuboid is marginalized
+from its smallest already-materialized parent by summing out one
+dimension — one linear pass over the parent array per cuboid.
+
+The thesis dismisses the approach for its problem domain in one line:
+"if the data is sparse, the algorithms become infeasible, as the array
+becomes huge."  This implementation honours that: it refuses inputs
+whose cell-space (the cardinality product) exceeds ``max_cells``,
+raising :class:`~repro.errors.PlanError` rather than allocating
+gigabytes — exactly the trade the review describes.
+"""
+
+from ..errors import PlanError
+from ..lattice.lattice import CubeLattice
+from .result import CubeResult
+from .stats import OpStats
+from .thresholds import as_threshold
+
+DEFAULT_MAX_CELLS = 2_000_000
+
+
+class DenseArray:
+    """A d-dimensional (count, sum) array with mixed-radix addressing."""
+
+    __slots__ = ("shape", "strides", "size", "counts", "sums")
+
+    def __init__(self, shape):
+        self.shape = tuple(int(s) for s in shape)
+        self.size = 1
+        strides = []
+        for extent in reversed(self.shape):
+            strides.append(self.size)
+            self.size *= max(1, extent)
+        self.strides = tuple(reversed(strides))
+        self.counts = [0] * self.size
+        self.sums = [0.0] * self.size
+
+    def offset(self, key):
+        """Flat offset of a coordinate tuple."""
+        off = 0
+        for coordinate, stride in zip(key, self.strides):
+            off += coordinate * stride
+        return off
+
+    def add(self, key, measure):
+        """Accumulate one tuple into the cell at ``key``."""
+        off = self.offset(key)
+        self.counts[off] += 1
+        self.sums[off] += measure
+
+    def marginalize(self, drop_axis):
+        """Sum out one dimension; returns the smaller array.
+
+        One linear pass: every source cell contributes to the target
+        cell with the dropped coordinate removed.
+        """
+        new_shape = self.shape[:drop_axis] + self.shape[drop_axis + 1 :]
+        target = DenseArray(new_shape)
+        extent = max(1, self.shape[drop_axis])
+        stride = self.strides[drop_axis]
+        # Iterate target offsets by decomposing source offsets.
+        outer = stride * extent
+        t_off = 0
+        for base in range(0, self.size, outer):
+            for inner in range(stride):
+                count = 0
+                total = 0.0
+                src = base + inner
+                for _k in range(extent):
+                    count += self.counts[src]
+                    total += self.sums[src]
+                    src += stride
+                target.counts[t_off] += count
+                target.sums[t_off] += total
+                t_off += 1
+        return target
+
+    def cells(self):
+        """Yield ``(key, count, sum)`` for populated cells."""
+        for off, count in enumerate(self.counts):
+            if count:
+                yield self._key_of(off), count, self.sums[off]
+
+    def _key_of(self, off):
+        key = []
+        for stride, extent in zip(self.strides, self.shape):
+            coordinate = (off // stride) % max(1, extent)
+            key.append(coordinate)
+        return tuple(key)
+
+
+def array_iceberg_cube(relation, dims=None, minsup=1, max_cells=DEFAULT_MAX_CELLS):
+    """Run the array-based cube; returns ``(CubeResult, OpStats)``.
+
+    Raises :class:`PlanError` when the dense cell space exceeds
+    ``max_cells`` — the sparse-data infeasibility the thesis notes.
+    """
+    if dims is None:
+        dims = relation.dims
+    dims = tuple(dims)
+    threshold = as_threshold(minsup)
+    # Array extents must cover the code *range*, not just the distinct
+    # count (codes need not be contiguous).
+    positions_for_extent = relation.dim_indices(dims)
+    cardinalities = [
+        max((row[p] for row in relation.rows), default=-1) + 1
+        for p in positions_for_extent
+    ]
+    space = 1
+    for card in cardinalities:
+        space *= max(1, card)
+    if space > max_cells:
+        raise PlanError(
+            "dense array would need %d cells (> %d): array-based cube "
+            "computation is infeasible for sparse data" % (space, max_cells)
+        )
+    stats = OpStats()
+    stats.read_tuples += len(relation)
+    result = CubeResult(dims)
+
+    root = DenseArray(cardinalities)
+    positions = relation.dim_indices(dims)
+    for row, measure in zip(relation.rows, relation.measures):
+        root.add(tuple(row[p] for p in positions), measure)
+    stats.add_scan(len(relation))
+    stats.note_items(root.size)
+
+    lattice = CubeLattice(dims)
+    arrays = {tuple(dims): root}
+    # Top-down: every cuboid marginalized from its smallest parent.
+    for cuboid in lattice.cuboids(include_all=False):
+        if cuboid not in arrays:
+            parent, axis = _best_parent(cuboid, arrays, lattice)
+            arrays[cuboid] = arrays[parent].marginalize(axis)
+            stats.add_scan(arrays[parent].size)
+        array = arrays[cuboid]
+        for key, count, total in array.cells():
+            if threshold.qualifies(count, total):
+                result.add_cell(cuboid, key, count, total)
+        stats.add_groups(len(array.counts))
+    stats.note_items(sum(a.size for a in arrays.values()))
+
+    count = len(relation)
+    measure_sum = sum(relation.measures)
+    if threshold.qualifies(count, measure_sum):
+        result.add_cell((), (), count, measure_sum)
+    return result, stats
+
+
+def _best_parent(cuboid, arrays, lattice):
+    """The smallest materialized parent and the axis to sum out."""
+    best = None
+    best_size = None
+    for parent in lattice.parents(cuboid):
+        array = arrays.get(parent)
+        if array is None:
+            continue
+        if best_size is None or array.size < best_size:
+            best, best_size = parent, array.size
+    if best is None:
+        raise PlanError("no materialized parent for cuboid %r" % (cuboid,))
+    dropped = (set(best) - set(cuboid)).pop()
+    return best, best.index(dropped)

@@ -1,0 +1,56 @@
+"""Naive full-scan iceberg cube: the ground-truth baseline.
+
+One hash-aggregation pass of the relation per cuboid — no shared sorts,
+no pruning, no cleverness.  Far too slow for real use (that is the point
+of the paper), but unambiguous, which makes it the correctness oracle
+every other algorithm is validated against.
+"""
+
+from ..lattice.lattice import CubeLattice
+from .result import CubeResult
+from .thresholds import as_threshold
+
+
+def naive_cuboid(relation, dims):
+    """Aggregate one group-by with a dict; returns ``{cell: (count, sum)}``.
+
+    ``dims`` may be in any order; cells are keyed in that order.
+    """
+    positions = relation.dim_indices(dims)
+    cells = {}
+    rows = relation.rows
+    measures = relation.measures
+    for i, row in enumerate(rows):
+        key = tuple(row[p] for p in positions)
+        existing = cells.get(key)
+        if existing is None:
+            cells[key] = [1, measures[i]]
+        else:
+            existing[0] += 1
+            existing[1] += measures[i]
+    return {cell: (count, value) for cell, (count, value) in cells.items()}
+
+
+def naive_iceberg_cube(relation, dims=None, minsup=1):
+    """Compute the full iceberg cube by scanning once per cuboid.
+
+    ``minsup`` may be an integer minimum support or any
+    :class:`~repro.core.thresholds.Threshold`.  Includes the ``all``
+    cuboid (the empty group-by) when it qualifies.  Returns a
+    :class:`~repro.core.result.CubeResult`.
+    """
+    if dims is None:
+        dims = relation.dims
+    dims = tuple(dims)
+    threshold = as_threshold(minsup)
+    lattice = CubeLattice(dims)
+    result = CubeResult(dims)
+    for cuboid in lattice.cuboids(include_all=False):
+        for cell, (count, value) in naive_cuboid(relation, cuboid).items():
+            if threshold.qualifies(count, value):
+                result.add_cell(cuboid, cell, count, value)
+    total = len(relation)
+    measure_sum = sum(relation.measures)
+    if threshold.qualifies(total, measure_sum):
+        result.add_cell((), (), total, measure_sum)
+    return result

@@ -1,0 +1,278 @@
+"""PartitionedCube / MemoryCube (Ross & Srivastava, Section 2.4.1).
+
+The top-down algorithm built for *sparse* cubes:
+
+* **PartitionedCube** partitions the input on one attribute into
+  memory-sized fragments; all cuboids *containing* that attribute are
+  computed fragment by fragment (a cell's value on the partition
+  attribute pins it to one fragment, so partial results just union).
+  The full-dimension cuboid — much smaller than the raw fragments — then
+  becomes the input for computing the remaining cuboids, recursively.
+* **MemoryCube** computes all (required) cuboids of an in-memory input
+  with the *minimum number of sorted pipelines*: its Paths algorithm
+  covers the lattice with the provably minimal number of chains.  Here
+  that minimal cover is produced by the classic symmetric chain
+  decomposition of the subset lattice (de Bruijn et al.), which yields
+  exactly ``C(d, floor(d/2))`` chains — the thesis' Figure 2.8(b) shows
+  the 6 = C(4,2) paths for four dimensions.  Each chain adds one
+  attribute per step, so ordering the sort key accordingly makes every
+  chain member a prefix: one sort plus one scan computes the whole
+  pipeline.
+
+Internally the input is a list of weighted items ``(key, count, sum)``
+so a materialized cuboid can feed the recursion exactly as the paper
+describes.
+"""
+
+from ..errors import PlanError
+from .result import CubeResult
+from .stats import OpStats
+from .thresholds import as_threshold
+
+
+def symmetric_chain_decomposition(elements):
+    """Cover all subsets of ``elements`` with symmetric chains.
+
+    Returns a list of chains; each chain is a list of frozensets, each a
+    strict subset of the next with exactly one more element.  The chain
+    count is ``C(n, n//2)`` — the minimum possible, since each chain
+    crosses the lattice's widest level at most once.
+    """
+    chains = [[frozenset()]]
+    for element in elements:
+        extended = []
+        for chain in chains:
+            longer = chain + [chain[-1] | {element}]
+            extended.append(longer)
+            if len(chain) > 1:
+                extended.append([s | {element} for s in chain[:-1]])
+        chains = extended
+    return chains
+
+
+def chain_attribute_order(chain, dims_order):
+    """A sort order making each chain member a prefix.
+
+    ``chain`` ascends one element per step; the order lists the smallest
+    member's attributes first (in schema order), then each added
+    attribute.
+    """
+    order = sorted(chain[0], key=dims_order.index)
+    known = set(order)
+    for subset in chain[1:]:
+        added = subset - known
+        if len(added) != 1:
+            raise PlanError("chain step adds %d elements, expected 1" % len(added))
+        order.extend(added)
+        known |= added
+    return tuple(order)
+
+
+def minimal_paths(dims, must_contain=()):
+    """MemoryCube's path cover, optionally restricted.
+
+    Covers every non-empty cuboid over ``dims`` that contains all of
+    ``must_contain``, using chains over the remaining attributes with
+    ``must_contain`` folded into every chain member.  Returns a list of
+    chains (ascending lists of frozensets); empty sets are dropped.
+    """
+    dims = tuple(dims)
+    must_contain = frozenset(must_contain)
+    free = [d for d in dims if d not in must_contain]
+    paths = []
+    for chain in symmetric_chain_decomposition(free):
+        full_chain = [s | must_contain for s in chain if s | must_contain]
+        if full_chain:
+            paths.append(full_chain)
+    return paths
+
+
+def _chain_order(chain_sets, dims):
+    """Attribute order for an ascending chain of sets (helper)."""
+    order = sorted(chain_sets[0], key=dims.index)
+    known = set(order)
+    for subset in chain_sets[1:]:
+        for dim in sorted(subset - known, key=dims.index):
+            order.append(dim)
+            known.add(dim)
+    return tuple(order)
+
+
+class _Items:
+    """A weighted in-memory input: parallel key/count/sum lists."""
+
+    __slots__ = ("dims", "rows")
+
+    def __init__(self, dims, rows):
+        self.dims = tuple(dims)
+        self.rows = rows  # list of (key_tuple, count, sum)
+
+    def __len__(self):
+        return len(self.rows)
+
+    @classmethod
+    def from_relation(cls, relation, dims):
+        positions = relation.dim_indices(dims)
+        rows = [
+            (tuple(row[p] for p in positions), 1, measure)
+            for row, measure in zip(relation.rows, relation.measures)
+        ]
+        return cls(dims, rows)
+
+    def project(self, dims):
+        positions = [self.dims.index(d) for d in dims]
+        return _Items(
+            dims,
+            [(tuple(key[p] for p in positions), c, v) for key, c, v in self.rows],
+        )
+
+    def distinct_counts(self):
+        counts = {}
+        for i, dim in enumerate(self.dims):
+            counts[dim] = len({key[i] for key, _c, _v in self.rows})
+        return counts
+
+
+def memory_cube(items, minsup, result, stats, must_contain=()):
+    """Compute all cuboids of ``items`` containing ``must_contain``.
+
+    Returns the full-dimension cuboid's *unfiltered* aggregated rows so
+    PartitionedCube can feed them back in as a smaller input.
+    """
+    minsup = as_threshold(minsup)
+    dims = items.dims
+    full = frozenset(dims)
+    full_rows = None
+    for chain_sets in minimal_paths(dims, must_contain):
+        order = _chain_order(chain_sets, list(dims))
+        positions = [dims.index(d) for d in order]
+        sorted_rows = sorted(
+            ((tuple(key[p] for p in positions), c, v) for key, c, v in items.rows),
+            key=lambda row: row[0],
+        )
+        stats.add_sort(len(sorted_rows))
+        widths = [len(s) for s in chain_sets]
+        emitted = _pipeline_scan(sorted_rows, widths, stats)
+        for subset, width in zip(chain_sets, widths):
+            cells = emitted[width]
+            stats.add_groups(len(cells))
+            cuboid_order = order[:width]
+            for key, count, total in cells:
+                if minsup.qualifies(count, total):
+                    result.record(cuboid_order, key, count, total)
+            if subset == full and full_rows is None:
+                full_rows = [
+                    (tuple(key), count, total) for key, count, total in cells
+                ]
+                # Re-map to schema order for reuse as an input relation.
+                remap = [cuboid_order.index(d) for d in dims]
+                full_rows = [
+                    (tuple(key[p] for p in remap), count, total)
+                    for key, count, total in full_rows
+                ]
+    return full_rows
+
+
+def _pipeline_scan(sorted_rows, widths, stats):
+    """One pass over sorted rows aggregating every prefix width."""
+    accumulators = {w: None for w in widths}
+    outputs = {w: [] for w in widths}
+    for key, count, total in sorted_rows:
+        for w in widths:
+            prefix = key[:w]
+            acc = accumulators[w]
+            if acc is None or acc[0] != prefix:
+                if acc is not None:
+                    outputs[w].append((acc[0], acc[1], acc[2]))
+                accumulators[w] = [prefix, count, total]
+            else:
+                acc[1] += count
+                acc[2] += total
+    for w in widths:
+        acc = accumulators[w]
+        if acc is not None:
+            outputs[w].append((acc[0], acc[1], acc[2]))
+    stats.add_scan(len(sorted_rows) * max(1, len(widths)))
+    return outputs
+
+
+def _partition_items(items, dim, memory_items):
+    """Split items into fragments of at most ``memory_items`` rows by
+    grouping consecutive values of ``dim`` (a value never straddles
+    fragments)."""
+    position = items.dims.index(dim)
+    by_value = {}
+    for row in items.rows:
+        by_value.setdefault(row[0][position], []).append(row)
+    fragments = []
+    current = []
+    for value in sorted(by_value):
+        rows = by_value[value]
+        if current and len(current) + len(rows) > memory_items:
+            fragments.append(_Items(items.dims, current))
+            current = []
+        current.extend(rows)
+    if current:
+        fragments.append(_Items(items.dims, current))
+    return fragments
+
+
+def _compute(items, minsup, memory_items, result, stats, must_contain, depth=0):
+    """Recursive PartitionedCube over weighted items.
+
+    Computes every cuboid over ``items.dims`` containing all of
+    ``must_contain``, and returns the full-dimension cuboid's
+    *unfiltered* aggregated rows (needed one recursion level up).
+    """
+    dims = items.dims
+    counts = items.distinct_counts()
+    candidates = [d for d in dims if d not in must_contain and counts[d] > 1]
+    if len(items) <= memory_items or depth > len(dims) or not candidates:
+        # Fits in memory — or nothing can split the data further, in
+        # which case the paper assumes fragments eventually fit anyway.
+        return memory_cube(items, minsup, result, stats, must_contain) or []
+    # The free attribute with the most distinct values splits fragments
+    # most evenly.
+    attr = max(candidates, key=lambda d: counts[d])
+    fragments = _partition_items(items, attr, memory_items)
+    stats.partition_moves += len(items)
+    full_rows = []
+    for fragment in fragments:
+        # All target cuboids containing `attr`, fragment by fragment.
+        full_rows.extend(
+            _compute(fragment, minsup, memory_items, result, stats,
+                     must_contain | {attr}, depth + 1)
+        )
+    # The materialized full cuboid — much smaller than the raw input —
+    # feeds the cuboids that do not contain `attr`.
+    remaining_dims = tuple(d for d in dims if d != attr)
+    if remaining_dims:
+        projected = _Items(dims, full_rows).project(remaining_dims)
+        _compute(projected, minsup, memory_items, result, stats, must_contain, depth + 1)
+    return full_rows
+
+
+def partitioned_cube(relation, dims=None, minsup=1, memory_rows=None):
+    """Run PartitionedCube; returns ``(CubeResult, OpStats)``.
+
+    ``memory_rows`` is the in-memory fragment limit; when the whole
+    input fits (the default) this is pure MemoryCube.
+    """
+    if dims is None:
+        dims = relation.dims
+    dims = tuple(dims)
+    if memory_rows is None:
+        memory_rows = len(relation) + 1
+    if memory_rows < 1:
+        raise PlanError("memory_rows must be >= 1")
+    minsup = as_threshold(minsup)
+    stats = OpStats()
+    stats.read_tuples += len(relation)
+    result = CubeResult(dims)
+    items = _Items.from_relation(relation, dims)
+    _compute(items, minsup, memory_rows, result, stats, frozenset())
+    count = len(relation)
+    measure_sum = sum(relation.measures)
+    if minsup.qualifies(count, measure_sum):
+        result.add_cell((), (), count, measure_sum)
+    return result, stats

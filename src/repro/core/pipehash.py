@@ -1,0 +1,105 @@
+"""PipeHash (Agrawal et al., Section 2.4.1) — the hash-based baseline.
+
+PipeHash computes every cuboid from its *smallest estimated parent* —
+the minimum spanning tree of the lattice under the size estimate — with
+hash tables instead of sorting.  When everything fits in memory the
+whole cube takes one scan of the raw data plus one pass over each
+parent's cells.
+
+The thesis notes PipeHash's two weaknesses: it re-hashes for every
+group-by and needs memory for all in-flight hash tables — it only beats
+the sort-based algorithms on *dense* data.  This implementation keeps
+the in-memory regime (the paper's data-partitioning fallback for
+memory pressure belongs to PartitionedCube, implemented separately) and
+releases a parent's cells once all its planned children are computed,
+mirroring the cache-results/amortize-scans optimizations.
+"""
+
+from ..lattice.lattice import CubeLattice
+from .pipesort import estimated_size
+from .result import CubeResult
+from .stats import OpStats, key_compare_weight
+from .thresholds import as_threshold
+
+
+def plan_pipehash(dims, cardinalities, n_rows):
+    """Smallest-parent plan: ``{child: parent}`` (root's parent is None)."""
+    lattice = CubeLattice(dims)
+    root = tuple(dims)
+    parent_of = {root: None}
+    for level in lattice.levels()[1:-1]:  # below the root, above "all"
+        for child in level:
+            parent_of[child] = min(
+                lattice.parents(child),
+                key=lambda p: (estimated_size(p, cardinalities, n_rows), p),
+            )
+    return parent_of
+
+
+def pipehash_iceberg_cube(relation, dims=None, minsup=1):
+    """Run PipeHash; returns ``(CubeResult, OpStats, parent_of)``."""
+    if dims is None:
+        dims = relation.dims
+    dims = tuple(dims)
+    minsup = as_threshold(minsup)
+    cardinalities = {d: relation.cardinality(d) for d in dims}
+    parent_of = plan_pipehash(dims, cardinalities, len(relation))
+    stats = OpStats()
+    stats.read_tuples += len(relation)
+    result = CubeResult(dims)
+    root = tuple(dims)
+
+    children_of = {}
+    for child, parent in parent_of.items():
+        if parent is not None:
+            children_of.setdefault(parent, []).append(child)
+
+    # Root cuboid: one hash-aggregation scan of the raw data.
+    positions = relation.dim_indices(root)
+    root_cells = {}
+    for row, measure in zip(relation.rows, relation.measures):
+        key = tuple(row[p] for p in positions)
+        acc = root_cells.get(key)
+        if acc is None:
+            root_cells[key] = [1, measure]
+        else:
+            acc[0] += 1
+            acc[1] += measure
+    stats.add_scan(len(relation))
+    # Every tuple is hashed on the full root key ("requiring re-hash for
+    # every group-by" is PipeHash's documented weakness).
+    stats.add_structure(len(relation) * key_compare_weight(len(root)))
+
+    materialized = {root: root_cells}
+    # Top-down (big cuboids first) so parents exist before children.
+    order = sorted(parent_of, key=len, reverse=True)
+    for cuboid in order:
+        cells = materialized[cuboid]
+        stats.add_groups(len(cells))
+        for cell, (count, total) in cells.items():
+            if minsup.qualifies(count, total):
+                result.add_cell(cuboid, cell, count, total)
+        for child in children_of.get(cuboid, ()):
+            index_of = {dim: i for i, dim in enumerate(cuboid)}
+            child_positions = [index_of[dim] for dim in child]
+            child_cells = {}
+            for key, (count, total) in cells.items():
+                child_key = tuple(key[p] for p in child_positions)
+                acc = child_cells.get(child_key)
+                if acc is None:
+                    child_cells[child_key] = [count, total]
+                else:
+                    acc[0] += count
+                    acc[1] += total
+            stats.add_structure(len(cells) * key_compare_weight(len(child)))
+            materialized[child] = child_cells
+        stats.note_items(sum(len(c) for c in materialized.values()))
+        # Cache-results: every child of this cuboid is now materialized,
+        # so its own cells can be dropped.
+        del materialized[cuboid]
+
+    count = len(relation)
+    measure_sum = sum(relation.measures)
+    if minsup.qualifies(count, measure_sum):
+        result.add_cell((), (), count, measure_sum)
+    return result, stats, parent_of

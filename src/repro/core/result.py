@@ -1,0 +1,152 @@
+"""Cube results: the output of every algorithm in the library.
+
+A :class:`CubeResult` maps each cuboid (tuple of dimension names in
+schema order) to its cells — a dict from coordinate tuples to
+``(count, value)`` pairs, where ``count`` is the cell's support
+(``COUNT(*)``) and ``value`` the SUM of the measure.  Only cells meeting
+the iceberg threshold are present.
+
+Results from partitioned algorithms (BPP, POL) are produced per
+processor and combined with :meth:`CubeResult.merge_from`.
+"""
+
+from ..errors import SchemaError
+
+#: Bytes charged per written cell coordinate / aggregate field by the
+#: simulated disk; (len(cuboid) + 2) fields per cell (coords, count, sum).
+CELL_FIELD_BYTES = 8
+
+
+class CubeResult:
+    """All qualifying cells of an iceberg cube, organized by cuboid."""
+
+    def __init__(self, dims):
+        self.dims = tuple(dims)
+        self._order = {name: i for i, name in enumerate(self.dims)}
+        self.cuboids = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_cell(self, cuboid, cell, count, value):
+        """Record one cell; accumulates if the cell already exists.
+
+        ``cuboid`` must already be in schema order with ``cell``
+        coordinates aligned to it.
+        """
+        cells = self.cuboids.get(cuboid)
+        if cells is None:
+            cells = self.cuboids[cuboid] = {}
+        existing = cells.get(cell)
+        if existing is None:
+            cells[cell] = (count, value)
+        else:
+            cells[cell] = (existing[0] + count, existing[1] + value)
+
+    def record(self, dims_order, cell, count, value):
+        """Record a cell given in an arbitrary dimension order.
+
+        Top-down algorithms that re-sort attributes (PipeSort) produce
+        cells in plan order; this canonicalizes to schema order.
+        """
+        pairs = sorted(zip(dims_order, cell), key=lambda p: self._order_of(p[0]))
+        cuboid = tuple(name for name, _ in pairs)
+        coords = tuple(code for _, code in pairs)
+        self.add_cell(cuboid, coords, count, value)
+
+    def _order_of(self, name):
+        try:
+            return self._order[name]
+        except KeyError:
+            raise SchemaError("unknown dimension %r (schema %r)" % (name, self.dims)) from None
+
+    def merge_from(self, other):
+        """Accumulate another (partial) result into this one.
+
+        Used to complete BPP's per-chunk partial cuboids and POL's per
+        -processor skip-list partitions: cells with equal coordinates sum
+        their counts and values.
+        """
+        for cuboid, cells in other.cuboids.items():
+            mine = self.cuboids.setdefault(cuboid, {})
+            for cell, (count, value) in cells.items():
+                existing = mine.get(cell)
+                if existing is None:
+                    mine[cell] = (count, value)
+                else:
+                    mine[cell] = (existing[0] + count, existing[1] + value)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def cuboid(self, dims):
+        """Cells of one cuboid (``{}`` if it produced no qualifying cell)."""
+        cuboid = tuple(sorted(dims, key=self._order_of))
+        return self.cuboids.get(cuboid, {})
+
+    def total_cells(self):
+        """Number of qualifying cells across all cuboids."""
+        return sum(len(cells) for cells in self.cuboids.values())
+
+    def output_bytes(self):
+        """Approximate on-disk size of the result (the thesis' output MB)."""
+        total = 0
+        for cuboid, cells in self.cuboids.items():
+            total += len(cells) * (len(cuboid) + 2) * CELL_FIELD_BYTES
+        return total
+
+    def filtered(self, minsup):
+        """A new result keeping only cells with ``count >= minsup``.
+
+        This is how a low-threshold materialization answers a higher
+        -threshold query (Section 5.1).
+        """
+        out = CubeResult(self.dims)
+        for cuboid, cells in self.cuboids.items():
+            kept = {
+                cell: agg for cell, agg in cells.items() if agg[0] >= minsup
+            }
+            if kept:
+                out.cuboids[cuboid] = kept
+        return out
+
+    def equals(self, other, tolerance=1e-9):
+        """Exact cell-by-cell equality (values within ``tolerance``)."""
+        return not self.diff(other, tolerance=tolerance, limit=1)
+
+    def diff(self, other, tolerance=1e-9, limit=10):
+        """Human-readable differences vs. ``other`` (at most ``limit``)."""
+        problems = []
+        cuboids = set(self.cuboids) | set(other.cuboids)
+        for cuboid in sorted(cuboids, key=lambda c: (len(c), c)):
+            mine = self.cuboids.get(cuboid, {})
+            theirs = other.cuboids.get(cuboid, {})
+            for cell in set(mine) | set(theirs):
+                a = mine.get(cell)
+                b = theirs.get(cell)
+                if a is None or b is None:
+                    problems.append("cuboid %r cell %r: %r vs %r" % (cuboid, cell, a, b))
+                elif a[0] != b[0] or abs(a[1] - b[1]) > tolerance:
+                    problems.append("cuboid %r cell %r: %r vs %r" % (cuboid, cell, a, b))
+                if len(problems) >= limit:
+                    return problems
+        return problems
+
+    def decoded(self, encoder):
+        """Cells with coordinates decoded to original attribute values.
+
+        Returns ``{cuboid: {decoded_cell: (count, value)}}``.
+        """
+        out = {}
+        for cuboid, cells in self.cuboids.items():
+            out[cuboid] = {
+                encoder.decode_cell(cuboid, cell): agg for cell, agg in cells.items()
+            }
+        return out
+
+    def __repr__(self):
+        return "CubeResult(dims=%r, cuboids=%d, cells=%d)" % (
+            self.dims,
+            len(self.cuboids),
+            self.total_cells(),
+        )

@@ -1,0 +1,36 @@
+"""Data substrate: encoded relations, generators and persistence."""
+
+from .encoding import ColumnEncoder, Dictionary
+from .io import load_csv, relation_bytes, save_csv
+from .relation import Relation, from_raw_rows
+from .synthetic import correlated_relation, dense_relation, uniform_relation, zipf_relation
+from .weather import (
+    BASELINE_DIMS,
+    PAPER_CUBE_TUPLES,
+    PAPER_ONLINE_TUPLES,
+    WEATHER_DIMENSIONS,
+    baseline_dims,
+    dims_by_cardinality,
+    weather_relation,
+)
+
+__all__ = [
+    "ColumnEncoder",
+    "Dictionary",
+    "Relation",
+    "from_raw_rows",
+    "load_csv",
+    "save_csv",
+    "relation_bytes",
+    "uniform_relation",
+    "zipf_relation",
+    "dense_relation",
+    "correlated_relation",
+    "weather_relation",
+    "baseline_dims",
+    "dims_by_cardinality",
+    "WEATHER_DIMENSIONS",
+    "BASELINE_DIMS",
+    "PAPER_CUBE_TUPLES",
+    "PAPER_ONLINE_TUPLES",
+]

@@ -1,0 +1,103 @@
+"""Dictionary encoding of attribute values to dense integer codes.
+
+All cube algorithms in this library operate on integer-coded dimensions:
+each distinct attribute value maps to a code in ``0 .. cardinality-1``.
+This mirrors what the original C/MPI implementation did by preprocessing
+the weather data, and it keeps partitioning, sorting and hashing cheap.
+
+:class:`Dictionary` is an order-of-first-appearance encoder;
+:class:`ColumnEncoder` encodes whole columns and remembers one dictionary
+per attribute so results can be decoded back to user values.
+"""
+
+from ..errors import EncodingError
+
+
+class Dictionary:
+    """A bidirectional value <-> code mapping for one attribute.
+
+    Codes are assigned densely in order of first appearance, so encoding a
+    column and then decoding it is the identity, and ``cardinality`` equals
+    the number of distinct values seen.
+    """
+
+    def __init__(self):
+        self._code_for = {}
+        self._value_for = []
+
+    def __len__(self):
+        return len(self._value_for)
+
+    @property
+    def cardinality(self):
+        """Number of distinct values registered with this dictionary."""
+        return len(self._value_for)
+
+    def encode(self, value):
+        """Return the code for ``value``, assigning a new one if unseen."""
+        code = self._code_for.get(value)
+        if code is None:
+            code = len(self._value_for)
+            self._code_for[value] = code
+            self._value_for.append(value)
+        return code
+
+    def encode_existing(self, value):
+        """Return the code for ``value``; raise if it was never registered."""
+        try:
+            return self._code_for[value]
+        except KeyError:
+            raise EncodingError("value %r is not in the dictionary" % (value,)) from None
+
+    def decode(self, code):
+        """Return the original value for ``code``."""
+        try:
+            return self._value_for[code]
+        except IndexError:
+            raise EncodingError(
+                "code %d out of range for dictionary of %d values" % (code, len(self._value_for))
+            ) from None
+
+    def values(self):
+        """All registered values, in code order."""
+        return list(self._value_for)
+
+
+class ColumnEncoder:
+    """Encodes rows of raw attribute values into integer-coded rows.
+
+    One :class:`Dictionary` is kept per attribute name, so a decoded cube
+    result can present the user's original values.
+    """
+
+    def __init__(self, attributes):
+        self.attributes = tuple(attributes)
+        self.dictionaries = {name: Dictionary() for name in self.attributes}
+
+    def encode_row(self, row):
+        """Encode one row (a sequence aligned with ``attributes``)."""
+        if len(row) != len(self.attributes):
+            raise EncodingError(
+                "row has %d fields, expected %d" % (len(row), len(self.attributes))
+            )
+        return tuple(
+            self.dictionaries[name].encode(value) for name, value in zip(self.attributes, row)
+        )
+
+    def encode_rows(self, rows):
+        """Encode an iterable of raw rows into a list of coded tuples."""
+        return [self.encode_row(row) for row in rows]
+
+    def decode_cell(self, dims, cell):
+        """Decode a cube cell (codes for a subset of attributes) to values.
+
+        ``dims`` names the attributes the cell's coordinates refer to, in
+        the same order as ``cell``.
+        """
+        if len(dims) != len(cell):
+            raise EncodingError("cell has %d coordinates for %d dimensions" % (len(cell), len(dims)))
+        return tuple(self.dictionaries[name].decode(code) for name, code in zip(dims, cell))
+
+    def cardinalities(self):
+        """Mapping of attribute name -> distinct value count."""
+        return {name: d.cardinality for name, d in self.dictionaries.items()}

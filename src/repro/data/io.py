@@ -1,0 +1,68 @@
+"""CSV persistence for relations.
+
+The on-disk format is a plain CSV with one header row: dimension names
+followed by the measure column name (default ``measure``).  Dimension
+values are written decoded when the relation has an encoder, otherwise as
+their integer codes; loading re-encodes, so a save/load round trip yields
+an equivalent relation.
+"""
+
+import csv
+
+from ..errors import SchemaError
+from .relation import from_raw_rows
+
+MEASURE_COLUMN = "measure"
+
+
+def save_csv(relation, path, measure_name=MEASURE_COLUMN):
+    """Write ``relation`` to ``path`` as CSV."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(relation.dims) + [measure_name])
+        decode = relation.encoder.decode_cell if relation.encoder else None
+        for row, measure in zip(relation.rows, relation.measures):
+            values = decode(relation.dims, row) if decode else row
+            writer.writerow(list(values) + [measure])
+
+
+def load_csv(path, measure_name=MEASURE_COLUMN):
+    """Read a relation previously written by :func:`save_csv`.
+
+    The last column named ``measure_name`` becomes the measure; all other
+    columns are dictionary-encoded dimensions.
+    """
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError("CSV file %r is empty" % (path,)) from None
+        if not header or header[-1] != measure_name:
+            raise SchemaError(
+                "expected last column %r in header %r" % (measure_name, header)
+            )
+        dims = tuple(header[:-1])
+        raw_rows = []
+        measures = []
+        for line_number, row in enumerate(reader, start=2):
+            if len(row) != len(header):
+                raise SchemaError(
+                    "line %d has %d fields, expected %d" % (line_number, len(row), len(header))
+                )
+            raw_rows.append(row[:-1])
+            measures.append(float(row[-1]))
+    return from_raw_rows(dims, raw_rows, measures=measures)
+
+
+def relation_bytes(relation, bytes_per_field=4, bytes_per_measure=8):
+    """Approximate in-memory/on-disk size of a relation in bytes.
+
+    Used by the cluster cost model to translate tuple counts into I/O
+    volume (the thesis reports its baseline input as ~10 MB for 176,631
+    nine-dimension tuples, i.e. a handful of bytes per field).
+    """
+    return len(relation) * (len(relation.dims) * bytes_per_field + bytes_per_measure)
+
+
+__all__ = ["save_csv", "load_csv", "relation_bytes", "MEASURE_COLUMN"]

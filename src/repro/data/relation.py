@@ -1,0 +1,207 @@
+"""Integer-coded relations: the input format for every cube algorithm.
+
+A :class:`Relation` holds ``rows`` — a list of equal-length tuples of
+integer dimension codes — and a parallel ``measures`` list with one numeric
+measure per row (the thesis' prototypical query aggregates ``SUM`` over a
+single measure attribute, with ``HAVING COUNT(*) >= minsup``).
+
+The class deliberately stays small: sorting, projection and partitioning
+helpers that every algorithm needs, and nothing else.  Construction from
+raw (unencoded) rows goes through :func:`from_raw_rows`.
+"""
+
+from operator import itemgetter
+
+from ..errors import SchemaError
+from .encoding import ColumnEncoder
+
+
+class Relation:
+    """A dimension-coded relation with one numeric measure per row."""
+
+    def __init__(self, dims, rows, measures=None, encoder=None, cardinalities=None):
+        self.dims = tuple(dims)
+        if len(set(self.dims)) != len(self.dims):
+            raise SchemaError("duplicate dimension names: %r" % (self.dims,))
+        self.rows = list(rows)
+        if measures is None:
+            measures = [1.0] * len(self.rows)
+        self.measures = list(measures)
+        if len(self.measures) != len(self.rows):
+            raise SchemaError(
+                "got %d measures for %d rows" % (len(self.measures), len(self.rows))
+            )
+        for row in self.rows:
+            if len(row) != len(self.dims):
+                raise SchemaError(
+                    "row %r has %d fields, schema has %d dimensions"
+                    % (row, len(row), len(self.dims))
+                )
+        self.encoder = encoder
+        self._cardinalities = dict(cardinalities) if cardinalities else None
+
+    # ------------------------------------------------------------------
+    # basic protocol
+    # ------------------------------------------------------------------
+    def __len__(self):
+        return len(self.rows)
+
+    def __repr__(self):
+        return "Relation(dims=%r, rows=%d)" % (self.dims, len(self.rows))
+
+    def dim_index(self, name):
+        """Position of dimension ``name`` in the schema."""
+        try:
+            return self.dims.index(name)
+        except ValueError:
+            raise SchemaError("unknown dimension %r (have %r)" % (name, self.dims)) from None
+
+    def dim_indices(self, names):
+        """Positions of several dimensions, preserving the given order."""
+        return tuple(self.dim_index(name) for name in names)
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def cardinality(self, name):
+        """Distinct-value count of one dimension (codes actually present)."""
+        if self._cardinalities is not None and name in self._cardinalities:
+            return self._cardinalities[name]
+        index = self.dim_index(name)
+        return len({row[index] for row in self.rows})
+
+    def cardinalities(self):
+        """Mapping of dimension name -> distinct-value count."""
+        return {name: self.cardinality(name) for name in self.dims}
+
+    def cardinality_product(self, names=None):
+        """Product of cardinalities over ``names`` (default: all dims).
+
+        The thesis uses this product as the sparseness knob: a cube is
+        sparse when ``len(relation)`` is small relative to it.
+        """
+        product = 1
+        for name in names if names is not None else self.dims:
+            product *= max(1, self.cardinality(name))
+        return product
+
+    # ------------------------------------------------------------------
+    # relational helpers
+    # ------------------------------------------------------------------
+    def project(self, names):
+        """A new relation keeping only ``names`` (measures preserved)."""
+        indices = self.dim_indices(names)
+        getter = itemgetter(*indices) if len(indices) > 1 else None
+        if getter is not None:
+            rows = [getter(row) for row in self.rows]
+        else:
+            index = indices[0]
+            rows = [(row[index],) for row in self.rows]
+        return Relation(names, rows, list(self.measures), encoder=self.encoder)
+
+    def sorted_by(self, names):
+        """A new relation with rows sorted lexicographically on ``names``."""
+        indices = self.dim_indices(names)
+        order = sorted(
+            range(len(self.rows)), key=lambda i: tuple(self.rows[i][j] for j in indices)
+        )
+        return self.take(order)
+
+    def take(self, row_indices):
+        """A new relation containing the given rows, in the given order."""
+        rows = [self.rows[i] for i in row_indices]
+        measures = [self.measures[i] for i in row_indices]
+        return Relation(
+            self.dims, rows, measures, encoder=self.encoder, cardinalities=self._cardinalities
+        )
+
+    def slice(self, start, stop):
+        """A new relation over ``rows[start:stop]`` (measures aligned)."""
+        return Relation(
+            self.dims,
+            self.rows[start:stop],
+            self.measures[start:stop],
+            encoder=self.encoder,
+            cardinalities=self._cardinalities,
+        )
+
+    def concat(self, other):
+        """A new relation with ``other``'s rows appended to this one's."""
+        if other.dims != self.dims:
+            raise SchemaError(
+                "cannot concat relations with schemas %r and %r" % (self.dims, other.dims)
+            )
+        return Relation(
+            self.dims,
+            self.rows + other.rows,
+            self.measures + other.measures,
+            encoder=self.encoder,
+        )
+
+    def range_partition(self, name, n_parts):
+        """Range-partition on one dimension into ``n_parts`` relations.
+
+        This is BPP's pre-processing step (Section 3.2.1): codes of
+        dimension ``name`` are split into ``n_parts`` contiguous code
+        ranges of near-equal *code* width, and each row lands in the part
+        owning its code.  With skewed data the parts carry very different
+        numbers of rows — exactly the imbalance the thesis observes.
+        """
+        if n_parts <= 0:
+            raise SchemaError("n_parts must be positive, got %d" % n_parts)
+        index = self.dim_index(name)
+        cardinality = max((row[index] for row in self.rows), default=-1) + 1
+        buckets = [[] for _ in range(n_parts)]
+        if cardinality > 0:
+            # Contiguous code ranges; the last range absorbs the remainder.
+            width = max(1, -(-cardinality // n_parts))
+            for i, row in enumerate(self.rows):
+                part = min(row[index] // width, n_parts - 1)
+                buckets[part].append(i)
+        return [self.take(bucket) for bucket in buckets]
+
+    def block_partition(self, n_parts):
+        """Split rows into ``n_parts`` contiguous blocks (POL's layout)."""
+        if n_parts <= 0:
+            raise SchemaError("n_parts must be positive, got %d" % n_parts)
+        size = -(-len(self.rows) // n_parts) if self.rows else 0
+        parts = []
+        for p in range(n_parts):
+            parts.append(self.slice(p * size, (p + 1) * size) if size else self.slice(0, 0))
+        return parts
+
+    def sample_rows(self, n_samples, seed=0):
+        """A deterministic pseudo-random sample of row indices.
+
+        Uses a fixed-stride congruential walk so samples are reproducible
+        without pulling in :mod:`random` state.
+        """
+        total = len(self.rows)
+        if total == 0 or n_samples <= 0:
+            return []
+        n_samples = min(n_samples, total)
+        stride = max(1, total // n_samples)
+        start = seed % stride if stride > 1 else 0
+        indices = list(range(start, total, stride))[:n_samples]
+        return indices
+
+
+def from_raw_rows(dims, raw_rows, measures=None, measure_index=None):
+    """Build an encoded :class:`Relation` from raw (unencoded) rows.
+
+    ``raw_rows`` contain arbitrary hashable values per dimension.  If
+    ``measure_index`` is given, that column of each raw row is popped out
+    as the measure instead of being encoded as a dimension.
+    """
+    dims = tuple(dims)
+    if measure_index is not None:
+        stripped = []
+        measures = []
+        for row in raw_rows:
+            row = list(row)
+            measures.append(float(row.pop(measure_index)))
+            stripped.append(row)
+        raw_rows = stripped
+    encoder = ColumnEncoder(dims)
+    rows = encoder.encode_rows(raw_rows)
+    return Relation(dims, rows, measures, encoder=encoder)

@@ -1,0 +1,160 @@
+"""Synthetic workload generators for the evaluation harness.
+
+The thesis evaluates on a real weather dataset whose defining traits are
+its tuple count, per-dimension cardinalities and heavy skew (Section 4.2).
+These generators reproduce those traits deterministically:
+
+* :func:`uniform_relation` — independent uniform dimensions.
+* :func:`zipf_relation` — per-dimension Zipf-like skew, the knob behind
+  the thesis' "partitioning the data on the 11th dimension produces one
+  partition 40 times larger than the smallest one".
+* :func:`dense_relation` — low-cardinality dimensions giving a dense cube
+  (used for the Figure 4.6 sparseness sweep's dense end).
+"""
+
+import random
+
+from .relation import Relation
+
+
+def _rng(seed):
+    return random.Random(seed)
+
+
+def uniform_relation(n_rows, cardinalities, seed=0, dims=None, measure_range=(1, 100)):
+    """A relation with independently uniform dimension values.
+
+    ``cardinalities`` is a sequence of per-dimension distinct-value counts.
+    """
+    rng = _rng(seed)
+    cardinalities = list(cardinalities)
+    dims = _dim_names(dims, len(cardinalities))
+    low, high = measure_range
+    rows = []
+    measures = []
+    for _ in range(n_rows):
+        rows.append(tuple(rng.randrange(card) for card in cardinalities))
+        measures.append(float(rng.randint(low, high)))
+    return Relation(dims, rows, measures, cardinalities=dict(zip(dims, cardinalities)))
+
+
+def zipf_relation(n_rows, cardinalities, skew=1.0, seed=0, dims=None, measure_range=(1, 100)):
+    """A relation with Zipf-distributed values per dimension.
+
+    ``skew`` may be a single exponent applied to every dimension or a
+    sequence of per-dimension exponents.  ``skew=0`` degenerates to
+    uniform; larger values concentrate mass on low codes, which is what
+    starves range partitioning (BPP) and static assignment (RP) of
+    balance in the thesis' experiments.
+    """
+    rng = _rng(seed)
+    cardinalities = list(cardinalities)
+    dims = _dim_names(dims, len(cardinalities))
+    if isinstance(skew, (int, float)):
+        skews = [float(skew)] * len(cardinalities)
+    else:
+        skews = [float(s) for s in skew]
+        if len(skews) != len(cardinalities):
+            raise ValueError(
+                "got %d skew exponents for %d dimensions" % (len(skews), len(cardinalities))
+            )
+    samplers = [
+        _zipf_sampler(card, exponent, rng) for card, exponent in zip(cardinalities, skews)
+    ]
+    low, high = measure_range
+    rows = []
+    measures = []
+    for _ in range(n_rows):
+        rows.append(tuple(sampler() for sampler in samplers))
+        measures.append(float(rng.randint(low, high)))
+    return Relation(dims, rows, measures, cardinalities=dict(zip(dims, cardinalities)))
+
+
+def correlated_relation(n_rows, cardinalities, correlation=0.8, skew=0.8, seed=0,
+                        dims=None, measure_range=(1, 100)):
+    """A relation with correlated dimensions.
+
+    The thesis' conclusion names "OLAP computation, taking into account
+    correlations between attributes" as future work; this generator
+    supplies the workloads.  The first dimension is Zipf-distributed;
+    each later dimension copies a deterministic function of the previous
+    dimension's value with probability ``correlation`` and draws an
+    independent Zipf value otherwise.  At ``correlation=1`` the
+    dimensions are functionally dependent (the cube collapses onto one
+    diagonal); at ``0`` this degenerates to :func:`zipf_relation`.
+    """
+    if not 0.0 <= correlation <= 1.0:
+        raise ValueError("correlation must be in [0, 1], got %r" % (correlation,))
+    rng = _rng(seed)
+    cardinalities = list(cardinalities)
+    dims = _dim_names(dims, len(cardinalities))
+    samplers = [_zipf_sampler(card, skew, rng) for card in cardinalities]
+    low, high = measure_range
+    rows = []
+    measures = []
+    for _ in range(n_rows):
+        values = [samplers[0]()]
+        for position in range(1, len(cardinalities)):
+            if rng.random() < correlation:
+                # A fixed affine map of the previous coordinate: repeat
+                # tuples share whole diagonals of the cube.
+                card = cardinalities[position]
+                values.append((values[-1] * 7 + position) % card)
+            else:
+                values.append(samplers[position]())
+        rows.append(tuple(values))
+        measures.append(float(rng.randint(low, high)))
+    return Relation(dims, rows, measures, cardinalities=dict(zip(dims, cardinalities)))
+
+
+def dense_relation(n_rows, n_dims, cardinality=4, seed=0):
+    """A dense cube workload: few distinct values per dimension.
+
+    With ``cardinality**n_dims`` well below ``n_rows`` most cube cells are
+    populated many times over — the regime where the thesis finds ASL and
+    AHT dominating (Figure 4.6, left end).
+    """
+    return uniform_relation(n_rows, [cardinality] * n_dims, seed=seed)
+
+
+def _zipf_sampler(cardinality, exponent, rng):
+    """A sampler over ``0..cardinality-1`` with Zipf(exponent) weights."""
+    if cardinality <= 0:
+        raise ValueError("cardinality must be positive, got %d" % cardinality)
+    if exponent <= 0:
+        return lambda: rng.randrange(cardinality)
+    weights = [1.0 / (rank ** exponent) for rank in range(1, cardinality + 1)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cumulative.append(acc)
+    cumulative[-1] = 1.0
+
+    def sample():
+        u = rng.random()
+        # Binary search over the cumulative distribution.
+        lo, hi = 0, cardinality - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    return sample
+
+
+def _dim_names(dims, count):
+    if dims is not None:
+        dims = tuple(dims)
+        if len(dims) != count:
+            raise ValueError("got %d dimension names for %d dimensions" % (len(dims), count))
+        return dims
+    # A, B, ... Z, D26, D27, ...
+    names = []
+    for i in range(count):
+        names.append(chr(ord("A") + i) if i < 26 else "D%d" % i)
+    return tuple(names)

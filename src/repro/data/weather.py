@@ -1,0 +1,129 @@
+"""A synthetic stand-in for the thesis' weather dataset.
+
+The experiments in the thesis (Section 4.2) run on a real dataset of
+land-station weather reports — the same data used by Ross & Srivastava
+and by Beyer & Ramakrishnan — with 20 dimensions, heavy per-dimension
+skew ("partitioning the data on the 11th dimension produces one partition
+which is 40 times larger than the smallest one"), 176,631 tuples for the
+CUBE experiments and ~1,000,000 tuples for the online (POL) experiments.
+
+The raw file is not redistributable, so this module generates a relation
+with the same *shape*: 20 named dimensions whose cardinalities span 2 to
+7037, per-dimension Zipf skew with a few heavily skewed dimensions, and a
+baseline 9-dimension subset whose cardinality product is roughly 1e13 as
+in the thesis' baseline configuration.
+"""
+
+from .synthetic import zipf_relation
+
+#: (name, cardinality, zipf skew) for the 20 weather dimensions, ordered by
+#: cardinality.  Skews are chosen so that range partitioning is mildly
+#: uneven on most dimensions and badly uneven (tens:1) on a few, matching
+#: the thesis' description of the data.
+WEATHER_DIMENSIONS = (
+    ("brightness", 2, 0.4),
+    ("sky_flag", 2, 0.8),
+    ("season", 3, 0.3),
+    ("precip_code", 4, 0.9),
+    ("cloud_cover", 5, 0.5),
+    ("hour", 8, 0.3),
+    ("weather_change", 10, 1.1),
+    ("wind_speed_class", 25, 0.7),
+    ("day", 30, 0.1),
+    ("visibility_class", 50, 0.9),
+    ("humidity_class", 75, 1.0),  # the "11th dimension": ~40:1 partition skew
+    ("present_weather", 101, 1.0),
+    ("latitude", 152, 0.5),
+    ("solar_altitude", 179, 0.4),
+    ("pressure_class", 200, 0.6),
+    ("longitude", 352, 0.5),
+    ("wind_direction", 500, 0.7),
+    ("cloud_base", 700, 0.8),
+    ("temperature", 1000, 0.5),
+    ("station_id", 7037, 0.6),
+)
+
+#: The thesis' baseline configuration: 9 dimensions "chosen arbitrarily
+#: (but with the product of the cardinalities roughly equal to 1e13)".
+#: Product here: 4*8*10*25*30*50*101*152*179 ~= 3.3e13.
+BASELINE_DIMS = (
+    "precip_code",
+    "hour",
+    "weather_change",
+    "wind_speed_class",
+    "day",
+    "visibility_class",
+    "present_weather",
+    "latitude",
+    "solar_altitude",
+)
+
+#: Tuple counts used in the thesis.
+PAPER_CUBE_TUPLES = 176_631
+PAPER_ONLINE_TUPLES = 1_000_000
+
+_BY_NAME = {name: (card, skew) for name, card, skew in WEATHER_DIMENSIONS}
+
+
+def dimension_names():
+    """All 20 weather dimension names, in cardinality order."""
+    return tuple(name for name, _, _ in WEATHER_DIMENSIONS)
+
+
+def cardinality_of(name):
+    """Declared cardinality of one weather dimension."""
+    return _BY_NAME[name][0]
+
+
+def dims_by_cardinality(which, k=9):
+    """Pick ``k`` dimensions by cardinality for the sparseness sweep.
+
+    ``which`` is ``"smallest"``, ``"largest"`` or ``"middle"`` — the three
+    data points of Figure 4.6 (nine smallest-cardinality dimensions, nine
+    largest, and one in between).
+    """
+    ordered = [name for name, _, _ in WEATHER_DIMENSIONS]
+    if which == "smallest":
+        return tuple(ordered[:k])
+    if which == "largest":
+        return tuple(ordered[-k:])
+    if which == "middle":
+        start = (len(ordered) - k) // 2
+        return tuple(ordered[start : start + k])
+    raise ValueError("which must be 'smallest', 'largest' or 'middle', got %r" % (which,))
+
+
+def baseline_dims(n_dims=9):
+    """The baseline dimension list, extended/truncated to ``n_dims``.
+
+    For the Figure 4.4 dimensionality sweep the baseline 9 are extended
+    with further dimensions in cardinality order (excluding ones already
+    present), up to the 20 available.
+    """
+    if n_dims <= len(BASELINE_DIMS):
+        return BASELINE_DIMS[:n_dims]
+    extra = [name for name, _, _ in WEATHER_DIMENSIONS if name not in BASELINE_DIMS]
+    needed = n_dims - len(BASELINE_DIMS)
+    if needed > len(extra):
+        raise ValueError("at most %d weather dimensions exist" % len(WEATHER_DIMENSIONS))
+    return BASELINE_DIMS + tuple(extra[:needed])
+
+
+def weather_relation(n_rows=PAPER_CUBE_TUPLES, dims=None, seed=2001):
+    """Generate the synthetic weather relation.
+
+    ``dims`` selects which of the 20 dimensions to materialize (default:
+    the baseline nine).  Rows are deterministic for a given seed.
+    """
+    if dims is None:
+        dims = BASELINE_DIMS
+    dims = tuple(dims)
+    cards = []
+    skews = []
+    for name in dims:
+        if name not in _BY_NAME:
+            raise ValueError("unknown weather dimension %r" % (name,))
+        card, skew = _BY_NAME[name]
+        cards.append(card)
+        skews.append(skew)
+    return zipf_relation(n_rows, cards, skew=skews, seed=seed, dims=dims)

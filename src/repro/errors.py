@@ -1,0 +1,42 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised errors derive from :class:`ReproError`, so callers can
+catch one type to handle anything the library signals deliberately.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A relation or query referenced dimensions inconsistently."""
+
+
+class EncodingError(ReproError):
+    """A value could not be encoded or a code could not be decoded."""
+
+
+class PlanError(ReproError):
+    """An algorithm's planning stage received an impossible configuration."""
+
+
+class ClusterError(ReproError):
+    """The simulated cluster was configured or driven incorrectly."""
+
+
+class MemoryBudgetExceeded(ReproError):
+    """A data structure outgrew its configured memory budget.
+
+    Raised by the Apriori hash-tree cube to reproduce the paper's finding
+    that the hash-tree algorithm "used up memory too rapidly that it fails
+    to process large data set" (Section 3.5.1).
+    """
+
+    def __init__(self, used_bytes, budget_bytes, message=""):
+        detail = message or "memory budget exceeded"
+        super().__init__(
+            "%s: used %d bytes of a %d byte budget" % (detail, used_bytes, budget_bytes)
+        )
+        self.used_bytes = used_bytes
+        self.budget_bytes = budget_bytes

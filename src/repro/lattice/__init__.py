@@ -1,0 +1,15 @@
+"""Cube lattice and BUC processing-tree machinery."""
+
+from .lattice import ALL, CubeLattice, common_prefix_length, is_prefix, subset_positions
+from .processing_tree import ProcessingTree, SubtreeTask, binary_divide
+
+__all__ = [
+    "ALL",
+    "CubeLattice",
+    "is_prefix",
+    "subset_positions",
+    "common_prefix_length",
+    "ProcessingTree",
+    "SubtreeTask",
+    "binary_divide",
+]

@@ -1,0 +1,143 @@
+"""The BUC processing tree and PT's recursive binary division.
+
+BUC converts the lattice into the processing tree of Figure 2.4(c): the
+node for prefix ``p`` (a tuple of dimensions in schema order, ending with
+dimension index ``i``) has one child ``p + (A_k,)`` for every ``k > i``.
+The subtree rooted at a length-``j`` prefix ending at index ``i`` over
+``m`` dimensions has exactly ``2**(m - i - 1)`` nodes, which is why
+cutting the farthest-left edge of any (sub)tree splits it into two halves
+of equal node count — the invariant PT's binary division relies on
+(Figure 3.9).
+"""
+
+from ..errors import PlanError
+
+
+class ProcessingTree:
+    """The bottom-up (BUC) processing tree over an ordered dimension set."""
+
+    def __init__(self, dims):
+        self.dims = tuple(dims)
+        self._index = {name: i for i, name in enumerate(self.dims)}
+
+    @property
+    def root(self):
+        """The ``all`` node: the empty prefix."""
+        return ()
+
+    def _last_index(self, prefix):
+        return self._index[prefix[-1]] if prefix else -1
+
+    def children(self, prefix):
+        """Child prefixes, left to right (ascending dimension index)."""
+        start = self._last_index(prefix) + 1
+        return [prefix + (self.dims[i],) for i in range(start, len(self.dims))]
+
+    def subtree_size(self, prefix):
+        """Node count of the subtree rooted at ``prefix`` (including it)."""
+        return 2 ** (len(self.dims) - 1 - self._last_index(prefix))
+
+    def subtree_nodes(self, prefix):
+        """All nodes of the subtree rooted at ``prefix``, in DFS pre-order.
+
+        This is exactly the order in which BUC visits (and, with
+        depth-first writing, outputs) the group-bys.
+        """
+        out = [prefix]
+        for child in self.children(prefix):
+            out.extend(self.subtree_nodes(child))
+        return out
+
+
+class SubtreeTask:
+    """A full or chopped subtree of the processing tree (a PT task).
+
+    ``root`` is the subtree's root prefix; ``skipped`` lists child
+    branches of ``root`` that were cut away by earlier divisions, in
+    left-to-right order.  A task with no ``skipped`` branches is the
+    thesis' "full" subtree; otherwise it is a "chopped" subtree.
+    """
+
+    __slots__ = ("root", "skipped")
+
+    def __init__(self, root, skipped=()):
+        self.root = tuple(root)
+        self.skipped = tuple(tuple(s) for s in skipped)
+
+    def __repr__(self):
+        return "SubtreeTask(root=%r, skipped=%r)" % (self.root, self.skipped)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, SubtreeTask)
+            and self.root == other.root
+            and self.skipped == other.skipped
+        )
+
+    def __hash__(self):
+        return hash((self.root, self.skipped))
+
+    def size(self, tree):
+        """Node count of this (possibly chopped) subtree."""
+        total = tree.subtree_size(self.root)
+        for branch in self.skipped:
+            total -= tree.subtree_size(branch)
+        return total
+
+    def nodes(self, tree):
+        """The task's nodes in BUC's DFS order, skipping cut branches."""
+        skipped = set(self.skipped)
+        out = [self.root]
+        for child in tree.children(self.root):
+            if child not in skipped:
+                out.extend(tree.subtree_nodes(child))
+        return out
+
+    def active_children(self, tree):
+        """Children of ``root`` still attached to this task."""
+        skipped = set(self.skipped)
+        return [c for c in tree.children(self.root) if c not in skipped]
+
+    def split(self, tree):
+        """Cut the farthest-left remaining edge from ``root``.
+
+        Returns ``(left, rest)`` where ``left`` is the full subtree under
+        the leftmost remaining child and ``rest`` is this task with that
+        branch additionally skipped.  Both halves have equal node count.
+        """
+        remaining = self.active_children(tree)
+        if not remaining:
+            raise PlanError("cannot split a single-node task rooted at %r" % (self.root,))
+        leftmost = remaining[0]
+        left = SubtreeTask(leftmost)
+        rest = SubtreeTask(self.root, self.skipped + (leftmost,))
+        return left, rest
+
+
+def binary_divide(tree, n_tasks):
+    """Divide the whole processing tree into at least ``n_tasks`` tasks.
+
+    Repeatedly splits the largest splittable task, so sizes stay balanced
+    (each split halves).  Stops when the task count reaches ``n_tasks``
+    or no task can be split further (all single nodes).  PT uses
+    ``n_tasks = 32 * n_processors`` (Section 3.4).
+    """
+    if n_tasks < 1:
+        raise PlanError("n_tasks must be >= 1, got %d" % n_tasks)
+    tasks = [SubtreeTask(tree.root)]
+    while len(tasks) < n_tasks:
+        # Pick the largest task that still has an edge to cut; ties go to
+        # the earliest task so division is deterministic.
+        best = None
+        best_size = 1
+        for i, task in enumerate(tasks):
+            size = task.size(tree)
+            if size > best_size and task.active_children(tree):
+                best = i
+                best_size = size
+        if best is None:
+            break
+        left, rest = tasks[best].split(tree)
+        tasks[best] = left
+        tasks.append(rest)
+    return tasks

@@ -1,0 +1,34 @@
+"""Online aggregation: POL, sampling and selective materialization."""
+
+from .materialize import LeafMaterialization, leaf_cuboids
+from .pol import POL, OnlineRunResult, OnlineSnapshot, initial_assignment, wrap_order
+from .view_selection import (
+    MaterializedCubeStore,
+    estimate_cuboid_sizes,
+    greedy_select,
+)
+from .sampling import (
+    count_confidence_interval,
+    partition_boundaries,
+    range_of,
+    sample_keys,
+    scale_estimate,
+)
+
+__all__ = [
+    "POL",
+    "OnlineRunResult",
+    "OnlineSnapshot",
+    "initial_assignment",
+    "wrap_order",
+    "LeafMaterialization",
+    "leaf_cuboids",
+    "MaterializedCubeStore",
+    "greedy_select",
+    "estimate_cuboid_sizes",
+    "partition_boundaries",
+    "sample_keys",
+    "range_of",
+    "scale_estimate",
+    "count_confidence_interval",
+]

@@ -1,0 +1,364 @@
+"""Algorithm POL — Parallel OnLine aggregation (Chapter 5, Figure 5.2).
+
+POL answers a *single* iceberg group-by over a dataset assumed too large
+for any one node's memory, returning a rough answer almost immediately
+and refining it as more data is processed (the Hellerstein/Haas/Wang
+online-aggregation framework).
+
+Mechanics, as in the thesis:
+
+* the raw data is block-range-partitioned across the ``n`` processors,
+  unsorted — reading it block-wise is sampling;
+* the group-by's cells live in one skip list *range-partitioned by key*
+  across the processors; the manager picks the ``n-1`` boundary keys
+  from an initial sample;
+* computation is step-synchronous: per step, each processor loads one
+  buffer-sized block from its local partition and groups it into ``n``
+  chunks by key range — chunk ``(j, i)`` sits on processor ``i`` and
+  belongs to processor ``j``'s skip-list partition.  The ``n x n``
+  chunks are the step's tasks (Table 5.1);
+* processor ``j`` works its own tasks in the wrap order ``(j,j), (j,j+1)
+  ... (j,j-1)`` — spreading remote-chunk fetches so no source node gets
+  a burst of requests — and, when done early, *offloads* waiting tasks
+  whose chunk is local: it builds a private skip list from the chunk,
+  ships the aggregated cells to the owner, and the owner merges them;
+* a barrier ends each step; after it the manager can snapshot a running
+  estimate (counts scaled by the processed fraction).
+
+Communication dominates: with uniform data each processor forwards
+``(n-1)/n`` of what it reads, which is why POL speeds up better on slow
+CPUs and fast networks (Figure 5.3).
+"""
+
+from ..core.stats import OpStats
+from ..core.thresholds import as_threshold
+from ..cluster.costmodel import CostModel
+from ..cluster.simulator import Cluster, SimulationResult, TaskExecution
+from ..errors import PlanError
+from .sampling import partition_boundaries, range_of, scale_estimate
+
+#: Bytes per transferred tuple of a chunk: its key fields plus measure.
+FIELD_BYTES = 8
+
+
+class OnlineSnapshot:
+    """The state of the running answer at one step boundary."""
+
+    __slots__ = ("step", "processed", "total", "sim_time", "cells_seen", "qualifying",
+                 "estimates")
+
+    def __init__(self, step, processed, total, sim_time, cells_seen, qualifying,
+                 estimates=None):
+        self.step = step
+        self.processed = processed
+        self.total = total
+        self.sim_time = sim_time
+        self.cells_seen = cells_seen
+        self.qualifying = qualifying
+        #: ``{cell: estimated_final_count}`` when the run keeps estimates.
+        self.estimates = estimates
+
+    @property
+    def fraction(self):
+        return self.processed / self.total if self.total else 1.0
+
+    def __repr__(self):
+        return "OnlineSnapshot(step=%d, %.0f%%, t=%.2fs, cells=%d, qualifying=%d)" % (
+            self.step,
+            100 * self.fraction,
+            self.sim_time,
+            self.cells_seen,
+            self.qualifying,
+        )
+
+
+class OnlineRunResult:
+    """Final cells plus the progressive-refinement trace."""
+
+    def __init__(self, dims, cells, simulation, snapshots, boundaries, extras=None):
+        self.dims = dims
+        self.cells = cells
+        self.simulation = simulation
+        self.snapshots = snapshots
+        self.boundaries = boundaries
+        self.extras = extras or {}
+
+    @property
+    def makespan(self):
+        return self.simulation.makespan
+
+    def __repr__(self):
+        return "OnlineRunResult(%d cells, %.2fs, %d steps)" % (
+            len(self.cells),
+            self.makespan,
+            len(self.snapshots),
+        )
+
+
+def wrap_order(start, n):
+    """``start, start+1, ..., n-1, 0, ..., start-1`` (POL's task order)."""
+    return [(start + k) % n for k in range(n)]
+
+
+def initial_assignment(n):
+    """Table 5.1: chunk labels per processor in their work order."""
+    return {
+        j: [(j, i) for i in wrap_order(j, n)] for j in range(n)
+    }
+
+
+class POL:
+    """Parallel OnLine aggregation of one iceberg group-by."""
+
+    name = "POL"
+
+    def __init__(self, buffer_size=8000, sample_size=1024, seed=0, keep_estimates=False):
+        """``buffer_size``: tuples loaded per processor per step (the
+        Figure 5.4 knob).  ``keep_estimates``: snapshots also keep the
+        full estimated cell map (memory-hungry; off by default)."""
+        if buffer_size < 1:
+            raise PlanError("buffer_size must be >= 1")
+        self.buffer_size = buffer_size
+        self.sample_size = sample_size
+        self.seed = seed
+        self.keep_estimates = keep_estimates
+
+    def run(self, relation, dims=None, minsup=1, cluster_spec=None, cost_model=None,
+            max_steps=None):
+        """Aggregate ``GROUP BY dims HAVING COUNT(*) >= minsup`` online.
+
+        ``minsup`` may be an integer minimum support or any
+        :class:`~repro.core.thresholds.Threshold`.  ``max_steps`` stops
+        early (the user interrupting the query); the returned cells then
+        reflect only the processed prefix.
+        """
+        if dims is None:
+            dims = relation.dims
+        dims = tuple(dims)
+        threshold = as_threshold(minsup)
+        if cluster_spec is None:
+            from ..cluster.spec import cluster1
+
+            cluster_spec = cluster1()
+        cluster = Cluster(cluster_spec, cost_model or CostModel())
+        n = len(cluster)
+        key_len = max(1, len(dims))
+        positions = relation.dim_indices(dims)
+
+        boundaries = partition_boundaries(
+            relation, dims, n, sample_size=self.sample_size, seed=self.seed
+        )
+        # The manager's sampling pass (Figure 5.2 line 5), on processor 0.
+        manager = cluster.processors[0]
+        sample_stats = OpStats()
+        sample_stats.read_tuples += min(self.sample_size, len(relation))
+        cluster.charge(
+            manager,
+            TaskExecution("sample-boundaries", sample_stats,
+                          read_bytes=min(self.sample_size, len(relation)) * key_len * FIELD_BYTES),
+        )
+
+        partitions = relation.block_partition(n)
+        from ..structures.skiplist import SkipList
+
+        lists = [SkipList(seed=self.seed + p) for p in range(n)]
+        offsets = [0] * n
+        total = len(relation)
+        processed = 0
+        step = 0
+        schedule = []
+        snapshots = []
+        network = cluster.spec.network
+        disk = cluster.spec.disk
+
+        while processed < total and (max_steps is None or step < max_steps):
+            step += 1
+            chunks, loaded = self._load_step(
+                cluster, partitions, offsets, positions, boundaries, n, disk, schedule
+            )
+            processed += loaded
+            self._run_step_tasks(cluster, chunks, lists, n, key_len, network, schedule)
+            self._barrier(cluster, network, n)
+            snapshots.append(
+                self._snapshot(step, processed, total, cluster, lists, threshold)
+            )
+
+        cells = {}
+        for lst in lists:
+            for key, count, value in lst:
+                if threshold.qualifies(count, value):
+                    cells[key] = (count, value)
+        simulation = SimulationResult(cluster.processors, schedule)
+        return OnlineRunResult(
+            dims,
+            cells,
+            simulation,
+            snapshots,
+            boundaries,
+            extras={"steps": step, "processed": processed},
+        )
+
+    # ------------------------------------------------------------------
+    # step phases
+    # ------------------------------------------------------------------
+    def _load_step(self, cluster, partitions, offsets, positions, boundaries, n, disk,
+                   schedule):
+        """Each processor loads its next block and groups it into chunks.
+
+        Returns ``(chunks, loaded)`` where ``chunks[(dest, src)]`` is a
+        list of ``(key, measure)`` pairs.
+        """
+        chunks = {}
+        loaded = 0
+        for p in range(n):
+            part = partitions[p]
+            start = offsets[p]
+            stop = min(start + self.buffer_size, len(part))
+            offsets[p] = stop
+            block = range(start, stop)
+            if not block:
+                continue
+            loaded += stop - start
+            stats = OpStats()
+            stats.read_tuples += stop - start
+            stats.add_scan(stop - start)
+            stats.partition_moves += stop - start
+            rows = part.rows
+            measures = part.measures
+            for i in block:
+                key = tuple(rows[i][q] for q in positions)
+                dest = range_of(key, boundaries)
+                chunk = chunks.get((dest, p))
+                if chunk is None:
+                    chunk = chunks[(dest, p)] = []
+                chunk.append((key, measures[i]))
+            processor = cluster.processors[p]
+            read_bytes = (stop - start) * (len(positions) + 1) * FIELD_BYTES
+            # The per-step block load pays the fixed task cost (buffer
+            # setup, re-sampling bookkeeping): this is the overhead that
+            # larger buffers amortize in Figure 5.4.
+            schedule.append(
+                cluster.charge(
+                    processor,
+                    TaskExecution("load@%d" % p, stats, read_bytes=read_bytes),
+                )
+            )
+        return chunks, loaded
+
+    def _run_step_tasks(self, cluster, chunks, lists, n, key_len, network, schedule):
+        """Demand-schedule the step's chunk tasks, with offloading."""
+        pending = dict(chunks)
+        stuck = [False] * n
+        merges = [[] for _ in range(n)]  # offloaded cell lists awaiting owners
+
+        def pick(p):
+            for src in wrap_order(p, n):
+                if (p, src) in pending:
+                    return (p, src), "own"
+            for dest in wrap_order((p + 1) % n, n):
+                if dest != p and (dest, p) in pending:
+                    return (dest, p), "offload"
+            return None, None
+
+        while pending:
+            ready = [q for q in range(n) if not stuck[q]]
+            if not ready:
+                break
+            p = min(ready, key=lambda q: (cluster.processors[q].clock, q))
+            task, mode = pick(p)
+            if task is None:
+                stuck[p] = True
+                continue
+            chunk = pending.pop(task)
+            dest, src = task
+            processor = cluster.processors[p]
+            stats = OpStats()
+            comm_bytes = 0
+            comm_messages = 0
+            if mode == "own":
+                if src != p:
+                    comm_bytes = len(chunk) * (key_len + 1) * FIELD_BYTES
+                    comm_messages = 2  # request + data
+                target = lists[dest]
+                before = target.comparisons
+                for key, measure in chunk:
+                    target.insert(key, measure=measure)
+                stats.add_structure((target.comparisons - before) * key_len)
+                stats.add_scan(len(chunk))
+            else:
+                # Offload: aggregate locally, ship cells to the owner.
+                from ..structures.skiplist import SkipList
+
+                private = SkipList(seed=p)
+                for key, measure in chunk:
+                    private.insert(key, measure=measure)
+                stats.add_structure(private.comparisons * key_len)
+                stats.add_scan(len(chunk))
+                cells = private.items()
+                comm_bytes = len(cells) * (key_len + 2) * FIELD_BYTES
+                comm_messages = 1
+                merges[dest].append(cells)
+            schedule.append(
+                cluster.charge(
+                    processor,
+                    TaskExecution(
+                        "chunk(%d,%d)%s" % (dest, src, "*" if mode == "offload" else ""),
+                        stats,
+                        comm_bytes=comm_bytes,
+                        comm_messages=comm_messages,
+                    ),
+                    include_task_overhead=False,
+                )
+            )
+        # Owners merge what was offloaded to them.
+        for dest in range(n):
+            if not merges[dest]:
+                continue
+            processor = cluster.processors[dest]
+            stats = OpStats()
+            target = lists[dest]
+            before = target.comparisons
+            merged = 0
+            for cells in merges[dest]:
+                target.merge(cells)
+                merged += len(cells)
+            stats.add_structure((target.comparisons - before) * key_len)
+            stats.add_scan(merged)
+            schedule.append(
+                cluster.charge(
+                    processor,
+                    TaskExecution("merge@%d" % dest, stats),
+                    include_task_overhead=False,
+                )
+            )
+
+    def _barrier(self, cluster, network, n):
+        """Synchronize all processors at the step boundary."""
+        sync = network.latency_s * 2 * max(1, n - 1).bit_length()
+        horizon = max(p.clock for p in cluster.processors) + sync
+        for p in cluster.processors:
+            p.comm_time += sync
+            p.clock = horizon
+
+    def _snapshot(self, step, processed, total, cluster, lists, threshold):
+        """Progressive estimate at the step boundary (the thesis' timer)."""
+        cells_seen = sum(len(lst) for lst in lists)
+        qualifying = 0
+        estimates = {} if self.keep_estimates else None
+        for lst in lists:
+            for key, count, value in lst:
+                estimate = scale_estimate(count, processed, total)
+                estimated_sum = scale_estimate(value, processed, total)
+                if threshold.qualifies(estimate, estimated_sum):
+                    qualifying += 1
+                    if estimates is not None:
+                        estimates[key] = estimate
+        return OnlineSnapshot(
+            step,
+            processed,
+            total,
+            max(p.clock for p in cluster.processors),
+            cells_seen,
+            qualifying,
+            estimates,
+        )

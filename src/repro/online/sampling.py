@@ -1,0 +1,109 @@
+"""Sampling support for online aggregation (Chapter 5).
+
+POL needs two things from sampling: the skip-list partition boundaries
+(the manager "takes a sample, and determines the boundaries of skip
+list partitions assigned to each processor", Figure 5.2 line 5), and
+progressive estimates in the Hellerstein/Haas/Wang online-aggregation
+style — scale observed group counts by the processed fraction and
+attach a confidence interval that tightens as more blocks arrive.
+"""
+
+import math
+
+from ..errors import PlanError
+
+
+def sample_keys(relation, dims, sample_size=1024, seed=0):
+    """A deterministic sample of group-by keys from the relation."""
+    positions = relation.dim_indices(dims)
+    indices = relation.sample_rows(sample_size, seed=seed)
+    return [tuple(relation.rows[i][p] for p in positions) for i in indices]
+
+
+def partition_boundaries(relation, dims, n_parts, sample_size=1024, seed=0):
+    """Choose ``n_parts - 1`` ascending boundary keys from a sample.
+
+    Key space range ``i`` holds keys ``< boundary[i]`` (last range
+    unbounded), aiming at equal cell mass per processor.  With fewer
+    distinct sampled keys than parts, some ranges come out empty — the
+    imbalance the thesis notes POL tolerates via offloading.
+    """
+    if n_parts < 1:
+        raise PlanError("n_parts must be >= 1, got %d" % n_parts)
+    if n_parts == 1:
+        return []
+    keys = sorted(sample_keys(relation, dims, sample_size, seed))
+    if not keys:
+        return []
+    boundaries = []
+    for part in range(1, n_parts):
+        index = (part * len(keys)) // n_parts
+        boundaries.append(keys[min(index, len(keys) - 1)])
+    # Boundaries must strictly ascend for ranges to be well defined.
+    deduped = []
+    for key in boundaries:
+        if not deduped or key > deduped[-1]:
+            deduped.append(key)
+    return deduped
+
+
+def range_of(key, boundaries):
+    """Which partition range a key falls in (binary search)."""
+    lo, hi = 0, len(boundaries)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if key >= boundaries[mid]:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def scale_estimate(observed_count, processed, total):
+    """Estimate a group's final count from a partial scan.
+
+    With ``processed`` of ``total`` tuples seen and ``observed_count``
+    of them in the group, the unbiased estimate of the group's final
+    count is ``observed_count * total / processed``.
+    """
+    if processed <= 0:
+        return 0.0
+    return observed_count * (total / processed)
+
+
+def count_confidence_interval(observed_count, processed, total, confidence=0.95):
+    """A (lo, hi) interval for a group's final count.
+
+    Treats the processed prefix as a simple random sample of the input
+    (POL reads unsorted partitions block-wise, which the thesis treats
+    as sampling) and applies a normal approximation to the binomial
+    proportion, in the spirit of Hellerstein et al.'s running
+    confidence intervals.
+    """
+    if processed <= 0:
+        return (0.0, float(total))
+    p = observed_count / processed
+    z = _z_value(confidence)
+    stderr = math.sqrt(max(0.0, p * (1.0 - p)) / processed)
+    # Finite-population correction: the "sample" is drawn without
+    # replacement from the input, so the interval collapses to the exact
+    # count once everything has been processed.
+    if total > 1:
+        stderr *= math.sqrt(max(0.0, (total - processed) / (total - 1)))
+    lo = max(0.0, (p - z * stderr) * total)
+    hi = min(float(total), (p + z * stderr) * total)
+    return (lo, hi)
+
+
+def _z_value(confidence):
+    """Two-sided normal quantile for common confidence levels."""
+    table = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+    if confidence in table:
+        return table[confidence]
+    # Fallback: a rational approximation of the probit function.
+    if not 0.0 < confidence < 1.0:
+        raise PlanError("confidence must be in (0, 1), got %r" % (confidence,))
+    p = 1.0 - (1.0 - confidence) / 2.0
+    # Beasley-Springer-Moro-ish approximation, adequate for reporting.
+    t = math.sqrt(-2.0 * math.log(1.0 - p))
+    return t - (2.30753 + 0.27061 * t) / (1.0 + 0.99229 * t + 0.04481 * t * t)

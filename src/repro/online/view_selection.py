@@ -1,0 +1,182 @@
+"""Greedy materialized-view selection (Harinarayan, Rajaraman & Ullman).
+
+The thesis closes Section 5.1 with "it is a topic of future work to
+develop more intelligent materialization strategies", citing the
+materialized-view-selection literature it reviews ([10, 16]).  This
+module implements the classic HRU greedy algorithm those papers center
+on:
+
+* the *benefit* of materializing cuboid ``v`` is, for every cuboid
+  ``w`` that ``v`` can answer (``w``'s dimensions are a subset of
+  ``v``'s), the reduction in ``w``'s answering cost — the size of the
+  cheapest already-materialized ancestor minus the size of ``v``;
+* greedily materialize the cuboid with the largest total benefit until
+  the budget (view count or total cells) runs out.  HRU prove this is
+  within ``(1 - 1/e)`` of the optimal benefit.
+
+:class:`MaterializedCubeStore` then serves iceberg queries: each
+group-by is aggregated from its smallest materialized ancestor, never
+from the raw data.
+"""
+
+from ..core.naive import naive_cuboid
+from ..core.thresholds import as_threshold
+from ..errors import PlanError
+from ..lattice.lattice import CubeLattice
+
+
+def estimate_cuboid_sizes(relation, dims=None, sample_size=2048, seed=0):
+    """Estimated cell counts for every cuboid, from a row sample.
+
+    Distinct-key counts on a deterministic sample, scaled by the
+    classic (first-order) distinct-value estimator and capped by both
+    the relation size and the cardinality product.  Exact when the
+    sample is the whole relation.
+    """
+    if dims is None:
+        dims = relation.dims
+    dims = tuple(dims)
+    lattice = CubeLattice(dims)
+    indices = relation.sample_rows(sample_size, seed=seed)
+    total = len(relation)
+    scale = total / len(indices) if indices else 1.0
+    positions = {d: relation.dim_index(d) for d in dims}
+    sizes = {}
+    for cuboid in lattice.cuboids(include_all=False):
+        cols = [positions[d] for d in cuboid]
+        distinct = len({tuple(relation.rows[i][p] for p in cols) for i in indices})
+        if indices and distinct == len(indices):
+            # Every sampled key unique: extrapolate linearly.
+            estimate = total
+        else:
+            estimate = int(distinct * max(1.0, scale ** 0.5))
+        product = relation.cardinality_product(cuboid)
+        sizes[cuboid] = max(1, min(estimate, total, product))
+    sizes[()] = 1
+    return sizes
+
+
+def _answerable_by(view, cuboid):
+    return set(cuboid) <= set(view)
+
+
+def greedy_select(dims, sizes, max_views=None, max_cells=None):
+    """The HRU greedy selection.
+
+    The root (all-dimension) cuboid is always materialized (queries must
+    be answerable); each round adds the view with the largest total
+    benefit until ``max_views`` views are chosen or adding any view
+    would exceed ``max_cells`` total cells.  Returns the chosen cuboids
+    in selection order (root first).
+    """
+    dims = tuple(dims)
+    root = dims
+    if max_views is None and max_cells is None:
+        raise PlanError("greedy_select needs max_views and/or max_cells")
+    lattice = CubeLattice(dims)
+    cuboids = lattice.cuboids(include_all=True)
+    selected = [root]
+    spent = sizes[root]
+
+    def answer_cost(cuboid):
+        return min(sizes[v] for v in selected if _answerable_by(v, cuboid))
+
+    while True:
+        if max_views is not None and len(selected) >= max_views:
+            break
+        best = None
+        best_benefit = 0.0
+        for candidate in cuboids:
+            if candidate in selected or not candidate:
+                continue
+            if max_cells is not None and spent + sizes[candidate] > max_cells:
+                continue
+            benefit = 0.0
+            for cuboid in cuboids:
+                if not _answerable_by(candidate, cuboid):
+                    continue
+                saving = answer_cost(cuboid) - sizes[candidate]
+                if saving > 0:
+                    benefit += saving
+            if benefit > best_benefit:
+                best, best_benefit = candidate, benefit
+        if best is None:
+            break
+        selected.append(best)
+        spent += sizes[best]
+    return selected
+
+
+class MaterializedCubeStore:
+    """Materialized cuboids chosen by HRU greedy, serving iceberg queries."""
+
+    def __init__(self, relation, dims=None, max_views=4, max_cells=None,
+                 sample_size=2048, seed=0):
+        if dims is None:
+            dims = relation.dims
+        self.dims = tuple(dims)
+        self._lattice = CubeLattice(self.dims)
+        self.sizes = estimate_cuboid_sizes(relation, self.dims,
+                                           sample_size=sample_size, seed=seed)
+        self.views = greedy_select(self.dims, self.sizes, max_views=max_views,
+                                   max_cells=max_cells)
+        #: materialized cells per chosen view (exact, unfiltered)
+        self._store = {}
+        for view in self.views:
+            self._store[view] = naive_cuboid(relation, view)
+        self.total_rows = len(relation)
+        self.total_measure = sum(relation.measures)
+        #: cells scanned answering queries (the HRU cost measure)
+        self.cells_scanned = 0
+
+    def materialized_cells(self):
+        """Actual total cells held (the realized space budget)."""
+        return sum(len(cells) for cells in self._store.values())
+
+    def best_view_for(self, cuboid):
+        """The smallest materialized view that can answer ``cuboid``."""
+        cuboid = self._lattice.canonical(cuboid)
+        candidates = [v for v in self.views if _answerable_by(v, cuboid)]
+        if not candidates:
+            raise PlanError("no materialized view answers %r" % (cuboid,))
+        return min(candidates, key=lambda v: len(self._store[v]))
+
+    def query(self, cuboid, minsup=1):
+        """Answer one iceberg group-by from the best materialized view.
+
+        Returns ``{cell: (count, sum)}``; exact, since views hold
+        unfiltered cells and aggregation is distributive.
+        """
+        threshold = as_threshold(minsup)
+        cuboid = self._lattice.canonical(cuboid)
+        if not cuboid:
+            if threshold.qualifies(self.total_rows, self.total_measure):
+                return {(): (self.total_rows, self.total_measure)}
+            return {}
+        view = self.best_view_for(cuboid)
+        cells = self._store[view]
+        self.cells_scanned += len(cells)
+        positions = [view.index(d) for d in cuboid]
+        out = {}
+        for key, (count, value) in cells.items():
+            small = tuple(key[p] for p in positions)
+            acc = out.get(small)
+            if acc is None:
+                out[small] = [count, value]
+            else:
+                acc[0] += count
+                acc[1] += value
+        return {
+            cell: (count, value)
+            for cell, (count, value) in out.items()
+            if threshold.qualifies(count, value)
+        }
+
+    def average_query_cost(self):
+        """Mean cells scanned to answer each cuboid once (HRU's metric)."""
+        total = 0
+        cuboids = self._lattice.cuboids(include_all=False)
+        for cuboid in cuboids:
+            view = self.best_view_for(cuboid)
+            total += len(self._store[view])
+        return total / len(cuboids)

@@ -1,0 +1,33 @@
+"""The five parallel iceberg-cube algorithms of the thesis."""
+
+from .aht import AHT
+from .asl import ASL
+from .base import AlgorithmFeatures, ParallelCubeAlgorithm, ParallelRunResult
+from .bpp import BPP
+from .local import multiprocess_iceberg_cube
+from .pt import PT
+from .rp import RP
+
+#: Table 1.1 of the thesis, generated from the implementations.
+ALGORITHMS = (RP, BPP, ASL, PT, AHT)
+
+
+def features_table():
+    """Rows of Table 1.1: (name, writing, load balance, relationship,
+    data decomposition)."""
+    return [(cls.name,) + cls.features.as_row() for cls in ALGORITHMS]
+
+
+__all__ = [
+    "RP",
+    "BPP",
+    "ASL",
+    "PT",
+    "AHT",
+    "ALGORITHMS",
+    "features_table",
+    "multiprocess_iceberg_cube",
+    "AlgorithmFeatures",
+    "ParallelCubeAlgorithm",
+    "ParallelRunResult",
+]

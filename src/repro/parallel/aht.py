@@ -1,0 +1,165 @@
+"""Algorithm AHT — Affinity Hash Table (Section 3.5.2, Figure 3.13).
+
+AHT is ASL with the skip list swapped for the bit-sliced
+:class:`~repro.structures.collapsible_hash.CollapsibleHashTable`.  Tasks
+are single cuboids, scheduled dynamically; when the new task's GROUP BY
+attributes are a subset of the previous task's, the existing table is
+*collapsed* — buckets differing only in the dropped attributes' bits are
+merged — instead of re-scanning the raw data.  Prefix affinity is not
+treated specially ("AHT does not process prefix affinity differently
+from general subset affinity").
+
+Because the index is capped near ``|R|`` buckets (the thesis fixes the
+bucket count to the input tuple count), sparse and high-dimensional
+cubes force long collision chains; the collision counts the table
+reports are what make AHT blow up in Figures 4.4 and 4.6 — the same
+failure mode the thesis observed.  Output is unsorted (the thesis
+post-sorts on demand at query time), so no sort cost is charged when
+writing.
+"""
+
+from ..core.stats import OpStats
+from ..core.writer import ResultWriter
+from ..cluster.simulator import TaskExecution, run_dynamic
+from ..lattice.lattice import CubeLattice, subset_positions
+from ..structures.collapsible_hash import CollapsibleHashTable
+from .base import (
+    AlgorithmFeatures,
+    key_compare_weight,
+    ParallelCubeAlgorithm,
+    ParallelRunResult,
+    add_all_node,
+    input_read_bytes,
+    merged_result,
+)
+
+SCRATCH = "scratch"
+SUBSET_PREV = "subset-prev"
+SUBSET_FIRST = "subset-first"
+
+
+class _AhtWorkerState:
+    __slots__ = ("writer", "first_table", "first_dims", "prev_table", "prev_dims", "loaded")
+
+    def __init__(self, writer):
+        self.writer = writer
+        self.first_table = None
+        self.first_dims = None
+        self.prev_table = None
+        self.prev_dims = None
+        self.loaded = False
+
+
+def choose_mode(task, state):
+    """Subset affinity against the previous task's table, then the first's."""
+    if state is None:
+        return SCRATCH
+    if state.prev_dims is not None and subset_positions(task, state.prev_dims) is not None:
+        return SUBSET_PREV
+    if state.first_dims is not None and subset_positions(task, state.first_dims) is not None:
+        return SUBSET_FIRST
+    return SCRATCH
+
+
+class AHT(ParallelCubeAlgorithm):
+    """Affinity Hash Table."""
+
+    name = "AHT"
+    features = AlgorithmFeatures("post-sort", "strong", "top-down", "replicated")
+
+    def __init__(self, bucket_factor=1.0, hash_mode="mod"):
+        """``bucket_factor``: hash-table buckets as a multiple of the
+        input tuple count (the thesis uses 1.0, and notes that even 10x
+        did not save the 13-dimension run).  ``hash_mode``: ``"mod"`` is
+        the thesis' naive hash; ``"multiplicative"`` is the improved
+        per-field hash its Section 4.9.2 proposes as future work."""
+        self.bucket_factor = bucket_factor
+        self.hash_mode = hash_mode
+
+    def _run(self, relation, dims, minsup, cluster):
+        lattice = CubeLattice(dims)
+        tasks = lattice.cuboids(include_all=False)
+        writers = []
+        read_bytes = input_read_bytes(relation)
+        max_buckets = max(2, int(len(relation) * self.bucket_factor))
+        cardinalities = relation.cardinalities()
+        row_positions = {dim: relation.dim_index(dim) for dim in dims}
+
+        def select_task(processor, pending):
+            state = processor.state
+            if state is None:
+                return pending[0]
+            best = None
+            best_rank = 2
+            for task in pending:
+                mode = choose_mode(task, state)
+                if mode == SCRATCH:
+                    continue
+                rank = 0 if mode == SUBSET_PREV else 1
+                if rank < best_rank or (
+                    rank == best_rank and best is not None and len(task) > len(best)
+                ):
+                    best, best_rank = task, rank
+                    if rank == 0:
+                        break
+            return best if best is not None else pending[0]
+
+        qualifies = minsup.qualifies
+
+        def execute(processor, task):
+            stats = OpStats()
+            state = processor.state
+            if state is None:
+                writer = ResultWriter(dims)
+                state = processor.state = _AhtWorkerState(writer)
+                writers.append(writer)
+            mode = choose_mode(task, state)
+            key_len = max(1, len(task))
+            if mode == SCRATCH:
+                if not state.loaded:
+                    stats.read_tuples += len(relation)
+                    state.loaded = True
+                table = CollapsibleHashTable(
+                    [cardinalities[d] for d in task], max_buckets,
+                    hash_mode=self.hash_mode,
+                )
+                positions = tuple(row_positions[d] for d in task)
+                rows = relation.rows
+                measures = relation.measures
+                for i, row in enumerate(rows):
+                    table.insert(tuple(row[p] for p in positions), measure=measures[i])
+                stats.add_scan(len(rows))
+            else:
+                source = state.prev_table if mode == SUBSET_PREV else state.first_table
+                source_dims = state.prev_dims if mode == SUBSET_PREV else state.first_dims
+                pos = subset_positions(task, source_dims)
+                table = source.collapse(pos)
+                stats.add_structure(len(source))
+            # Probes cost one hash each; every collision walks one chained
+            # entry, i.e. a full key comparison.
+            stats.add_structure(table.probes + table.collisions * key_compare_weight(key_len))
+            block = [
+                (cell, count, value)
+                for cell, count, value in table
+                if qualifies(count, value)
+            ]
+            stats.add_structure(len(table))
+            if state.first_table is None:
+                state.first_table = table
+                state.first_dims = task
+            state.prev_table = table
+            state.prev_dims = task
+            state.writer.write_block(task, block)
+            return TaskExecution(
+                label="".join(task),
+                stats=stats,
+                cells=len(block),
+                bytes_written=len(block) * (len(task) + 2) * 8,
+                switches=1 if block else 0,
+                read_bytes=read_bytes if mode == SCRATCH and stats.read_tuples else 0,
+            )
+
+        simulation = run_dynamic(cluster, tasks, select_task, execute)
+        result = merged_result(dims, writers)
+        add_all_node(result, relation, minsup)
+        return ParallelRunResult(self.name, result, simulation)

@@ -1,0 +1,202 @@
+"""Algorithm ASL — Affinity Skip List (Section 3.3, Figure 3.8).
+
+ASL puts load balancing first: every cuboid of the lattice is its own
+task, scheduled dynamically by a manager.  Cuboid cells live in skip
+lists, which stay sorted while being built incrementally — so a worker's
+previous skip list can be *reused* for its next task:
+
+* **prefix affinity** — the new cuboid's dimensions are a prefix of the
+  previous task's: one ordered scan over the existing skip list
+  aggregates it (``prefix-reuse``), no new structure needed;
+* **subset affinity** — the new cuboid's dimensions are a subset: the
+  existing cells are projected into a fresh skip list
+  (``subset-create``), skipping the raw-data scan;
+* otherwise the worker scans the (replicated) relation from scratch and
+  is handed the remaining cuboid with the most dimensions, to maximize
+  future affinity.
+
+Each worker keeps the first skip list it built (a high-dimensional one)
+as a fallback affinity source.  ASL cannot prune: a cell below minsup
+still contributes to coarser cuboids, so lists keep every cell and the
+threshold is applied only when writing (Section 3.4 notes this as ASL's
+weakness vs PT).
+"""
+
+from ..core.stats import OpStats
+from ..core.writer import ResultWriter
+from ..cluster.simulator import TaskExecution, run_dynamic
+from ..lattice.lattice import CubeLattice, is_prefix, subset_positions
+from ..structures.skiplist import SkipList
+from .base import (
+    AlgorithmFeatures,
+    key_compare_weight,
+    ParallelCubeAlgorithm,
+    ParallelRunResult,
+    add_all_node,
+    input_read_bytes,
+    merged_result,
+)
+
+SCRATCH = "scratch"
+PREFIX_PREV = "prefix-prev"
+PREFIX_FIRST = "prefix-first"
+SUBSET_PREV = "subset-prev"
+SUBSET_FIRST = "subset-first"
+
+
+class _AslWorkerState:
+    """A worker's containers: the first and the most recent skip list."""
+
+    __slots__ = ("writer", "first_list", "first_dims", "prev_list", "prev_dims", "loaded",
+                 "seed")
+
+    def __init__(self, writer, seed):
+        self.writer = writer
+        self.first_list = None
+        self.first_dims = None
+        self.prev_list = None
+        self.prev_dims = None
+        self.loaded = False
+        self.seed = seed
+
+
+def choose_mode(task, state):
+    """Which reuse path applies for ``task`` given the worker's state.
+
+    Mirrors the manager's preference order in Section 3.3.2: prefix
+    affinity first (previous task, then the first task's list), then
+    subset affinity, then scratch.
+    """
+    if state is None:
+        return SCRATCH
+    if state.prev_dims is not None and is_prefix(task, state.prev_dims):
+        return PREFIX_PREV
+    if state.first_dims is not None and is_prefix(task, state.first_dims):
+        return PREFIX_FIRST
+    if state.prev_dims is not None and subset_positions(task, state.prev_dims) is not None:
+        return SUBSET_PREV
+    if state.first_dims is not None and subset_positions(task, state.first_dims) is not None:
+        return SUBSET_FIRST
+    return SCRATCH
+
+
+class ASL(ParallelCubeAlgorithm):
+    """Affinity Skip List."""
+
+    name = "ASL"
+    features = AlgorithmFeatures("breadth-first", "strong", "top-down", "replicated")
+
+    def __init__(self, affinity=True, cuboids=None):
+        """``affinity=False`` is an ablation knob: plain FIFO demand
+        scheduling with every task built from scratch.  ``cuboids``
+        restricts the task set to the given group-bys (selective
+        materialization, Section 5.1, computes only the processing
+        tree's leaf cuboids this way)."""
+        self.affinity = affinity
+        self.cuboids = cuboids
+
+    def _run(self, relation, dims, minsup, cluster):
+        lattice = CubeLattice(dims)
+        if self.cuboids is None:
+            tasks = lattice.cuboids(include_all=False)  # top-down order
+        else:
+            tasks = [lattice.canonical(c) for c in self.cuboids]
+            tasks.sort(key=len, reverse=True)
+        writers = []
+        read_bytes = input_read_bytes(relation)
+        positions = {dim: i for i, dim in enumerate(dims)}
+        row_positions = relation.dim_indices(dims)
+
+        def select_task(processor, pending):
+            state = processor.state
+            if not self.affinity or state is None:
+                return pending[0]  # the remaining cuboid with most dimensions
+            order = [PREFIX_PREV, PREFIX_FIRST, SUBSET_PREV, SUBSET_FIRST]
+            best = None
+            best_rank = len(order)
+            for task in pending:
+                mode = choose_mode(task, state)
+                if mode == SCRATCH:
+                    continue
+                rank = order.index(mode)
+                if rank < best_rank or (
+                    rank == best_rank and best is not None and len(task) > len(best)
+                ):
+                    best, best_rank = task, rank
+                    if rank == 0:
+                        break
+            return best if best is not None else pending[0]
+
+        qualifies = minsup.qualifies
+
+        def execute(processor, task):
+            stats = OpStats()
+            state = processor.state
+            if state is None:
+                writer = ResultWriter(dims)
+                state = processor.state = _AslWorkerState(writer, seed=processor.index)
+                writers.append(writer)
+            mode = choose_mode(task, state) if self.affinity else SCRATCH
+            key_len = max(1, len(task))
+            if mode == PREFIX_PREV or mode == PREFIX_FIRST:
+                source = state.prev_list if mode == PREFIX_PREV else state.first_list
+                block = [
+                    (cell, count, value)
+                    for cell, count, value in source.aggregate_prefix(len(task))
+                    if qualifies(count, value)
+                ]
+                stats.add_structure(len(source) * key_compare_weight(key_len))
+                stats.add_groups(len(block))
+            else:
+                if mode == SUBSET_PREV or mode == SUBSET_FIRST:
+                    source = state.prev_list if mode == SUBSET_PREV else state.first_list
+                    source_dims = (
+                        state.prev_dims if mode == SUBSET_PREV else state.first_dims
+                    )
+                    pos = subset_positions(task, source_dims)
+                    new_list = SkipList(seed=state.seed)
+                    for cell, count, value in source:
+                        new_list.insert(
+                            tuple(cell[i] for i in pos), measure=value, count=count
+                        )
+                    stats.add_structure(new_list.comparisons * key_compare_weight(key_len) + len(source))
+                else:
+                    # Scratch: scan the replicated relation into a new list.
+                    if not state.loaded:
+                        stats.read_tuples += len(relation)
+                        state.loaded = True
+                    new_list = SkipList(seed=state.seed)
+                    task_positions = tuple(row_positions[positions[d]] for d in task)
+                    rows = relation.rows
+                    measures = relation.measures
+                    for i, row in enumerate(rows):
+                        new_list.insert(
+                            tuple(row[p] for p in task_positions), measure=measures[i]
+                        )
+                    stats.add_scan(len(rows))
+                    stats.add_structure(new_list.comparisons * key_compare_weight(key_len))
+                block = [
+                    (cell, count, value)
+                    for cell, count, value in new_list
+                    if qualifies(count, value)
+                ]
+                stats.add_structure(len(new_list))
+                if state.first_list is None:
+                    state.first_list = new_list
+                    state.first_dims = task
+                state.prev_list = new_list
+                state.prev_dims = task
+            state.writer.write_block(task, block)
+            return TaskExecution(
+                label="".join(task),
+                stats=stats,
+                cells=len(block),
+                bytes_written=len(block) * (len(task) + 2) * 8,
+                switches=1 if block else 0,
+                read_bytes=read_bytes if mode == SCRATCH and stats.read_tuples else 0,
+            )
+
+        simulation = run_dynamic(cluster, tasks, select_task, execute)
+        result = merged_result(dims, writers)
+        add_all_node(result, relation, minsup)
+        return ParallelRunResult(self.name, result, simulation)

@@ -1,0 +1,124 @@
+"""Shared plumbing for the five parallel iceberg-cube algorithms.
+
+All algorithms follow the thesis' two-stage structure: a *planning*
+stage that breaks the cube into tasks and decides assignment, and an
+*execution* stage that runs tasks on (simulated) processors.  Each
+algorithm subclasses :class:`ParallelCubeAlgorithm` and returns a
+:class:`ParallelRunResult` carrying the merged cube plus the simulated
+schedule, so the evaluation harness can read both answers and timing.
+"""
+
+from ..cluster.costmodel import CostModel
+from ..cluster.simulator import Cluster
+from ..core.result import CubeResult
+from ..core.stats import key_compare_weight  # re-exported for the drivers
+from ..core.thresholds import as_threshold, validate_measures
+from ..data.io import relation_bytes
+from ..errors import PlanError
+
+__all__ = [
+    "AlgorithmFeatures",
+    "ParallelCubeAlgorithm",
+    "ParallelRunResult",
+    "merged_result",
+    "add_all_node",
+    "input_read_bytes",
+    "key_compare_weight",
+]
+
+
+class AlgorithmFeatures:
+    """One row of the thesis' Table 1.1."""
+
+    __slots__ = ("writing", "load_balance", "relationship", "decomposition")
+
+    def __init__(self, writing, load_balance, relationship, decomposition):
+        self.writing = writing
+        self.load_balance = load_balance
+        self.relationship = relationship
+        self.decomposition = decomposition
+
+    def as_row(self):
+        """The Table 1.1 row for this algorithm."""
+        return (self.writing, self.load_balance, self.relationship, self.decomposition)
+
+
+class ParallelRunResult:
+    """Outcome of one parallel cube computation."""
+
+    def __init__(self, algorithm, result, simulation, extras=None):
+        self.algorithm = algorithm
+        self.result = result
+        self.simulation = simulation
+        self.extras = extras or {}
+
+    @property
+    def makespan(self):
+        """Simulated wall-clock seconds (the thesis' "wall clock" axis)."""
+        return self.simulation.makespan
+
+    def __repr__(self):
+        return "ParallelRunResult(%s, %.2fs, %d cells)" % (
+            self.algorithm,
+            self.makespan,
+            self.result.total_cells(),
+        )
+
+
+class ParallelCubeAlgorithm:
+    """Base class: subclasses implement :meth:`_run` on a live cluster."""
+
+    name = "?"
+    features = None
+
+    def run(self, relation, dims=None, minsup=1, cluster_spec=None, cost_model=None):
+        """Compute the iceberg cube of ``relation`` over ``dims``.
+
+        ``minsup`` may be an integer minimum support or any
+        :class:`~repro.core.thresholds.Threshold` (e.g. ``SumThreshold``
+        for ``HAVING SUM(measure) >= S``).  ``cluster_spec`` describes
+        the (simulated) machines; defaults to the thesis' baseline eight
+        PIII-500 nodes.  Returns a :class:`ParallelRunResult` whose
+        ``result`` is exact (validated against the naive baseline in the
+        test suite) and whose ``simulation`` holds the modeled timing.
+        """
+        if dims is None:
+            dims = relation.dims
+        dims = tuple(dims)
+        if not dims:
+            raise PlanError("need at least one cube dimension")
+        minsup = as_threshold(minsup)
+        validate_measures(minsup, relation)
+        if cluster_spec is None:
+            from ..cluster.spec import cluster1
+
+            cluster_spec = cluster1()
+        cluster = Cluster(cluster_spec, cost_model or CostModel())
+        return self._run(relation, dims, minsup, cluster)
+
+    def _run(self, relation, dims, minsup, cluster):
+        raise NotImplementedError
+
+
+def merged_result(dims, writers):
+    """Union the per-processor writers' results into one cube."""
+    out = CubeResult(dims)
+    for writer in writers:
+        out.merge_from(writer.result)
+    return out
+
+
+def add_all_node(result, relation, minsup):
+    """Record the ``all`` cell (handled outside the task set, as in the
+    thesis)."""
+    count = len(relation)
+    total = sum(relation.measures)
+    if as_threshold(minsup).qualifies(count, total):
+        result.add_cell((), (), count, total)
+
+
+def input_read_bytes(relation):
+    """Bytes a processor reads to load (its copy/chunk of) the input."""
+    return relation_bytes(relation)
+
+

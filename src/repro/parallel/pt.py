@@ -1,0 +1,115 @@
+"""Algorithm PT — Partitioned Tree (Section 3.4, Figures 3.9 and 3.10).
+
+PT is the thesis' hybrid and its recommended default.  The BUC
+processing tree is recursively *binary divided* — each cut removes the
+farthest-left edge, splitting a (sub)tree into two halves of equal node
+count — until there are ``ratio * n`` tasks (the thesis uses 32n).  The
+resulting full/chopped subtrees are scheduled dynamically with prefix
+affinity on their roots (top-down), while each task's interior is
+computed bottom-up by BPP-BUC with minsup pruning and breadth-first
+writing.
+
+The division ratio is the explicit knob trading load balance (more,
+finer tasks) against pruning/sort-sharing (fewer, deeper subtrees) —
+the dotted line in Figure 3.9 — and is exposed for the ablation bench.
+"""
+
+from ..core.buc import BucEngine, PrefixCache
+from ..core.stats import OpStats
+from ..core.writer import ResultWriter
+from ..cluster.simulator import TaskExecution, run_dynamic
+from ..lattice.lattice import common_prefix_length
+from ..lattice.processing_tree import ProcessingTree, binary_divide
+from .base import (
+    AlgorithmFeatures,
+    ParallelCubeAlgorithm,
+    ParallelRunResult,
+    add_all_node,
+    input_read_bytes,
+    merged_result,
+)
+
+DEFAULT_TASK_RATIO = 32
+
+
+class _PtWorkerState:
+    __slots__ = ("engine", "writer", "cache", "loaded", "prev_root")
+
+    def __init__(self, engine, writer):
+        self.engine = engine
+        self.writer = writer
+        self.cache = PrefixCache()
+        self.loaded = False
+        self.prev_root = None
+
+
+class PT(ParallelCubeAlgorithm):
+    """Partitioned Tree."""
+
+    name = "PT"
+    features = AlgorithmFeatures("breadth-first", "strong", "hybrid", "replicated")
+
+    def __init__(self, task_ratio=DEFAULT_TASK_RATIO, affinity=True):
+        """``task_ratio``: tasks per processor from binary division (32
+        in the thesis).  ``affinity=False`` disables prefix-affinity
+        scheduling (ablation)."""
+        self.task_ratio = task_ratio
+        self.affinity = affinity
+
+    def plan_tasks(self, dims, n_processors):
+        """Binary-divide the processing tree into ``ratio * n`` tasks."""
+        tree = ProcessingTree(dims)
+        return tree, binary_divide(tree, max(1, self.task_ratio * n_processors))
+
+    def _run(self, relation, dims, minsup, cluster):
+        tree, tasks = self.plan_tasks(dims, len(cluster))
+        # Demand-schedule the biggest tasks first so stragglers stay small.
+        tasks = sorted(tasks, key=lambda t: (-t.size(tree), t.root))
+        writers = []
+        read_bytes = input_read_bytes(relation)
+
+        def select_task(processor, pending):
+            state = processor.state
+            if not self.affinity or state is None or state.prev_root is None:
+                return pending[0]
+            best = pending[0]
+            best_key = (-1, 0)
+            for task in pending:
+                shared = common_prefix_length(task.root, state.prev_root)
+                key = (shared, task.size(tree))
+                if key > best_key:
+                    best, best_key = task, key
+            return best
+
+        def execute(processor, task):
+            stats = OpStats()
+            state = processor.state
+            if state is None:
+                writer = ResultWriter(dims)
+                engine = BucEngine(relation, dims, minsup, writer, stats)
+                state = processor.state = _PtWorkerState(engine, writer)
+                writers.append(writer)
+            else:
+                state.engine.stats = stats
+            first_load = not state.loaded
+            if first_load:
+                stats.read_tuples += len(relation)
+                state.loaded = True
+            before = state.writer.snapshot()
+            cache = state.cache if self.affinity else None
+            state.engine.run_task(task, breadth_first=True, cache=cache)
+            state.prev_root = task.root
+            cells, nbytes, switches = ResultWriter.delta(before, state.writer.snapshot())
+            return TaskExecution(
+                label="T[%s]" % ("".join(task.root) or "all"),
+                stats=stats,
+                cells=cells,
+                bytes_written=nbytes,
+                switches=switches,
+                read_bytes=read_bytes if first_load else 0,
+            )
+
+        simulation = run_dynamic(cluster, tasks, select_task, execute)
+        result = merged_result(dims, writers)
+        add_all_node(result, relation, minsup)
+        return ParallelRunResult(self.name, result, simulation, extras={"n_tasks": len(tasks)})

@@ -1,0 +1,88 @@
+"""Algorithm RP — Replicated Parallel BUC (Section 3.1, Figure 3.1).
+
+The straightforward parallelization of BUC: the processing tree's ``m``
+dimension-rooted subtrees are the tasks, assigned round-robin to the
+processors; the dataset is replicated, each processor runs sequential
+BUC (depth-first writing) over its subtrees and writes cuboids to its
+local disk.
+
+RP's two weaknesses — the coarse, uneven tasks (subtree ``T_A`` is far
+bigger than ``T_C``) and the scattered depth-first writes — are exactly
+what the simulation surfaces in Figures 4.1 and 3.6.
+"""
+
+from ..core.buc import BucEngine
+from ..core.stats import OpStats
+from ..core.writer import ResultWriter
+from ..cluster.simulator import TaskExecution, run_static
+from ..lattice.processing_tree import SubtreeTask
+from .base import (
+    AlgorithmFeatures,
+    ParallelCubeAlgorithm,
+    ParallelRunResult,
+    add_all_node,
+    input_read_bytes,
+    merged_result,
+)
+
+
+class _RpWorkerState:
+    """Per-processor state: the replicated engine and local writer."""
+
+    __slots__ = ("engine", "writer", "loaded")
+
+    def __init__(self, engine, writer):
+        self.engine = engine
+        self.writer = writer
+        self.loaded = False
+
+
+class RP(ParallelCubeAlgorithm):
+    """Replicated Parallel BUC."""
+
+    name = "RP"
+    features = AlgorithmFeatures("depth-first", "weak", "bottom-up", "replicated")
+
+    def __init__(self, breadth_first=False):
+        """``breadth_first=True`` is an ablation knob: RP with BPP's
+        writing strategy (used to isolate the Figure 3.6 I/O effect)."""
+        self.breadth_first = breadth_first
+
+    def _run(self, relation, dims, minsup, cluster):
+        tasks = [SubtreeTask((dim,)) for dim in dims]
+        n = len(cluster)
+        assignments = [(i % n, task) for i, task in enumerate(tasks)]
+        writers = []
+        read_bytes = input_read_bytes(relation)
+
+        def execute(processor, task):
+            state = processor.state
+            stats = OpStats()
+            first_load = False
+            if state is None:
+                writer = ResultWriter(dims)
+                engine = BucEngine(relation, dims, minsup, writer, stats)
+                state = processor.state = _RpWorkerState(engine, writer)
+                writers.append(writer)
+                first_load = True
+            else:
+                state.engine.stats = stats
+            if first_load and not state.loaded:
+                stats.read_tuples += len(relation)
+                state.loaded = True
+            before = state.writer.snapshot()
+            state.engine.run_task(task, breadth_first=self.breadth_first)
+            cells, nbytes, switches = ResultWriter.delta(before, state.writer.snapshot())
+            return TaskExecution(
+                label="T_%s" % task.root[0],
+                stats=stats,
+                cells=cells,
+                bytes_written=nbytes,
+                switches=switches,
+                read_bytes=read_bytes if first_load else 0,
+            )
+
+        simulation = run_static(cluster, assignments, execute)
+        result = merged_result(dims, writers)
+        add_all_node(result, relation, minsup)
+        return ParallelRunResult(self.name, result, simulation)

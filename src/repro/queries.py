@@ -1,0 +1,135 @@
+"""User-facing iceberg-query API.
+
+The thesis' prototypical query is::
+
+    SELECT A, B, ..., SUM(measure)
+    FROM R
+    GROUP BY A, B, ...
+    HAVING COUNT(*) >= T
+
+:func:`iceberg_query` answers one such group-by;
+:func:`iceberg_cube` answers it for *every* combination of the GROUP BY
+attributes (the CUBE BY form of Section 2.3), dispatching to any of the
+library's algorithms; :class:`IcebergQuery` is the declarative form both
+build on.
+"""
+
+from .core.aggregates import DERIVABLE_FROM_COUNT_SUM, get_aggregate
+from .core.naive import naive_cuboid
+from .core.thresholds import CountThreshold, as_threshold
+from .errors import PlanError, SchemaError
+
+#: name -> parallel algorithm class, resolved lazily to avoid cycles.
+_ALGORITHM_NAMES = ("rp", "bpp", "asl", "pt", "aht")
+
+
+class IcebergQuery:
+    """A declarative iceberg query (one group-by or a full cube)."""
+
+    def __init__(self, group_by, minsup=1, aggregate="sum", cube=False, having=None):
+        """``minsup`` is the count threshold shorthand; ``having`` takes
+        any :class:`~repro.core.thresholds.Threshold` and overrides it
+        (e.g. ``SumThreshold(1000)`` for ``HAVING SUM(x) >= 1000``)."""
+        self.group_by = tuple(group_by)
+        if not self.group_by:
+            raise PlanError("GROUP BY needs at least one attribute")
+        self.threshold = as_threshold(having if having is not None else minsup)
+        self.minsup = (
+            self.threshold.min_count
+            if isinstance(self.threshold, CountThreshold)
+            else None
+        )
+        self.aggregate = aggregate.lower()
+        get_aggregate(self.aggregate)  # validate early
+        self.cube = cube
+
+    def sql(self, table="R", measure="measure"):
+        """The query rendered as the thesis' SQL form (for display)."""
+        attrs = ", ".join(self.group_by)
+        by = "CUBE BY" if self.cube else "GROUP BY"
+        return (
+            "SELECT %s, %s(%s) FROM %s %s %s HAVING %s"
+            % (attrs, self.aggregate.upper(), measure, table, by, attrs,
+               self.threshold.describe())
+        )
+
+    def __repr__(self):
+        return "IcebergQuery(%s)" % self.sql()
+
+
+def resolve_algorithm(algorithm):
+    """Turn an algorithm name or instance into a runnable instance."""
+    from .parallel import AHT, ASL, BPP, PT, RP
+
+    classes = {"rp": RP, "bpp": BPP, "asl": ASL, "pt": PT, "aht": AHT}
+    if isinstance(algorithm, str):
+        try:
+            return classes[algorithm.lower()]()
+        except KeyError:
+            raise PlanError(
+                "unknown algorithm %r (have %s)" % (algorithm, ", ".join(_ALGORITHM_NAMES))
+            ) from None
+    if hasattr(algorithm, "run"):
+        return algorithm
+    raise PlanError("algorithm must be a name or an instance, got %r" % (algorithm,))
+
+
+def iceberg_cube(relation, dims=None, minsup=1, algorithm="pt", cluster_spec=None,
+                 cost_model=None):
+    """Compute the full iceberg cube.
+
+    ``algorithm`` may be a name (``"rp"``, ``"bpp"``, ``"asl"``,
+    ``"pt"``, ``"aht"``) or a configured instance.  Returns the
+    :class:`~repro.parallel.base.ParallelRunResult` — ``.result`` holds
+    the cells, ``.simulation`` the modeled cluster timing.
+    """
+    algo = resolve_algorithm(algorithm)
+    return algo.run(relation, dims=dims, minsup=minsup, cluster_spec=cluster_spec,
+                    cost_model=cost_model)
+
+
+def iceberg_query(relation, group_by, minsup=1, aggregate="sum", having=None):
+    """Answer one iceberg group-by exactly, returning ``{cell: value}``.
+
+    COUNT/SUM/AVG come from the standard ``(count, sum)`` cell pair; the
+    remaining aggregates (MIN/MAX/MEDIAN...) are evaluated with their
+    own accumulators on a dedicated pass.  ``having`` accepts any
+    :class:`~repro.core.thresholds.Threshold` and overrides ``minsup``.
+    """
+    query = IcebergQuery(group_by, minsup=minsup, aggregate=aggregate, having=having)
+    missing = [d for d in query.group_by if d not in relation.dims]
+    if missing:
+        raise SchemaError("unknown dimensions %r (have %r)" % (missing, relation.dims))
+    if query.aggregate in DERIVABLE_FROM_COUNT_SUM:
+        cells = naive_cuboid(relation, query.group_by)
+        out = {}
+        for cell, (count, total) in cells.items():
+            if query.threshold.qualifies(count, total):
+                from .core.aggregates import from_count_sum
+
+                out[cell] = from_count_sum(query.aggregate, count, total)
+        return out
+    return _holistic_query(relation, query)
+
+
+def _holistic_query(relation, query):
+    """General-aggregate path: run the aggregate's own accumulator."""
+    func = get_aggregate(query.aggregate)
+    positions = relation.dim_indices(query.group_by)
+    states = {}
+    counts = {}
+    sums = {}
+    for i, row in enumerate(relation.rows):
+        key = tuple(row[p] for p in positions)
+        if key not in states:
+            states[key] = func.initial()
+            counts[key] = 0
+            sums[key] = 0.0
+        states[key] = func.step(states[key], relation.measures[i])
+        counts[key] += 1
+        sums[key] += relation.measures[i]
+    return {
+        cell: func.final(state)
+        for cell, state in states.items()
+        if query.threshold.qualifies(counts[cell], sums[cell])
+    }

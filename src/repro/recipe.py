@@ -1,0 +1,111 @@
+"""The thesis' "recipe" for picking an algorithm (Figure 4.7).
+
+The evaluation's headline finding is that iceberg-cube computation on PC
+clusters is not one-algorithm-fits-all.  Figure 4.7 condenses it:
+
+=========================  ====  ====  ===  ====  ====  ===
+situation                   PT   ASL   RP   BPP   AHT  POL
+=========================  ====  ====  ===  ====  ====  ===
+dense cubes                       x                 x
+small dimensionality (<5)   x     x    x           x
+high dimensionality         x
+less memory occupation                       x
+otherwise                   x     x
+online support                                          x
+=========================  ====  ====  ===  ====  ====  ===
+
+:func:`recommend` applies those rules to a workload description;
+:func:`recipe_table` returns the matrix itself.
+"""
+
+#: Figure 4.7, row by row: (situation, tuple of recommended algorithms).
+RECIPE_ROWS = (
+    ("dense cubes", ("ASL", "AHT")),
+    ("small dimensionality (< 5)", ("PT", "ASL", "RP", "AHT")),
+    ("high dimensionality", ("PT",)),
+    ("less memory occupation", ("BPP",)),
+    ("otherwise", ("PT", "ASL")),
+    ("online support", ("POL",)),
+)
+
+#: Thresholds distilled from Section 4.9.1's prose.
+DENSE_CELL_LIMIT = 1e8  # "total number of cells ... not too high (e.g. < 1e8)"
+SMALL_DIMENSIONALITY = 5
+HIGH_DIMENSIONALITY = 12
+
+
+class Workload:
+    """The traits the recipe keys on."""
+
+    def __init__(self, n_tuples, cardinalities, online=False, memory_constrained=False):
+        self.n_tuples = n_tuples
+        self.cardinalities = tuple(cardinalities)
+        self.online = online
+        self.memory_constrained = memory_constrained
+
+    @property
+    def n_dims(self):
+        return len(self.cardinalities)
+
+    @property
+    def cardinality_product(self):
+        product = 1
+        for card in self.cardinalities:
+            product *= max(1, card)
+        return product
+
+    @property
+    def is_dense(self):
+        """Dense per the thesis: the full cube's potential cell count is
+        modest relative to the data (most cells well populated)."""
+        return self.cardinality_product <= DENSE_CELL_LIMIT
+
+    @classmethod
+    def from_relation(cls, relation, dims=None, online=False, memory_constrained=False):
+        dims = tuple(dims) if dims is not None else relation.dims
+        return cls(
+            len(relation),
+            [relation.cardinality(d) for d in dims],
+            online=online,
+            memory_constrained=memory_constrained,
+        )
+
+
+def recommend(workload):
+    """The recipe's pick (ordered by preference) for a workload.
+
+    Follows Section 4.9.1: PT is the default; ASL/AHT take over on
+    dense cubes; BPP when memory is the constraint; POL when the query
+    must be answered online.
+    """
+    if workload.online:
+        return ("POL",)
+    if workload.memory_constrained:
+        return ("BPP",)
+    if workload.n_dims >= HIGH_DIMENSIONALITY:
+        return ("PT",)
+    if workload.is_dense:
+        # AHT wins when dimensionality is low; ASL is the safer pick
+        # because AHT degrades sharply with dimensionality (Fig 4.4).
+        if workload.n_dims < SMALL_DIMENSIONALITY:
+            return ("AHT", "ASL")
+        return ("ASL", "AHT")
+    if workload.n_dims < SMALL_DIMENSIONALITY:
+        # Everything behaves similarly; RP "may have a slight edge in
+        # that it is the simplest algorithm to implement".
+        return ("PT", "ASL", "RP", "AHT")
+    return ("PT", "ASL")
+
+
+def recommend_for(relation, dims=None, online=False, memory_constrained=False):
+    """Convenience: recommend directly from a relation."""
+    return recommend(
+        Workload.from_relation(
+            relation, dims, online=online, memory_constrained=memory_constrained
+        )
+    )
+
+
+def recipe_table():
+    """Figure 4.7 as ``(situation, algorithms)`` rows."""
+    return list(RECIPE_ROWS)

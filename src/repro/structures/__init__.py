@@ -1,0 +1,7 @@
+"""Core data structures: skip lists, collapsible hash tables, hash trees."""
+
+from .collapsible_hash import CollapsibleHashTable
+from .hash_tree import HashTree, MemoryMeter
+from .skiplist import MAX_LEVEL, SkipList
+
+__all__ = ["SkipList", "MAX_LEVEL", "CollapsibleHashTable", "HashTree", "MemoryMeter"]

@@ -1,0 +1,159 @@
+"""AHT's bit-sliced, collapsible hash table (Section 3.5.2).
+
+Each cube attribute is assigned a number of index bits; concatenating the
+per-attribute bit fields of a cell's coordinates yields its bucket index.
+Ideally attribute ``X`` gets ``ceil(log2(card(X)))`` bits, but the total
+index is capped so the table stays near the size of the input relation —
+the thesis' "trade off memory occupation with run time".  The cap is what
+introduces bucket collisions, and collisions are what destroy AHT on
+sparse, high-dimensional cubes (Figures 4.4 and 4.6).
+
+``collapse(keep_positions)`` implements subset affinity: when a new task's
+GROUP BY attributes are a subset of the previous task's, the buckets whose
+indices differ only in the dropped attributes' bits are merged, so no new
+table has to be built from the raw data.
+
+The hash is the thesis' "naive MOD hash function": an attribute with
+``b`` bits contributes ``code mod 2**b``.
+"""
+
+import math
+
+
+MOD_HASH = "mod"
+MULTIPLICATIVE_HASH = "multiplicative"
+
+#: Knuth's multiplicative constant (2^32 / golden ratio), used by the
+#: improved per-field hash the thesis suggests in Section 4.9.2.
+_FIBONACCI = 2654435761
+
+
+class CollapsibleHashTable:
+    """A hash table over cube cells keyed by bit-sliced coordinates."""
+
+    def __init__(self, cardinalities, max_buckets, hash_mode=MOD_HASH):
+        """``cardinalities``: per-attribute distinct-value counts (in key
+        order).  ``max_buckets`` caps the table size; per-attribute bits
+        shrink from their ideal ``ceil(log2(card))`` until the index fits.
+
+        ``hash_mode`` selects the per-field hash: ``"mod"`` is the
+        thesis' naive MOD function (low bits of the code); the thesis'
+        Section 4.9.2 suggests "a more sophisticated hash function" —
+        ``"multiplicative"`` provides one (per-field Fibonacci hashing),
+        still field-separable so :meth:`collapse` keeps working.
+        """
+        if max_buckets < 2:
+            max_buckets = 2
+        if hash_mode not in (MOD_HASH, MULTIPLICATIVE_HASH):
+            raise ValueError("unknown hash_mode %r" % (hash_mode,))
+        self.hash_mode = hash_mode
+        self.cardinalities = tuple(int(c) for c in cardinalities)
+        self.bits = [max(1, math.ceil(math.log2(max(2, c)))) for c in self.cardinalities]
+        max_bits = max(1, int(math.floor(math.log2(max_buckets))))
+        self._shrink_bits(max_bits)
+        self.index_bits = sum(self.bits)
+        self.n_buckets = 1 << self.index_bits
+        self._buckets = [None] * self.n_buckets
+        self._length = 0
+        # Operation counters for the cost model.
+        self.probes = 0
+        self.collisions = 0
+
+    def _shrink_bits(self, max_bits):
+        """Repeatedly take a bit from the widest attribute until we fit."""
+        while sum(self.bits) > max_bits and any(b > 1 for b in self.bits):
+            widest = max(range(len(self.bits)), key=lambda i: self.bits[i])
+            self.bits[widest] -= 1
+        # With many attributes even 1 bit each may exceed the cap; the
+        # thesis' implementation lives with that (the table is at least
+        # 2**n_attrs buckets for an n-attribute cuboid).
+
+    def __len__(self):
+        return self._length
+
+    def __iter__(self):
+        """Yield ``(key, count, value)`` in unspecified (bucket) order."""
+        for bucket in self._buckets:
+            if bucket:
+                for entry in bucket:
+                    yield entry[0], entry[1], entry[2]
+
+    def _field_hash(self, code, bits):
+        """Hash one coordinate into ``bits`` bits, per ``hash_mode``."""
+        if self.hash_mode == MOD_HASH:
+            return code & ((1 << bits) - 1)
+        return ((code * _FIBONACCI) & 0xFFFFFFFF) >> (32 - bits)
+
+    def bucket_index(self, key):
+        """Bit-sliced bucket index of a cell key (one field per slice)."""
+        index = 0
+        for code, b in zip(key, self.bits):
+            index = (index << b) | self._field_hash(code, b)
+        return index
+
+    def insert(self, key, measure=0.0, count=1):
+        """Accumulate ``(count, measure)`` into cell ``key``.
+
+        Returns ``True`` when a new cell was created.  Chained entries in
+        a bucket are scanned linearly; every extra entry walked past is
+        counted as a collision.
+        """
+        index = self.bucket_index(key)
+        bucket = self._buckets[index]
+        self.probes += 1
+        if bucket is None:
+            self._buckets[index] = [[key, count, measure]]
+            self._length += 1
+            return True
+        for entry in bucket:
+            if entry[0] == key:
+                entry[1] += count
+                entry[2] += measure
+                return False
+            self.collisions += 1
+        bucket.append([key, count, measure])
+        self._length += 1
+        return True
+
+    def get(self, key):
+        """Return ``(count, value)`` for ``key`` or ``None``."""
+        bucket = self._buckets[self.bucket_index(key)]
+        self.probes += 1
+        if bucket is None:
+            return None
+        for entry in bucket:
+            if entry[0] == key:
+                return entry[1], entry[2]
+            self.collisions += 1
+        return None
+
+    def items_sorted(self):
+        """Cells in ascending key order (AHT's *post-sorting* of output)."""
+        return sorted(self, key=lambda item: item[0])
+
+    def max_chain_length(self):
+        """Length of the worst bucket chain (a collision diagnostic)."""
+        return max((len(b) for b in self._buckets if b), default=0)
+
+    def collapse(self, keep_positions):
+        """Subset-collapse (subroutine ``subset-collapse`` in Figure 3.13).
+
+        Returns a new table over only the attributes at ``keep_positions``
+        (in the given order); cells that agree on those coordinates merge.
+        The new table keeps the corresponding attributes' bit widths, so
+        the operation is a pure regrouping of buckets — no raw data scan.
+        """
+        keep_positions = tuple(keep_positions)
+        new = CollapsibleHashTable.__new__(CollapsibleHashTable)
+        new.hash_mode = self.hash_mode
+        new.cardinalities = tuple(self.cardinalities[i] for i in keep_positions)
+        new.bits = [self.bits[i] for i in keep_positions]
+        new.index_bits = sum(new.bits)
+        new.n_buckets = 1 << new.index_bits
+        new._buckets = [None] * new.n_buckets
+        new._length = 0
+        new.probes = 0
+        new.collisions = 0
+        for key, count, value in self:
+            new.insert(tuple(key[i] for i in keep_positions), measure=value, count=count)
+        return new

@@ -1,0 +1,200 @@
+"""Apriori-style candidate hash tree (Section 3.5.1).
+
+The thesis' first hash-based cube attempt transplanted the Apriori
+association-rule-mining machinery: candidate group-by cells are treated
+as itemsets over a global item universe (one item per ``(attribute,
+value)`` pair) and stored in a hash tree — interior nodes hash on the
+item at their depth, leaves hold candidate lists and split when they
+overflow.  Counting supports is the classic recursive *subset operation*
+over each transaction (tuple).
+
+The thesis found the approach infeasible: breadth-first candidate
+generation over an item universe the size of the *sum of all attribute
+cardinalities* "quickly consumes all available memory".  To reproduce
+that failure honestly, every node and candidate is charged against a
+:class:`MemoryMeter`, which raises
+:class:`~repro.errors.MemoryBudgetExceeded` when the configured budget is
+crossed.
+"""
+
+from ..errors import MemoryBudgetExceeded
+
+#: Approximate bookkeeping sizes, in bytes, used by the memory meter.
+NODE_BYTES = 120
+ENTRY_BASE_BYTES = 56
+ENTRY_ITEM_BYTES = 8
+
+
+class MemoryMeter:
+    """Tracks approximate bytes in use against an optional hard budget."""
+
+    def __init__(self, budget_bytes=None):
+        self.budget_bytes = budget_bytes
+        self.used_bytes = 0
+        self.peak_bytes = 0
+
+    def add(self, nbytes):
+        """Charge ``nbytes``; raises when the hard budget is crossed."""
+        self.used_bytes += nbytes
+        if self.used_bytes > self.peak_bytes:
+            self.peak_bytes = self.used_bytes
+        if self.budget_bytes is not None and self.used_bytes > self.budget_bytes:
+            raise MemoryBudgetExceeded(
+                self.used_bytes, self.budget_bytes, "hash tree outgrew its memory budget"
+            )
+
+    def release(self, nbytes):
+        """Return ``nbytes`` to the budget (peak is unaffected)."""
+        self.used_bytes = max(0, self.used_bytes - nbytes)
+
+
+class _Leaf:
+    __slots__ = ("entries",)
+
+    def __init__(self):
+        self.entries = []
+
+
+class _Interior:
+    __slots__ = ("children",)
+
+    def __init__(self):
+        self.children = {}
+
+
+class HashTree:
+    """A hash tree over fixed-length ``k`` itemsets (sorted item tuples)."""
+
+    def __init__(self, k, hash_mod=8, leaf_capacity=8, meter=None):
+        if k < 1:
+            raise ValueError("k must be >= 1, got %d" % k)
+        self.k = k
+        self.hash_mod = hash_mod
+        self.leaf_capacity = leaf_capacity
+        self.meter = meter if meter is not None else MemoryMeter()
+        self._root = _Leaf()
+        self.meter.add(NODE_BYTES)
+        self._length = 0
+        # Operation counters for the cost model.
+        self.node_visits = 0
+
+    def __len__(self):
+        return self._length
+
+    def _hash(self, item):
+        return item % self.hash_mod
+
+    def insert(self, itemset, count=0, value=0.0):
+        """Add a candidate ``k``-itemset (a sorted tuple of item ids)."""
+        if len(itemset) != self.k:
+            raise ValueError("expected a %d-itemset, got %r" % (self.k, itemset))
+        entry = [itemset, count, value]
+        self.meter.add(ENTRY_BASE_BYTES + ENTRY_ITEM_BYTES * self.k)
+        node = self._root
+        depth = 0
+        parent = None
+        parent_key = None
+        while isinstance(node, _Interior):
+            key = self._hash(itemset[depth])
+            parent, parent_key = node, key
+            child = node.children.get(key)
+            if child is None:
+                child = _Leaf()
+                self.meter.add(NODE_BYTES)
+                node.children[key] = child
+            node = child
+            depth += 1
+        node.entries.append(entry)
+        self._length += 1
+        if len(node.entries) > self.leaf_capacity and depth < self.k:
+            self._split(node, depth, parent, parent_key)
+
+    def _split(self, leaf, depth, parent, parent_key):
+        """Turn an overflowing leaf into an interior node of sub-leaves."""
+        interior = _Interior()
+        self.meter.add(NODE_BYTES)
+        for entry in leaf.entries:
+            key = self._hash(entry[0][depth])
+            child = interior.children.get(key)
+            if child is None:
+                child = _Leaf()
+                self.meter.add(NODE_BYTES)
+                interior.children[key] = child
+            child.entries.append(entry)
+        if parent is None:
+            self._root = interior
+        else:
+            parent.children[parent_key] = interior
+        self.meter.release(NODE_BYTES)  # the old leaf
+        # Recursively split any sub-leaf that is still too big.
+        if depth + 1 < self.k:
+            for key, child in list(interior.children.items()):
+                if len(child.entries) > self.leaf_capacity:
+                    self._split(child, depth + 1, interior, key)
+
+    def get(self, itemset):
+        """Return the ``[itemset, count, value]`` entry or ``None``."""
+        node = self._root
+        depth = 0
+        while isinstance(node, _Interior):
+            node = node.children.get(self._hash(itemset[depth]))
+            if node is None:
+                return None
+            depth += 1
+        for entry in node.entries:
+            if entry[0] == itemset:
+                return entry
+        return None
+
+    def count_subsets(self, transaction, measure=0.0):
+        """The Apriori *subset operation* (Figure 3.12).
+
+        ``transaction`` is a sorted tuple of item ids (one per attribute
+        of the tuple being counted).  Every stored candidate that is a
+        subset of the transaction gets its count incremented by one and
+        its value incremented by ``measure``.
+        """
+        self._count(self._root, transaction, 0, measure)
+
+    def _count(self, node, transaction, start, measure):
+        self.node_visits += 1
+        if isinstance(node, _Leaf):
+            for entry in node.entries:
+                if _is_subset(entry[0], transaction):
+                    entry[1] += 1
+                    entry[2] += measure
+            return
+        seen = set()
+        for i in range(start, len(transaction)):
+            key = self._hash(transaction[i])
+            if key in seen:
+                continue
+            seen.add(key)
+            child = node.children.get(key)
+            if child is not None:
+                self._count(child, transaction, i + 1, measure)
+
+    def items(self):
+        """All ``(itemset, count, value)`` triples, in unspecified order."""
+        out = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _Leaf):
+                out.extend((e[0], e[1], e[2]) for e in node.entries)
+            else:
+                stack.extend(node.children.values())
+        return out
+
+
+def _is_subset(candidate, transaction):
+    """Merge-test that sorted ``candidate`` is a subset of sorted ``transaction``."""
+    ti = 0
+    n = len(transaction)
+    for item in candidate:
+        while ti < n and transaction[ti] < item:
+            ti += 1
+        if ti >= n or transaction[ti] != item:
+            return False
+        ti += 1
+    return True

@@ -1,0 +1,191 @@
+"""Pugh skip lists — ASL's and POL's cuboid container (Section 3.3.1).
+
+The thesis keeps the cells of each cuboid in a skip list because it (a)
+behaves like a balanced tree for search/insert while staying simple, (b)
+has small per-node overhead, and (c) keeps cells sorted *incrementally*,
+so a cuboid can be built one tuple at a time and written out in order —
+which is also what makes it the right structure for online aggregation.
+
+This implementation is deterministic: level draws come from a seeded
+``random.Random``, capped at ``MAX_LEVEL`` = 16 forward links per node as
+in the thesis ("we allow no more than 16 forward links in each node").
+
+Cost accounting: the structure counts key comparisons and node visits so
+the simulated-cluster cost model can charge CPU time for them.  The per
+-comparison cost grows with key length at the call site (Figure 4.4's
+finding that ASL degrades with dimensionality comes from exactly this).
+"""
+
+import random
+
+MAX_LEVEL = 16
+_P = 0.5
+
+
+class _Node:
+    __slots__ = ("key", "count", "value", "forward")
+
+    def __init__(self, key, count, value, level):
+        self.key = key
+        self.count = count
+        self.value = value
+        self.forward = [None] * level
+
+
+class SkipList:
+    """A sorted map from cell keys (tuples) to ``(count, value)`` aggregates.
+
+    ``insert(key, measure)`` accumulates: the node's support count grows
+    by ``weight`` and its value by ``measure`` (SUM semantics, matching
+    the thesis' prototypical iceberg query).
+    """
+
+    def __init__(self, seed=0):
+        self._head = _Node(None, 0, 0.0, MAX_LEVEL)
+        self._level = 1
+        self._length = 0
+        self._rng = random.Random(seed)
+        # Operation counters for the cost model.
+        self.comparisons = 0
+        self.node_visits = 0
+
+    def __len__(self):
+        return self._length
+
+    def __iter__(self):
+        """Yield ``(key, count, value)`` in ascending key order."""
+        node = self._head.forward[0]
+        while node is not None:
+            yield node.key, node.count, node.value
+            node = node.forward[0]
+
+    def __contains__(self, key):
+        return self.get(key) is not None
+
+    def _random_level(self):
+        level = 1
+        while level < MAX_LEVEL and self._rng.random() < _P:
+            level += 1
+        return level
+
+    def _find_update(self, key):
+        """Walk towards ``key``, returning the per-level predecessors."""
+        update = [self._head] * MAX_LEVEL
+        node = self._head
+        visits = 0
+        comparisons = 0
+        for level in range(self._level - 1, -1, -1):
+            nxt = node.forward[level]
+            while nxt is not None:
+                comparisons += 1
+                if nxt.key < key:
+                    node = nxt
+                    visits += 1
+                    nxt = node.forward[level]
+                else:
+                    break
+            update[level] = node
+        self.comparisons += comparisons
+        self.node_visits += visits
+        return update
+
+    def insert(self, key, measure=0.0, count=1):
+        """Accumulate ``(count, measure)`` into the cell ``key``.
+
+        Returns ``True`` when a new node was created, ``False`` when an
+        existing cell was updated.
+        """
+        update = self._find_update(key)
+        candidate = update[0].forward[0]
+        if candidate is not None:
+            self.comparisons += 1
+            if candidate.key == key:
+                candidate.count += count
+                candidate.value += measure
+                return False
+        level = self._random_level()
+        if level > self._level:
+            self._level = level
+        node = _Node(key, count, measure, level)
+        for i in range(level):
+            node.forward[i] = update[i].forward[i]
+            update[i].forward[i] = node
+        self._length += 1
+        return True
+
+    def get(self, key):
+        """Return ``(count, value)`` for ``key`` or ``None`` if absent."""
+        update = self._find_update(key)
+        candidate = update[0].forward[0]
+        if candidate is not None:
+            self.comparisons += 1
+            if candidate.key == key:
+                return candidate.count, candidate.value
+        return None
+
+    def items(self):
+        """All ``(key, count, value)`` triples as a list, in key order."""
+        return list(self)
+
+    # ------------------------------------------------------------------
+    # cuboid operations used by ASL / POL
+    # ------------------------------------------------------------------
+    def aggregate_prefix(self, prefix_length):
+        """Prefix-reuse (subroutine ``prefix-reuse`` in Figure 3.8).
+
+        Because cells are sorted lexicographically, all cells sharing the
+        first ``prefix_length`` coordinates are contiguous; one ordered
+        scan aggregates them without building a new structure.  Yields
+        ``(prefix_key, count, value)`` in order.
+        """
+        current_key = None
+        count = 0
+        value = 0.0
+        for key, node_count, node_value in self:
+            prefix = key[:prefix_length]
+            if prefix != current_key:
+                if current_key is not None:
+                    yield current_key, count, value
+                current_key = prefix
+                count = 0
+                value = 0.0
+            count += node_count
+            value += node_value
+        if current_key is not None:
+            yield current_key, count, value
+
+    def project(self, positions, seed=0):
+        """Subset-create (subroutine ``subset-create`` in Figure 3.8).
+
+        Builds a new skip list whose keys keep only the coordinates at
+        ``positions``; counts and values of collapsed cells accumulate.
+        """
+        result = SkipList(seed=seed)
+        for key, count, value in self:
+            result.insert(tuple(key[i] for i in positions), measure=value, count=count)
+        return result
+
+    def split_ranges(self, boundaries):
+        """Keys partitioned by ``boundaries`` (POL's skip-list partitioning).
+
+        ``boundaries`` is an ascending list of keys; range ``i`` holds
+        cells ``< boundaries[i]`` (the last range is unbounded).  Returns
+        a list of ``len(boundaries) + 1`` item lists.
+        """
+        ranges = [[] for _ in range(len(boundaries) + 1)]
+        index = 0
+        for item in self:
+            key = item[0]
+            while index < len(boundaries) and key >= boundaries[index]:
+                index += 1
+            ranges[index].append(item)
+        return ranges
+
+    def merge(self, items):
+        """Insert pre-aggregated ``(key, count, value)`` triples.
+
+        POL workers that offloaded a task build a private skip list and
+        hand it to the owning processor, which merges it here.
+        """
+        for key, count, value in items:
+            self.insert(key, measure=value, count=count)

@@ -1,0 +1,62 @@
+"""Shared fixtures: small deterministic relations and the Gray et al.
+SALES example used throughout Chapter 2 of the thesis."""
+
+import pytest
+
+from repro.data import from_raw_rows, uniform_relation, zipf_relation
+
+#: Relation SALES from Figure 2.2 (Gray et al.), the thesis' running
+#: example: 18 tuples over Model/Year/Color with a Sales measure.
+SALES_ROWS = [
+    ("Chevy", 1990, "red", 5),
+    ("Chevy", 1990, "white", 87),
+    ("Chevy", 1990, "blue", 62),
+    ("Chevy", 1991, "red", 54),
+    ("Chevy", 1991, "white", 95),
+    ("Chevy", 1991, "blue", 49),
+    ("Chevy", 1992, "red", 31),
+    ("Chevy", 1992, "white", 54),
+    ("Chevy", 1992, "blue", 71),
+    ("Ford", 1990, "red", 64),
+    ("Ford", 1990, "white", 62),
+    ("Ford", 1990, "blue", 63),
+    ("Ford", 1991, "red", 52),
+    ("Ford", 1991, "white", 9),
+    ("Ford", 1991, "blue", 55),
+    ("Ford", 1992, "red", 27),
+    ("Ford", 1992, "white", 62),
+    ("Ford", 1992, "blue", 39),
+]
+
+
+@pytest.fixture
+def sales():
+    """The Figure 2.2 SALES relation, dictionary-encoded."""
+    return from_raw_rows(("Model", "Year", "Color"), [list(r) for r in SALES_ROWS],
+                         measure_index=3)
+
+
+@pytest.fixture
+def small_uniform():
+    """A 300-tuple, 4-dimension uniform relation."""
+    return uniform_relation(300, [4, 3, 5, 2], seed=42)
+
+
+@pytest.fixture
+def small_skewed():
+    """A 400-tuple, 4-dimension zipf-skewed relation."""
+    return zipf_relation(400, [8, 5, 6, 3], skew=1.0, seed=7)
+
+
+@pytest.fixture
+def example_relation(sales):
+    """Table 2.1's R: the iceberg-query running example."""
+    rows = [
+        ["Sony 25in TV", "Seattle", "Joe", 700],
+        ["JVC 21in TV", "Vancouver", "Fred", 400],
+        ["Sony 25in TV", "Seattle", "Sally", 700],
+        ["JVC 21in TV", "LA", "Sally", 400],
+        ["Sony 25in TV", "Seattle", "Bob", 700],
+        ["Panasonic Hi-Fi VCR", "Vancouver", "Tom", 250],
+    ]
+    return from_raw_rows(("Item", "Location", "Customer"), rows, measure_index=3)

@@ -1,0 +1,72 @@
+"""Algorithm AHT: subset-collapse reuse and collision sensitivity."""
+
+from repro.cluster import cluster1
+from repro.core.naive import naive_iceberg_cube
+from repro.data import dense_relation, uniform_relation
+from repro.parallel import AHT
+from repro.parallel.aht import SCRATCH, SUBSET_FIRST, SUBSET_PREV, _AhtWorkerState, choose_mode
+
+
+class FakeState(_AhtWorkerState):
+    def __init__(self, first_dims=None, prev_dims=None):
+        super().__init__(writer=None)
+        self.first_dims = first_dims
+        self.first_table = object() if first_dims else None
+        self.prev_dims = prev_dims
+        self.prev_table = object() if prev_dims else None
+
+
+class TestChooseMode:
+    def test_no_state_is_scratch(self):
+        assert choose_mode(("A",), None) == SCRATCH
+
+    def test_prefix_not_special_just_subset(self):
+        # Unlike ASL, AHT treats a prefix like any subset (Section 3.5.2).
+        state = FakeState(first_dims=("A", "B", "C"), prev_dims=("A", "B", "C"))
+        assert choose_mode(("A", "B"), state) == SUBSET_PREV
+
+    def test_subset_of_first_fallback(self):
+        state = FakeState(first_dims=("A", "C", "D"), prev_dims=("B", "C"))
+        assert choose_mode(("A", "D"), state) == SUBSET_FIRST
+
+    def test_scratch_when_no_subset(self):
+        state = FakeState(first_dims=("A", "B"), prev_dims=("B", "C"))
+        assert choose_mode(("D",), state) == SCRATCH
+
+
+class TestExecution:
+    def test_exact_result(self, small_skewed):
+        expected = naive_iceberg_cube(small_skewed, minsup=2)
+        run = AHT().run(small_skewed, minsup=2, cluster_spec=cluster1(4))
+        assert run.result.equals(expected), run.result.diff(expected)
+
+    def test_one_task_per_cuboid(self, small_uniform):
+        run = AHT().run(small_uniform, minsup=1, cluster_spec=cluster1(2))
+        assert len(run.simulation.schedule) == 2 ** len(small_uniform.dims) - 1
+
+    def test_bucket_factor_changes_cost_not_result(self, small_skewed):
+        tight = AHT(bucket_factor=0.05).run(small_skewed, minsup=2,
+                                            cluster_spec=cluster1(2))
+        roomy = AHT(bucket_factor=10.0).run(small_skewed, minsup=2,
+                                            cluster_spec=cluster1(2))
+        assert tight.result.equals(roomy.result)
+        # Fewer buckets -> more collisions -> more simulated time.
+        assert tight.makespan > roomy.makespan
+
+
+class TestCollisionSensitivity:
+    def test_sparse_hurts_more_than_dense(self):
+        n = 1200
+        dense = dense_relation(n, 4, cardinality=3, seed=1)
+        sparse = uniform_relation(n, [60, 50, 40, 30], seed=1)
+        dense_run = AHT().run(dense, minsup=2, cluster_spec=cluster1(4))
+        sparse_run = AHT().run(sparse, minsup=2, cluster_spec=cluster1(4))
+        # Normalize by a collision-free competitor to isolate AHT's
+        # sparseness penalty.
+        from repro.parallel import PT
+
+        dense_pt = PT().run(dense, minsup=2, cluster_spec=cluster1(4))
+        sparse_pt = PT().run(sparse, minsup=2, cluster_spec=cluster1(4))
+        aht_penalty = sparse_run.makespan / dense_run.makespan
+        pt_penalty = sparse_pt.makespan / dense_pt.makespan
+        assert aht_penalty > pt_penalty

@@ -1,0 +1,73 @@
+"""The hash-tree (Apriori) cube: correctness and the memory failure mode."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.apriori_cube import ItemIndex, apriori_iceberg_cube
+from repro.core.naive import naive_iceberg_cube
+from repro.data import Relation, uniform_relation
+from repro.errors import MemoryBudgetExceeded
+
+
+class TestItemIndex:
+    def test_items_partition_by_dimension(self, small_uniform):
+        index = ItemIndex(small_uniform, small_uniform.dims)
+        assert index.n_items == sum(
+            small_uniform.cardinality(d) for d in small_uniform.dims
+        )
+        for item in range(index.n_items):
+            d, value = index.decode(item)
+            assert 0 <= d < len(small_uniform.dims)
+
+    def test_transactions_are_sorted_one_item_per_dim(self, small_uniform):
+        index = ItemIndex(small_uniform, small_uniform.dims)
+        t = index.transaction(small_uniform.rows[0])
+        assert len(t) == len(small_uniform.dims)
+        assert list(t) == sorted(t)
+        assert [index.dim_of(i) for i in t] == list(range(len(small_uniform.dims)))
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("minsup", [1, 2, 5])
+    def test_matches_naive(self, small_skewed, minsup):
+        expected = naive_iceberg_cube(small_skewed, minsup=minsup)
+        got, _stats, _meter = apriori_iceberg_cube(small_skewed, minsup=minsup)
+        assert got.equals(expected), got.diff(expected)
+
+    def test_sales_example(self, sales):
+        got, _stats, _meter = apriori_iceberg_cube(sales, minsup=2)
+        assert got.equals(naive_iceberg_cube(sales, minsup=2))
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 2), st.integers(0, 2), st.integers(0, 2)),
+                 max_size=40),
+        st.integers(1, 3),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_naive(self, rows, minsup):
+        relation = Relation(("A", "B", "C"), rows, [1.0] * len(rows))
+        expected = naive_iceberg_cube(relation, minsup=minsup)
+        got, _stats, _meter = apriori_iceberg_cube(relation, minsup=minsup)
+        assert got.equals(expected)
+
+
+class TestMemoryFailure:
+    def test_blows_budget_on_sparse_low_minsup_input(self):
+        # The thesis' observed failure: breadth-first candidates over a
+        # big item universe exhaust memory before pruning can help.
+        rel = uniform_relation(1500, [40] * 6, seed=4)
+        with pytest.raises(MemoryBudgetExceeded):
+            apriori_iceberg_cube(rel, minsup=1, memory_budget=1_500_000)
+
+    def test_high_minsup_survives_where_low_fails(self):
+        rel = uniform_relation(800, [10] * 4, seed=4)
+        budget = 3_000_000
+        got, _stats, meter = apriori_iceberg_cube(rel, minsup=40, memory_budget=budget)
+        assert meter.peak_bytes <= budget
+        expected = naive_iceberg_cube(rel, minsup=40)
+        assert got.equals(expected)
+
+    def test_meter_reports_peak(self, small_uniform):
+        _got, _stats, meter = apriori_iceberg_cube(small_uniform, minsup=2)
+        assert meter.peak_bytes > 0

@@ -1,0 +1,96 @@
+"""The array-based (MOLAP) cube: dense wins, sparse refuses."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.arraycube import DenseArray, array_iceberg_cube
+from repro.core.naive import naive_iceberg_cube
+from repro.data import Relation, dense_relation, uniform_relation
+from repro.errors import PlanError
+
+
+class TestDenseArray:
+    def test_offsets_are_mixed_radix(self):
+        array = DenseArray((3, 4, 2))
+        assert array.size == 24
+        assert array.offset((0, 0, 0)) == 0
+        assert array.offset((0, 0, 1)) == 1
+        assert array.offset((0, 1, 0)) == 2
+        assert array.offset((1, 0, 0)) == 8
+        assert array.offset((2, 3, 1)) == 23
+
+    def test_add_and_cells_round_trip(self):
+        array = DenseArray((2, 3))
+        array.add((1, 2), 5.0)
+        array.add((1, 2), 3.0)
+        array.add((0, 0), 1.0)
+        assert sorted(array.cells()) == [((0, 0), 1, 1.0), ((1, 2), 2, 8.0)]
+
+    def test_marginalize_sums_out_an_axis(self):
+        array = DenseArray((2, 3))
+        for a in range(2):
+            for b in range(3):
+                array.add((a, b), float(10 * a + b))
+        by_b = array.marginalize(0)
+        assert by_b.shape == (3,)
+        assert by_b.counts == [2, 2, 2]
+        assert by_b.sums == [0.0 + 10.0, 1.0 + 11.0, 2.0 + 12.0]
+        by_a = array.marginalize(1)
+        assert by_a.shape == (2,)
+        assert by_a.counts == [3, 3]
+
+    @given(st.lists(st.tuples(st.integers(0, 2), st.integers(0, 3), st.integers(0, 1)),
+                    max_size=60), st.integers(0, 2))
+    @settings(max_examples=40, deadline=None)
+    def test_marginalize_matches_dict_groupby(self, keys, axis):
+        array = DenseArray((3, 4, 2))
+        expected = {}
+        for key in keys:
+            array.add(key, 1.0)
+            small = key[:axis] + key[axis + 1 :]
+            count, value = expected.get(small, (0, 0.0))
+            expected[small] = (count + 1, value + 1.0)
+        got = {key: (c, v) for key, c, v in array.marginalize(axis).cells()}
+        assert got == expected
+
+
+class TestArrayCube:
+    @pytest.mark.parametrize("minsup", [1, 2, 8])
+    def test_matches_naive_on_dense_data(self, minsup):
+        rel = dense_relation(800, 3, cardinality=4, seed=6)
+        expected = naive_iceberg_cube(rel, minsup=minsup)
+        got, _stats = array_iceberg_cube(rel, minsup=minsup)
+        assert got.equals(expected), got.diff(expected)
+
+    def test_sales_example(self, sales):
+        got, _stats = array_iceberg_cube(sales)
+        assert got.equals(naive_iceberg_cube(sales))
+
+    def test_refuses_sparse_cell_spaces(self):
+        rel = uniform_relation(100, [1000, 1000, 1000], seed=1)
+        with pytest.raises(PlanError) as excinfo:
+            array_iceberg_cube(rel)
+        assert "infeasible" in str(excinfo.value)
+
+    def test_max_cells_is_configurable(self):
+        rel = uniform_relation(50, [10, 10], seed=1)
+        array_iceberg_cube(rel, max_cells=100)  # exactly at the limit
+        with pytest.raises(PlanError):
+            array_iceberg_cube(rel, max_cells=99)
+
+    def test_memory_footprint_recorded(self):
+        rel = dense_relation(300, 3, cardinality=4, seed=2)
+        _got, stats = array_iceberg_cube(rel)
+        assert stats.peak_items >= 4 ** 3
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 2), st.integers(0, 2)), max_size=40),
+        st.integers(1, 3),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_matches_naive(self, rows, minsup):
+        relation = Relation(("A", "B"), rows, [1.0] * len(rows))
+        expected = naive_iceberg_cube(relation, minsup=minsup)
+        got, _stats = array_iceberg_cube(relation, minsup=minsup)
+        assert got.equals(expected)

@@ -1,0 +1,89 @@
+"""Algorithm ASL: cuboid tasks, affinity scheduling, skip-list reuse."""
+
+from repro.cluster import cluster1
+from repro.core.naive import naive_iceberg_cube
+from repro.parallel import ASL
+from repro.parallel.asl import (
+    PREFIX_FIRST,
+    PREFIX_PREV,
+    SCRATCH,
+    SUBSET_FIRST,
+    SUBSET_PREV,
+    _AslWorkerState,
+    choose_mode,
+)
+
+
+class FakeState(_AslWorkerState):
+    def __init__(self, first_dims=None, prev_dims=None):
+        super().__init__(writer=None, seed=0)
+        self.first_dims = first_dims
+        self.first_list = object() if first_dims else None
+        self.prev_dims = prev_dims
+        self.prev_list = object() if prev_dims else None
+
+
+class TestChooseMode:
+    def test_no_state_is_scratch(self):
+        assert choose_mode(("A",), None) == SCRATCH
+
+    def test_prefix_of_previous_preferred(self):
+        state = FakeState(first_dims=("A", "B", "C", "D"), prev_dims=("A", "B", "C"))
+        assert choose_mode(("A", "B"), state) == PREFIX_PREV
+
+    def test_prefix_of_first_when_prev_mismatches(self):
+        state = FakeState(first_dims=("A", "B", "C"), prev_dims=("B", "C"))
+        assert choose_mode(("A", "B"), state) == PREFIX_FIRST
+
+    def test_subset_of_previous(self):
+        state = FakeState(first_dims=("B", "C", "D"), prev_dims=("A", "C", "D"))
+        assert choose_mode(("A", "D"), state) == SUBSET_PREV
+
+    def test_subset_of_first(self):
+        state = FakeState(first_dims=("A", "C", "D"), prev_dims=("B", "C"))
+        assert choose_mode(("A", "D"), state) == SUBSET_FIRST
+
+    def test_no_affinity_is_scratch(self):
+        state = FakeState(first_dims=("A", "B"), prev_dims=("B", "C"))
+        assert choose_mode(("D",), state) == SCRATCH
+
+
+class TestScheduling:
+    def test_one_task_per_cuboid(self, small_uniform):
+        run = ASL().run(small_uniform, minsup=1, cluster_spec=cluster1(2))
+        d = len(small_uniform.dims)
+        assert len(run.simulation.schedule) == 2 ** d - 1
+
+    def test_first_task_is_the_full_cuboid(self, small_uniform):
+        run = ASL().run(small_uniform, minsup=1, cluster_spec=cluster1(2))
+        assert run.simulation.schedule[0].label == "".join(small_uniform.dims)
+
+    def test_load_balance_is_tight(self, small_skewed):
+        run = ASL().run(small_skewed, minsup=2, cluster_spec=cluster1(4))
+        assert run.simulation.load_imbalance() < 1.3
+
+    def test_restricted_cuboids(self, small_uniform):
+        targets = [("A", "B"), ("C",)]
+        run = ASL(cuboids=targets).run(small_uniform, minsup=1,
+                                       cluster_spec=cluster1(2))
+        produced = set(run.result.cuboids) - {()}
+        assert produced == {("A", "B"), ("C",)}
+        expected = naive_iceberg_cube(small_uniform, minsup=1)
+        for cuboid in produced:
+            assert run.result.cuboids[cuboid] == expected.cuboids[cuboid]
+
+
+class TestAffinityAblation:
+    def test_affinity_reduces_work(self, small_skewed):
+        with_affinity = ASL().run(small_skewed, minsup=2, cluster_spec=cluster1(4))
+        without = ASL(affinity=False).run(small_skewed, minsup=2,
+                                          cluster_spec=cluster1(4))
+        assert with_affinity.result.equals(without.result)
+        assert with_affinity.makespan < without.makespan
+
+    def test_no_pruning_cells_kept_until_write(self, small_skewed):
+        # ASL computes full cuboids and filters at write time: output at
+        # minsup=5 is the minsup=1 output filtered.
+        loose = ASL().run(small_skewed, minsup=1, cluster_spec=cluster1(2))
+        tight = ASL().run(small_skewed, minsup=5, cluster_spec=cluster1(2))
+        assert tight.result.equals(loose.result.filtered(5))

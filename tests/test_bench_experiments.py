@@ -1,0 +1,79 @@
+"""Fast sanity tests for the experiment registry (full runs live in
+``benchmarks/``; these check structure and the cheap experiments)."""
+
+from repro.bench import ALL_ABLATIONS, ALL_EXPERIMENTS, ALL_EXTENSIONS
+from repro.bench.experiments import (
+    fig_4_7_recipe,
+    table_1_1_features,
+    table_5_1_task_array,
+)
+
+
+class TestRegistry:
+    def test_every_paper_artifact_has_an_experiment(self):
+        ids = {fn.__name__ for fn in ALL_EXPERIMENTS}
+        expected = {
+            "table_1_1_features",
+            "fig_3_6_io_writing",
+            "fig_4_1_load_balance",
+            "fig_4_2_scalability",
+            "fig_4_3_problem_size",
+            "fig_4_4_dimensions",
+            "fig_4_5_minsup",
+            "fig_4_6_sparseness",
+            "fig_4_7_recipe",
+            "table_5_1_task_array",
+            "sec_5_1_materialization",
+            "fig_5_3_pol_scalability",
+            "fig_5_4_pol_buffer",
+        }
+        assert ids == expected
+
+    def test_ablations_and_extensions_registered(self):
+        assert len(ALL_ABLATIONS) == 6
+        assert len(ALL_EXTENSIONS) == 5
+
+    def test_all_experiments_documented(self):
+        for fn in ALL_EXPERIMENTS + ALL_ABLATIONS + ALL_EXTENSIONS:
+            assert fn.__doc__, fn.__name__
+
+
+class TestCheapExperiments:
+    def test_table_1_1(self):
+        result = table_1_1_features()
+        assert result.passed
+        assert len(result.rows) == 5
+
+    def test_fig_4_7(self):
+        result = fig_4_7_recipe()
+        assert result.passed
+        assert len(result.rows) == 6
+
+    def test_table_5_1_larger_cluster(self):
+        result = table_5_1_task_array(n_processors=6)
+        assert result.passed
+        assert len(result.rows) == 6
+        assert len(result.rows[0]) == 7  # processor + 6 tasks
+
+    def test_small_scale_sec_5_1(self):
+        from repro.bench.experiments import sec_5_1_materialization
+
+        result = sec_5_1_materialization(n_tuples=800, n_dims=4, n_processors=2)
+        result.assert_checks()
+
+
+class TestBenchmarkCoverage:
+    def test_every_experiment_has_a_benchmark_file_and_vice_versa(self):
+        import pathlib
+        import re
+
+        registry = {
+            fn.__name__ for fn in ALL_EXPERIMENTS + ALL_ABLATIONS + ALL_EXTENSIONS
+        }
+        bench_dir = pathlib.Path(__file__).parent.parent / "benchmarks"
+        used = set()
+        for path in bench_dir.glob("test_*.py"):
+            for name in re.findall(r"from repro\.bench\.\w+ import (\w+)",
+                                   path.read_text()):
+                used.add(name)
+        assert registry == used

@@ -1,0 +1,66 @@
+"""The experiment harness: tables, checks, scaling knob."""
+
+import pytest
+
+from repro.bench.harness import Check, ExperimentResult, bench_scale, scaled
+
+
+class TestExperimentResult:
+    def make(self):
+        r = ExperimentResult("Fig X", "a title", ["k", "v"], [["a", 1.0], ["b", 2.5]])
+        return r
+
+    def test_checks_accumulate(self):
+        r = self.make()
+        r.check("good", True).check("bad", False, "detail")
+        assert not r.passed
+        assert [c.name for c in r.failures()] == ["bad"]
+
+    def test_assert_checks_raises_with_detail(self):
+        r = self.make().check("broken", False, "numbers differ")
+        with pytest.raises(AssertionError) as excinfo:
+            r.assert_checks()
+        assert "broken" in str(excinfo.value)
+        assert "numbers differ" in str(excinfo.value)
+
+    def test_assert_checks_passes_quietly(self):
+        self.make().check("fine", True).assert_checks()
+
+    def test_format_table_contains_everything(self):
+        r = self.make()
+        r.notes = "a note"
+        r.check("fine", True, "why")
+        text = r.format_table()
+        assert "Fig X" in text and "a title" in text
+        assert "a" in text and "2.500" in text
+        assert "a note" in text
+        assert "[PASS] fine" in text
+
+    def test_small_floats_rendered_scientific(self):
+        r = ExperimentResult("F", "t", ["v"], [[1e-6]])
+        assert "e-06" in r.format_table()
+
+    def test_report_prints(self, capsys):
+        self.make().report()
+        assert "Fig X" in capsys.readouterr().out
+
+
+class TestScaling:
+    def test_default_scale(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench_scale() == 0.05
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.5")
+        assert bench_scale() == 0.5
+        assert scaled(1000) == 500
+
+    def test_scaled_floor(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.0001")
+        assert scaled(1000, minimum=7) == 7
+
+
+class TestCheck:
+    def test_repr(self):
+        assert "PASS" in repr(Check("x", True))
+        assert "FAIL" in repr(Check("x", False))

@@ -1,0 +1,71 @@
+"""Algorithm BPP: per-attribute range partitioning, partial cuboids."""
+
+from repro.cluster import cluster1
+from repro.core.naive import naive_iceberg_cube
+from repro.data import zipf_relation
+from repro.parallel import BPP
+
+
+class TestChunkPlanning:
+    def test_chunks_per_dimension_equal_processor_count(self, small_uniform):
+        bpp = BPP()
+        chunks = bpp.plan_chunks(small_uniform, small_uniform.dims, 3)
+        assert set(chunks) == set(small_uniform.dims)
+        assert all(len(parts) == 3 for parts in chunks.values())
+
+    def test_chunks_partition_every_dimension(self, small_uniform):
+        chunks = BPP().plan_chunks(small_uniform, small_uniform.dims, 4)
+        for dim, parts in chunks.items():
+            assert sum(len(p) for p in parts) == len(small_uniform)
+
+    def test_chunk_code_ranges_disjoint(self, small_uniform):
+        chunks = BPP().plan_chunks(small_uniform, small_uniform.dims, 2)
+        for dim, parts in chunks.items():
+            index = small_uniform.dim_index(dim)
+            lows = {row[index] for row in parts[0].rows}
+            highs = {row[index] for row in parts[1].rows}
+            assert not (lows & highs)
+            if lows and highs:
+                assert max(lows) < min(highs)
+
+    def test_skew_produces_uneven_chunks(self):
+        rel = zipf_relation(2000, [40, 30], skew=1.3, seed=1)
+        chunks = BPP().plan_chunks(rel, rel.dims, 4)
+        sizes = sorted(len(p) for p in chunks["A"])
+        assert sizes[-1] > 3 * max(1, sizes[0])
+
+
+class TestExecution:
+    def test_partial_cuboids_merge_to_exact_result(self, small_skewed):
+        expected = naive_iceberg_cube(small_skewed, minsup=2)
+        run = BPP().run(small_skewed, minsup=2, cluster_spec=cluster1(3))
+        assert run.result.equals(expected), run.result.diff(expected)
+
+    def test_every_processor_gets_m_tasks(self, small_uniform):
+        run = BPP().run(small_uniform, minsup=1, cluster_spec=cluster1(3))
+        m = len(small_uniform.dims)
+        counts = {}
+        for entry in run.simulation.schedule:
+            counts[entry.processor] = counts.get(entry.processor, 0) + 1
+        assert all(c == m for c in counts.values())
+
+    def test_minsup_applies_within_chunks_correctly(self):
+        # A cell's tuples all land in one chunk (cells of T_Ai contain
+        # Ai), so per-chunk counting is exact even at chunk boundaries.
+        rel = zipf_relation(600, [8, 5, 4], skew=1.0, seed=3)
+        expected = naive_iceberg_cube(rel, minsup=3)
+        run = BPP().run(rel, minsup=3, cluster_spec=cluster1(4))
+        assert run.result.equals(expected)
+
+    def test_partitioning_cost_optional(self, small_uniform):
+        cheap = BPP().run(small_uniform, minsup=1, cluster_spec=cluster1(2))
+        charged = BPP(include_partitioning_cost=True).run(
+            small_uniform, minsup=1, cluster_spec=cluster1(2)
+        )
+        assert charged.makespan > cheap.makespan
+        assert charged.result.equals(cheap.result)
+
+    def test_skewed_data_imbalances_static_chunks(self):
+        rel = zipf_relation(3000, [50, 40, 30], skew=1.2, seed=5)
+        run = BPP().run(rel, minsup=2, cluster_spec=cluster1(8))
+        assert run.simulation.load_imbalance() > 1.5

@@ -1,0 +1,195 @@
+"""BUC: correctness vs the oracle, pruning, write order, prefix cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.buc import BucEngine, PrefixCache, buc_iceberg_cube
+from repro.core.naive import naive_iceberg_cube
+from repro.core.writer import ResultWriter
+from repro.data import Relation, uniform_relation, zipf_relation
+from repro.errors import PlanError
+from repro.lattice import ProcessingTree, SubtreeTask
+
+RELATIONS = st.builds(
+    lambda rows: Relation(("A", "B", "C"), rows, [1.0] * len(rows)),
+    st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3), st.integers(0, 3)),
+             max_size=60),
+)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("minsup", [1, 2, 3, 10])
+    @pytest.mark.parametrize("breadth_first", [False, True])
+    def test_matches_naive(self, small_skewed, minsup, breadth_first):
+        expected = naive_iceberg_cube(small_skewed, minsup=minsup)
+        got, _stats, _writer = buc_iceberg_cube(
+            small_skewed, minsup=minsup, breadth_first=breadth_first
+        )
+        assert got.equals(expected), got.diff(expected)
+
+    def test_sales_example(self, sales):
+        got, _stats, _writer = buc_iceberg_cube(sales)
+        assert got.equals(naive_iceberg_cube(sales))
+
+    def test_empty_relation(self):
+        rel = Relation(("A", "B"), [])
+        got, _stats, _writer = buc_iceberg_cube(rel, minsup=1)
+        assert got.total_cells() == 0
+
+    def test_all_node_respects_minsup(self):
+        rel = Relation(("A",), [(0,), (1,)])
+        got, _, _ = buc_iceberg_cube(rel, minsup=3)
+        assert got.cuboid(()) == {}
+
+    @given(RELATIONS, st.integers(1, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_naive(self, relation, minsup):
+        expected = naive_iceberg_cube(relation, minsup=minsup)
+        got, _stats, _writer = buc_iceberg_cube(relation, minsup=minsup)
+        assert got.equals(expected)
+
+    @given(RELATIONS, st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_property_breadth_first_identical_cells(self, relation, minsup):
+        df, _, _ = buc_iceberg_cube(relation, minsup=minsup, breadth_first=False)
+        bf, _, _ = buc_iceberg_cube(relation, minsup=minsup, breadth_first=True)
+        assert df.equals(bf)
+
+
+class TestWriteOrder:
+    def test_depth_first_scatters_breadth_first_does_not(self, small_skewed):
+        _, _, df = buc_iceberg_cube(small_skewed, minsup=1, breadth_first=False)
+        _, _, bf = buc_iceberg_cube(small_skewed, minsup=1, breadth_first=True)
+        assert df.cells_written == bf.cells_written
+        assert df.cuboid_switches > 5 * bf.cuboid_switches
+
+    def test_breadth_first_switches_bounded_by_cuboids(self, small_skewed):
+        _, _, bf = buc_iceberg_cube(small_skewed, minsup=1, breadth_first=True)
+        assert bf.cuboid_switches <= 2 ** len(small_skewed.dims)
+
+
+class TestPruning:
+    def test_higher_minsup_means_less_work(self, small_skewed):
+        _, loose, _ = buc_iceberg_cube(small_skewed, minsup=1)
+        _, tight, _ = buc_iceberg_cube(small_skewed, minsup=8)
+        assert tight.sort_units < loose.sort_units
+        assert tight.scan_tuples < loose.scan_tuples
+
+    def test_pruned_cells_never_written(self, small_skewed):
+        got, _, _ = buc_iceberg_cube(small_skewed, minsup=5)
+        for cells in got.cuboids.values():
+            assert all(count >= 5 for count, _value in cells.values())
+
+
+class TestTasks:
+    def test_subtree_task_computes_only_its_nodes(self, small_uniform):
+        dims = small_uniform.dims
+        writer = ResultWriter(dims)
+        engine = BucEngine(small_uniform, dims, 1, writer)
+        task = SubtreeTask((dims[1],))
+        engine.run_task(task, breadth_first=True)
+        tree = ProcessingTree(dims)
+        assert set(writer.result.cuboids) == set(task.nodes(tree))
+
+    def test_chopped_task_skips_branches(self, small_uniform):
+        dims = small_uniform.dims
+        writer = ResultWriter(dims)
+        engine = BucEngine(small_uniform, dims, 1, writer)
+        task = SubtreeTask((dims[0],), skipped=((dims[0], dims[1]),))
+        engine.run_task(task, breadth_first=True)
+        assert (dims[0], dims[1]) not in writer.result.cuboids
+        assert (dims[0],) in writer.result.cuboids
+
+    def test_tasks_union_to_full_cube(self, small_skewed):
+        from repro.lattice import binary_divide
+
+        dims = small_skewed.dims
+        tree = ProcessingTree(dims)
+        expected = naive_iceberg_cube(small_skewed, minsup=2)
+        writer = ResultWriter(dims)
+        engine = BucEngine(small_skewed, dims, 2, writer)
+        for task in binary_divide(tree, 6):
+            engine.run_task(task, breadth_first=True)
+        writer.result.add_cell((), (), len(small_skewed), sum(small_skewed.measures))
+        assert writer.result.equals(expected)
+
+    def test_run_task_requires_subtree_task(self, small_uniform):
+        engine = BucEngine(small_uniform, small_uniform.dims, 1,
+                           ResultWriter(small_uniform.dims))
+        with pytest.raises(PlanError):
+            engine.run_task(("A",), breadth_first=True)
+
+
+class TestCountingSort:
+    @pytest.mark.parametrize("minsup", [1, 2, 5])
+    @pytest.mark.parametrize("breadth_first", [False, True])
+    def test_counting_sort_identical_results(self, small_skewed, minsup,
+                                             breadth_first):
+        baseline, _s1, _w1 = buc_iceberg_cube(small_skewed, minsup=minsup,
+                                              breadth_first=breadth_first)
+        counting, _s2, _w2 = buc_iceberg_cube(small_skewed, minsup=minsup,
+                                              breadth_first=breadth_first,
+                                              counting_sort=True)
+        assert counting.equals(baseline)
+
+    def test_counting_sort_replaces_comparisons_with_moves(self, small_skewed):
+        _r1, comparison, _w1 = buc_iceberg_cube(small_skewed, minsup=2)
+        _r2, counting, _w2 = buc_iceberg_cube(small_skewed, minsup=2,
+                                              counting_sort=True)
+        assert counting.sort_units < comparison.sort_units
+        assert counting.partition_moves > comparison.partition_moves
+
+    @given(RELATIONS, st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_property_counting_sort_matches_naive(self, relation, minsup):
+        expected = naive_iceberg_cube(relation, minsup=minsup)
+        got, _stats, _writer = buc_iceberg_cube(relation, minsup=minsup,
+                                                counting_sort=True)
+        assert got.equals(expected)
+
+
+class TestPrefixCache:
+    def test_shared_depth(self):
+        cache = PrefixCache()
+        cache.path = [("A", []), ("B", [])]
+        assert cache.shared_depth(("A", "B", "C")) == 2
+        assert cache.shared_depth(("A", "C")) == 1
+        assert cache.shared_depth(("B",)) == 0
+
+    def test_cached_runs_produce_identical_results(self):
+        rel = zipf_relation(300, [5, 4, 3, 3], skew=0.8, seed=3)
+        dims = rel.dims
+        tree = ProcessingTree(dims)
+        tasks = [
+            SubtreeTask(("A", "B")),
+            SubtreeTask(("A", "C")),
+            SubtreeTask(("A", "B", "C")),
+            SubtreeTask(("B",)),
+        ]
+        plain_writer = ResultWriter(dims)
+        plain = BucEngine(rel, dims, 2, plain_writer)
+        for task in tasks:
+            plain.run_task(task, breadth_first=True)
+        cached_writer = ResultWriter(dims)
+        cached = BucEngine(rel, dims, 2, cached_writer)
+        cache = PrefixCache()
+        for task in tasks:
+            cached.run_task(task, breadth_first=True, cache=cache)
+        assert cached_writer.result.equals(plain_writer.result)
+
+    def test_cache_reduces_sort_work(self):
+        rel = uniform_relation(600, [6, 5, 4, 3], seed=9)
+        dims = rel.dims
+        tasks = [SubtreeTask(("A", "B")), SubtreeTask(("A", "C")),
+                 SubtreeTask(("A", "B", "C"))]
+
+        def total_sort(use_cache):
+            writer = ResultWriter(dims)
+            engine = BucEngine(rel, dims, 1, writer)
+            cache = PrefixCache() if use_cache else None
+            for task in tasks:
+                engine.run_task(task, breadth_first=True, cache=cache)
+            return engine.stats.sort_units
+
+        assert total_sort(True) < total_sort(False)

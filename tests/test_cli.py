@@ -1,0 +1,142 @@
+"""The repro-cube command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.export import load_cube
+from repro.data import from_raw_rows, save_csv
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture
+def sales_csv(tmp_path):
+    rows = [
+        ["Sony", "TV", "Seattle", 700],
+        ["Sony", "TV", "Seattle", 700],
+        ["JVC", "TV", "Vancouver", 400],
+        ["Sony", "VCR", "Seattle", 250],
+        ["JVC", "TV", "Vancouver", 400],
+    ]
+    relation = from_raw_rows(("brand", "item", "city"), rows, measure_index=3)
+    path = tmp_path / "sales.csv"
+    save_csv(relation, path)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_input_source_is_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["cube", "--csv", "x.csv", "--weather", "100"]
+            )
+
+
+class TestCube:
+    def test_cube_from_csv(self, sales_csv):
+        code, output = run_cli(["cube", "--csv", sales_csv, "--minsup", "2",
+                                "--algorithm", "pt", "--processors", "2"])
+        assert code == 0
+        assert "qualifying cells" in output
+        assert "COUNT(*) >= 2" in output
+
+    def test_cube_synthetic_weather(self):
+        code, output = run_cli(["cube", "--weather", "500", "--dims", "3",
+                                "--minsup", "2"])
+        assert code == 0
+        assert "PT" in output
+
+    def test_cube_export(self, sales_csv, tmp_path):
+        target = tmp_path / "out"
+        code, output = run_cli(["cube", "--csv", sales_csv, "--export", str(target)])
+        assert code == 0
+        loaded = load_cube(target)
+        assert loaded.total_cells() > 0
+
+    @pytest.mark.parametrize("algo", ["rp", "bpp", "asl", "aht"])
+    def test_every_algorithm_accessible(self, sales_csv, algo):
+        code, output = run_cli(["cube", "--csv", sales_csv, "--algorithm", algo])
+        assert code == 0
+        assert algo.upper() in output
+
+
+class TestQuery:
+    def test_count_query(self, sales_csv):
+        code, output = run_cli(["query", "--csv", sales_csv,
+                                "--group-by", "brand,city", "--minsup", "2",
+                                "--aggregate", "count"])
+        assert code == 0
+        assert "Sony / Seattle" in output
+        assert "JVC / Vancouver" in output
+
+    def test_sum_threshold_query(self, sales_csv):
+        code, output = run_cli(["query", "--csv", sales_csv,
+                                "--group-by", "brand", "--min-sum", "1500"])
+        assert code == 0
+        assert "SUM(measure) >= 1500" in output
+        assert "Sony" in output
+        assert "JVC" not in output.split("HAVING")[1]
+
+    def test_limit_truncates(self, sales_csv):
+        code, output = run_cli(["query", "--csv", sales_csv,
+                                "--group-by", "brand,item,city", "--limit", "1"])
+        assert code == 0
+        assert "more cells" in output
+
+    def test_bad_dimension_is_a_clean_error(self, sales_csv):
+        code, output = run_cli(["query", "--csv", sales_csv, "--group-by", "nope"])
+        assert code == 2
+        assert "error:" in output
+
+
+class TestRecipeAndBench:
+    def test_recipe(self, sales_csv):
+        code, output = run_cli(["recipe", "--csv", sales_csv])
+        assert code == 0
+        assert "recommended:" in output
+
+    def test_bench_lists_experiments(self):
+        code, output = run_cli(["bench"])
+        assert code == 0
+        assert "fig_4_2_scalability" in output
+        assert "ablation_counting_sort" in output
+
+    def test_bench_unknown_experiment(self):
+        code, output = run_cli(["bench", "nonexistent"])
+        assert code == 2
+
+    def test_bench_runs_cheap_experiment(self):
+        code, output = run_cli(["bench", "table_1_1_features"])
+        assert code == 0
+        assert "Table 1.1" in output
+        assert "[PASS]" in output
+
+
+class TestMoreCubePaths:
+    def test_named_weather_dims(self):
+        code, output = run_cli(["cube", "--weather", "400",
+                                "--dims", "precip_code,hour", "--minsup", "2"])
+        assert code == 0
+        assert "precip_code, hour" in output
+
+    def test_cluster_choices(self, sales_csv):
+        for cluster in ("cluster2", "cluster3", "paper"):
+            code, output = run_cli(["cube", "--csv", sales_csv,
+                                    "--cluster", cluster, "--processors", "3"])
+            assert code == 0, cluster
+
+    def test_combined_count_and_sum_threshold(self, sales_csv):
+        code, output = run_cli(["cube", "--csv", sales_csv,
+                                "--minsup", "2", "--min-sum", "500"])
+        assert code == 0
+        assert "COUNT(*) >= 2 AND SUM(measure) >= 500" in output

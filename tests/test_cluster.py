@@ -1,0 +1,203 @@
+"""Cluster specs, cost model, and the scheduling simulator."""
+
+import pytest
+
+from repro.cluster import (
+    ETHERNET_100,
+    MYRINET,
+    PII_266,
+    PIII_500,
+    Cluster,
+    ClusterSpec,
+    CostModel,
+    DiskSpec,
+    TaskExecution,
+    cluster1,
+    cluster2,
+    cluster3,
+    homogeneous,
+    paper_cluster,
+    run_dynamic,
+    run_static,
+)
+from repro.core.stats import OpStats
+from repro.errors import ClusterError
+
+
+class TestSpecs:
+    def test_machine_speed_relative_to_reference(self):
+        assert PIII_500.speed == 1.0
+        assert 0.5 < PII_266.speed < 0.6
+
+    def test_paper_clusters(self):
+        assert len(cluster1()) == 8
+        assert cluster1().machines[0] is PIII_500
+        assert cluster2().machines[0] is PII_266
+        assert cluster3().network is MYRINET
+        full = paper_cluster()
+        assert len(full) == 16
+        assert full.machines[0] is PIII_500 and full.machines[-1] is PII_266
+
+    def test_myrinet_roughly_3x_ethernet(self):
+        assert 2.5 < (
+            ETHERNET_100.transfer_seconds(10_000_000)
+            / MYRINET.transfer_seconds(10_000_000)
+        ) < 3.5
+
+    def test_network_transfer_includes_latency(self):
+        assert ETHERNET_100.transfer_seconds(0, messages=10) == pytest.approx(
+            10 * ETHERNET_100.latency_s
+        )
+
+    def test_disk_write_charges_scatter(self):
+        disk = DiskSpec()
+        sequential = disk.write_seconds(1_000_000, switches=0)
+        scattered = disk.write_seconds(1_000_000, switches=1000)
+        assert scattered > sequential
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ClusterError):
+            ClusterSpec([])
+
+
+class TestCostModel:
+    def test_cpu_seconds_scale_inversely_with_speed(self):
+        model = CostModel()
+        stats = OpStats()
+        stats.add_scan(1_000_000)
+        fast = model.cpu_seconds(stats, PIII_500)
+        slow = model.cpu_seconds(stats, PII_266)
+        assert slow == pytest.approx(fast / PII_266.speed)
+
+    def test_empty_stats_cost_nothing(self):
+        assert CostModel().cpu_seconds(OpStats(), PIII_500) == 0.0
+
+
+def make_cluster(n=4):
+    return Cluster(homogeneous(n), CostModel())
+
+
+def execution(label, scan=1000, **kwargs):
+    stats = OpStats()
+    stats.add_scan(scan)
+    return TaskExecution(label, stats, **kwargs)
+
+
+class TestCharging:
+    def test_charge_advances_clock_and_breakdown(self):
+        cluster = make_cluster(1)
+        proc = cluster.processors[0]
+        entry = cluster.charge(
+            proc,
+            execution("t", scan=1_000_000, bytes_written=1_000_000, switches=10,
+                      comm_bytes=500_000, comm_messages=2),
+        )
+        assert proc.clock == pytest.approx(proc.busy_time)
+        assert proc.cpu_time > 0 and proc.io_time > 0 and proc.comm_time > 0
+        assert entry.end > entry.start == 0.0
+
+    def test_reset_clears_state(self):
+        cluster = make_cluster(2)
+        cluster.charge(cluster.processors[0], execution("t"))
+        cluster.reset()
+        assert all(p.clock == 0.0 for p in cluster.processors)
+
+
+class TestStaticScheduling:
+    def test_tasks_run_on_assigned_processors(self):
+        cluster = make_cluster(2)
+        result = run_static(
+            cluster,
+            [(0, "a"), (1, "b"), (0, "c")],
+            lambda proc, task: execution(task),
+        )
+        assert cluster.processors[0].tasks_run == 2
+        assert cluster.processors[1].tasks_run == 1
+        assert [e.label for e in result.schedule] == ["a", "b", "c"]
+
+    def test_out_of_range_processor_rejected(self):
+        cluster = make_cluster(2)
+        with pytest.raises(ClusterError):
+            run_static(cluster, [(5, "a")], lambda p, t: execution(t))
+
+    def test_makespan_is_slowest_processor(self):
+        cluster = make_cluster(2)
+        result = run_static(
+            cluster,
+            [(0, "big"), (1, "small")],
+            lambda proc, task: execution(task, scan=10_000_000 if task == "big" else 10),
+        )
+        assert result.makespan == pytest.approx(cluster.processors[0].clock)
+        assert result.load_imbalance() > 1.5
+
+
+class TestDynamicScheduling:
+    def test_demand_scheduling_balances_uneven_tasks(self):
+        cluster = make_cluster(2)
+        sizes = [9, 1, 1, 1, 1, 1, 1, 1, 1, 1]  # total 18, balanced split = 9/9
+        tasks = list(range(len(sizes)))
+        result = run_dynamic(
+            cluster,
+            tasks,
+            lambda proc, pending: pending[0],
+            lambda proc, task: execution(str(task), scan=sizes[task] * 100_000),
+        )
+        assert result.load_imbalance() < 1.2
+
+    def test_policy_sees_worker_and_pending(self):
+        cluster = make_cluster(2)
+        seen = []
+
+        def select(proc, pending):
+            seen.append((proc.index, tuple(pending)))
+            return pending[-1]
+
+        run_dynamic(cluster, ["a", "b"], select,
+                    lambda proc, task: execution(task))
+        assert seen[0] == (0, ("a", "b"))
+
+    def test_deterministic_given_same_inputs(self):
+        def run_once():
+            cluster = make_cluster(3)
+            result = run_dynamic(
+                cluster,
+                list(range(12)),
+                lambda proc, pending: pending[0],
+                lambda proc, task: execution(str(task), scan=(task % 5 + 1) * 1000),
+            )
+            return [(e.label, e.processor) for e in result.schedule]
+
+        assert run_once() == run_once()
+
+    def test_heterogeneous_machines_get_less_work(self):
+        cluster = Cluster(ClusterSpec([PIII_500, PII_266]), CostModel())
+        result = run_dynamic(
+            cluster,
+            list(range(20)),
+            lambda proc, pending: pending[0],
+            lambda proc, task: execution(str(task), scan=100_000),
+        )
+        fast, slow = cluster.processors
+        assert fast.tasks_run > slow.tasks_run
+        assert result.makespan < 20 * CostModel().cpu_seconds(
+            _scan_stats(100_000), PII_266
+        )
+
+
+def _scan_stats(n):
+    stats = OpStats()
+    stats.add_scan(n)
+    return stats
+
+
+class TestSimulationResult:
+    def test_time_breakdown_sums_processors(self):
+        cluster = make_cluster(2)
+        result = run_static(
+            cluster,
+            [(0, "a"), (1, "b")],
+            lambda proc, task: execution(task, bytes_written=1000),
+        )
+        cpu, io, comm = result.time_breakdown()
+        assert cpu == pytest.approx(sum(p.cpu_time for p in cluster.processors))
+        assert io > 0

@@ -1,0 +1,145 @@
+"""AHT's bit-sliced hash table: indexing, collisions and collapse."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures.collapsible_hash import CollapsibleHashTable
+
+
+def build(cards, pairs, max_buckets=64):
+    table = CollapsibleHashTable(cards, max_buckets)
+    for key, measure in pairs:
+        table.insert(key, measure=measure)
+    return table
+
+
+class TestBitAllocation:
+    def test_ideal_bits_when_space_allows(self):
+        table = CollapsibleHashTable([4, 8], 1024)
+        assert table.bits == [2, 3]
+        assert table.n_buckets == 32
+
+    def test_bits_shrink_to_fit_cap(self):
+        table = CollapsibleHashTable([256, 256, 256], 256)  # 24 ideal bits, 8 allowed
+        assert sum(table.bits) <= 8
+        assert all(b >= 1 for b in table.bits)
+
+    def test_minimum_one_bit_per_attribute(self):
+        table = CollapsibleHashTable([1000] * 6, 4)  # cap smaller than 1 bit each
+        assert table.bits == [1] * 6  # the floor wins; table exceeds the cap
+
+    def test_bucket_index_is_bit_concatenation(self):
+        table = CollapsibleHashTable([4, 4], 1024)  # 2 + 2 bits
+        assert table.bucket_index((1, 2)) == (1 << 2) | 2
+        assert table.bucket_index((5, 2)) == ((5 & 3) << 2) | 2  # MOD hash truncates
+
+
+class TestInsertGet:
+    def test_accumulation(self):
+        table = build([4, 4], [((1, 1), 2.0), ((1, 1), 3.0)])
+        assert table.get((1, 1)) == (2, 5.0)
+        assert len(table) == 1
+
+    def test_collisions_counted_when_bits_truncate(self):
+        table = CollapsibleHashTable([16], 4)  # 2 bits for 16 values
+        for v in range(16):
+            table.insert((v,))
+        assert table.collisions > 0
+        assert table.max_chain_length() >= 4
+
+    def test_get_missing(self):
+        table = build([4], [((1,), 1.0)])
+        assert table.get((2,)) is None
+
+    def test_items_sorted_post_sorting(self):
+        table = build([8], [((5,), 1.0), ((2,), 1.0), ((7,), 1.0)])
+        assert [k for k, _c, _v in table.items_sorted()] == [(2,), (5,), (7,)]
+
+
+class TestCollapse:
+    def test_collapse_matches_recomputation(self):
+        pairs = [((a, b, c), float(a + b + c)) for a in range(4) for b in range(3)
+                 for c in range(2)]
+        table = build([4, 3, 2], pairs)
+        collapsed = table.collapse((0, 2))
+        expected = {}
+        for (a, b, c), measure in pairs:
+            count, value = expected.get((a, c), (0, 0.0))
+            expected[(a, c)] = (count + 1, value + measure)
+        got = {k: (c, v) for k, c, v in collapsed}
+        assert got == expected
+
+    def test_collapse_keeps_source_bits(self):
+        table = CollapsibleHashTable([4, 8, 16], 4096)
+        collapsed = table.collapse((1,))
+        assert collapsed.bits == [table.bits[1]]
+
+    def test_collapse_can_permute(self):
+        table = build([3, 5], [((1, 4), 1.0), ((2, 4), 2.0)])
+        collapsed = table.collapse((1, 0))
+        assert collapsed.get((4, 1)) == (1, 1.0)
+
+
+class TestHashModes:
+    def test_invalid_mode_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            CollapsibleHashTable([4], 16, hash_mode="cryptographic")
+
+    def test_multiplicative_mode_same_contents(self):
+        pairs = [((a, b), 1.0) for a in range(9) for b in range(7)]
+        mod = CollapsibleHashTable([9, 7], 32)
+        mult = CollapsibleHashTable([9, 7], 32, hash_mode="multiplicative")
+        for key, measure in pairs:
+            mod.insert(key, measure=measure)
+            mult.insert(key, measure=measure)
+        assert mod.items_sorted() == mult.items_sorted()
+
+    def test_collapse_preserves_hash_mode(self):
+        table = CollapsibleHashTable([4, 4], 64, hash_mode="multiplicative")
+        table.insert((1, 2))
+        assert table.collapse((0,)).hash_mode == "multiplicative"
+
+    def test_multiplicative_spreads_strided_codes(self):
+        # Codes that alias badly under low-bit truncation (all equal mod
+        # 2^bits) spread under the multiplicative hash.
+        mod = CollapsibleHashTable([1024], 16)
+        mult = CollapsibleHashTable([1024], 16, hash_mode="multiplicative")
+        for code in range(0, 1024, 16):  # all equal mod 16
+            mod.insert((code,))
+            mult.insert((code,))
+        assert mod.max_chain_length() == 64
+        assert mult.max_chain_length() < 32
+
+
+class TestProperties:
+    @given(
+        st.lists(st.tuples(st.integers(0, 9), st.integers(0, 9)), max_size=100),
+        st.integers(2, 64),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_behaves_like_an_aggregating_dict(self, keys, max_buckets):
+        table = CollapsibleHashTable([10, 10], max_buckets)
+        expected = {}
+        for key in keys:
+            table.insert(key, measure=1.0)
+            count, value = expected.get(key, (0, 0.0))
+            expected[key] = (count + 1, value + 1.0)
+        assert {k: (c, v) for k, c, v in table} == expected
+
+    @given(st.lists(st.tuples(st.integers(0, 7), st.integers(0, 7), st.integers(0, 7)),
+                    max_size=80))
+    @settings(max_examples=40, deadline=None)
+    def test_collapse_equals_projection(self, keys):
+        table = CollapsibleHashTable([8, 8, 8], 128)
+        for key in keys:
+            table.insert(key)
+        for positions in ((0,), (1, 2), (2, 0)):
+            collapsed = table.collapse(positions)
+            expected = {}
+            for key, count, value in table:
+                small = tuple(key[i] for i in positions)
+                c, v = expected.get(small, (0, 0.0))
+                expected[small] = (c + count, v + value)
+            assert {k: (c, v) for k, c, v in collapsed} == expected

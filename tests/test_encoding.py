@@ -1,0 +1,80 @@
+"""Dictionary encoding: codes are dense, stable and reversible."""
+
+import pytest
+
+from repro.data.encoding import ColumnEncoder, Dictionary
+from repro.errors import EncodingError
+
+
+class TestDictionary:
+    def test_codes_assigned_in_first_appearance_order(self):
+        d = Dictionary()
+        assert d.encode("b") == 0
+        assert d.encode("a") == 1
+        assert d.encode("b") == 0  # stable on repeat
+
+    def test_cardinality_counts_distinct_values(self):
+        d = Dictionary()
+        for v in ["x", "y", "x", "z", "y"]:
+            d.encode(v)
+        assert d.cardinality == 3
+        assert len(d) == 3
+
+    def test_decode_inverts_encode(self):
+        d = Dictionary()
+        values = ["red", "white", "blue"]
+        codes = [d.encode(v) for v in values]
+        assert [d.decode(c) for c in codes] == values
+
+    def test_values_listed_in_code_order(self):
+        d = Dictionary()
+        for v in ("m", "k", "z"):
+            d.encode(v)
+        assert d.values() == ["m", "k", "z"]
+
+    def test_decode_out_of_range_raises(self):
+        d = Dictionary()
+        d.encode("only")
+        with pytest.raises(EncodingError):
+            d.decode(5)
+
+    def test_encode_existing_raises_for_unknown(self):
+        d = Dictionary()
+        d.encode("known")
+        assert d.encode_existing("known") == 0
+        with pytest.raises(EncodingError):
+            d.encode_existing("unknown")
+
+    def test_unhashable_free_values_supported(self):
+        d = Dictionary()
+        assert d.encode((1, 2)) == 0
+        assert d.decode(0) == (1, 2)
+
+
+class TestColumnEncoder:
+    def test_encodes_rows_per_attribute(self):
+        enc = ColumnEncoder(("a", "b"))
+        assert enc.encode_row(("x", "p")) == (0, 0)
+        assert enc.encode_row(("y", "p")) == (1, 0)
+        assert enc.encode_row(("x", "q")) == (0, 1)
+
+    def test_row_width_validated(self):
+        enc = ColumnEncoder(("a", "b"))
+        with pytest.raises(EncodingError):
+            enc.encode_row(("only-one",))
+
+    def test_decode_cell_maps_back_to_values(self):
+        enc = ColumnEncoder(("a", "b", "c"))
+        enc.encode_rows([("x", "p", 1), ("y", "q", 2)])
+        assert enc.decode_cell(("a", "c"), (1, 0)) == ("y", 1)
+
+    def test_decode_cell_width_validated(self):
+        enc = ColumnEncoder(("a", "b"))
+        enc.encode_row(("x", "p"))
+        with pytest.raises(EncodingError):
+            enc.decode_cell(("a",), (0, 0))
+
+    def test_cardinalities_reported_per_attribute(self):
+        enc = ColumnEncoder(("a", "b"))
+        enc.encode_rows([("x", "p"), ("y", "p"), ("z", "p")])
+        assert enc.cardinalities() == {"a": 3, "b": 1}

@@ -1,0 +1,48 @@
+"""The exception hierarchy: one base to catch them all."""
+
+import pytest
+
+from repro.errors import (
+    ClusterError,
+    EncodingError,
+    MemoryBudgetExceeded,
+    PlanError,
+    ReproError,
+    SchemaError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc_cls",
+        [SchemaError, EncodingError, PlanError, ClusterError, MemoryBudgetExceeded],
+    )
+    def test_all_derive_from_repro_error(self, exc_cls):
+        assert issubclass(exc_cls, ReproError)
+
+    def test_catching_the_base_catches_everything(self):
+        with pytest.raises(ReproError):
+            raise SchemaError("nope")
+
+    def test_memory_budget_carries_numbers(self):
+        exc = MemoryBudgetExceeded(150, 100, "boom")
+        assert exc.used_bytes == 150
+        assert exc.budget_bytes == 100
+        assert "boom" in str(exc)
+        assert "150" in str(exc)
+
+    def test_memory_budget_default_message(self):
+        exc = MemoryBudgetExceeded(2, 1)
+        assert "memory budget exceeded" in str(exc)
+
+
+class TestLibraryRaisesItsOwnErrors:
+    def test_api_surface_raises_repro_errors_only(self, small_uniform):
+        from repro import iceberg_cube, iceberg_query
+
+        with pytest.raises(ReproError):
+            iceberg_cube(small_uniform, minsup=0)
+        with pytest.raises(ReproError):
+            iceberg_cube(small_uniform, algorithm="bogus")
+        with pytest.raises(ReproError):
+            iceberg_query(small_uniform, ("missing-dim",))

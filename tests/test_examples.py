@@ -1,0 +1,46 @@
+"""The shipped examples stay runnable (compile-check all; run the fast
+ones end to end)."""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def example_files():
+    return sorted(EXAMPLES.glob("*.py"))
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {p.name for p in example_files()}
+        assert "quickstart.py" in names
+        assert len(names) >= 3
+
+    @pytest.mark.parametrize("path", example_files(), ids=lambda p: p.name)
+    def test_compiles(self, path):
+        py_compile.compile(str(path), doraise=True)
+
+    def test_retail_example_runs(self):
+        completed = subprocess.run(
+            [sys.executable, str(EXAMPLES / "retail_iceberg.py")],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "tip of the iceberg" in completed.stdout
+
+    def test_quickstart_runs(self):
+        completed = subprocess.run(
+            [sys.executable, str(EXAMPLES / "quickstart.py")],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "qualifying cells" in completed.stdout

@@ -1,0 +1,118 @@
+"""Apriori hash tree: subset counting and memory metering."""
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MemoryBudgetExceeded
+from repro.structures.hash_tree import HashTree, MemoryMeter, _is_subset
+
+
+class TestSubsetHelper:
+    def test_subset_true(self):
+        assert _is_subset((1, 4), (0, 1, 2, 4, 9))
+
+    def test_subset_false(self):
+        assert not _is_subset((1, 3), (0, 1, 2, 4))
+
+    def test_empty_candidate(self):
+        assert _is_subset((), (1, 2))
+
+
+class TestInsertAndGet:
+    def test_round_trip(self):
+        tree = HashTree(2)
+        tree.insert((1, 5))
+        tree.insert((2, 9))
+        assert tree.get((1, 5))[0] == (1, 5)
+        assert tree.get((3, 3)) is None
+        assert len(tree) == 2
+
+    def test_wrong_arity_rejected(self):
+        tree = HashTree(3)
+        with pytest.raises(ValueError):
+            tree.insert((1, 2))
+
+    def test_leaf_splits_under_pressure(self):
+        tree = HashTree(2, hash_mod=4, leaf_capacity=2)
+        for i in range(20):
+            tree.insert((i, i + 100))
+        assert len(tree) == 20
+        assert all(tree.get((i, i + 100)) is not None for i in range(20))
+
+    def test_items_lists_everything(self):
+        tree = HashTree(2, leaf_capacity=1)
+        inserted = {(i, i + 50) for i in range(10)}
+        for itemset in inserted:
+            tree.insert(itemset)
+        assert {itemset for itemset, _c, _v in tree.items()} == inserted
+
+
+class TestSubsetCounting:
+    def test_counts_match_brute_force(self):
+        tree = HashTree(2, hash_mod=4, leaf_capacity=2)
+        candidates = list(combinations(range(6), 2))
+        for c in candidates:
+            tree.insert(c)
+        transactions = [(0, 1, 2), (1, 2, 3, 4), (0, 5), (2, 4, 5)]
+        for t in transactions:
+            tree.count_subsets(t, measure=1.0)
+        for candidate in candidates:
+            expected = sum(1 for t in transactions if set(candidate) <= set(t))
+            assert tree.get(candidate)[1] == expected, candidate
+
+    def test_measure_accumulates(self):
+        tree = HashTree(1)
+        tree.insert((3,))
+        tree.count_subsets((1, 3), measure=2.5)
+        tree.count_subsets((3, 9), measure=1.5)
+        assert tree.get((3,))[1:] == [2, 4.0]
+
+    @given(st.lists(st.lists(st.integers(0, 8), min_size=3, max_size=5, unique=True),
+                    max_size=25))
+    @settings(max_examples=40, deadline=None)
+    def test_property_counts_equal_brute_force(self, raw_transactions):
+        transactions = [tuple(sorted(t)) for t in raw_transactions]
+        tree = HashTree(3, hash_mod=3, leaf_capacity=2)
+        candidates = list(combinations(range(9), 3))
+        for c in candidates:
+            tree.insert(c)
+        for t in transactions:
+            tree.count_subsets(t)
+        for candidate in candidates:
+            expected = sum(1 for t in transactions if set(candidate) <= set(t))
+            assert tree.get(candidate)[1] == expected
+
+
+class TestMemoryMeter:
+    def test_peak_tracking(self):
+        meter = MemoryMeter()
+        meter.add(100)
+        meter.add(50)
+        meter.release(120)
+        assert meter.used_bytes == 30
+        assert meter.peak_bytes == 150
+
+    def test_budget_enforced(self):
+        meter = MemoryMeter(budget_bytes=200)
+        meter.add(150)
+        with pytest.raises(MemoryBudgetExceeded) as excinfo:
+            meter.add(100)
+        assert excinfo.value.used_bytes == 250
+        assert excinfo.value.budget_bytes == 200
+
+    def test_tree_charges_meter(self):
+        meter = MemoryMeter()
+        tree = HashTree(2, meter=meter)
+        before = meter.used_bytes
+        tree.insert((1, 2))
+        assert meter.used_bytes > before
+
+    def test_tree_budget_blowup(self):
+        meter = MemoryMeter(budget_bytes=2000)
+        tree = HashTree(2, leaf_capacity=2, meter=meter)
+        with pytest.raises(MemoryBudgetExceeded):
+            for i in range(200):
+                tree.insert((i, i + 1000))

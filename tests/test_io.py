@@ -1,0 +1,63 @@
+"""CSV round trips and size estimation."""
+
+import pytest
+
+from repro.data import from_raw_rows, load_csv, relation_bytes, save_csv, uniform_relation
+from repro.errors import SchemaError
+
+
+class TestRoundTrip:
+    def test_encoded_relation_round_trips(self, tmp_path):
+        rel = from_raw_rows(("city", "item"),
+                            [["van", "tv", 3], ["sea", "tv", 5], ["van", "vcr", 7]],
+                            measure_index=2)
+        path = tmp_path / "r.csv"
+        save_csv(rel, path)
+        back = load_csv(path)
+        assert back.dims == rel.dims
+        assert back.rows == rel.rows
+        assert back.measures == rel.measures
+
+    def test_unencoded_relation_round_trips_by_code(self, tmp_path):
+        rel = uniform_relation(50, [3, 4], seed=1)
+        path = tmp_path / "r.csv"
+        save_csv(rel, path)
+        back = load_csv(path)
+        assert len(back) == 50
+        # Codes re-encode in appearance order; cardinalities preserved.
+        assert back.cardinality("A") == rel.project(("A",)).cardinality("A")
+
+    def test_measure_values_preserved(self, tmp_path):
+        rel = from_raw_rows(("a",), [["x", 1.5], ["y", -2.25]], measure_index=1)
+        path = tmp_path / "r.csv"
+        save_csv(rel, path)
+        assert load_csv(path).measures == [1.5, -2.25]
+
+
+class TestValidation:
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError):
+            load_csv(path)
+
+    def test_missing_measure_column_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(SchemaError):
+            load_csv(path)
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,measure\nx,1\ny\n")
+        with pytest.raises(SchemaError):
+            load_csv(path)
+
+
+class TestSize:
+    def test_relation_bytes_scale_with_rows_and_dims(self):
+        small = uniform_relation(10, [2, 2], seed=0)
+        wide = uniform_relation(10, [2, 2, 2, 2], seed=0)
+        tall = uniform_relation(20, [2, 2], seed=0)
+        assert relation_bytes(wide) > relation_bytes(small)
+        assert relation_bytes(tall) == 2 * relation_bytes(small)

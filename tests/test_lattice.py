@@ -1,0 +1,85 @@
+"""Cube lattice structure and the affinity relations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SchemaError
+from repro.lattice import (
+    ALL,
+    CubeLattice,
+    common_prefix_length,
+    is_prefix,
+    subset_positions,
+)
+
+DIMS = ("A", "B", "C", "D")
+
+
+class TestLattice:
+    def test_size_is_2_to_the_d(self):
+        assert len(CubeLattice(DIMS)) == 16
+        assert len(CubeLattice(("X",))) == 2
+
+    def test_cuboids_top_down_and_complete(self):
+        lattice = CubeLattice(DIMS)
+        cuboids = lattice.cuboids()
+        assert cuboids[0] == DIMS
+        assert cuboids[-1] == ALL
+        assert len(cuboids) == 16
+        sizes = [len(c) for c in cuboids]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_cuboids_exclude_all(self):
+        assert ALL not in CubeLattice(DIMS).cuboids(include_all=False)
+
+    def test_levels_partition_the_lattice(self):
+        levels = CubeLattice(DIMS).levels()
+        assert [len(l) for l in levels] == [1, 4, 6, 4, 1]
+
+    def test_parents_add_one_dimension(self):
+        lattice = CubeLattice(DIMS)
+        assert sorted(lattice.parents(("A", "C"))) == [("A", "B", "C"), ("A", "C", "D")]
+        assert lattice.parents(ALL) == [("A",), ("B",), ("C",), ("D",)]
+
+    def test_children_remove_one_dimension(self):
+        lattice = CubeLattice(DIMS)
+        assert lattice.children(("A", "C"))== [("C",), ("A",)]
+
+    def test_canonical_reorders_to_schema(self):
+        lattice = CubeLattice(DIMS)
+        assert lattice.canonical(("C", "A")) == ("A", "C")
+        with pytest.raises(SchemaError):
+            lattice.canonical(("Z",))
+
+    def test_duplicate_dims_rejected(self):
+        with pytest.raises(SchemaError):
+            CubeLattice(("A", "A"))
+
+
+class TestAffinityRelations:
+    def test_is_prefix(self):
+        assert is_prefix(("A",), ("A", "B", "C"))
+        assert is_prefix(("A", "B"), ("A", "B"))
+        assert is_prefix((), ("A",))
+        assert not is_prefix(("B",), ("A", "B"))
+        assert not is_prefix(("A", "B", "C"), ("A", "B"))
+
+    def test_subset_positions(self):
+        assert subset_positions(("A", "C"), ("A", "B", "C")) == (0, 2)
+        assert subset_positions(("C", "A"), ("A", "B", "C")) == (2, 0)
+        assert subset_positions(("A", "Z"), ("A", "B")) is None
+        assert subset_positions((), ("A",)) == ()
+
+    def test_common_prefix_length(self):
+        assert common_prefix_length(("A", "B", "C"), ("A", "B", "D")) == 2
+        assert common_prefix_length(("B",), ("A", "B")) == 0
+        assert common_prefix_length((), ("A",)) == 0
+
+    @given(st.lists(st.sampled_from(DIMS), max_size=4, unique=True),
+           st.lists(st.sampled_from(DIMS), max_size=4, unique=True))
+    @settings(max_examples=100, deadline=None)
+    def test_prefix_implies_subset(self, a, b):
+        a, b = tuple(a), tuple(b)
+        if is_prefix(a, b):
+            assert subset_positions(a, b) is not None

@@ -1,0 +1,54 @@
+"""The real multiprocess backend agrees with the oracle."""
+
+import pytest
+
+from repro.core import SumThreshold
+from repro.core.naive import naive_iceberg_cube
+from repro.data import Relation
+from repro.errors import PlanError
+from repro.parallel.local import multiprocess_iceberg_cube
+
+
+class TestMultiprocessCube:
+    @pytest.mark.parametrize("minsup", [1, 2, 5])
+    def test_single_worker_matches_naive(self, small_skewed, minsup):
+        expected = naive_iceberg_cube(small_skewed, minsup=minsup)
+        got = multiprocess_iceberg_cube(small_skewed, minsup=minsup, workers=1)
+        assert got.equals(expected), got.diff(expected)
+
+    def test_pool_matches_naive(self, small_skewed):
+        expected = naive_iceberg_cube(small_skewed, minsup=2)
+        got = multiprocess_iceberg_cube(small_skewed, minsup=2, workers=2,
+                                        batch_size=3)
+        assert got.equals(expected), got.diff(expected)
+
+    def test_sum_threshold(self, small_skewed):
+        threshold = SumThreshold(30.0)
+        expected = naive_iceberg_cube(small_skewed, minsup=threshold)
+        got = multiprocess_iceberg_cube(small_skewed, minsup=threshold, workers=2)
+        assert got.equals(expected)
+
+    def test_sales_example(self, sales):
+        expected = naive_iceberg_cube(sales, minsup=2)
+        got = multiprocess_iceberg_cube(sales, minsup=2, workers=2)
+        assert got.equals(expected)
+
+    def test_empty_relation(self):
+        rel = Relation(("A", "B"), [])
+        got = multiprocess_iceberg_cube(rel, workers=1)
+        assert got.total_cells() == 0
+
+    def test_validation(self, small_uniform):
+        with pytest.raises(PlanError):
+            multiprocess_iceberg_cube(small_uniform, workers=0)
+        with pytest.raises(PlanError):
+            multiprocess_iceberg_cube(small_uniform, dims=())
+        bad = Relation(("A",), [(0,)], [-1.0])
+        with pytest.raises(PlanError):
+            multiprocess_iceberg_cube(bad, minsup=SumThreshold(1.0))
+
+    def test_dims_subset(self, small_uniform):
+        expected = naive_iceberg_cube(small_uniform, dims=("A", "C"), minsup=2)
+        got = multiprocess_iceberg_cube(small_uniform, dims=("A", "C"),
+                                        minsup=2, workers=2)
+        assert got.equals(expected)

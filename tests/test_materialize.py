@@ -1,0 +1,108 @@
+"""Selective materialization: leaves answer everything, at any minsup."""
+
+import pytest
+
+from repro.cluster import cluster1
+from repro.core.naive import naive_cuboid, naive_iceberg_cube
+from repro.errors import PlanError
+from repro.online import LeafMaterialization, leaf_cuboids
+
+
+class TestLeafCuboids:
+    def test_leaves_end_with_last_dimension(self):
+        leaves = leaf_cuboids(("A", "B", "C"))
+        assert all(c[-1] == "C" for c in leaves)
+        assert len(leaves) == 4  # 2^(3-1)
+
+    def test_every_cuboid_is_a_prefix_of_some_leaf(self):
+        from repro.lattice import CubeLattice, is_prefix
+
+        dims = ("A", "B", "C", "D")
+        leaves = leaf_cuboids(dims)
+        for cuboid in CubeLattice(dims).cuboids(include_all=False):
+            assert any(is_prefix(cuboid, leaf) for leaf in leaves), cuboid
+
+    def test_empty_dims_rejected(self):
+        with pytest.raises(PlanError):
+            leaf_cuboids(())
+
+
+class TestQueries:
+    @pytest.fixture
+    def materialization(self, small_skewed):
+        return LeafMaterialization(small_skewed, cluster_spec=cluster1(3))
+
+    def test_single_cuboid_any_threshold(self, small_skewed, materialization):
+        for cuboid in (("A",), ("A", "C"), ("B", "D"), ("A", "B", "C", "D")):
+            for minsup in (1, 2, 4):
+                expected = {
+                    cell: agg
+                    for cell, agg in naive_cuboid(small_skewed, cuboid).items()
+                    if agg[0] >= minsup
+                }
+                got = materialization.query(cuboid, minsup=minsup)
+                assert {k: (c, pytest.approx(v)) for k, (c, v) in got.items()} == expected
+
+    def test_cuboid_given_out_of_order(self, small_skewed, materialization):
+        direct = materialization.query(("A", "C"), minsup=2)
+        reordered = materialization.query(("C", "A"), minsup=2)
+        assert direct == reordered
+
+    def test_all_node_query(self, small_skewed, materialization):
+        assert materialization.query((), minsup=1) == {
+            (): (len(small_skewed), pytest.approx(sum(small_skewed.measures)))
+        }
+        assert materialization.query((), minsup=len(small_skewed) + 1) == {}
+
+    def test_whole_cube_at_new_threshold(self, small_skewed, materialization):
+        expected = naive_iceberg_cube(small_skewed, minsup=3)
+        got = materialization.query_cube(3)
+        assert got.equals(expected), got.diff(expected)
+
+    def test_covering_leaf_selection(self, materialization, small_skewed):
+        last = small_skewed.dims[-1]
+        leaf = materialization.covering_leaf(("A", "B"))
+        assert leaf == ("A", "B", last)
+        assert materialization.covering_leaf(("A", last)) == ("A", last)
+
+    def test_precompute_time_recorded(self, materialization):
+        assert materialization.precompute_seconds > 0
+
+
+class TestIncrementalMaintenance:
+    def test_insert_matches_rebuild(self, small_skewed):
+        first = small_skewed.slice(0, 250)
+        rest = small_skewed.slice(250, len(small_skewed))
+        incremental = LeafMaterialization(first, cluster_spec=cluster1(3))
+        incremental.insert(rest)
+        rebuilt = LeafMaterialization(small_skewed, cluster_spec=cluster1(3))
+        for minsup in (1, 2, 4):
+            assert incremental.query_cube(minsup).equals(rebuilt.query_cube(minsup))
+
+    def test_insert_updates_totals(self, small_skewed):
+        half = len(small_skewed) // 2
+        mat = LeafMaterialization(small_skewed.slice(0, half),
+                                  cluster_spec=cluster1(2))
+        mat.insert(small_skewed.slice(half, len(small_skewed)))
+        assert mat.total_rows == len(small_skewed)
+        import pytest as _pytest
+
+        assert mat.total_measure == _pytest.approx(sum(small_skewed.measures))
+
+    def test_insert_invalidates_sorted_cache(self, small_skewed):
+        half = len(small_skewed) // 2
+        mat = LeafMaterialization(small_skewed.slice(0, half),
+                                  cluster_spec=cluster1(2))
+        before = mat.query(("A",), minsup=1)
+        mat.insert(small_skewed.slice(half, len(small_skewed)))
+        after = mat.query(("A",), minsup=1)
+        assert sum(c for c, _v in after.values()) == len(small_skewed)
+        assert sum(c for c, _v in before.values()) == half
+
+    def test_repeated_small_inserts(self, small_skewed):
+        base = small_skewed.slice(0, 100)
+        mat = LeafMaterialization(base, cluster_spec=cluster1(2))
+        for start in range(100, len(small_skewed), 50):
+            mat.insert(small_skewed.slice(start, start + 50))
+        rebuilt = LeafMaterialization(small_skewed, cluster_spec=cluster1(2))
+        assert mat.query_cube(2).equals(rebuilt.query_cube(2))

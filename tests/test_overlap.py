@@ -1,0 +1,73 @@
+"""Overlap: longest-prefix parent selection and partitioned sub-sorts."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.naive import naive_iceberg_cube
+from repro.core.overlap import cuboid_order, overlap_iceberg_cube, plan_overlap
+from repro.core.pipesort import pipesort_iceberg_cube
+from repro.data import Relation, uniform_relation
+
+
+class TestPlan:
+    def test_root_has_no_parent(self):
+        plan = plan_overlap(("A", "B", "C"), {d: 4 for d in "ABC"}, 100)
+        assert plan[("A", "B", "C")] == (None, 0)
+
+    def test_longest_prefix_parent_preferred(self):
+        plan = plan_overlap(("A", "B", "C", "D"), {d: 4 for d in "ABCD"}, 1000)
+        # ABC shares its whole self as a prefix of ABCD's order.
+        parent, shared = plan[("A", "B", "C")]
+        assert parent == ("A", "B", "C", "D")
+        assert shared == 3
+        # AC's candidates: ABC (prefix "A", len 1) and ACD (prefix "AC", 2).
+        parent, shared = plan[("A", "C")]
+        assert parent == ("A", "C", "D")
+        assert shared == 2
+
+    def test_smallest_breaks_prefix_ties(self):
+        cards = {"A": 2, "B": 100, "C": 3}
+        plan = plan_overlap(("A", "B", "C"), cards, 10**6)
+        # ("B",): parents AB (prefix 0... order of AB is A,B so prefix of
+        # (B,) is 0) and BC (order B,C -> prefix 1) -> BC wins on prefix.
+        parent, shared = plan[("B",)]
+        assert parent == ("B", "C")
+        assert shared == 1
+
+    def test_cuboid_order_is_schema_order(self):
+        assert cuboid_order(("C", "A"), ("A", "B", "C")) == ("A", "C")
+
+
+class TestExecution:
+    @pytest.mark.parametrize("minsup", [1, 2, 5])
+    def test_matches_naive(self, small_skewed, minsup):
+        expected = naive_iceberg_cube(small_skewed, minsup=minsup)
+        got, _stats, _plan = overlap_iceberg_cube(small_skewed, minsup=minsup)
+        assert got.equals(expected), got.diff(expected)
+
+    def test_sales_example(self, sales):
+        got, _stats, _plan = overlap_iceberg_cube(sales)
+        assert got.equals(naive_iceberg_cube(sales))
+
+    def test_cheaper_sorting_than_pipesort(self):
+        rel = uniform_relation(800, [6, 5, 4, 3], seed=3)
+        _, overlap_stats, _ = overlap_iceberg_cube(rel)
+        _, pipesort_stats, _ = pipesort_iceberg_cube(rel)
+        assert overlap_stats.sort_units < pipesort_stats.sort_units
+
+    def test_tracks_peak_intermediates(self, small_uniform):
+        _got, stats, _plan = overlap_iceberg_cube(small_uniform)
+        assert stats.peak_items > 0
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3), st.integers(0, 3)),
+                 max_size=50),
+        st.integers(1, 3),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_matches_naive(self, rows, minsup):
+        relation = Relation(("A", "B", "C"), rows, [1.0] * len(rows))
+        expected = naive_iceberg_cube(relation, minsup=minsup)
+        got, _stats, _plan = overlap_iceberg_cube(relation, minsup=minsup)
+        assert got.equals(expected)

@@ -1,0 +1,131 @@
+"""Cross-cutting correctness: all five parallel algorithms agree with
+the oracle on arbitrary inputs, cluster shapes and thresholds."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import cluster1, paper_cluster
+from repro.core.naive import naive_iceberg_cube
+from repro.data import Relation, uniform_relation
+from repro.errors import PlanError
+from repro.parallel import AHT, ASL, BPP, PT, RP, ALGORITHMS, features_table
+
+ALGO_CLASSES = [RP, BPP, ASL, PT, AHT]
+
+RELATIONS = st.builds(
+    lambda rows: Relation(("A", "B", "C"), rows, [1.0] * len(rows)),
+    st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3), st.integers(0, 3)),
+             max_size=50),
+)
+
+
+@pytest.mark.parametrize("algo_cls", ALGO_CLASSES)
+class TestExactness:
+    @pytest.mark.parametrize("minsup", [1, 2, 6])
+    def test_matches_naive_on_skewed_data(self, algo_cls, minsup, small_skewed):
+        expected = naive_iceberg_cube(small_skewed, minsup=minsup)
+        run = algo_cls().run(small_skewed, minsup=minsup, cluster_spec=cluster1(4))
+        assert run.result.equals(expected), run.result.diff(expected)
+
+    def test_matches_naive_on_sales(self, algo_cls, sales):
+        expected = naive_iceberg_cube(sales, minsup=2)
+        run = algo_cls().run(sales, minsup=2, cluster_spec=cluster1(3))
+        assert run.result.equals(expected), run.result.diff(expected)
+
+    @pytest.mark.parametrize("n_processors", [1, 2, 5, 16])
+    def test_any_cluster_size(self, algo_cls, n_processors, small_uniform):
+        expected = naive_iceberg_cube(small_uniform, minsup=2)
+        run = algo_cls().run(small_uniform, minsup=2,
+                             cluster_spec=cluster1(n_processors))
+        assert run.result.equals(expected)
+
+    def test_heterogeneous_cluster(self, algo_cls, small_uniform):
+        expected = naive_iceberg_cube(small_uniform, minsup=2)
+        run = algo_cls().run(small_uniform, minsup=2, cluster_spec=paper_cluster(6))
+        assert run.result.equals(expected)
+
+    def test_single_dimension(self, algo_cls):
+        rel = uniform_relation(100, [5], seed=1)
+        expected = naive_iceberg_cube(rel, minsup=2)
+        run = algo_cls().run(rel, minsup=2, cluster_spec=cluster1(2))
+        assert run.result.equals(expected)
+
+    def test_cardinality_one_dimension(self, algo_cls):
+        # The thesis' "Gender" pathology: a dimension that cannot be
+        # usefully partitioned.
+        rel = uniform_relation(80, [1, 4, 3], seed=2)
+        expected = naive_iceberg_cube(rel, minsup=2)
+        run = algo_cls().run(rel, minsup=2, cluster_spec=cluster1(4))
+        assert run.result.equals(expected)
+
+    def test_minsup_above_input_size(self, algo_cls, small_uniform):
+        run = algo_cls().run(small_uniform, minsup=len(small_uniform) + 1,
+                             cluster_spec=cluster1(2))
+        assert run.result.total_cells() == 0
+
+    def test_empty_relation(self, algo_cls):
+        rel = Relation(("A", "B"), [])
+        run = algo_cls().run(rel, minsup=1, cluster_spec=cluster1(2))
+        assert run.result.total_cells() == 0
+
+    def test_dims_subset_of_schema(self, algo_cls, small_uniform):
+        expected = naive_iceberg_cube(small_uniform, dims=("B", "D"), minsup=2)
+        run = algo_cls().run(small_uniform, dims=("B", "D"), minsup=2,
+                             cluster_spec=cluster1(2))
+        assert run.result.equals(expected)
+
+    def test_invalid_minsup_rejected(self, algo_cls, small_uniform):
+        with pytest.raises(PlanError):
+            algo_cls().run(small_uniform, minsup=0)
+
+    def test_no_dimensions_rejected(self, algo_cls, small_uniform):
+        with pytest.raises(PlanError):
+            algo_cls().run(small_uniform, dims=())
+
+    def test_measures_aggregated_not_counted(self, algo_cls):
+        rel = Relation(("A",), [(0,), (0,), (1,)], [1.5, 2.5, 10.0])
+        run = algo_cls().run(rel, minsup=1, cluster_spec=cluster1(2))
+        assert run.result.cuboid(("A",)) == {(0,): (2, 4.0), (1,): (1, 10.0)}
+
+
+class TestAgreementProperty:
+    @given(RELATIONS, st.integers(1, 3), st.integers(1, 5))
+    @settings(max_examples=15, deadline=None)
+    def test_all_algorithms_agree(self, relation, minsup, n_processors):
+        expected = naive_iceberg_cube(relation, minsup=minsup)
+        for algo_cls in ALGO_CLASSES:
+            run = algo_cls().run(relation, minsup=minsup,
+                                 cluster_spec=cluster1(n_processors))
+            assert run.result.equals(expected), (algo_cls.name,
+                                                 run.result.diff(expected))
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("algo_cls", ALGO_CLASSES)
+    def test_repeated_runs_identical(self, algo_cls, small_skewed):
+        a = algo_cls().run(small_skewed, minsup=2, cluster_spec=cluster1(4))
+        b = algo_cls().run(small_skewed, minsup=2, cluster_spec=cluster1(4))
+        assert a.makespan == b.makespan
+        assert a.result.equals(b.result)
+        assert [e.label for e in a.simulation.schedule] == [
+            e.label for e in b.simulation.schedule
+        ]
+
+
+class TestFeaturesTable:
+    def test_five_algorithms_listed(self):
+        rows = features_table()
+        assert [r[0] for r in rows] == ["RP", "BPP", "ASL", "PT", "AHT"]
+        assert len(ALGORITHMS) == 5
+
+    def test_only_bpp_partitions_data(self):
+        rows = {r[0]: r[1:] for r in features_table()}
+        assert rows["BPP"][3] == "partitioned"
+        for name in ("RP", "ASL", "PT", "AHT"):
+            assert rows[name][3] == "replicated"
+
+    def test_only_rp_writes_depth_first(self):
+        rows = {r[0]: r[1:] for r in features_table()}
+        assert rows["RP"][0] == "depth-first"
+        assert rows["BPP"][0] == rows["ASL"][0] == rows["PT"][0] == "breadth-first"

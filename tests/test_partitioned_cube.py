@@ -1,0 +1,113 @@
+"""PartitionedCube / MemoryCube: minimal path cover and correctness."""
+
+from math import comb
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.naive import naive_iceberg_cube
+from repro.core.partitioned_cube import (
+    chain_attribute_order,
+    minimal_paths,
+    partitioned_cube,
+    symmetric_chain_decomposition,
+)
+from repro.data import Relation
+from repro.errors import PlanError
+
+
+class TestSymmetricChains:
+    @pytest.mark.parametrize("n", [0, 1, 2, 3, 4, 5, 6])
+    def test_chain_count_is_central_binomial(self, n):
+        chains = symmetric_chain_decomposition(list(range(n)))
+        assert len(chains) == comb(n, n // 2)
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5])
+    def test_chains_partition_the_powerset(self, n):
+        chains = symmetric_chain_decomposition(list(range(n)))
+        seen = [s for chain in chains for s in chain]
+        assert len(seen) == 2 ** n
+        assert len(set(seen)) == 2 ** n
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_chains_ascend_one_element_at_a_time(self, n):
+        for chain in symmetric_chain_decomposition(list(range(n))):
+            for small, big in zip(chain, chain[1:]):
+                assert small < big
+                assert len(big - small) == 1
+
+    def test_four_dimensions_give_six_paths(self):
+        # Figure 2.8(b): MemoryCube uses six pipelines for four dims.
+        assert len(minimal_paths(("A", "B", "C", "D"))) == 6
+
+    def test_chain_attribute_order_prefixes(self):
+        chain = [frozenset("B"), frozenset("BC"), frozenset("ABC")]
+        order = chain_attribute_order(chain, ["A", "B", "C"])
+        for subset in chain:
+            assert set(order[: len(subset)]) == subset
+
+    def test_chain_attribute_order_rejects_bad_steps(self):
+        with pytest.raises(PlanError):
+            chain_attribute_order([frozenset("A"), frozenset("ABC")], ["A", "B", "C"])
+
+
+class TestMinimalPathsRestricted:
+    def test_must_contain_restricts_cover(self):
+        paths = minimal_paths(("A", "B", "C"), must_contain=("A",))
+        covered = {frozenset(s) for chain in paths for s in chain}
+        expected = {
+            frozenset(s)
+            for s in [("A",), ("A", "B"), ("A", "C"), ("A", "B", "C")]
+        }
+        assert covered == expected
+
+    def test_unrestricted_cover_is_all_nonempty_subsets(self):
+        paths = minimal_paths(("A", "B", "C"))
+        covered = [s for chain in paths for s in chain]
+        assert len(covered) == len(set(covered)) == 7
+
+
+class TestExecution:
+    @pytest.mark.parametrize("minsup", [1, 2, 5])
+    def test_in_memory_matches_naive(self, small_skewed, minsup):
+        expected = naive_iceberg_cube(small_skewed, minsup=minsup)
+        got, _stats = partitioned_cube(small_skewed, minsup=minsup)
+        assert got.equals(expected), got.diff(expected)
+
+    @pytest.mark.parametrize("memory_rows", [20, 60, 150])
+    def test_partitioned_matches_naive(self, small_skewed, memory_rows):
+        expected = naive_iceberg_cube(small_skewed, minsup=2)
+        got, stats = partitioned_cube(small_skewed, minsup=2, memory_rows=memory_rows)
+        assert got.equals(expected), got.diff(expected)
+        assert stats.partition_moves > 0
+
+    def test_sales_example(self, sales):
+        got, _stats = partitioned_cube(sales)
+        assert got.equals(naive_iceberg_cube(sales))
+
+    def test_invalid_memory_rejected(self, sales):
+        with pytest.raises(PlanError):
+            partitioned_cube(sales, memory_rows=0)
+
+    def test_unsplittable_data_falls_back_to_memory(self):
+        # Every tuple identical: no attribute can partition, so the
+        # algorithm must compute in memory regardless of the limit.
+        rel = Relation(("A", "B"), [(0, 0)] * 30)
+        got, _stats = partitioned_cube(rel, minsup=1, memory_rows=5)
+        assert got.cuboid(("A", "B")) == {(0, 0): (30, 30.0)}
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3), st.integers(0, 3)),
+                 max_size=40),
+        st.integers(1, 3),
+        st.integers(5, 50),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_matches_naive_under_memory_pressure(self, rows, minsup,
+                                                          memory_rows):
+        relation = Relation(("A", "B", "C"), rows, [1.0] * len(rows))
+        expected = naive_iceberg_cube(relation, minsup=minsup)
+        got, _stats = partitioned_cube(relation, minsup=minsup,
+                                       memory_rows=memory_rows)
+        assert got.equals(expected)

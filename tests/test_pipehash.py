@@ -1,0 +1,63 @@
+"""PipeHash: smallest-parent plan and exact results."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.naive import naive_iceberg_cube
+from repro.core.pipehash import pipehash_iceberg_cube, plan_pipehash
+from repro.core.pipesort import estimated_size
+from repro.data import Relation
+
+
+class TestPlan:
+    def test_root_has_no_parent(self):
+        plan = plan_pipehash(("A", "B", "C"), {d: 4 for d in "ABC"}, 100)
+        assert plan[("A", "B", "C")] is None
+
+    def test_children_choose_smallest_parent(self):
+        cards = {"A": 2, "B": 100, "C": 3}
+        plan = plan_pipehash(("A", "B", "C"), cards, 10000)
+        # ("A",)'s candidate parents: AB (200) and AC (6) -> AC.
+        assert plan[("A",)] == ("A", "C")
+
+    def test_plan_edges_are_one_level(self):
+        plan = plan_pipehash(("A", "B", "C", "D"), {d: 5 for d in "ABCD"}, 1000)
+        for child, parent in plan.items():
+            if parent is not None:
+                assert len(parent) == len(child) + 1
+                assert set(child) <= set(parent)
+                assert estimated_size(parent, {d: 5 for d in "ABCD"}, 1000) <= min(
+                    estimated_size(p, {d: 5 for d in "ABCD"}, 1000)
+                    for p in plan
+                    if len(p) == len(parent) and set(child) <= set(p)
+                )
+
+
+class TestExecution:
+    @pytest.mark.parametrize("minsup", [1, 2, 5])
+    def test_matches_naive(self, small_skewed, minsup):
+        expected = naive_iceberg_cube(small_skewed, minsup=minsup)
+        got, _stats, _plan = pipehash_iceberg_cube(small_skewed, minsup=minsup)
+        assert got.equals(expected), got.diff(expected)
+
+    def test_sales_example(self, sales):
+        got, _stats, _plan = pipehash_iceberg_cube(sales)
+        assert got.equals(naive_iceberg_cube(sales))
+
+    def test_no_sorting_at_all(self, small_uniform):
+        _got, stats, _plan = pipehash_iceberg_cube(small_uniform)
+        assert stats.sort_units == 0
+        assert stats.structure_units > 0
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3), st.integers(0, 3)),
+                 max_size=50),
+        st.integers(1, 3),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_matches_naive(self, rows, minsup):
+        relation = Relation(("A", "B", "C"), rows, [1.0] * len(rows))
+        expected = naive_iceberg_cube(relation, minsup=minsup)
+        got, _stats, _plan = pipehash_iceberg_cube(relation, minsup=minsup)
+        assert got.equals(expected)

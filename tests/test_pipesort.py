@@ -1,0 +1,93 @@
+"""PipeSort: plan structure and exact results."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.naive import naive_iceberg_cube
+from repro.core.pipesort import (
+    chain_order,
+    estimated_size,
+    pipesort_iceberg_cube,
+    plan_pipesort,
+)
+from repro.data import Relation, uniform_relation
+
+
+class TestEstimates:
+    def test_product_capped_by_rows(self):
+        cards = {"A": 10, "B": 10}
+        assert estimated_size(("A", "B"), cards, 1000) == 100
+        assert estimated_size(("A", "B"), cards, 50) == 50
+        assert estimated_size((), cards, 50) == 1
+
+
+class TestPlan:
+    def test_every_cuboid_has_a_parent_one_level_up(self):
+        plan = plan_pipesort(("A", "B", "C", "D"), {d: 4 for d in "ABCD"}, 1000)
+        for child, parent in plan.parent_of.items():
+            if parent is None:
+                assert child == ("A", "B", "C", "D")
+            else:
+                assert len(parent) == len(child) + 1
+                assert set(child) <= set(parent)
+
+    def test_pipelines_cover_all_cuboids_once(self):
+        plan = plan_pipesort(("A", "B", "C"), {d: 4 for d in "ABC"}, 1000)
+        covered = [c for pipeline in plan.pipelines for c in pipeline]
+        assert sorted(covered) == sorted(plan.parent_of)
+
+    def test_each_parent_pipelines_at_most_one_child(self):
+        plan = plan_pipesort(("A", "B", "C", "D"), {d: 3 for d in "ABCD"}, 500)
+        parents = [parent for parent, _child in plan.pipelined]
+        assert len(parents) == len(set(parents))
+
+    def test_fewer_sorts_than_cuboids(self):
+        dims = ("A", "B", "C", "D")
+        plan = plan_pipesort(dims, {d: 4 for d in dims}, 1000)
+        assert plan.n_sorts < 2 ** len(dims) - 1
+
+    def test_chain_order_makes_members_prefixes(self):
+        chain = [("A", "B", "C"), ("A", "B"), ("B",)]
+        # Not a real plan chain (B is not a prefix); use a valid one.
+        chain = [("A", "B", "C"), ("A", "B"), ("A",)]
+        order = chain_order(chain)
+        for cuboid in chain:
+            assert set(order[: len(cuboid)]) == set(cuboid)
+
+
+class TestExecution:
+    @pytest.mark.parametrize("minsup", [1, 2, 5])
+    def test_matches_naive(self, small_skewed, minsup):
+        expected = naive_iceberg_cube(small_skewed, minsup=minsup)
+        got, _stats, _plan = pipesort_iceberg_cube(small_skewed, minsup=minsup)
+        assert got.equals(expected), got.diff(expected)
+
+    def test_sales_example(self, sales):
+        got, _stats, _plan = pipesort_iceberg_cube(sales)
+        assert got.equals(naive_iceberg_cube(sales))
+
+    def test_stats_account_sorts_and_scans(self, small_uniform):
+        _got, stats, plan = pipesort_iceberg_cube(small_uniform)
+        assert stats.sort_units > 0
+        assert stats.scan_tuples > 0
+        assert stats.read_tuples == len(small_uniform)
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3), st.integers(0, 3)),
+                 max_size=50),
+        st.integers(1, 3),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_matches_naive(self, rows, minsup):
+        relation = Relation(("A", "B", "C"), rows, [1.0] * len(rows))
+        expected = naive_iceberg_cube(relation, minsup=minsup)
+        got, _stats, _plan = pipesort_iceberg_cube(relation, minsup=minsup)
+        assert got.equals(expected)
+
+    def test_no_pruning_full_work_regardless_of_minsup(self):
+        rel = uniform_relation(400, [5, 4, 3], seed=2)
+        _, loose, _ = pipesort_iceberg_cube(rel, minsup=1)
+        _, tight, _ = pipesort_iceberg_cube(rel, minsup=50)
+        # Top-down: the threshold only filters output, never the work.
+        assert tight.sort_units == loose.sort_units

@@ -1,0 +1,122 @@
+"""Algorithm POL: exact final answers, progressive refinement, stepping."""
+
+import pytest
+
+from repro.cluster import cluster1, cluster2, cluster3
+from repro.core.naive import naive_cuboid
+from repro.data import zipf_relation
+from repro.errors import PlanError
+from repro.online import POL, initial_assignment, wrap_order
+
+
+def expected_cells(relation, dims, minsup):
+    return {
+        cell: agg
+        for cell, agg in naive_cuboid(relation, dims).items()
+        if agg[0] >= minsup
+    }
+
+
+@pytest.fixture
+def online_relation():
+    return zipf_relation(3000, [12, 8, 6], skew=0.8, seed=21)
+
+
+class TestTaskStructure:
+    def test_wrap_order(self):
+        assert wrap_order(1, 4) == [1, 2, 3, 0]
+        assert wrap_order(0, 1) == [0]
+
+    def test_initial_assignment_matches_table_5_1(self):
+        assignment = initial_assignment(4)
+        assert assignment[1] == [(1, 1), (1, 2), (1, 3), (1, 0)]
+        all_tasks = [t for tasks in assignment.values() for t in tasks]
+        assert len(set(all_tasks)) == 16
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("minsup", [1, 2, 5])
+    @pytest.mark.parametrize("n_processors", [1, 3, 4])
+    def test_final_answer_exact(self, online_relation, minsup, n_processors):
+        run = POL(buffer_size=250).run(
+            online_relation, minsup=minsup, cluster_spec=cluster1(n_processors)
+        )
+        assert run.cells == expected_cells(online_relation, online_relation.dims, minsup)
+
+    def test_sum_values_exact(self, online_relation):
+        run = POL(buffer_size=500).run(online_relation, minsup=1,
+                                       cluster_spec=cluster1(4))
+        expected = expected_cells(online_relation, online_relation.dims, 1)
+        for cell, (count, value) in run.cells.items():
+            assert value == pytest.approx(expected[cell][1])
+
+    def test_dims_subset(self, online_relation):
+        run = POL(buffer_size=400).run(online_relation, dims=("A", "C"), minsup=2,
+                                       cluster_spec=cluster1(3))
+        assert run.cells == expected_cells(online_relation, ("A", "C"), 2)
+
+    def test_buffer_size_validated(self):
+        with pytest.raises(PlanError):
+            POL(buffer_size=0)
+
+
+class TestProgressiveRefinement:
+    def test_snapshots_track_fractions(self, online_relation):
+        run = POL(buffer_size=250).run(online_relation, minsup=2,
+                                       cluster_spec=cluster1(4))
+        fractions = [s.fraction for s in run.snapshots]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == pytest.approx(1.0)
+        assert len(run.snapshots) == run.extras["steps"]
+
+    def test_cells_seen_monotone(self, online_relation):
+        run = POL(buffer_size=250).run(online_relation, minsup=2,
+                                       cluster_spec=cluster1(4))
+        seen = [s.cells_seen for s in run.snapshots]
+        assert seen == sorted(seen)
+
+    def test_final_snapshot_matches_answer(self, online_relation):
+        run = POL(buffer_size=250).run(online_relation, minsup=2,
+                                       cluster_spec=cluster1(4))
+        assert run.snapshots[-1].qualifying == len(run.cells)
+
+    def test_estimates_kept_when_requested(self, online_relation):
+        run = POL(buffer_size=500, keep_estimates=True).run(
+            online_relation, minsup=2, cluster_spec=cluster1(2)
+        )
+        snapshot = run.snapshots[0]
+        assert snapshot.estimates
+        assert all(est >= 2 for est in snapshot.estimates.values())
+
+    def test_early_stop_processes_prefix_only(self, online_relation):
+        run = POL(buffer_size=250).run(online_relation, minsup=1,
+                                       cluster_spec=cluster1(4), max_steps=1)
+        assert run.extras["steps"] == 1
+        assert run.extras["processed"] == 4 * 250
+        total = sum(count for count, _v in run.cells.values())
+        assert total == 4 * 250
+
+
+class TestCommunicationModel:
+    def test_myrinet_beats_ethernet_on_same_cpus(self, online_relation):
+        slow_net = POL(buffer_size=250).run(online_relation, minsup=2,
+                                            cluster_spec=cluster2(4))
+        fast_net = POL(buffer_size=250).run(online_relation, minsup=2,
+                                            cluster_spec=cluster3(4))
+        assert fast_net.cells == slow_net.cells
+        assert fast_net.makespan < slow_net.makespan
+
+    def test_offloading_happens_with_uneven_boundaries(self):
+        # Heavy skew concentrates cells in one skip-list partition; other
+        # processors offload (labels marked '*').
+        rel = zipf_relation(2400, [30, 5], skew=1.6, seed=9)
+        run = POL(buffer_size=200).run(rel, minsup=1, cluster_spec=cluster1(4))
+        labels = [e.label for e in run.simulation.schedule]
+        assert any(label.endswith("*") for label in labels)
+        assert run.cells == expected_cells(rel, rel.dims, 1)
+
+    def test_single_processor_has_no_comm_tasks(self, online_relation):
+        run = POL(buffer_size=500).run(online_relation, minsup=2,
+                                       cluster_spec=cluster1(1))
+        comm = sum(e.comm for e in run.simulation.schedule)
+        assert comm == 0.0

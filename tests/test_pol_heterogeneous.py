@@ -1,0 +1,45 @@
+"""POL on mixed hardware: barriers make slow nodes matter; offloading
+and demand order soften the blow."""
+
+import pytest
+
+from repro.cluster import ClusterSpec, cluster1
+from repro.cluster.spec import PII_266, PIII_500
+from repro.core.naive import naive_cuboid
+from repro.data import zipf_relation
+from repro.online import POL
+
+
+@pytest.fixture
+def relation():
+    return zipf_relation(4000, [15, 8, 5], skew=0.7, seed=31)
+
+
+class TestHeterogeneousPol:
+    def test_exact_on_mixed_hardware(self, relation):
+        mixed = ClusterSpec([PIII_500, PII_266, PIII_500, PII_266])
+        run = POL(buffer_size=250).run(relation, minsup=2, cluster_spec=mixed)
+        expected = {
+            cell: agg
+            for cell, agg in naive_cuboid(relation, relation.dims).items()
+            if agg[0] >= 2
+        }
+        got = {k: (c, pytest.approx(v)) for k, (c, v) in run.cells.items()}
+        assert got == expected
+
+    def test_step_barriers_make_slow_nodes_cost(self, relation):
+        fast = POL(buffer_size=250).run(relation, minsup=2,
+                                        cluster_spec=cluster1(4))
+        mixed = POL(buffer_size=250).run(
+            relation, minsup=2,
+            cluster_spec=ClusterSpec([PIII_500, PIII_500, PII_266, PII_266]),
+        )
+        # The per-step barrier waits for the slowest node, so the mixed
+        # cluster is slower than all-fast but still faster than the
+        # worst case of every node being slow.
+        assert mixed.makespan > fast.makespan
+        all_slow = POL(buffer_size=250).run(
+            relation, minsup=2, cluster_spec=ClusterSpec([PII_266] * 4)
+        )
+        assert mixed.makespan < all_slow.makespan
+        assert mixed.cells == fast.cells == all_slow.cells

@@ -1,0 +1,117 @@
+"""BUC processing tree and PT's binary division (Figures 2.4(c), 3.9)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PlanError
+from repro.lattice import ProcessingTree, SubtreeTask, binary_divide
+
+DIMS = ("A", "B", "C", "D")
+
+
+class TestTreeStructure:
+    def test_children_extend_to_later_dimensions_only(self):
+        tree = ProcessingTree(DIMS)
+        assert tree.children(()) == [("A",), ("B",), ("C",), ("D",)]
+        assert tree.children(("B",)) == [("B", "C"), ("B", "D")]
+        assert tree.children(("A", "D")) == []
+
+    def test_subtree_sizes_are_powers_of_two(self):
+        tree = ProcessingTree(DIMS)
+        assert tree.subtree_size(()) == 16
+        assert tree.subtree_size(("A",)) == 8
+        assert tree.subtree_size(("B",)) == 4
+        assert tree.subtree_size(("A", "B")) == 4
+        assert tree.subtree_size(("D",)) == 1
+
+    def test_subtree_nodes_dfs_order(self):
+        tree = ProcessingTree(("A", "B", "C"))
+        assert tree.subtree_nodes(("A",)) == [
+            ("A",), ("A", "B"), ("A", "B", "C"), ("A", "C"),
+        ]
+
+    def test_whole_tree_covers_lattice(self):
+        tree = ProcessingTree(DIMS)
+        nodes = tree.subtree_nodes(())
+        assert len(nodes) == 16
+        assert len(set(nodes)) == 16
+
+
+class TestSubtreeTask:
+    def test_full_task_nodes(self):
+        tree = ProcessingTree(DIMS)
+        task = SubtreeTask(("A",))
+        assert len(task.nodes(tree)) == task.size(tree) == 8
+
+    def test_chopped_task_excludes_branch(self):
+        tree = ProcessingTree(DIMS)
+        task = SubtreeTask((), skipped=(("A",),))
+        nodes = task.nodes(tree)
+        assert ("A",) not in nodes
+        assert ("A", "B") not in nodes
+        assert ("B",) in nodes
+        assert task.size(tree) == 8
+
+    def test_split_halves_matching_figure_3_9(self):
+        tree = ProcessingTree(DIMS)
+        whole = SubtreeTask(())
+        left, rest = whole.split(tree)
+        assert left == SubtreeTask(("A",))
+        assert rest == SubtreeTask((), skipped=(("A",),))
+        assert left.size(tree) == rest.size(tree) == 8
+        # Second-level cuts, exactly the four tasks of Figure 3.9.
+        t_ab, t_a_minus = left.split(tree)
+        t_b, t_rest = rest.split(tree)
+        assert t_ab == SubtreeTask(("A", "B"))
+        assert t_a_minus == SubtreeTask(("A",), skipped=(("A", "B"),))
+        assert t_b == SubtreeTask(("B",))
+        assert t_rest == SubtreeTask((), skipped=(("A",), ("B",)))
+        assert {t.size(tree) for t in (t_ab, t_a_minus, t_b, t_rest)} == {4}
+
+    def test_single_node_cannot_split(self):
+        tree = ProcessingTree(DIMS)
+        with pytest.raises(PlanError):
+            SubtreeTask(("D",)).split(tree)
+
+    def test_equality_and_hash(self):
+        assert SubtreeTask(("A",)) == SubtreeTask(("A",))
+        assert hash(SubtreeTask(("A",))) == hash(SubtreeTask(("A",)))
+        assert SubtreeTask(("A",)) != SubtreeTask(("A",), skipped=(("A", "B"),))
+
+
+class TestBinaryDivide:
+    @given(st.integers(1, 6), st.integers(1, 64))
+    @settings(max_examples=80, deadline=None)
+    def test_division_partitions_the_tree(self, n_dims, n_tasks):
+        dims = tuple("ABCDEF"[:n_dims])
+        tree = ProcessingTree(dims)
+        tasks = binary_divide(tree, n_tasks)
+        nodes = [node for task in tasks for node in task.nodes(tree)]
+        assert sorted(nodes) == sorted(tree.subtree_nodes(()))  # exact cover
+
+    @given(st.integers(2, 6), st.integers(2, 32))
+    @settings(max_examples=60, deadline=None)
+    def test_division_is_balanced(self, n_dims, n_tasks):
+        dims = tuple("ABCDEF"[:n_dims])
+        tree = ProcessingTree(dims)
+        tasks = binary_divide(tree, n_tasks)
+        sizes = [t.size(tree) for t in tasks]
+        # Sizes are powers of two within a factor of two of each other,
+        # unless division bottomed out at single nodes.
+        assert max(sizes) <= 2 * min(sizes) or max(sizes) <= 2
+
+    def test_reaches_requested_count_when_possible(self):
+        tree = ProcessingTree(DIMS)
+        assert len(binary_divide(tree, 8)) == 8
+        # Cannot exceed the node count.
+        assert len(binary_divide(tree, 100)) == 16
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(PlanError):
+            binary_divide(ProcessingTree(DIMS), 0)
+
+    def test_one_task_is_whole_tree(self):
+        tree = ProcessingTree(DIMS)
+        (task,) = binary_divide(tree, 1)
+        assert task.size(tree) == 16

@@ -1,0 +1,68 @@
+"""Algorithm PT: binary task division, affinity, BPP-BUC execution."""
+
+from repro.cluster import cluster1
+from repro.core.naive import naive_iceberg_cube
+from repro.lattice import ProcessingTree
+from repro.parallel import PT
+
+
+class TestPlanning:
+    def test_task_count_follows_ratio(self, small_uniform):
+        tree, tasks = PT(task_ratio=2).plan_tasks(small_uniform.dims, 2)
+        assert len(tasks) == 4
+
+    def test_division_caps_at_lattice_size(self, small_uniform):
+        tree, tasks = PT(task_ratio=32).plan_tasks(small_uniform.dims, 8)
+        assert len(tasks) == 2 ** len(small_uniform.dims)  # all single nodes
+
+    def test_tasks_cover_every_cuboid_exactly_once(self, small_uniform):
+        tree, tasks = PT(task_ratio=4).plan_tasks(small_uniform.dims, 2)
+        nodes = [n for t in tasks for n in t.nodes(tree)]
+        assert sorted(nodes) == sorted(ProcessingTree(small_uniform.dims).subtree_nodes(()))
+
+
+class TestExecution:
+    def test_exact_result(self, small_skewed):
+        expected = naive_iceberg_cube(small_skewed, minsup=2)
+        run = PT().run(small_skewed, minsup=2, cluster_spec=cluster1(4))
+        assert run.result.equals(expected), run.result.diff(expected)
+
+    def test_task_count_recorded(self, small_uniform):
+        run = PT(task_ratio=2).run(small_uniform, minsup=1, cluster_spec=cluster1(2))
+        assert run.extras["n_tasks"] == 4
+        assert len(run.simulation.schedule) == 4
+
+    def test_load_balance(self, small_skewed):
+        run = PT().run(small_skewed, minsup=2, cluster_spec=cluster1(4))
+        assert run.simulation.load_imbalance() < 1.35
+
+    def test_breadth_first_writing(self, small_skewed):
+        # PT uses BPP-BUC: cuboid switches stay near the cuboid count,
+        # far below the cell count.
+        run = PT().run(small_skewed, minsup=1, cluster_spec=cluster1(2))
+        cells = run.result.total_cells()
+        switches = sum(1 for _ in run.simulation.schedule)
+        assert cells > 4 * switches
+
+
+class TestAffinityAndGranularity:
+    def test_affinity_saves_time(self, small_skewed):
+        with_affinity = PT().run(small_skewed, minsup=2, cluster_spec=cluster1(2))
+        without = PT(affinity=False).run(small_skewed, minsup=2,
+                                         cluster_spec=cluster1(2))
+        assert with_affinity.result.equals(without.result)
+        assert with_affinity.makespan <= without.makespan
+
+    def test_granularity_tradeoff_results_identical(self, small_skewed):
+        expected = naive_iceberg_cube(small_skewed, minsup=2)
+        for ratio in (1, 4, 32):
+            run = PT(task_ratio=ratio).run(small_skewed, minsup=2,
+                                           cluster_spec=cluster1(4))
+            assert run.result.equals(expected), ratio
+
+    def test_coarser_tasks_worse_balance(self, small_skewed):
+        coarse = PT(task_ratio=1).run(small_skewed, minsup=2,
+                                      cluster_spec=cluster1(4))
+        fine = PT(task_ratio=16).run(small_skewed, minsup=2,
+                                     cluster_spec=cluster1(4))
+        assert fine.simulation.load_imbalance() <= coarse.simulation.load_imbalance()

@@ -1,0 +1,138 @@
+"""The user-facing iceberg-query API."""
+
+import pytest
+
+from repro.cluster import cluster1
+from repro.core.naive import naive_iceberg_cube
+from repro.errors import PlanError, SchemaError
+from repro.queries import IcebergQuery, iceberg_cube, iceberg_query, resolve_algorithm
+
+
+class TestIcebergQuery:
+    def test_sql_rendering(self):
+        q = IcebergQuery(("A", "B"), minsup=3, aggregate="sum", cube=True)
+        sql = q.sql(table="R", measure="sales")
+        assert "CUBE BY A, B" in sql
+        assert "SUM(sales)" in sql
+        assert "HAVING COUNT(*) >= 3" in sql
+
+    def test_group_by_rendering(self):
+        assert "GROUP BY A" in IcebergQuery(("A",), minsup=1).sql()
+
+    def test_validation(self):
+        with pytest.raises(PlanError):
+            IcebergQuery((), minsup=1)
+        with pytest.raises(PlanError):
+            IcebergQuery(("A",), minsup=0)
+        with pytest.raises(SchemaError):
+            IcebergQuery(("A",), aggregate="nope")
+
+
+class TestResolveAlgorithm:
+    def test_by_name(self):
+        for name in ("rp", "BPP", "asl", "Pt", "AHT"):
+            assert resolve_algorithm(name).name.lower() == name.lower()
+
+    def test_instances_pass_through(self):
+        from repro.parallel import PT
+
+        algo = PT(task_ratio=8)
+        assert resolve_algorithm(algo) is algo
+
+    def test_unknown_rejected(self):
+        with pytest.raises(PlanError):
+            resolve_algorithm("quicksort")
+        with pytest.raises(PlanError):
+            resolve_algorithm(42)
+
+
+class TestIcebergCube:
+    def test_default_algorithm_is_pt(self, small_uniform):
+        run = iceberg_cube(small_uniform, minsup=2, cluster_spec=cluster1(2))
+        assert run.algorithm == "PT"
+        assert run.result.equals(naive_iceberg_cube(small_uniform, minsup=2))
+
+    @pytest.mark.parametrize("name", ["rp", "bpp", "asl", "pt", "aht"])
+    def test_every_algorithm_by_name(self, small_uniform, name):
+        run = iceberg_cube(small_uniform, minsup=2, algorithm=name,
+                           cluster_spec=cluster1(2))
+        assert run.result.equals(naive_iceberg_cube(small_uniform, minsup=2))
+
+
+class TestIcebergQueryFunction:
+    def test_sum(self, example_relation):
+        cells = iceberg_query(example_relation, ("Item", "Location"), minsup=3)
+        decoded = {
+            example_relation.encoder.decode_cell(("Item", "Location"), cell): value
+            for cell, value in cells.items()
+        }
+        assert decoded == {("Sony 25in TV", "Seattle"): 2100.0}
+
+    def test_count_and_avg(self, example_relation):
+        counts = iceberg_query(example_relation, ("Location",), minsup=1,
+                               aggregate="count")
+        assert sum(counts.values()) == len(example_relation)
+        avgs = iceberg_query(example_relation, ("Location",), minsup=1,
+                             aggregate="avg")
+        sums = iceberg_query(example_relation, ("Location",), minsup=1)
+        for cell in avgs:
+            assert avgs[cell] == pytest.approx(sums[cell] / counts[cell])
+
+    def test_holistic_aggregate_path(self, small_uniform):
+        medians = iceberg_query(small_uniform, ("A",), minsup=1, aggregate="median")
+        # Cross-check one cell by brute force.
+        cell = next(iter(medians))
+        values = sorted(
+            m for row, m in zip(small_uniform.rows, small_uniform.measures)
+            if (row[0],) == cell
+        )
+        mid = len(values) // 2
+        expected = values[mid] if len(values) % 2 else (values[mid - 1] + values[mid]) / 2
+        assert medians[cell] == pytest.approx(expected)
+
+    def test_min_max(self, small_uniform):
+        mins = iceberg_query(small_uniform, ("A", "B"), minsup=1, aggregate="min")
+        maxs = iceberg_query(small_uniform, ("A", "B"), minsup=1, aggregate="max")
+        assert all(mins[c] <= maxs[c] for c in mins)
+
+    def test_minsup_filters(self, small_uniform):
+        strict = iceberg_query(small_uniform, ("A", "B", "C"), minsup=5)
+        loose = iceberg_query(small_uniform, ("A", "B", "C"), minsup=1)
+        assert set(strict) <= set(loose)
+
+    def test_unknown_dimension_rejected(self, small_uniform):
+        with pytest.raises(SchemaError):
+            iceberg_query(small_uniform, ("A", "ZZZ"))
+
+
+class TestHavingThresholds:
+    def test_sum_threshold_via_having(self, example_relation):
+        from repro.core import SumThreshold
+
+        cells = iceberg_query(example_relation, ("Item",),
+                              having=SumThreshold(1000.0))
+        decoded = {
+            example_relation.encoder.decode_cell(("Item",), cell): value
+            for cell, value in cells.items()
+        }
+        assert decoded == {("Sony 25in TV",): 2100.0}
+
+    def test_having_overrides_minsup(self, example_relation):
+        from repro.core import CountThreshold
+
+        strict = iceberg_query(example_relation, ("Location",), minsup=99,
+                               having=CountThreshold(1))
+        assert len(strict) == 3  # having won; minsup ignored
+
+    def test_having_applies_to_holistic_aggregates(self, small_uniform):
+        from repro.core import SumThreshold
+
+        medians = iceberg_query(small_uniform, ("A",), aggregate="median",
+                                having=SumThreshold(1e9))
+        assert medians == {}
+
+    def test_sql_renders_having_condition(self):
+        from repro.core import AndThreshold, SumThreshold
+
+        q = IcebergQuery(("A",), having=AndThreshold(2, SumThreshold(10)))
+        assert "COUNT(*) >= 2 AND SUM(measure) >= 10" in q.sql()

@@ -1,0 +1,69 @@
+"""The Figure 4.7 recipe rules."""
+
+from repro.data import dense_relation, uniform_relation
+from repro.recipe import (
+    RECIPE_ROWS,
+    Workload,
+    recipe_table,
+    recommend,
+    recommend_for,
+)
+
+
+class TestWorkload:
+    def test_cardinality_product(self):
+        w = Workload(1000, [4, 5, 10])
+        assert w.cardinality_product == 200
+        assert w.n_dims == 3
+
+    def test_density_threshold(self):
+        assert Workload(100000, [10] * 6).is_dense  # 1e6 cells
+        assert not Workload(100000, [100] * 6).is_dense  # 1e12 cells
+
+    def test_from_relation(self):
+        rel = uniform_relation(500, [4, 6], seed=1)
+        w = Workload.from_relation(rel)
+        assert w.n_tuples == 500
+        assert w.cardinalities == (4, 6)
+
+
+class TestRecommendations:
+    def test_online_wins_over_everything(self):
+        w = Workload(10**6, [100] * 12, online=True, memory_constrained=True)
+        assert recommend(w) == ("POL",)
+
+    def test_memory_constrained_gets_bpp(self):
+        assert recommend(Workload(10**6, [100] * 9, memory_constrained=True)) == ("BPP",)
+
+    def test_high_dimensionality_gets_pt_alone(self):
+        assert recommend(Workload(10**5, [20] * 13)) == ("PT",)
+
+    def test_dense_cube_gets_hash_or_skiplist(self):
+        picks = recommend(Workload(10**5, [4] * 6))
+        assert set(picks) == {"ASL", "AHT"}
+
+    def test_dense_low_dim_prefers_aht(self):
+        picks = recommend(Workload(10**5, [4] * 3))
+        assert picks[0] == "AHT"
+
+    def test_small_dimensionality_everything_works(self):
+        picks = recommend(Workload(10**5, [1000] * 4))
+        assert "RP" in picks and "PT" in picks
+
+    def test_default_sparse_case_is_pt_first(self):
+        picks = recommend(Workload(10**5, [100] * 9))
+        assert picks[0] == "PT"
+
+    def test_recommend_for_relation(self):
+        rel = dense_relation(2000, 4, cardinality=3, seed=1)
+        picks = recommend_for(rel)
+        assert picks[0] in ("ASL", "AHT")
+
+
+class TestTable:
+    def test_table_rows_match_constant(self):
+        assert recipe_table() == list(RECIPE_ROWS)
+
+    def test_table_mentions_all_algorithms(self):
+        mentioned = {a for _s, algos in recipe_table() for a in algos}
+        assert mentioned == {"PT", "ASL", "RP", "BPP", "AHT", "POL"}

@@ -1,0 +1,146 @@
+"""Relation: schema checks, projection, sorting, partitioning."""
+
+import pytest
+
+from repro.data import Relation, from_raw_rows
+from repro.errors import SchemaError
+
+
+def make():
+    return Relation(
+        ("A", "B", "C"),
+        [(0, 1, 2), (1, 0, 2), (0, 0, 1), (2, 1, 0)],
+        [10.0, 20.0, 30.0, 40.0],
+    )
+
+
+class TestConstruction:
+    def test_default_measures_are_ones(self):
+        rel = Relation(("A",), [(0,), (1,)])
+        assert rel.measures == [1.0, 1.0]
+
+    def test_duplicate_dims_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation(("A", "A"), [])
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation(("A", "B"), [(1,)])
+
+    def test_measure_count_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation(("A",), [(0,)], [1.0, 2.0])
+
+    def test_from_raw_rows_pops_measure_column(self):
+        rel = from_raw_rows(("X", "Y"), [["a", "b", 5], ["a", "c", 7]], measure_index=2)
+        assert rel.measures == [5.0, 7.0]
+        assert rel.rows == [(0, 0), (0, 1)]
+        assert rel.encoder.decode_cell(("Y",), (1,)) == ("c",)
+
+
+class TestAccessors:
+    def test_dim_index_and_indices(self):
+        rel = make()
+        assert rel.dim_index("B") == 1
+        assert rel.dim_indices(("C", "A")) == (2, 0)
+
+    def test_unknown_dim_raises(self):
+        with pytest.raises(SchemaError):
+            make().dim_index("Z")
+
+    def test_cardinality_counts_present_codes(self):
+        rel = make()
+        assert rel.cardinality("A") == 3
+        assert rel.cardinality("C") == 3
+
+    def test_cardinality_product(self):
+        rel = make()
+        assert rel.cardinality_product(("A", "B")) == 3 * 2
+        assert rel.cardinality_product() == 3 * 2 * 3
+
+    def test_declared_cardinalities_preferred(self):
+        rel = Relation(("A",), [(0,)], cardinalities={"A": 50})
+        assert rel.cardinality("A") == 50
+
+
+class TestTransforms:
+    def test_project_keeps_measures(self):
+        rel = make().project(("C", "A"))
+        assert rel.dims == ("C", "A")
+        assert rel.rows[0] == (2, 0)
+        assert rel.measures == [10.0, 20.0, 30.0, 40.0]
+
+    def test_project_single_dim(self):
+        rel = make().project(("B",))
+        assert rel.rows == [(1,), (0,), (0,), (1,)]
+
+    def test_sorted_by_is_lexicographic(self):
+        rel = make().sorted_by(("A", "B"))
+        assert rel.rows == [(0, 0, 1), (0, 1, 2), (1, 0, 2), (2, 1, 0)]
+        assert rel.measures == [30.0, 10.0, 20.0, 40.0]
+
+    def test_take_reorders_rows_and_measures(self):
+        rel = make().take([3, 0])
+        assert rel.rows == [(2, 1, 0), (0, 1, 2)]
+        assert rel.measures == [40.0, 10.0]
+
+    def test_slice(self):
+        rel = make().slice(1, 3)
+        assert len(rel) == 2
+        assert rel.measures == [20.0, 30.0]
+
+    def test_concat_requires_same_schema(self):
+        a, b = make(), make()
+        merged = a.concat(b)
+        assert len(merged) == 8
+        with pytest.raises(SchemaError):
+            a.concat(b.project(("A", "B")))
+
+
+class TestPartitioning:
+    def test_range_partition_covers_all_rows_disjointly(self):
+        rel = make()
+        parts = rel.range_partition("A", 2)
+        assert sum(len(p) for p in parts) == len(rel)
+        codes = [set(r[0] for r in p.rows) for p in parts]
+        assert codes[0] & codes[1] == set()
+
+    def test_range_partition_respects_code_ranges(self):
+        rel = make()
+        parts = rel.range_partition("A", 3)
+        for part_index, part in enumerate(parts):
+            for row in part.rows:
+                assert row[0] // 1 == part_index  # width 1 for card 3 / 3 parts
+
+    def test_range_partition_more_parts_than_codes(self):
+        rel = make()
+        parts = rel.range_partition("B", 5)  # B has 2 codes
+        assert sum(len(p) for p in parts) == len(rel)
+        assert len(parts) == 5
+
+    def test_range_partition_invalid_parts(self):
+        with pytest.raises(SchemaError):
+            make().range_partition("A", 0)
+
+    def test_block_partition_contiguous(self):
+        rel = make()
+        parts = rel.block_partition(3)
+        assert [len(p) for p in parts] == [2, 2, 0]
+        assert parts[0].rows == rel.rows[:2]
+
+    def test_block_partition_empty_relation(self):
+        rel = Relation(("A",), [])
+        parts = rel.block_partition(2)
+        assert [len(p) for p in parts] == [0, 0]
+
+    def test_sample_rows_deterministic_and_bounded(self):
+        rel = make()
+        s1 = rel.sample_rows(2, seed=1)
+        s2 = rel.sample_rows(2, seed=1)
+        assert s1 == s2
+        assert len(s1) == 2
+        assert all(0 <= i < len(rel) for i in s1)
+
+    def test_sample_rows_empty_cases(self):
+        assert Relation(("A",), []).sample_rows(5) == []
+        assert make().sample_rows(0) == []

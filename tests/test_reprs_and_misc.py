@@ -1,0 +1,68 @@
+"""Small-surface coverage: reprs, defaults and module entry points."""
+
+import subprocess
+import sys
+
+from repro.cluster import cluster1
+from repro.core.result import CubeResult
+from repro.data import uniform_relation
+from repro.online import POL
+from repro.parallel import PT
+
+
+class TestReprs:
+    def test_relation_repr(self, small_uniform):
+        assert "Relation" in repr(small_uniform)
+        assert "300" in repr(small_uniform)
+
+    def test_cube_result_repr(self):
+        r = CubeResult(("A",))
+        r.add_cell(("A",), (0,), 1, 1.0)
+        text = repr(r)
+        assert "cells=1" in text
+
+    def test_parallel_run_repr(self, small_uniform):
+        run = PT().run(small_uniform, minsup=2, cluster_spec=cluster1(2))
+        text = repr(run)
+        assert "PT" in text and "cells" in text
+
+    def test_online_run_and_snapshot_repr(self, small_uniform):
+        run = POL(buffer_size=100).run(small_uniform, minsup=1,
+                                       cluster_spec=cluster1(2))
+        assert "OnlineRunResult" in repr(run)
+        assert "OnlineSnapshot" in repr(run.snapshots[0])
+
+    def test_threshold_reprs(self):
+        from repro.core import AndThreshold, CountThreshold, SumThreshold
+
+        assert "COUNT" in repr(CountThreshold(2))
+        assert "SUM" in repr(SumThreshold(5))
+        assert "AND" in repr(AndThreshold(2, SumThreshold(5)))
+
+    def test_spec_reprs(self):
+        from repro.cluster import ETHERNET_100, PIII_500
+
+        assert "PIII-500" in repr(PIII_500)
+        assert "ethernet" in repr(ETHERNET_100)
+        assert "cluster1" in repr(cluster1())
+
+
+class TestDefaults:
+    def test_pol_defaults_to_all_dims_and_cluster1(self, small_uniform):
+        run = POL(buffer_size=100).run(small_uniform, minsup=1)
+        assert run.dims == small_uniform.dims
+        assert len(run.simulation.processors) == 8
+
+    def test_parallel_defaults_to_cluster1(self, small_uniform):
+        run = PT().run(small_uniform, minsup=2)
+        assert len(run.simulation.processors) == 8
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "bench"],
+            capture_output=True, text=True, timeout=60,
+        )
+        assert completed.returncode == 0
+        assert "fig_4_2_scalability" in completed.stdout

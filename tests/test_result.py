@@ -1,0 +1,96 @@
+"""CubeResult: recording, merging, filtering, diffing, decoding."""
+
+import pytest
+
+from repro.core.result import CubeResult
+from repro.data.encoding import ColumnEncoder
+from repro.errors import SchemaError
+
+DIMS = ("A", "B", "C")
+
+
+class TestRecording:
+    def test_add_cell_accumulates(self):
+        r = CubeResult(DIMS)
+        r.add_cell(("A",), (1,), 2, 10.0)
+        r.add_cell(("A",), (1,), 3, 5.0)
+        assert r.cuboid(("A",)) == {(1,): (5, 15.0)}
+
+    def test_record_canonicalizes_order(self):
+        r = CubeResult(DIMS)
+        r.record(("C", "A"), (7, 1), 2, 4.0)
+        assert r.cuboid(("A", "C")) == {(1, 7): (2, 4.0)}
+
+    def test_record_unknown_dim_raises(self):
+        r = CubeResult(DIMS)
+        with pytest.raises(SchemaError):
+            r.record(("Z",), (0,), 1, 1.0)
+
+    def test_total_cells_and_bytes(self):
+        r = CubeResult(DIMS)
+        r.add_cell(("A",), (0,), 1, 1.0)
+        r.add_cell(("A", "B"), (0, 0), 1, 1.0)
+        assert r.total_cells() == 2
+        assert r.output_bytes() == (1 + 2) * 8 + (2 + 2) * 8
+
+
+class TestMerge:
+    def test_merge_from_sums_matching_cells(self):
+        a, b = CubeResult(DIMS), CubeResult(DIMS)
+        a.add_cell(("A",), (0,), 1, 2.0)
+        b.add_cell(("A",), (0,), 2, 3.0)
+        b.add_cell(("B",), (5,), 1, 1.0)
+        a.merge_from(b)
+        assert a.cuboid(("A",)) == {(0,): (3, 5.0)}
+        assert a.cuboid(("B",)) == {(5,): (1, 1.0)}
+
+
+class TestFilterAndDiff:
+    def test_filtered_drops_low_support(self):
+        r = CubeResult(DIMS)
+        r.add_cell(("A",), (0,), 1, 1.0)
+        r.add_cell(("A",), (1,), 5, 9.0)
+        filtered = r.filtered(2)
+        assert filtered.cuboid(("A",)) == {(1,): (5, 9.0)}
+        # Original untouched.
+        assert len(r.cuboid(("A",))) == 2
+
+    def test_filtered_removes_empty_cuboids(self):
+        r = CubeResult(DIMS)
+        r.add_cell(("B",), (0,), 1, 1.0)
+        assert ("B",) not in r.filtered(2).cuboids
+
+    def test_equals_and_diff(self):
+        a, b = CubeResult(DIMS), CubeResult(DIMS)
+        for r in (a, b):
+            r.add_cell(("A",), (0,), 2, 4.0)
+        assert a.equals(b)
+        b.add_cell(("B",), (1,), 1, 1.0)
+        assert not a.equals(b)
+        assert len(a.diff(b)) == 1
+        assert "cuboid ('B',)" in a.diff(b)[0]
+
+    def test_diff_value_tolerance(self):
+        a, b = CubeResult(DIMS), CubeResult(DIMS)
+        a.add_cell(("A",), (0,), 1, 1.0)
+        b.add_cell(("A",), (0,), 1, 1.0 + 1e-12)
+        assert a.equals(b)
+        c = CubeResult(DIMS)
+        c.add_cell(("A",), (0,), 1, 1.5)
+        assert not a.equals(c)
+
+    def test_diff_limit(self):
+        a, b = CubeResult(DIMS), CubeResult(DIMS)
+        for i in range(20):
+            a.add_cell(("A",), (i,), 1, 1.0)
+        assert len(a.diff(b, limit=5)) == 5
+
+
+class TestDecoding:
+    def test_decoded_maps_codes_back(self):
+        encoder = ColumnEncoder(DIMS)
+        encoder.encode_rows([("x", "p", "m"), ("y", "q", "n")])
+        r = CubeResult(DIMS)
+        r.add_cell(("A", "C"), (1, 0), 3, 9.0)
+        decoded = r.decoded(encoder)
+        assert decoded[("A", "C")] == {("y", "m"): (3, 9.0)}

@@ -1,0 +1,50 @@
+"""Algorithm RP: round-robin subtree tasks, depth-first writing."""
+
+from repro.cluster import cluster1
+from repro.core.naive import naive_iceberg_cube
+from repro.parallel import RP
+
+
+class TestPlanning:
+    def test_one_task_per_dimension(self, small_uniform):
+        run = RP().run(small_uniform, minsup=1, cluster_spec=cluster1(2))
+        labels = [e.label for e in run.simulation.schedule]
+        assert labels == ["T_%s" % d for d in small_uniform.dims]
+
+    def test_round_robin_assignment(self, small_uniform):
+        run = RP().run(small_uniform, minsup=1, cluster_spec=cluster1(3))
+        processors = [e.processor for e in run.simulation.schedule]
+        assert processors == [0, 1, 2, 0]  # 4 dims over 3 processors
+
+    def test_idle_processors_when_more_than_tasks(self, small_uniform):
+        run = RP().run(small_uniform, minsup=1, cluster_spec=cluster1(8))
+        used = {e.processor for e in run.simulation.schedule}
+        assert len(used) == len(small_uniform.dims)  # 4 of 8 busy
+        assert any(p.busy_time == 0 for p in run.simulation.processors)
+
+
+class TestExecution:
+    def test_each_processor_loads_the_replicated_dataset_once(self, small_uniform):
+        run = RP().run(small_uniform, minsup=1, cluster_spec=cluster1(2))
+        # Both processors paid an input read (io_time includes it).
+        assert all(
+            p.io_time > 0 for p in run.simulation.processors if p.tasks_run
+        )
+
+    def test_depth_first_writing_scatters(self, small_skewed):
+        depth = RP().run(small_skewed, minsup=1, cluster_spec=cluster1(2))
+        breadth = RP(breadth_first=True).run(small_skewed, minsup=1,
+                                             cluster_spec=cluster1(2))
+        assert depth.result.equals(breadth.result)
+        assert depth.simulation.time_breakdown()[1] > breadth.simulation.time_breakdown()[1]
+
+    def test_subtree_imbalance_shows_up(self, small_skewed):
+        # T_A (half the lattice) dwarfs T_D (one node): static assignment
+        # cannot balance that.
+        run = RP().run(small_skewed, minsup=1, cluster_spec=cluster1(4))
+        assert run.simulation.load_imbalance() > 1.5
+
+    def test_exactness_at_scale_of_fixture(self, small_skewed):
+        expected = naive_iceberg_cube(small_skewed, minsup=3)
+        run = RP().run(small_skewed, minsup=3, cluster_spec=cluster1(4))
+        assert run.result.equals(expected)

@@ -1,0 +1,106 @@
+"""Sampling: boundaries, key ranges, progressive estimates."""
+
+import pytest
+
+from repro.data import uniform_relation, zipf_relation
+from repro.errors import PlanError
+from repro.online.sampling import (
+    count_confidence_interval,
+    partition_boundaries,
+    range_of,
+    sample_keys,
+    scale_estimate,
+)
+
+
+class TestSampleKeys:
+    def test_keys_project_requested_dims(self):
+        rel = uniform_relation(100, [4, 5, 6], seed=1)
+        keys = sample_keys(rel, ("A", "C"), sample_size=10)
+        assert len(keys) == 10
+        assert all(len(k) == 2 for k in keys)
+
+    def test_deterministic(self):
+        rel = uniform_relation(100, [4, 5], seed=1)
+        assert sample_keys(rel, rel.dims, 20) == sample_keys(rel, rel.dims, 20)
+
+
+class TestBoundaries:
+    def test_boundary_count_and_order(self):
+        rel = uniform_relation(1000, [50], seed=2)
+        boundaries = partition_boundaries(rel, ("A",), 4)
+        assert len(boundaries) <= 3
+        assert boundaries == sorted(boundaries)
+
+    def test_single_partition_no_boundaries(self):
+        rel = uniform_relation(10, [5], seed=1)
+        assert partition_boundaries(rel, ("A",), 1) == []
+
+    def test_invalid_parts_rejected(self):
+        rel = uniform_relation(10, [5], seed=1)
+        with pytest.raises(PlanError):
+            partition_boundaries(rel, ("A",), 0)
+
+    def test_boundaries_split_mass_roughly_evenly(self):
+        rel = uniform_relation(4000, [100], seed=3)
+        boundaries = partition_boundaries(rel, ("A",), 4, sample_size=512)
+        counts = [0] * (len(boundaries) + 1)
+        for row in rel.rows:
+            counts[range_of((row[0],), boundaries)] += 1
+        assert max(counts) < 2.5 * min(counts)
+
+    def test_skew_collapses_boundaries(self):
+        rel = zipf_relation(2000, [50], skew=2.0, seed=4)
+        boundaries = partition_boundaries(rel, ("A",), 8)
+        # Most sampled keys are equal, so deduplication shrinks the list.
+        assert len(boundaries) < 7
+
+
+class TestRangeOf:
+    def test_binary_search_matches_linear(self):
+        boundaries = [(3,), (7,), (9,)]
+        for v in range(12):
+            key = (v,)
+            linear = sum(1 for b in boundaries if key >= b)
+            assert range_of(key, boundaries) == linear
+
+    def test_empty_boundaries(self):
+        assert range_of((5,), []) == 0
+
+
+class TestEstimates:
+    def test_scale_estimate(self):
+        assert scale_estimate(10, 100, 1000) == 100.0
+        assert scale_estimate(10, 0, 1000) == 0.0
+
+    def test_confidence_interval_contains_estimate(self):
+        lo, hi = count_confidence_interval(50, 500, 5000)
+        assert lo <= scale_estimate(50, 500, 5000) <= hi
+
+    def test_interval_tightens_with_more_data(self):
+        narrow = count_confidence_interval(100, 1000, 10000)
+        wide = count_confidence_interval(10, 100, 10000)
+        assert (narrow[1] - narrow[0]) < (wide[1] - wide[0])
+
+    def test_interval_clamped_to_valid_range(self):
+        lo, hi = count_confidence_interval(1, 2, 100)
+        assert lo >= 0.0
+        assert hi <= 100.0
+
+    def test_zero_processed_is_vacuous(self):
+        assert count_confidence_interval(0, 0, 100) == (0.0, 100.0)
+
+    def test_interval_collapses_when_fully_processed(self):
+        # Finite-population correction: processing everything leaves no
+        # sampling error.
+        assert count_confidence_interval(37, 500, 500) == (37.0, 37.0)
+
+    def test_unusual_confidence_level_supported(self):
+        lo, hi = count_confidence_interval(50, 500, 5000, confidence=0.8)
+        tight = hi - lo
+        lo99, hi99 = count_confidence_interval(50, 500, 5000, confidence=0.99)
+        assert tight < hi99 - lo99
+
+    def test_invalid_confidence_rejected(self):
+        with pytest.raises(PlanError):
+            count_confidence_interval(5, 10, 100, confidence=1.5)

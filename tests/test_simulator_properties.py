@@ -1,0 +1,104 @@
+"""Property tests for the cluster simulator's invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster, CostModel, TaskExecution, homogeneous, run_dynamic, run_static
+from repro.cluster.spec import PII_266, PIII_500, ClusterSpec
+from repro.core.stats import OpStats
+
+TASK_SIZES = st.lists(st.integers(1, 50), min_size=1, max_size=30)
+
+
+def execution(label, scan):
+    stats = OpStats()
+    stats.add_scan(scan)
+    return TaskExecution(label, stats)
+
+
+class TestInvariants:
+    @given(TASK_SIZES, st.integers(1, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_clock_equals_busy_plus_overheads(self, sizes, n):
+        cluster = Cluster(homogeneous(n), CostModel())
+        run_dynamic(
+            cluster,
+            list(range(len(sizes))),
+            lambda proc, pending: pending[0],
+            lambda proc, task: execution(str(task), sizes[task] * 1000),
+        )
+        for proc in cluster.processors:
+            assert proc.clock >= proc.busy_time - 1e-12
+            assert proc.clock >= 0.0
+
+    @given(TASK_SIZES, st.integers(1, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_every_task_runs_exactly_once(self, sizes, n):
+        cluster = Cluster(homogeneous(n), CostModel())
+        result = run_dynamic(
+            cluster,
+            list(range(len(sizes))),
+            lambda proc, pending: pending[-1],
+            lambda proc, task: execution(str(task), sizes[task] * 1000),
+        )
+        labels = [entry.label for entry in result.schedule]
+        assert sorted(labels) == sorted(str(i) for i in range(len(sizes)))
+        assert sum(p.tasks_run for p in cluster.processors) == len(sizes)
+
+    @given(TASK_SIZES)
+    @settings(max_examples=40, deadline=None)
+    def test_more_processors_never_slower_fifo(self, sizes):
+        def makespan(n):
+            cluster = Cluster(homogeneous(n), CostModel())
+            return run_dynamic(
+                cluster,
+                list(range(len(sizes))),
+                lambda proc, pending: pending[0],
+                lambda proc, task: execution(str(task), sizes[task] * 1000),
+            ).makespan
+
+        assert makespan(4) <= makespan(1) + 1e-9
+
+    @given(TASK_SIZES)
+    @settings(max_examples=40, deadline=None)
+    def test_dynamic_never_beats_total_work_over_n(self, sizes):
+        n = 3
+        cluster = Cluster(homogeneous(n), CostModel())
+        result = run_dynamic(
+            cluster,
+            list(range(len(sizes))),
+            lambda proc, pending: pending[0],
+            lambda proc, task: execution(str(task), sizes[task] * 1000),
+        )
+        total_busy = sum(p.busy_time for p in cluster.processors)
+        assert result.makespan >= total_busy / n - 1e-9
+
+    @given(TASK_SIZES)
+    @settings(max_examples=40, deadline=None)
+    def test_schedule_entries_are_consistent(self, sizes):
+        cluster = Cluster(homogeneous(2), CostModel())
+        result = run_static(
+            cluster,
+            [(i % 2, i) for i in range(len(sizes))],
+            lambda proc, task: execution(str(task), sizes[task] * 1000),
+        )
+        for entry in result.schedule:
+            assert entry.end >= entry.start
+            assert entry.cpu >= 0 and entry.io >= 0 and entry.comm >= 0
+        # Per-processor entries never overlap and appear in time order.
+        for index in (0, 1):
+            own = [e for e in result.schedule if e.processor == index]
+            for a, b in zip(own, own[1:]):
+                assert b.start >= a.end - 1e-9
+
+    @given(st.integers(1, 20))
+    @settings(max_examples=20, deadline=None)
+    def test_slow_machine_takes_proportionally_longer(self, scan_k):
+        model = CostModel()
+        fast = Cluster(ClusterSpec([PIII_500]), model)
+        slow = Cluster(ClusterSpec([PII_266]), model)
+        for cluster in (fast, slow):
+            run_static(cluster, [(0, "t")],
+                       lambda proc, task: execution(task, scan_k * 10_000))
+        ratio = slow.processors[0].cpu_time / fast.processors[0].cpu_time
+        assert abs(ratio - PIII_500.speed / PII_266.speed) < 1e-9

@@ -1,0 +1,122 @@
+"""Skip list: sorted-map semantics, aggregation and the POL operations."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures.skiplist import MAX_LEVEL, SkipList
+
+KEYS = st.tuples(st.integers(0, 6), st.integers(0, 6), st.integers(0, 6))
+
+
+def build(pairs, seed=0):
+    sl = SkipList(seed=seed)
+    for key, measure in pairs:
+        sl.insert(key, measure=measure)
+    return sl
+
+
+class TestBasics:
+    def test_insert_returns_newness(self):
+        sl = SkipList()
+        assert sl.insert((1, 2), measure=5.0) is True
+        assert sl.insert((1, 2), measure=3.0) is False
+        assert len(sl) == 1
+        assert sl.get((1, 2)) == (2, 8.0)
+
+    def test_iteration_is_sorted(self):
+        sl = build([((3,), 1), ((1,), 1), ((2,), 1), ((0,), 1)])
+        assert [k for k, _c, _v in sl] == [(0,), (1,), (2,), (3,)]
+
+    def test_contains_and_get_missing(self):
+        sl = build([((1,), 1.0)])
+        assert (1,) in sl
+        assert (2,) not in sl
+        assert sl.get((2,)) is None
+
+    def test_weighted_insert(self):
+        sl = SkipList()
+        sl.insert((0,), measure=10.0, count=4)
+        assert sl.get((0,)) == (4, 10.0)
+
+    def test_counters_increase_with_work(self):
+        sl = build([((i,), 1.0) for i in range(100)])
+        assert sl.comparisons > 100
+
+    def test_level_cap_respected(self):
+        sl = build([((i,), 1.0) for i in range(500)])
+        assert sl._level <= MAX_LEVEL
+
+
+class TestCuboidOperations:
+    def test_aggregate_prefix_groups_contiguously(self):
+        sl = build([((0, 0), 1.0), ((0, 1), 2.0), ((1, 0), 3.0), ((1, 5), 4.0)])
+        groups = list(sl.aggregate_prefix(1))
+        assert groups == [((0,), 2, 3.0), ((1,), 2, 7.0)]
+
+    def test_aggregate_prefix_full_width_is_identity(self):
+        pairs = [((0, 1), 1.0), ((2, 2), 5.0)]
+        sl = build(pairs)
+        assert list(sl.aggregate_prefix(2)) == [((0, 1), 1, 1.0), ((2, 2), 1, 5.0)]
+
+    def test_aggregate_prefix_empty(self):
+        assert list(SkipList().aggregate_prefix(1)) == []
+
+    def test_project_permutes_and_merges(self):
+        sl = build([((0, 1), 1.0), ((1, 1), 2.0), ((2, 1), 4.0)])
+        projected = sl.project((1,))
+        assert projected.items() == [((1,), 3, 7.0)]
+
+    def test_split_ranges_respects_boundaries(self):
+        sl = build([((i,), float(i)) for i in range(6)])
+        ranges = sl.split_ranges([(2,), (4,)])
+        assert [[k for k, _c, _v in r] for r in ranges] == [
+            [(0,), (1,)],
+            [(2,), (3,)],
+            [(4,), (5,)],
+        ]
+
+    def test_split_ranges_skips_empty_ranges(self):
+        sl = build([((9,), 1.0)])
+        ranges = sl.split_ranges([(2,), (4,)])
+        assert [len(r) for r in ranges] == [0, 0, 1]
+
+    def test_merge_accumulates(self):
+        sl = build([((0,), 1.0)])
+        sl.merge([((0,), 2, 5.0), ((1,), 1, 3.0)])
+        assert sl.get((0,)) == (3, 6.0)
+        assert sl.get((1,)) == (1, 3.0)
+
+
+class TestProperties:
+    @given(st.lists(st.tuples(KEYS, st.floats(-100, 100)), max_size=120))
+    @settings(max_examples=60, deadline=None)
+    def test_behaves_like_a_sorted_aggregating_dict(self, pairs):
+        sl = build(pairs, seed=13)
+        expected = {}
+        for key, measure in pairs:
+            count, value = expected.get(key, (0, 0.0))
+            expected[key] = (count + 1, value + measure)
+        items = sl.items()
+        assert [k for k, _c, _v in items] == sorted(expected)
+        for key, count, value in items:
+            assert count == expected[key][0]
+            assert abs(value - expected[key][1]) < 1e-6
+
+    @given(st.lists(KEYS, min_size=1, max_size=80), st.integers(1, 2))
+    @settings(max_examples=40, deadline=None)
+    def test_prefix_aggregation_matches_dict_groupby(self, keys, width):
+        sl = build([(k, 1.0) for k in keys], seed=3)
+        expected = {}
+        for key in keys:
+            prefix = key[:width]
+            count, value = expected.get(prefix, (0, 0.0))
+            expected[prefix] = (count + 1, value + 1.0)
+        got = {k: (c, v) for k, c, v in sl.aggregate_prefix(width)}
+        assert got == expected
+
+    @given(st.lists(KEYS, max_size=80))
+    @settings(max_examples=40, deadline=None)
+    def test_different_seeds_same_contents(self, keys):
+        a = build([(k, 1.0) for k in keys], seed=1)
+        b = build([(k, 1.0) for k in keys], seed=99)
+        assert a.items() == b.items()

@@ -1,0 +1,51 @@
+"""OpStats: the operation ledger."""
+
+from repro.core.stats import OpStats
+
+
+class TestOpStats:
+    def test_sort_units_are_n_log_n(self):
+        s = OpStats()
+        s.add_sort(8)
+        assert s.sort_units == 8 * 3  # 8 * log2(8)
+
+    def test_sorting_one_or_zero_costs_nothing(self):
+        s = OpStats()
+        s.add_sort(1)
+        s.add_sort(0)
+        assert s.sort_units == 0
+
+    def test_merge_accumulates_all_fields(self):
+        a, b = OpStats(), OpStats()
+        a.read_tuples = 5
+        a.add_scan(10)
+        b.add_groups(3)
+        b.add_structure(7.5)
+        b.partition_moves = 2
+        a.merge(b)
+        assert a.read_tuples == 5
+        assert a.scan_tuples == 10
+        assert a.groups == 3
+        assert a.structure_units == 7.5
+        assert a.partition_moves == 2
+
+    def test_copy_is_independent(self):
+        a = OpStats()
+        a.add_scan(4)
+        b = a.copy()
+        b.add_scan(6)
+        assert a.scan_tuples == 4
+        assert b.scan_tuples == 10
+
+    def test_total_units_sums_everything(self):
+        s = OpStats()
+        s.read_tuples = 1
+        s.add_sort(2)
+        s.add_scan(3)
+        s.add_groups(4)
+        s.add_structure(5)
+        s.partition_moves = 6
+        assert s.total_units() == 1 + 2 + 3 + 4 + 5 + 6
+
+    def test_repr_mentions_fields(self):
+        assert "sort" in repr(OpStats())

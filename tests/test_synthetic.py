@@ -1,0 +1,124 @@
+"""Synthetic generators: determinism, cardinalities, skew."""
+
+import pytest
+
+from repro.data.synthetic import dense_relation, uniform_relation, zipf_relation
+
+
+class TestUniform:
+    def test_shape_and_determinism(self):
+        a = uniform_relation(200, [4, 7], seed=3)
+        b = uniform_relation(200, [4, 7], seed=3)
+        assert a.rows == b.rows
+        assert a.measures == b.measures
+        assert a.dims == ("A", "B")
+
+    def test_codes_within_cardinality(self):
+        rel = uniform_relation(500, [3, 9], seed=1)
+        assert max(r[0] for r in rel.rows) < 3
+        assert max(r[1] for r in rel.rows) < 9
+
+    def test_declared_cardinalities_attached(self):
+        rel = uniform_relation(10, [3, 9], seed=1)
+        assert rel.cardinality("B") == 9  # declared, even if unseen
+
+    def test_custom_dim_names(self):
+        rel = uniform_relation(5, [2, 2], seed=0, dims=("x", "y"))
+        assert rel.dims == ("x", "y")
+
+    def test_dim_name_count_validated(self):
+        with pytest.raises(ValueError):
+            uniform_relation(5, [2, 2], dims=("only",))
+
+    def test_generated_names_beyond_z(self):
+        rel = uniform_relation(1, [2] * 28, seed=0)
+        assert rel.dims[0] == "A"
+        assert rel.dims[26] == "D26"
+
+
+class TestZipf:
+    def test_zero_skew_is_roughly_uniform(self):
+        rel = zipf_relation(4000, [4], skew=0.0, seed=5)
+        counts = [0] * 4
+        for row in rel.rows:
+            counts[row[0]] += 1
+        assert max(counts) < 2 * min(counts)
+
+    def test_high_skew_concentrates_on_low_codes(self):
+        rel = zipf_relation(4000, [50], skew=1.5, seed=5)
+        low = sum(1 for row in rel.rows if row[0] < 5)
+        assert low > 0.6 * len(rel)
+
+    def test_per_dimension_skews(self):
+        rel = zipf_relation(3000, [20, 20], skew=[0.0, 1.8], seed=9)
+        flat = sum(1 for r in rel.rows if r[0] == 0) / len(rel)
+        steep = sum(1 for r in rel.rows if r[1] == 0) / len(rel)
+        assert steep > 3 * flat
+
+    def test_skew_count_validated(self):
+        with pytest.raises(ValueError):
+            zipf_relation(10, [5, 5], skew=[1.0])
+
+    def test_invalid_cardinality_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_relation(10, [0], skew=1.0)
+
+    def test_determinism(self):
+        a = zipf_relation(100, [6, 4], skew=0.8, seed=2)
+        b = zipf_relation(100, [6, 4], skew=0.8, seed=2)
+        assert a.rows == b.rows
+
+
+class TestDense:
+    def test_dense_cube_is_actually_dense(self):
+        rel = dense_relation(2000, 3, cardinality=4, seed=1)
+        # 64 possible cells, 2000 tuples: every cell well populated.
+        cells = {row for row in rel.rows}
+        assert len(cells) == 4 ** 3
+
+
+class TestCorrelated:
+    def test_determinism_and_shape(self):
+        from repro.data.synthetic import correlated_relation
+
+        a = correlated_relation(200, [10, 8, 6], correlation=0.7, seed=4)
+        b = correlated_relation(200, [10, 8, 6], correlation=0.7, seed=4)
+        assert a.rows == b.rows
+        assert a.dims == ("A", "B", "C")
+
+    def test_zero_correlation_equals_independent_draws(self):
+        from repro.data.synthetic import correlated_relation
+        from repro.core.naive import naive_cuboid
+
+        independent = correlated_relation(3000, [15, 12, 10], correlation=0.0, seed=9)
+        tied = correlated_relation(3000, [15, 12, 10], correlation=1.0, seed=9)
+        # Full functional dependence: every B and C is a function of A,
+        # so the 3-dim cuboid has no more cells than A alone.
+        assert len(naive_cuboid(tied, tied.dims)) == len(naive_cuboid(tied, ("A",)))
+        assert len(naive_cuboid(independent, independent.dims)) > 3 * len(
+            naive_cuboid(tied, tied.dims)
+        )
+
+    def test_correlation_monotonically_shrinks_the_cube(self):
+        from repro.data.synthetic import correlated_relation
+        from repro.core.naive import naive_cuboid
+
+        counts = []
+        for rho in (0.0, 0.6, 0.95):
+            rel = correlated_relation(2000, [20, 15, 10], correlation=rho, seed=2)
+            counts.append(len(naive_cuboid(rel, rel.dims)))
+        assert counts[0] > counts[1] > counts[2]
+
+    def test_invalid_correlation_rejected(self):
+        import pytest
+        from repro.data.synthetic import correlated_relation
+
+        with pytest.raises(ValueError):
+            correlated_relation(10, [4], correlation=1.5)
+
+    def test_codes_within_cardinality(self):
+        from repro.data.synthetic import correlated_relation
+
+        rel = correlated_relation(500, [7, 5, 3], correlation=0.9, seed=1)
+        for row in rel.rows:
+            assert row[0] < 7 and row[1] < 5 and row[2] < 3

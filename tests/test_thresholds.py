@@ -1,0 +1,177 @@
+"""Generalized iceberg thresholds (HAVING conditions beyond COUNT)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import cluster1
+from repro.core import (
+    AndThreshold,
+    CountThreshold,
+    SumThreshold,
+    as_threshold,
+    buc_iceberg_cube,
+    naive_iceberg_cube,
+)
+from repro.core.thresholds import validate_measures
+from repro.data import Relation, zipf_relation
+from repro.errors import PlanError
+from repro.online import POL, LeafMaterialization
+from repro.parallel import AHT, ASL, BPP, PT, RP
+
+
+class TestThresholdObjects:
+    def test_count_threshold(self):
+        t = CountThreshold(3)
+        assert t.qualifies(3, 0.0)
+        assert not t.qualifies(2, 1e9)
+        assert "COUNT(*) >= 3" == t.describe()
+
+    def test_count_threshold_validation(self):
+        with pytest.raises(PlanError):
+            CountThreshold(0)
+
+    def test_sum_threshold(self):
+        t = SumThreshold(10.0)
+        assert t.qualifies(1, 10.0)
+        assert not t.qualifies(100, 9.9)
+        assert "SUM" in t.describe()
+        assert t.requires_nonnegative_measures
+
+    def test_and_threshold(self):
+        t = AndThreshold(CountThreshold(2), SumThreshold(5.0))
+        assert t.qualifies(2, 5.0)
+        assert not t.qualifies(1, 100.0)
+        assert not t.qualifies(100, 1.0)
+        assert "AND" in t.describe()
+        assert t.requires_nonnegative_measures
+        assert not AndThreshold(2).requires_nonnegative_measures
+
+    def test_and_threshold_needs_conditions(self):
+        with pytest.raises(PlanError):
+            AndThreshold()
+
+    def test_as_threshold_normalization(self):
+        assert isinstance(as_threshold(3), CountThreshold)
+        t = SumThreshold(1.0)
+        assert as_threshold(t) is t
+        with pytest.raises(PlanError):
+            as_threshold(True)
+        with pytest.raises(PlanError):
+            as_threshold(2.5)
+        with pytest.raises(PlanError):
+            as_threshold(0)
+
+    def test_validate_measures(self):
+        ok = Relation(("A",), [(0,)], [1.0])
+        bad = Relation(("A",), [(0,)], [-1.0])
+        validate_measures(SumThreshold(1.0), ok)
+        with pytest.raises(PlanError):
+            validate_measures(SumThreshold(1.0), bad)
+        validate_measures(CountThreshold(1), bad)  # counts don't care
+
+
+@pytest.fixture
+def positive_relation():
+    return zipf_relation(400, [6, 5, 4], skew=0.8, seed=17, measure_range=(1, 20))
+
+
+class TestSumThresholdCubes:
+    def test_naive_filters_by_sum(self, positive_relation):
+        result = naive_iceberg_cube(positive_relation, minsup=SumThreshold(100.0))
+        assert result.total_cells() > 0
+        for cells in result.cuboids.values():
+            for _cell, (_count, value) in cells.items():
+                assert value >= 100.0
+
+    def test_buc_prunes_soundly_with_sum_threshold(self, positive_relation):
+        expected = naive_iceberg_cube(positive_relation, minsup=SumThreshold(80.0))
+        got, stats, _w = buc_iceberg_cube(positive_relation, minsup=SumThreshold(80.0))
+        assert got.equals(expected), got.diff(expected)
+        # Pruning actually happened: strictly less work than the full cube.
+        _full, full_stats, _w2 = buc_iceberg_cube(positive_relation, minsup=1)
+        assert stats.sort_units < full_stats.sort_units
+
+    def test_buc_rejects_negative_measures_with_sum_threshold(self):
+        rel = Relation(("A", "B"), [(0, 0), (1, 1)], [5.0, -1.0])
+        with pytest.raises(PlanError):
+            buc_iceberg_cube(rel, minsup=SumThreshold(1.0))
+
+    @pytest.mark.parametrize("algo_cls", [RP, BPP, ASL, PT, AHT])
+    def test_all_parallel_algorithms_support_sum_threshold(self, algo_cls,
+                                                           positive_relation):
+        threshold = SumThreshold(120.0)
+        expected = naive_iceberg_cube(positive_relation, minsup=threshold)
+        run = algo_cls().run(positive_relation, minsup=threshold,
+                             cluster_spec=cluster1(3))
+        assert run.result.equals(expected), (algo_cls.name,
+                                             run.result.diff(expected))
+
+    @pytest.mark.parametrize("algo_cls", [RP, BPP, ASL, PT, AHT])
+    def test_parallel_algorithms_reject_unsound_pruning(self, algo_cls):
+        rel = Relation(("A", "B"), [(0, 0), (1, 1)], [5.0, -1.0])
+        with pytest.raises(PlanError):
+            algo_cls().run(rel, minsup=SumThreshold(1.0), cluster_spec=cluster1(2))
+
+    def test_conjunction_threshold(self, positive_relation):
+        threshold = AndThreshold(CountThreshold(3), SumThreshold(60.0))
+        expected = naive_iceberg_cube(positive_relation, minsup=threshold)
+        run = PT().run(positive_relation, minsup=threshold, cluster_spec=cluster1(2))
+        assert run.result.equals(expected)
+
+    def test_sequential_baselines_support_sum_threshold(self, positive_relation):
+        from repro.core import (
+            apriori_iceberg_cube,
+            overlap_iceberg_cube,
+            partitioned_cube,
+            pipehash_iceberg_cube,
+            pipesort_iceberg_cube,
+        )
+
+        threshold = SumThreshold(90.0)
+        expected = naive_iceberg_cube(positive_relation, minsup=threshold)
+        assert pipesort_iceberg_cube(positive_relation, minsup=threshold)[0].equals(expected)
+        assert pipehash_iceberg_cube(positive_relation, minsup=threshold)[0].equals(expected)
+        assert overlap_iceberg_cube(positive_relation, minsup=threshold)[0].equals(expected)
+        assert partitioned_cube(positive_relation, minsup=threshold)[0].equals(expected)
+        assert apriori_iceberg_cube(positive_relation, minsup=threshold)[0].equals(expected)
+
+
+class TestOnlineSumThresholds:
+    def test_pol_with_sum_threshold(self, positive_relation):
+        threshold = SumThreshold(50.0)
+        run = POL(buffer_size=100).run(positive_relation, minsup=threshold,
+                                       cluster_spec=cluster1(3))
+        from repro.core.naive import naive_cuboid
+
+        expected = {
+            cell: agg
+            for cell, agg in naive_cuboid(positive_relation,
+                                          positive_relation.dims).items()
+            if agg[1] >= 50.0
+        }
+        got = {k: (c, pytest.approx(v)) for k, (c, v) in run.cells.items()}
+        assert got == expected
+
+    def test_materialization_with_sum_threshold(self, positive_relation):
+        materialization = LeafMaterialization(positive_relation,
+                                              cluster_spec=cluster1(2))
+        threshold = SumThreshold(70.0)
+        expected = naive_iceberg_cube(positive_relation, minsup=threshold)
+        assert materialization.query_cube(threshold).equals(expected)
+
+
+class TestProperty:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 3)), min_size=1, max_size=40
+        ),
+        st.floats(1.0, 50.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_buc_sum_threshold_matches_naive(self, rows, min_sum):
+        relation = Relation(("A", "B"), rows, [float(1 + i % 5) for i in range(len(rows))])
+        threshold = SumThreshold(min_sum)
+        expected = naive_iceberg_cube(relation, minsup=threshold)
+        got, _stats, _w = buc_iceberg_cube(relation, minsup=threshold)
+        assert got.equals(expected)

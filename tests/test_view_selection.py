@@ -1,0 +1,126 @@
+"""HRU greedy view selection and the materialized store."""
+
+import pytest
+
+from repro.core.naive import naive_cuboid
+from repro.data import uniform_relation, zipf_relation
+from repro.errors import PlanError
+from repro.online.view_selection import (
+    MaterializedCubeStore,
+    estimate_cuboid_sizes,
+    greedy_select,
+)
+
+
+@pytest.fixture
+def relation():
+    return zipf_relation(1500, [12, 8, 5, 3], skew=0.7, seed=11)
+
+
+class TestSizeEstimates:
+    def test_exact_when_sample_is_everything(self, relation):
+        sizes = estimate_cuboid_sizes(relation, sample_size=len(relation) * 2)
+        for cuboid in (("A",), ("A", "B"), ("A", "B", "C", "D")):
+            assert sizes[cuboid] == len(naive_cuboid(relation, cuboid))
+
+    def test_estimates_bounded(self, relation):
+        sizes = estimate_cuboid_sizes(relation, sample_size=64)
+        for cuboid, size in sizes.items():
+            assert 1 <= size <= len(relation)
+            if cuboid:
+                assert size <= relation.cardinality_product(cuboid)
+
+    def test_all_node_is_one(self, relation):
+        assert estimate_cuboid_sizes(relation)[()] == 1
+
+    def test_monotone_in_expectation(self, relation):
+        # A cuboid is never estimated larger than a superset cuboid by
+        # more than sampling noise; check the exact-sample case strictly.
+        sizes = estimate_cuboid_sizes(relation, sample_size=10_000)
+        assert sizes[("A",)] <= sizes[("A", "B")]
+        assert sizes[("A", "B")] <= sizes[("A", "B", "C", "D")]
+
+
+class TestGreedySelect:
+    def test_root_always_first(self):
+        sizes = {c: 10 for c in [("A", "B"), ("A",), ("B",), ()]}
+        views = greedy_select(("A", "B"), sizes, max_views=1)
+        assert views == [("A", "B")]
+
+    def test_budget_by_views(self, relation):
+        sizes = estimate_cuboid_sizes(relation)
+        views = greedy_select(relation.dims, sizes, max_views=3)
+        assert len(views) == 3
+        assert views[0] == relation.dims
+
+    def test_budget_by_cells(self, relation):
+        sizes = estimate_cuboid_sizes(relation)
+        budget = sizes[relation.dims] + 50
+        views = greedy_select(relation.dims, sizes, max_cells=budget)
+        assert sum(sizes[v] for v in views) <= budget
+
+    def test_needs_some_budget(self, relation):
+        with pytest.raises(PlanError):
+            greedy_select(relation.dims, estimate_cuboid_sizes(relation))
+
+    def test_greedy_picks_high_benefit_views(self):
+        # One cheap view answering many cuboids should be picked first.
+        dims = ("A", "B", "C")
+        sizes = {
+            ("A", "B", "C"): 1000,
+            ("A", "B"): 10,  # tiny: answers AB, A, B cheaply
+            ("A", "C"): 900,
+            ("B", "C"): 900,
+            ("A",): 500, ("B",): 500, ("C",): 900,
+            (): 1,
+        }
+        views = greedy_select(dims, sizes, max_views=2)
+        assert views[1] == ("A", "B")
+
+
+class TestMaterializedStore:
+    def test_queries_exact_at_any_threshold(self, relation):
+        store = MaterializedCubeStore(relation, max_views=3)
+        for cuboid in (("A",), ("B", "D"), ("A", "B", "C"), ()):
+            for minsup in (1, 3):
+                if cuboid:
+                    expected = {
+                        cell: agg
+                        for cell, agg in naive_cuboid(relation, cuboid).items()
+                        if agg[0] >= minsup
+                    }
+                else:
+                    expected = {(): (len(relation), sum(relation.measures))}
+                got = store.query(cuboid, minsup=minsup)
+                got = {k: (c, pytest.approx(v)) for k, (c, v) in got.items()}
+                assert got == expected, (cuboid, minsup)
+
+    def test_cuboid_order_canonicalized(self, relation):
+        store = MaterializedCubeStore(relation, max_views=2)
+        a = store.query(("A", "C"), minsup=2)
+        b = store.query(("C", "A"), minsup=2)
+        assert a == b
+
+    def test_more_views_cheaper_queries(self, relation):
+        small = MaterializedCubeStore(relation, max_views=1)
+        big = MaterializedCubeStore(relation, max_views=6)
+        assert big.average_query_cost() <= small.average_query_cost()
+        assert big.materialized_cells() >= small.materialized_cells()
+
+    def test_best_view_is_an_ancestor(self, relation):
+        store = MaterializedCubeStore(relation, max_views=4)
+        for cuboid in (("B",), ("A", "D")):
+            view = store.best_view_for(cuboid)
+            assert set(cuboid) <= set(view)
+
+    def test_cells_scanned_accounting(self, relation):
+        store = MaterializedCubeStore(relation, max_views=2)
+        before = store.cells_scanned
+        store.query(("A",), minsup=1)
+        assert store.cells_scanned > before
+
+    def test_dense_data_gets_big_savings(self):
+        rel = uniform_relation(2000, [4, 4, 4, 4], seed=5)
+        root_only = MaterializedCubeStore(rel, max_views=1)
+        chosen = MaterializedCubeStore(rel, max_views=5)
+        assert chosen.average_query_cost() < 0.6 * root_only.average_query_cost()

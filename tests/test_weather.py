@@ -1,0 +1,88 @@
+"""The synthetic weather dataset matches the thesis' documented traits."""
+
+import pytest
+
+from repro.data.weather import (
+    BASELINE_DIMS,
+    WEATHER_DIMENSIONS,
+    baseline_dims,
+    cardinality_of,
+    dimension_names,
+    dims_by_cardinality,
+    weather_relation,
+)
+
+
+class TestDimensionTable:
+    def test_twenty_dimensions(self):
+        assert len(WEATHER_DIMENSIONS) == 20
+        assert len(dimension_names()) == 20
+
+    def test_cardinalities_span_2_to_7037(self):
+        cards = [c for _n, c, _s in WEATHER_DIMENSIONS]
+        assert min(cards) == 2
+        assert max(cards) == 7037
+
+    def test_baseline_product_near_1e13(self):
+        product = 1
+        for name in BASELINE_DIMS:
+            product *= cardinality_of(name)
+        assert 1e12 < product < 1e15  # thesis: "roughly equal to 1e13"
+
+    def test_baseline_has_nine_dims(self):
+        assert len(BASELINE_DIMS) == 9
+
+
+class TestSelection:
+    def test_smallest_vs_largest_products_span_figure_4_6_range(self):
+        small = 1
+        for name in dims_by_cardinality("smallest", 9):
+            small *= cardinality_of(name)
+        large = 1
+        for name in dims_by_cardinality("largest", 9):
+            large *= cardinality_of(name)
+        assert small < 1e9
+        assert large > 1e18
+        assert large / small > 1e8
+
+    def test_middle_selection_between_extremes(self):
+        mid = 1
+        for name in dims_by_cardinality("middle", 9):
+            mid *= cardinality_of(name)
+        small = 1
+        for name in dims_by_cardinality("smallest", 9):
+            small *= cardinality_of(name)
+        assert small < mid
+
+    def test_invalid_selector_rejected(self):
+        with pytest.raises(ValueError):
+            dims_by_cardinality("weird")
+
+    def test_baseline_dims_extension(self):
+        assert baseline_dims(5) == BASELINE_DIMS[:5]
+        extended = baseline_dims(12)
+        assert len(extended) == 12
+        assert len(set(extended)) == 12
+        with pytest.raises(ValueError):
+            baseline_dims(25)
+
+
+class TestGeneration:
+    def test_default_dims_are_baseline(self):
+        rel = weather_relation(100)
+        assert rel.dims == BASELINE_DIMS
+
+    def test_deterministic(self):
+        assert weather_relation(200).rows == weather_relation(200).rows
+
+    def test_unknown_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            weather_relation(10, dims=("nonexistent",))
+
+    def test_skewed_dimension_partitions_unevenly(self):
+        # The thesis: partitioning on the skewed dimension produces one
+        # partition tens of times larger than the smallest.
+        rel = weather_relation(20000, dims=("humidity_class", "day"))
+        parts = rel.range_partition("humidity_class", 8)
+        sizes = sorted(len(p) for p in parts if len(p))
+        assert sizes[-1] > 15 * sizes[0]

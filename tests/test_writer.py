@@ -1,0 +1,68 @@
+"""ResultWriter: the I/O pattern ledger behind Figure 3.4."""
+
+from repro.core.writer import ResultWriter
+
+
+class TestWriteCell:
+    def test_switch_counted_on_cuboid_change(self):
+        w = ResultWriter(("A", "B"))
+        w.write_cell(("A",), (0,), 1, 1.0)
+        w.write_cell(("A",), (1,), 1, 1.0)
+        w.write_cell(("A", "B"), (0, 0), 1, 1.0)
+        w.write_cell(("A",), (2,), 1, 1.0)
+        assert w.cuboid_switches == 3
+        assert w.cells_written == 4
+
+    def test_bytes_scale_with_cuboid_width(self):
+        w = ResultWriter(("A", "B"))
+        w.write_cell(("A",), (0,), 1, 1.0)
+        narrow = w.bytes_written
+        w.write_cell(("A", "B"), (0, 0), 1, 1.0)
+        assert w.bytes_written - narrow > narrow
+
+    def test_cells_recorded_in_result(self):
+        w = ResultWriter(("A",))
+        w.write_cell(("A",), (3,), 2, 7.0)
+        assert w.result.cuboid(("A",)) == {(3,): (2, 7.0)}
+
+
+class TestWriteBlock:
+    def test_block_counts_one_switch(self):
+        w = ResultWriter(("A", "B"))
+        w.write_block(("A",), [((0,), 1, 1.0), ((1,), 1, 1.0), ((2,), 1, 1.0)])
+        assert w.cuboid_switches == 1
+        assert w.cells_written == 3
+
+    def test_empty_block_costs_nothing(self):
+        w = ResultWriter(("A",))
+        w.write_block(("A",), [])
+        assert w.cuboid_switches == 0
+        assert w.cells_written == 0
+
+    def test_block_to_same_cuboid_does_not_switch(self):
+        w = ResultWriter(("A",))
+        w.write_block(("A",), [((0,), 1, 1.0)])
+        w.write_block(("A",), [((1,), 1, 1.0)])
+        assert w.cuboid_switches == 1
+
+    def test_breadth_beats_depth_on_interleaved_writes(self):
+        depth = ResultWriter(("A", "B"))
+        for i in range(10):
+            depth.write_cell(("A",), (i,), 1, 1.0)
+            depth.write_cell(("A", "B"), (i, 0), 1, 1.0)
+        breadth = ResultWriter(("A", "B"))
+        breadth.write_block(("A",), [((i,), 1, 1.0) for i in range(10)])
+        breadth.write_block(("A", "B"), [((i, 0), 1, 1.0) for i in range(10)])
+        assert depth.cuboid_switches == 20
+        assert breadth.cuboid_switches == 2
+        assert depth.result.equals(breadth.result)
+
+
+class TestSnapshots:
+    def test_delta(self):
+        w = ResultWriter(("A",))
+        before = w.snapshot()
+        w.write_cell(("A",), (0,), 1, 1.0)
+        cells, nbytes, switches = ResultWriter.delta(before, w.snapshot())
+        assert (cells, switches) == (1, 1)
+        assert nbytes == 3 * 8
