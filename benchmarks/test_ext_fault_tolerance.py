@@ -1,0 +1,7 @@
+"""Extension: injected node loss — RP vs PT makespan degradation."""
+
+from repro.bench.extensions import ext_fault_tolerance
+
+
+def test_ext_fault_tolerance(run_experiment):
+    run_experiment(ext_fault_tolerance)

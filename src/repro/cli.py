@@ -56,6 +56,14 @@ def build_parser():
     cube.add_argument("--cluster", default="cluster1", choices=sorted(CLUSTERS))
     cube.add_argument("--export", metavar="DIR",
                       help="write the result cells under DIR (one CSV per cuboid)")
+    cube.add_argument("--faults", metavar="SPEC",
+                      help="inject faults into the simulated run; SPEC is "
+                           "comma-separated directives: 'crash:P@T' (processor "
+                           "P dies at T seconds), 'slow:PxF' or 'slow:PxF@T' "
+                           "(P runs F times slower from T), 'rate=R' (transient "
+                           "task-failure probability), 'retries=N', 'backoff=S', "
+                           "'seed=N'.  Example: "
+                           "--faults crash:0@0.05,slow:1x4,rate=0.1,seed=7")
 
     query = sub.add_parser("query", help="answer one iceberg group-by")
     _add_input_options(query)
@@ -108,6 +116,44 @@ def _load_relation(args):
     return weather_relation(args.weather, dims=dims), None
 
 
+def parse_fault_spec(spec):
+    """Parse a ``--faults`` directive string into a :class:`FaultPlan`."""
+    from .cluster.faults import FaultPlan, NodeCrash, Slowdown
+    from .errors import ClusterError
+
+    crashes, slowdowns, options = [], [], {}
+    for token in filter(None, (t.strip() for t in spec.split(","))):
+        try:
+            if token.startswith("crash:"):
+                proc, at = token[len("crash:"):].split("@")
+                crashes.append(NodeCrash(int(proc), float(at)))
+            elif token.startswith("slow:"):
+                body = token[len("slow:"):]
+                when = 0.0
+                if "@" in body:
+                    body, at = body.split("@")
+                    when = float(at)
+                proc, factor = body.split("x")
+                slowdowns.append(Slowdown(int(proc), float(factor), start=when))
+            elif "=" in token:
+                key, value = token.split("=", 1)
+                mapped = {"rate": ("failure_rate", float),
+                          "retries": ("max_retries", int),
+                          "backoff": ("backoff_s", float),
+                          "seed": ("seed", int)}.get(key)
+                if mapped is None:
+                    raise ValueError("unknown option %r" % key)
+                options[mapped[0]] = mapped[1](value)
+            else:
+                raise ValueError("unknown directive")
+        except (ValueError, IndexError) as exc:
+            raise ClusterError(
+                "bad --faults directive %r (%s); expected crash:P@T, slow:PxF[@T], "
+                "rate=R, retries=N, backoff=S or seed=N" % (token, exc)
+            ) from None
+    return FaultPlan(crashes=crashes, slowdowns=slowdowns, **options)
+
+
 def _threshold(args):
     conditions = []
     if args.minsup > 1 or args.min_sum is None:
@@ -130,8 +176,10 @@ def cmd_cube(args, out):
     relation, dims = _load_relation(args)
     threshold = _threshold(args)
     cluster = CLUSTERS[args.cluster](args.processors)
+    fault_plan = parse_fault_spec(args.faults) if args.faults else None
     run = iceberg_cube(relation, dims=dims, minsup=threshold,
-                       algorithm=args.algorithm, cluster_spec=cluster)
+                       algorithm=args.algorithm, cluster_spec=cluster,
+                       fault_plan=fault_plan)
     print("algorithm        : %s" % run.algorithm, file=out)
     print("input            : %d tuples, dims %s"
           % (len(relation), ", ".join(run.result.dims)), file=out)
@@ -143,6 +191,14 @@ def cmd_cube(args, out):
           % (run.makespan, len(cluster), cluster.machines[0].name,
              cluster.network.name), file=out)
     print("load imbalance   : %.2f" % run.simulation.load_imbalance(), file=out)
+    if fault_plan is not None:
+        sim = run.simulation
+        print("recovery         : %d retries, %d reassignments, %.3f s work lost"
+              % (sim.retries, sim.reassignments, sim.lost_work_seconds), file=out)
+        failed = sim.failed_processors
+        print("failed nodes     : %s (survivors finished at %.3f s)"
+              % (list(failed) if failed else "none", sim.degraded_makespan),
+              file=out)
     if args.export:
         manifest = save_cube(run.result, args.export)
         print("exported         : %d cuboid files under %s"

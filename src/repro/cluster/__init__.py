@@ -1,6 +1,13 @@
 """Simulated PC-cluster substrate: specs, cost model and scheduler."""
 
 from .costmodel import CostModel
+from .faults import (
+    FaultPlan,
+    NodeCrash,
+    RecoveryLog,
+    Slowdown,
+    TaskFailure,
+)
 from .simulator import (
     Cluster,
     Processor,
@@ -28,6 +35,11 @@ from .spec import (
 
 __all__ = [
     "CostModel",
+    "FaultPlan",
+    "NodeCrash",
+    "Slowdown",
+    "TaskFailure",
+    "RecoveryLog",
     "Cluster",
     "Processor",
     "ScheduleEntry",

@@ -1,0 +1,381 @@
+"""Fault injection and recovery for the simulated cluster.
+
+The thesis targets cheap commodity PC clusters — exactly the hardware
+where nodes crash mid-run and background load turns a machine into a
+straggler.  This module makes those conditions first-class in the
+simulator: a deterministic, seedable :class:`FaultPlan` describes
+
+* **node crashes** — processor ``p`` dies at virtual time ``T``; work in
+  flight is lost (charged up to ``T``), its queue is reassigned to
+  survivors;
+* **transient task failures** — an attempt runs to completion, fails,
+  and is retried after an exponential backoff in *simulated* time (the
+  work of the failed attempt is priced and counted as lost);
+* **slowdowns / stragglers** — a machine's CPU runs ``factor`` times
+  slower from a given virtual time onward.
+
+Recovery is scheduler-driven: :func:`run_dynamic_faulted` re-queues a
+failed or orphaned task so the demand policy (``select_task``)
+reassigns it to whichever surviving worker goes idle, while
+:func:`run_static_faulted` retries on the same node and falls back to
+round-robin over survivors when a node dies.  Escalation: a task whose
+failures exceed ``max_retries`` raises
+:class:`~repro.errors.TaskRetryExhausted`; losing every processor with
+work outstanding raises :class:`~repro.errors.ClusterDegradedError`.
+
+Replay idempotence: with a fault plan active, drivers isolate each
+attempt's cells in ``TaskExecution.output``; only *committed* attempts
+(collected in :attr:`RecoveryLog.committed`) contribute to the merged
+cube, so a retried task can never double-count.
+
+Determinism: every decision is a pure function of the plan's seed and
+the (task id, attempt) pair — re-running the same plan on the same
+inputs reproduces the schedule exactly.
+"""
+
+import random
+from collections import deque
+
+from ..errors import ClusterDegradedError, ClusterError, TaskRetryExhausted
+from .simulator import SimulationResult, resolve_choice
+
+__all__ = [
+    "NodeCrash",
+    "Slowdown",
+    "TaskFailure",
+    "FaultPlan",
+    "RecoveryLog",
+    "run_static_faulted",
+    "run_dynamic_faulted",
+]
+
+
+class NodeCrash:
+    """Processor ``processor`` fails permanently at virtual time ``at``."""
+
+    __slots__ = ("processor", "at")
+
+    def __init__(self, processor, at):
+        if at < 0:
+            raise ClusterError("crash time must be >= 0, got %r" % (at,))
+        self.processor = int(processor)
+        self.at = float(at)
+
+    def __repr__(self):
+        return "NodeCrash(p%d @ %.3fs)" % (self.processor, self.at)
+
+
+class Slowdown:
+    """Processor ``processor`` runs ``factor``x slower from ``start`` on.
+
+    Models a straggler: antivirus scan, swapping, a flaky fan throttling
+    the CPU.  Only CPU time is scaled — the disk and NIC keep their
+    speed, as in the thesis' heterogeneous-machine discussion.
+    """
+
+    __slots__ = ("processor", "factor", "start")
+
+    def __init__(self, processor, factor, start=0.0):
+        if factor < 1.0:
+            raise ClusterError("slowdown factor must be >= 1.0, got %r" % (factor,))
+        self.processor = int(processor)
+        self.factor = float(factor)
+        self.start = float(start)
+
+    def __repr__(self):
+        return "Slowdown(p%d x%.1f from %.3fs)" % (self.processor, self.factor, self.start)
+
+
+class TaskFailure:
+    """Explicitly fail attempt ``attempt`` (0-based) of task ``task_id``.
+
+    ``task_id`` is the task's index in the submitted sequence — the
+    position in ``assignments`` for static runs, in ``tasks`` for
+    dynamic runs — which is stable across retries and reassignment.
+    """
+
+    __slots__ = ("task_id", "attempt")
+
+    def __init__(self, task_id, attempt=0):
+        self.task_id = int(task_id)
+        self.attempt = int(attempt)
+
+    def __repr__(self):
+        return "TaskFailure(task %d, attempt %d)" % (self.task_id, self.attempt)
+
+
+class FaultPlan:
+    """A deterministic, seedable schedule of injected faults.
+
+    ``failure_rate`` draws per-(task, attempt) transient failures from a
+    hash of ``(seed, task_id, attempt)`` — independent of wall-clock and
+    of scheduling order, so runs replay exactly.  ``failures`` adds
+    explicit :class:`TaskFailure` events on top (tests use these).
+    Retries wait ``backoff_s * backoff_factor**(failures-1)`` simulated
+    seconds; a task failing more than ``max_retries`` times escalates.
+    """
+
+    def __init__(self, crashes=(), slowdowns=(), failures=(), failure_rate=0.0,
+                 max_retries=3, backoff_s=0.05, backoff_factor=2.0, seed=0):
+        if not 0.0 <= failure_rate <= 1.0:
+            raise ClusterError("failure_rate must be in [0, 1], got %r" % (failure_rate,))
+        if max_retries < 0:
+            raise ClusterError("max_retries must be >= 0, got %r" % (max_retries,))
+        self.crashes = tuple(crashes)
+        self.slowdowns = tuple(slowdowns)
+        self.failure_rate = float(failure_rate)
+        self.max_retries = int(max_retries)
+        self.backoff_s = float(backoff_s)
+        self.backoff_factor = float(backoff_factor)
+        self.seed = int(seed)
+        self._crash_at = {}
+        for crash in self.crashes:
+            previous = self._crash_at.get(crash.processor)
+            if previous is None or crash.at < previous:
+                self._crash_at[crash.processor] = crash.at
+        self._slow = {}
+        for slow in self.slowdowns:
+            self._slow.setdefault(slow.processor, []).append(slow)
+        self._explicit = {(f.task_id, f.attempt) for f in failures}
+
+    @classmethod
+    def random_plan(cls, seed, n_processors, horizon, crash_fraction=0.25,
+                    straggler_fraction=0.0, straggler_factor=4.0,
+                    failure_rate=0.0, max_retries=3, keep_alive=1):
+        """A seeded random plan over ``n_processors`` nodes.
+
+        ``crash_fraction`` of the nodes crash at times drawn uniformly
+        over ``(0, horizon)`` and ``straggler_fraction`` slow down by
+        ``straggler_factor``; at least ``keep_alive`` nodes are spared
+        from crashing so the run can complete.
+        """
+        rng = random.Random(seed)
+        indices = list(range(n_processors))
+        rng.shuffle(indices)
+        n_crash = min(int(round(crash_fraction * n_processors)),
+                      max(0, n_processors - keep_alive))
+        crashed = indices[:n_crash]
+        crashes = [NodeCrash(p, rng.uniform(0.05 * horizon, horizon)) for p in crashed]
+        n_slow = int(round(straggler_fraction * n_processors))
+        slow = [p for p in indices[n_crash:] if p not in crashed][:n_slow]
+        slowdowns = [Slowdown(p, straggler_factor, start=0.0) for p in slow]
+        return cls(crashes=crashes, slowdowns=slowdowns, failure_rate=failure_rate,
+                   max_retries=max_retries, seed=seed)
+
+    # ------------------------------------------------------------------
+    # queries (all pure functions of the plan)
+    # ------------------------------------------------------------------
+    def crash_time(self, processor_index):
+        """When ``processor_index`` dies, or ``None`` if it survives."""
+        return self._crash_at.get(processor_index)
+
+    def slowdown_factor(self, processor_index, at):
+        """CPU slowdown multiplier for the node at virtual time ``at``."""
+        factor = 1.0
+        for slow in self._slow.get(processor_index, ()):
+            if at >= slow.start:
+                factor *= slow.factor
+        return factor
+
+    def attempt_fails(self, task_id, attempt):
+        """Whether attempt ``attempt`` (0-based) of ``task_id`` fails."""
+        if (task_id, attempt) in self._explicit:
+            return True
+        if self.failure_rate <= 0.0:
+            return False
+        mix = (self.seed * 1000003 + task_id) * 1000003 + attempt
+        return random.Random(mix).random() < self.failure_rate
+
+    def backoff_seconds(self, failures):
+        """Simulated wait before the retry after the ``failures``-th failure."""
+        return self.backoff_s * self.backoff_factor ** (failures - 1)
+
+    def __repr__(self):
+        return "FaultPlan(%d crashes, %d slowdowns, rate=%.3f, seed=%d)" % (
+            len(self.crashes), len(self.slowdowns), self.failure_rate, self.seed,
+        )
+
+
+class RecoveryLog:
+    """Telemetry of one fault-tolerant run (``SimulationResult.recovery``)."""
+
+    __slots__ = ("retries", "reassignments", "lost_work_seconds",
+                 "backoff_seconds", "failed_processors", "committed")
+
+    def __init__(self):
+        #: transient-failure re-executions
+        self.retries = 0
+        #: dispatches of a task on a different node than its previous
+        #: attempt (or, for static runs, than its planned assignment)
+        self.reassignments = 0
+        #: simulated seconds charged to attempts whose output was discarded
+        self.lost_work_seconds = 0.0
+        #: simulated seconds workers spent waiting out retry backoffs
+        self.backoff_seconds = 0.0
+        #: processor indices that crashed, in crash order
+        self.failed_processors = []
+        #: the committed TaskExecutions (exactly one per task)
+        self.committed = []
+
+
+def _dispatch(cluster, plan, log, processor, task_id, task, execute, attempts,
+              last_proc, overhead=0.0):
+    """Execute one attempt and charge it; returns ``"done"``, ``"failed"``
+    or ``"crashed"``.
+
+    The attempt's cost is priced through the normal cost model (so a
+    reassigned task pays its re-read and re-communication again), scaled
+    by any active slowdown, and truncated at the node's crash time when
+    the node dies mid-task.
+    """
+    previous = last_proc.get(task_id)
+    if previous is not None and previous != processor.index:
+        log.reassignments += 1
+    last_proc[task_id] = processor.index
+
+    execution = execute(processor, task)
+    cpu, io, comm = cluster.price(processor, execution)
+    factor = plan.slowdown_factor(processor.index, processor.clock)
+    if factor != 1.0:
+        cpu *= factor
+    if overhead:
+        processor.clock += overhead
+        processor.comm_time += overhead
+
+    crash_at = plan.crash_time(processor.index)
+    start = processor.clock
+    end = start + cpu + io + comm
+    if crash_at is not None and end > crash_at:
+        # The node dies mid-task: charge the fraction done, lose it all.
+        duration = end - start
+        frac = (crash_at - start) / duration if duration > 0 else 0.0
+        frac = max(0.0, frac)
+        entry = cluster.charge_priced(processor, "%s!crash" % execution.label,
+                                      cpu * frac, io * frac, comm * frac)
+        processor.clock = crash_at
+        log.lost_work_seconds += max(0.0, crash_at - start)
+        return "crashed", entry
+
+    failures = attempts.get(task_id, 0)
+    if plan.attempt_fails(task_id, failures):
+        attempts[task_id] = failures + 1
+        if failures + 1 > plan.max_retries:
+            raise TaskRetryExhausted(execution.label, failures + 1)
+        entry = cluster.charge_priced(processor, "%s!retry" % execution.label,
+                                      cpu, io, comm)
+        backoff = plan.backoff_seconds(failures + 1)
+        processor.clock += backoff
+        log.backoff_seconds += backoff
+        log.lost_work_seconds += cpu + io + comm
+        log.retries += 1
+        return "failed", entry
+
+    entry = cluster.charge_priced(processor, execution.label, cpu, io, comm)
+    log.committed.append(execution)
+    return "done", entry
+
+
+def run_static_faulted(cluster, assignments, execute, plan):
+    """Static scheduling under a :class:`FaultPlan`.
+
+    Per-processor queues preserve the planned order; a transiently
+    failed task retries on its own node after backoff, and a dead node's
+    queue (plus its interrupted task) is redistributed round-robin over
+    the survivors — the natural degradation of RP/BPP's fixed maps.
+    """
+    queues = [deque() for _ in cluster.processors]
+    last_proc = {}
+    for task_id, (proc_index, task) in enumerate(assignments):
+        if not 0 <= proc_index < len(cluster):
+            raise ClusterError(
+                "assignment to processor %d of %d" % (proc_index, len(cluster))
+            )
+        queues[proc_index].append((task_id, task))
+        last_proc[task_id] = proc_index
+    log = RecoveryLog()
+    schedule = []
+    attempts = {}
+    dead = set()
+    robin = [0]  # round-robin cursor over survivors, shared by redistributions
+
+    def redistribute(orphans):
+        survivors = [p.index for p in cluster.processors if p.index not in dead]
+        if not survivors:
+            raise ClusterDegradedError(len(orphans), log.failed_processors)
+        for item in orphans:
+            queues[survivors[robin[0] % len(survivors)]].append(item)
+            robin[0] += 1
+
+    def kill(processor, pending_extra=()):
+        dead.add(processor.index)
+        log.failed_processors.append(processor.index)
+        orphans = list(pending_extra) + list(queues[processor.index])
+        queues[processor.index].clear()
+        redistribute(orphans)
+
+    while True:
+        candidates = [p for p in cluster.processors
+                      if p.index not in dead and queues[p.index]]
+        if not candidates:
+            break
+        processor = min(candidates, key=lambda p: (p.clock, p.index))
+        crash_at = plan.crash_time(processor.index)
+        if crash_at is not None and processor.clock >= crash_at:
+            # Died idle, before picking up its next task.
+            processor.clock = crash_at
+            kill(processor)
+            continue
+        task_id, task = queues[processor.index].popleft()
+        outcome, entry = _dispatch(cluster, plan, log, processor, task_id, task,
+                                   execute, attempts, last_proc)
+        schedule.append(entry)
+        if outcome == "crashed":
+            kill(processor, pending_extra=[(task_id, task)])
+        elif outcome == "failed":
+            queues[processor.index].appendleft((task_id, task))
+    return SimulationResult(cluster.processors, schedule, recovery=log)
+
+
+def run_dynamic_faulted(cluster, tasks, select_task, execute, plan):
+    """Demand scheduling under a :class:`FaultPlan`.
+
+    Failed and orphaned tasks are pushed back to the front of
+    ``pending``, so the existing ``select_task`` policy reassigns them to
+    whichever surviving worker idles first — demand scheduling recovers
+    for free, which is exactly the thesis' load-balancing argument
+    extended to failures.
+    """
+    pending = list(tasks)
+    pending_ids = list(range(len(tasks)))
+    log = RecoveryLog()
+    schedule = []
+    attempts = {}
+    last_proc = {}
+    dead = set()
+    overhead = cluster.cost_model.schedule_overhead_s
+    while pending:
+        candidates = [p for p in cluster.processors if p.index not in dead]
+        if not candidates:
+            raise ClusterDegradedError(len(pending), log.failed_processors)
+        processor = min(candidates, key=lambda p: (p.clock, p.index))
+        crash_at = plan.crash_time(processor.index)
+        if crash_at is not None and processor.clock >= crash_at:
+            processor.clock = crash_at
+            dead.add(processor.index)
+            log.failed_processors.append(processor.index)
+            continue
+        index = resolve_choice(pending, select_task(processor, pending))
+        task = pending.pop(index)
+        task_id = pending_ids.pop(index)
+        outcome, entry = _dispatch(cluster, plan, log, processor, task_id, task,
+                                   execute, attempts, last_proc, overhead=overhead)
+        schedule.append(entry)
+        if outcome == "crashed":
+            dead.add(processor.index)
+            log.failed_processors.append(processor.index)
+            pending.insert(0, task)
+            pending_ids.insert(0, task_id)
+        elif outcome == "failed":
+            pending.insert(0, task)
+            pending_ids.insert(0, task_id)
+    return SimulationResult(cluster.processors, schedule, recovery=log)

@@ -23,7 +23,13 @@ from ..errors import ClusterError
 
 
 class TaskExecution:
-    """What one executed task cost, as reported by the algorithm driver."""
+    """What one executed task cost, as reported by the algorithm driver.
+
+    ``output`` is an optional per-attempt payload (fault-tolerant runs
+    put the attempt's partial :class:`~repro.core.result.CubeResult`
+    here, so a failed attempt's cells can be discarded instead of
+    double-counting on retry).
+    """
 
     __slots__ = (
         "label",
@@ -34,6 +40,7 @@ class TaskExecution:
         "read_bytes",
         "comm_bytes",
         "comm_messages",
+        "output",
     )
 
     def __init__(
@@ -46,6 +53,7 @@ class TaskExecution:
         read_bytes=0,
         comm_bytes=0,
         comm_messages=0,
+        output=None,
     ):
         self.label = label
         self.stats = stats
@@ -55,6 +63,7 @@ class TaskExecution:
         self.read_bytes = read_bytes
         self.comm_bytes = comm_bytes
         self.comm_messages = comm_messages
+        self.output = output
 
 
 class Processor:
@@ -103,16 +112,59 @@ class ScheduleEntry:
 
 
 class SimulationResult:
-    """Outcome of a simulated run: per-processor times and the schedule."""
+    """Outcome of a simulated run: per-processor times and the schedule.
 
-    def __init__(self, processors, schedule):
+    ``recovery`` (a :class:`~repro.cluster.faults.RecoveryLog`, or
+    ``None`` for fault-free runs) carries the fault-tolerance telemetry;
+    the ``retries`` / ``reassignments`` / ``lost_work_seconds`` /
+    ``degraded_makespan`` properties read through it and report zeros /
+    the plain makespan when no faults were injected.
+    """
+
+    def __init__(self, processors, schedule, recovery=None):
         self.processors = processors
         self.schedule = schedule
+        self.recovery = recovery
 
     @property
     def makespan(self):
         """Wall-clock: the time the slowest processor finishes."""
         return max(p.clock for p in self.processors)
+
+    # ------------------------------------------------------------------
+    # recovery telemetry (zeros when no fault plan was active)
+    # ------------------------------------------------------------------
+    @property
+    def retries(self):
+        """Task attempts that failed transiently and were re-executed."""
+        return self.recovery.retries if self.recovery is not None else 0
+
+    @property
+    def reassignments(self):
+        """Task dispatches on a different node than the previous attempt."""
+        return self.recovery.reassignments if self.recovery is not None else 0
+
+    @property
+    def lost_work_seconds(self):
+        """Simulated seconds of work charged to attempts that failed."""
+        return self.recovery.lost_work_seconds if self.recovery is not None else 0.0
+
+    @property
+    def failed_processors(self):
+        """Indices of processors that crashed during the run."""
+        return tuple(self.recovery.failed_processors) if self.recovery is not None else ()
+
+    @property
+    def degraded_makespan(self):
+        """Wall-clock over the *surviving* processors.
+
+        A node that crashed early freezes its clock at the crash time;
+        this is when the remaining fleet actually finished the cube.
+        Equals :attr:`makespan` for fault-free runs.
+        """
+        failed = set(self.failed_processors)
+        clocks = [p.clock for p in self.processors if p.index not in failed]
+        return max(clocks) if clocks else self.makespan
 
     def loads(self):
         """Per-processor busy time (Figure 4.1's bars)."""
@@ -148,8 +200,9 @@ class Cluster:
         """Zero all clocks and worker state for a fresh run."""
         self.processors = [Processor(i, m) for i, m in enumerate(self.spec.machines)]
 
-    def charge(self, processor, execution, include_task_overhead=True):
-        """Advance ``processor``'s clock by the priced cost of one task."""
+    def price(self, processor, execution, include_task_overhead=True):
+        """Price one task on ``processor`` as ``(cpu, io, comm)`` seconds
+        without advancing any clock (used to charge partial/lost work)."""
         cpu = self.cost_model.cpu_seconds(execution.stats, processor.machine)
         if include_task_overhead:
             cpu += self.cost_model.task_seconds(processor.machine)
@@ -160,6 +213,10 @@ class Cluster:
             comm = self.spec.network.transfer_seconds(
                 execution.comm_bytes, max(1, execution.comm_messages)
             )
+        return cpu, io, comm
+
+    def charge_priced(self, processor, label, cpu, io, comm):
+        """Advance ``processor``'s clock by an already-priced cost."""
         start = processor.clock
         processor.clock = start + cpu + io + comm
         processor.cpu_time += cpu
@@ -167,17 +224,59 @@ class Cluster:
         processor.comm_time += comm
         processor.tasks_run += 1
         return ScheduleEntry(
-            execution.label, processor.index, start, processor.clock, cpu, io, comm
+            label, processor.index, start, processor.clock, cpu, io, comm
         )
 
+    def charge(self, processor, execution, include_task_overhead=True):
+        """Advance ``processor``'s clock by the priced cost of one task."""
+        cpu, io, comm = self.price(processor, execution, include_task_overhead)
+        return self.charge_priced(processor, execution.label, cpu, io, comm)
 
-def run_static(cluster, assignments, execute):
+
+def resolve_choice(pending, choice):
+    """Index of the policy's chosen task in ``pending``.
+
+    Policies preferably return an ``int`` index into ``pending`` — an
+    O(1) lookup with no equality scan over (possibly expensive) task
+    keys.  Returning the task object itself is still accepted for
+    compatibility; either way an out-of-range index or an object not in
+    ``pending`` raises :class:`~repro.errors.ClusterError`.
+    """
+    if isinstance(choice, int) and not isinstance(choice, bool):
+        if not 0 <= choice < len(pending):
+            raise ClusterError(
+                "select_task returned index %d, outside pending range 0..%d"
+                % (choice, len(pending) - 1)
+            )
+        return choice
+    for index, task in enumerate(pending):
+        if task is choice or task == choice:
+            return index
+    raise ClusterError(
+        "select_task returned %r, which is not one of the %d pending task(s)"
+        % (choice, len(pending))
+    )
+
+
+def take_pending(pending, choice):
+    """Pop the policy's chosen task from ``pending`` (see resolve_choice)."""
+    return pending.pop(resolve_choice(pending, choice))
+
+
+def run_static(cluster, assignments, execute, fault_plan=None):
     """Run with a fixed task->processor map.
 
     ``assignments`` is a list of ``(processor_index, task)`` pairs, run
     in order per processor.  ``execute(processor, task)`` performs the
-    work and returns a :class:`TaskExecution`.
+    work and returns a :class:`TaskExecution`.  With a ``fault_plan``
+    (:class:`~repro.cluster.faults.FaultPlan`) the run goes through the
+    fault-tolerant scheduler: failed tasks retry with backoff and a
+    crashed node's queue is redistributed round-robin over survivors.
     """
+    if fault_plan is not None:
+        from .faults import run_static_faulted
+
+        return run_static_faulted(cluster, assignments, execute, fault_plan)
     schedule = []
     for proc_index, task in assignments:
         try:
@@ -191,23 +290,29 @@ def run_static(cluster, assignments, execute):
     return SimulationResult(cluster.processors, schedule)
 
 
-def run_dynamic(cluster, tasks, select_task, execute):
+def run_dynamic(cluster, tasks, select_task, execute, fault_plan=None):
     """Run with demand (manager/worker) scheduling.
 
     Whenever a processor's clock is the earliest, the manager gives it
     the task chosen by ``select_task(processor, pending)`` (``pending``
-    is a list in stable order; the policy must return one of its
-    members).  Each assignment also pays the manager round-trip
+    is a list in stable order; the policy returns the *index* of its
+    pick, or — for compatibility — the task object itself).  Each
+    assignment also pays the manager round-trip
     (``schedule_overhead_s``) — the thesis overlaps the manager with a
-    worker on one node, so scheduling is cheap but not free.
+    worker on one node, so scheduling is cheap but not free.  With a
+    ``fault_plan`` the fault-tolerant scheduler re-queues failed and
+    orphaned tasks for the surviving workers to pick up on demand.
     """
+    if fault_plan is not None:
+        from .faults import run_dynamic_faulted
+
+        return run_dynamic_faulted(cluster, tasks, select_task, execute, fault_plan)
     pending = list(tasks)
     schedule = []
     overhead = cluster.cost_model.schedule_overhead_s
     while pending:
         processor = min(cluster.processors, key=lambda p: (p.clock, p.index))
-        task = select_task(processor, pending)
-        pending.remove(task)
+        task = take_pending(pending, select_task(processor, pending))
         execution = execute(processor, task)
         processor.clock += overhead
         processor.comm_time += overhead

@@ -25,6 +25,41 @@ class ClusterError(ReproError):
     """The simulated cluster was configured or driven incorrectly."""
 
 
+class TaskRetryExhausted(ClusterError):
+    """A task kept failing after every allowed retry.
+
+    Raised by the fault-tolerant runners when one task's transient
+    failures exceed the :class:`~repro.cluster.faults.FaultPlan`'s
+    ``max_retries`` budget.
+    """
+
+    def __init__(self, label, attempts, message=""):
+        detail = message or "task retries exhausted"
+        super().__init__(
+            "%s: task %r failed %d time(s), exceeding max_retries"
+            % (detail, label, attempts)
+        )
+        self.label = label
+        self.attempts = attempts
+
+
+class ClusterDegradedError(ClusterError):
+    """Every processor crashed while work was still outstanding.
+
+    Carries how many tasks were stranded and which processors failed, so
+    callers can report how far the degraded run got.
+    """
+
+    def __init__(self, pending_tasks, failed_processors, message=""):
+        detail = message or "cluster fully degraded"
+        super().__init__(
+            "%s: %d task(s) stranded after processors %s failed"
+            % (detail, pending_tasks, sorted(failed_processors))
+        )
+        self.pending_tasks = pending_tasks
+        self.failed_processors = tuple(failed_processors)
+
+
 class MemoryBudgetExceeded(ReproError):
     """A data structure outgrew its configured memory budget.
 

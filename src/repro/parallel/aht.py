@@ -18,6 +18,7 @@ post-sorts on demand at query time), so no sort cost is charged when
 writing.
 """
 
+from ..core.result import CubeResult
 from ..core.stats import OpStats
 from ..core.writer import ResultWriter
 from ..cluster.simulator import TaskExecution, run_dynamic
@@ -29,6 +30,7 @@ from .base import (
     ParallelCubeAlgorithm,
     ParallelRunResult,
     add_all_node,
+    committed_result,
     input_read_bytes,
     merged_result,
 )
@@ -76,7 +78,7 @@ class AHT(ParallelCubeAlgorithm):
         self.bucket_factor = bucket_factor
         self.hash_mode = hash_mode
 
-    def _run(self, relation, dims, minsup, cluster):
+    def _run(self, relation, dims, minsup, cluster, fault_plan=None):
         lattice = CubeLattice(dims)
         tasks = lattice.cuboids(include_all=False)
         writers = []
@@ -88,10 +90,11 @@ class AHT(ParallelCubeAlgorithm):
         def select_task(processor, pending):
             state = processor.state
             if state is None:
-                return pending[0]
+                return 0
             best = None
+            best_index = 0
             best_rank = 2
-            for task in pending:
+            for index, task in enumerate(pending):
                 mode = choose_mode(task, state)
                 if mode == SCRATCH:
                     continue
@@ -99,10 +102,10 @@ class AHT(ParallelCubeAlgorithm):
                 if rank < best_rank or (
                     rank == best_rank and best is not None and len(task) > len(best)
                 ):
-                    best, best_rank = task, rank
+                    best, best_index, best_rank = task, index, rank
                     if rank == 0:
                         break
-            return best if best is not None else pending[0]
+            return best_index if best is not None else 0
 
         qualifies = minsup.qualifies
 
@@ -149,7 +152,15 @@ class AHT(ParallelCubeAlgorithm):
                 state.first_dims = task
             state.prev_table = table
             state.prev_dims = task
-            state.writer.write_block(task, block)
+            if fault_plan is None:
+                state.writer.write_block(task, block)
+                output = None
+            else:
+                # Replayable task: isolate the attempt's cuboid block (the
+                # hash tables survive in memory for affinity reuse).
+                output = CubeResult(dims)
+                for cell, count, value in block:
+                    output.add_cell(task, cell, count, value)
             return TaskExecution(
                 label="".join(task),
                 stats=stats,
@@ -157,9 +168,14 @@ class AHT(ParallelCubeAlgorithm):
                 bytes_written=len(block) * (len(task) + 2) * 8,
                 switches=1 if block else 0,
                 read_bytes=read_bytes if mode == SCRATCH and stats.read_tuples else 0,
+                output=output,
             )
 
-        simulation = run_dynamic(cluster, tasks, select_task, execute)
-        result = merged_result(dims, writers)
+        simulation = run_dynamic(cluster, tasks, select_task, execute,
+                                 fault_plan=fault_plan)
+        if fault_plan is not None:
+            result = committed_result(dims, simulation)
+        else:
+            result = merged_result(dims, writers)
         add_all_node(result, relation, minsup)
         return ParallelRunResult(self.name, result, simulation)

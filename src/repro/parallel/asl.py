@@ -22,6 +22,7 @@ threshold is applied only when writing (Section 3.4 notes this as ASL's
 weakness vs PT).
 """
 
+from ..core.result import CubeResult
 from ..core.stats import OpStats
 from ..core.writer import ResultWriter
 from ..cluster.simulator import TaskExecution, run_dynamic
@@ -33,6 +34,7 @@ from .base import (
     ParallelCubeAlgorithm,
     ParallelRunResult,
     add_all_node,
+    committed_result,
     input_read_bytes,
     merged_result,
 )
@@ -95,7 +97,7 @@ class ASL(ParallelCubeAlgorithm):
         self.affinity = affinity
         self.cuboids = cuboids
 
-    def _run(self, relation, dims, minsup, cluster):
+    def _run(self, relation, dims, minsup, cluster, fault_plan=None):
         lattice = CubeLattice(dims)
         if self.cuboids is None:
             tasks = lattice.cuboids(include_all=False)  # top-down order
@@ -110,11 +112,12 @@ class ASL(ParallelCubeAlgorithm):
         def select_task(processor, pending):
             state = processor.state
             if not self.affinity or state is None:
-                return pending[0]  # the remaining cuboid with most dimensions
+                return 0  # the remaining cuboid with most dimensions
             order = [PREFIX_PREV, PREFIX_FIRST, SUBSET_PREV, SUBSET_FIRST]
             best = None
+            best_index = 0
             best_rank = len(order)
-            for task in pending:
+            for index, task in enumerate(pending):
                 mode = choose_mode(task, state)
                 if mode == SCRATCH:
                     continue
@@ -122,10 +125,10 @@ class ASL(ParallelCubeAlgorithm):
                 if rank < best_rank or (
                     rank == best_rank and best is not None and len(task) > len(best)
                 ):
-                    best, best_rank = task, rank
+                    best, best_index, best_rank = task, index, rank
                     if rank == 0:
                         break
-            return best if best is not None else pending[0]
+            return best_index if best is not None else 0
 
         qualifies = minsup.qualifies
 
@@ -186,7 +189,16 @@ class ASL(ParallelCubeAlgorithm):
                     state.first_dims = task
                 state.prev_list = new_list
                 state.prev_dims = task
-            state.writer.write_block(task, block)
+            if fault_plan is None:
+                state.writer.write_block(task, block)
+                output = None
+            else:
+                # Replayable task: the attempt's cuboid block is isolated
+                # so a failed attempt can be discarded without
+                # double-counting (the skip lists survive in memory).
+                output = CubeResult(dims)
+                for cell, count, value in block:
+                    output.add_cell(task, cell, count, value)
             return TaskExecution(
                 label="".join(task),
                 stats=stats,
@@ -194,9 +206,14 @@ class ASL(ParallelCubeAlgorithm):
                 bytes_written=len(block) * (len(task) + 2) * 8,
                 switches=1 if block else 0,
                 read_bytes=read_bytes if mode == SCRATCH and stats.read_tuples else 0,
+                output=output,
             )
 
-        simulation = run_dynamic(cluster, tasks, select_task, execute)
-        result = merged_result(dims, writers)
+        simulation = run_dynamic(cluster, tasks, select_task, execute,
+                                 fault_plan=fault_plan)
+        if fault_plan is not None:
+            result = committed_result(dims, simulation)
+        else:
+            result = merged_result(dims, writers)
         add_all_node(result, relation, minsup)
         return ParallelRunResult(self.name, result, simulation)

@@ -21,6 +21,7 @@ __all__ = [
     "ParallelCubeAlgorithm",
     "ParallelRunResult",
     "merged_result",
+    "committed_result",
     "add_all_node",
     "input_read_bytes",
     "key_compare_weight",
@@ -71,16 +72,22 @@ class ParallelCubeAlgorithm:
     name = "?"
     features = None
 
-    def run(self, relation, dims=None, minsup=1, cluster_spec=None, cost_model=None):
+    def run(self, relation, dims=None, minsup=1, cluster_spec=None, cost_model=None,
+            fault_plan=None):
         """Compute the iceberg cube of ``relation`` over ``dims``.
 
         ``minsup`` may be an integer minimum support or any
         :class:`~repro.core.thresholds.Threshold` (e.g. ``SumThreshold``
         for ``HAVING SUM(measure) >= S``).  ``cluster_spec`` describes
         the (simulated) machines; defaults to the thesis' baseline eight
-        PIII-500 nodes.  Returns a :class:`ParallelRunResult` whose
+        PIII-500 nodes.  ``fault_plan`` (a
+        :class:`~repro.cluster.faults.FaultPlan`) injects node crashes,
+        transient task failures and stragglers; tasks are replayable, so
+        the returned cube is exact regardless of the plan as long as one
+        processor survives.  Returns a :class:`ParallelRunResult` whose
         ``result`` is exact (validated against the naive baseline in the
-        test suite) and whose ``simulation`` holds the modeled timing.
+        test suite) and whose ``simulation`` holds the modeled timing
+        plus, for faulted runs, the recovery telemetry.
         """
         if dims is None:
             dims = relation.dims
@@ -94,9 +101,9 @@ class ParallelCubeAlgorithm:
 
             cluster_spec = cluster1()
         cluster = Cluster(cluster_spec, cost_model or CostModel())
-        return self._run(relation, dims, minsup, cluster)
+        return self._run(relation, dims, minsup, cluster, fault_plan=fault_plan)
 
-    def _run(self, relation, dims, minsup, cluster):
+    def _run(self, relation, dims, minsup, cluster, fault_plan=None):
         raise NotImplementedError
 
 
@@ -105,6 +112,23 @@ def merged_result(dims, writers):
     out = CubeResult(dims)
     for writer in writers:
         out.merge_from(writer.result)
+    return out
+
+
+def committed_result(dims, simulation):
+    """Union the *committed* per-task outputs of a fault-tolerant run.
+
+    Under a fault plan every attempt isolates its cells in
+    ``TaskExecution.output``; only attempts the scheduler committed
+    (exactly one per task) are merged here, which is what makes retried
+    and reassigned tasks idempotent — a discarded attempt's cells never
+    reach the cube.
+    """
+    out = CubeResult(dims)
+    if simulation.recovery is not None:
+        for execution in simulation.recovery.committed:
+            if execution.output is not None:
+                out.merge_from(execution.output)
     return out
 
 

@@ -28,6 +28,7 @@ from .base import (
     ParallelCubeAlgorithm,
     ParallelRunResult,
     add_all_node,
+    committed_result,
     merged_result,
 )
 
@@ -52,7 +53,7 @@ class BPP(ParallelCubeAlgorithm):
         """
         return {dim: relation.range_partition(dim, n) for dim in dims}
 
-    def _run(self, relation, dims, minsup, cluster):
+    def _run(self, relation, dims, minsup, cluster, fault_plan=None):
         n = len(cluster)
         chunks = self.plan_chunks(relation, dims, n)
         # Task (i, j): processor j processes its chunk of dimension i.
@@ -71,6 +72,10 @@ class BPP(ParallelCubeAlgorithm):
                 processor.state = writer
                 writers.append(writer)
             writer = processor.state
+            if fault_plan is not None:
+                # Replayable task: each attempt's partial cuboids live in
+                # their own writer, discarded unless the attempt commits.
+                writer = ResultWriter(dims)
             before = writer.snapshot()
             read_bytes = 0
             if len(chunk):
@@ -86,12 +91,16 @@ class BPP(ParallelCubeAlgorithm):
                 bytes_written=nbytes,
                 switches=switches,
                 read_bytes=read_bytes,
+                output=writer.result if fault_plan is not None else None,
             )
 
         if self.include_partitioning_cost:
             self._charge_partitioning(relation, dims, cluster)
-        simulation = run_static(cluster, assignments, execute)
-        result = merged_result(dims, writers)
+        simulation = run_static(cluster, assignments, execute, fault_plan=fault_plan)
+        if fault_plan is not None:
+            result = committed_result(dims, simulation)
+        else:
+            result = merged_result(dims, writers)
         add_all_node(result, relation, minsup)
         return ParallelRunResult(self.name, result, simulation, extras={"chunks": chunks})
 

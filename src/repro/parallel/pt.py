@@ -25,6 +25,7 @@ from .base import (
     ParallelCubeAlgorithm,
     ParallelRunResult,
     add_all_node,
+    committed_result,
     input_read_bytes,
     merged_result,
 )
@@ -61,7 +62,7 @@ class PT(ParallelCubeAlgorithm):
         tree = ProcessingTree(dims)
         return tree, binary_divide(tree, max(1, self.task_ratio * n_processors))
 
-    def _run(self, relation, dims, minsup, cluster):
+    def _run(self, relation, dims, minsup, cluster, fault_plan=None):
         tree, tasks = self.plan_tasks(dims, len(cluster))
         # Demand-schedule the biggest tasks first so stragglers stay small.
         tasks = sorted(tasks, key=lambda t: (-t.size(tree), t.root))
@@ -71,15 +72,15 @@ class PT(ParallelCubeAlgorithm):
         def select_task(processor, pending):
             state = processor.state
             if not self.affinity or state is None or state.prev_root is None:
-                return pending[0]
-            best = pending[0]
+                return 0
+            best_index = 0
             best_key = (-1, 0)
-            for task in pending:
+            for index, task in enumerate(pending):
                 shared = common_prefix_length(task.root, state.prev_root)
                 key = (shared, task.size(tree))
                 if key > best_key:
-                    best, best_key = task, key
-            return best
+                    best_index, best_key = index, key
+            return best_index
 
         def execute(processor, task):
             stats = OpStats()
@@ -95,11 +96,19 @@ class PT(ParallelCubeAlgorithm):
             if first_load:
                 stats.read_tuples += len(relation)
                 state.loaded = True
-            before = state.writer.snapshot()
+            if fault_plan is not None:
+                # Replayable task: isolate the attempt's cells (the prefix
+                # cache survives — a failed attempt's sort work stays
+                # valid, only its output is discarded).
+                target = ResultWriter(dims)
+                state.engine.writer = target
+            else:
+                target = state.writer
+            before = target.snapshot()
             cache = state.cache if self.affinity else None
             state.engine.run_task(task, breadth_first=True, cache=cache)
             state.prev_root = task.root
-            cells, nbytes, switches = ResultWriter.delta(before, state.writer.snapshot())
+            cells, nbytes, switches = ResultWriter.delta(before, target.snapshot())
             return TaskExecution(
                 label="T[%s]" % ("".join(task.root) or "all"),
                 stats=stats,
@@ -107,9 +116,14 @@ class PT(ParallelCubeAlgorithm):
                 bytes_written=nbytes,
                 switches=switches,
                 read_bytes=read_bytes if first_load else 0,
+                output=target.result if fault_plan is not None else None,
             )
 
-        simulation = run_dynamic(cluster, tasks, select_task, execute)
-        result = merged_result(dims, writers)
+        simulation = run_dynamic(cluster, tasks, select_task, execute,
+                                 fault_plan=fault_plan)
+        if fault_plan is not None:
+            result = committed_result(dims, simulation)
+        else:
+            result = merged_result(dims, writers)
         add_all_node(result, relation, minsup)
         return ParallelRunResult(self.name, result, simulation, extras={"n_tasks": len(tasks)})

@@ -21,6 +21,7 @@ from .base import (
     ParallelCubeAlgorithm,
     ParallelRunResult,
     add_all_node,
+    committed_result,
     input_read_bytes,
     merged_result,
 )
@@ -48,7 +49,7 @@ class RP(ParallelCubeAlgorithm):
         writing strategy (used to isolate the Figure 3.6 I/O effect)."""
         self.breadth_first = breadth_first
 
-    def _run(self, relation, dims, minsup, cluster):
+    def _run(self, relation, dims, minsup, cluster, fault_plan=None):
         tasks = [SubtreeTask((dim,)) for dim in dims]
         n = len(cluster)
         assignments = [(i % n, task) for i, task in enumerate(tasks)]
@@ -70,9 +71,16 @@ class RP(ParallelCubeAlgorithm):
             if first_load and not state.loaded:
                 stats.read_tuples += len(relation)
                 state.loaded = True
-            before = state.writer.snapshot()
+            if fault_plan is not None:
+                # Replayable task: isolate this attempt's cells so a
+                # failed attempt can be discarded instead of double-counted.
+                target = ResultWriter(dims)
+                state.engine.writer = target
+            else:
+                target = state.writer
+            before = target.snapshot()
             state.engine.run_task(task, breadth_first=self.breadth_first)
-            cells, nbytes, switches = ResultWriter.delta(before, state.writer.snapshot())
+            cells, nbytes, switches = ResultWriter.delta(before, target.snapshot())
             return TaskExecution(
                 label="T_%s" % task.root[0],
                 stats=stats,
@@ -80,9 +88,13 @@ class RP(ParallelCubeAlgorithm):
                 bytes_written=nbytes,
                 switches=switches,
                 read_bytes=read_bytes if first_load else 0,
+                output=target.result if fault_plan is not None else None,
             )
 
-        simulation = run_static(cluster, assignments, execute)
-        result = merged_result(dims, writers)
+        simulation = run_static(cluster, assignments, execute, fault_plan=fault_plan)
+        if fault_plan is not None:
+            result = committed_result(dims, simulation)
+        else:
+            result = merged_result(dims, writers)
         add_all_node(result, relation, minsup)
         return ParallelRunResult(self.name, result, simulation)

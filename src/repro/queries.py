@@ -75,17 +75,21 @@ def resolve_algorithm(algorithm):
 
 
 def iceberg_cube(relation, dims=None, minsup=1, algorithm="pt", cluster_spec=None,
-                 cost_model=None):
+                 cost_model=None, fault_plan=None):
     """Compute the full iceberg cube.
 
     ``algorithm`` may be a name (``"rp"``, ``"bpp"``, ``"asl"``,
-    ``"pt"``, ``"aht"``) or a configured instance.  Returns the
+    ``"pt"``, ``"aht"``) or a configured instance.  ``fault_plan`` (a
+    :class:`~repro.cluster.faults.FaultPlan`) injects node crashes,
+    transient task failures and stragglers into the simulated run; the
+    cube stays exact as long as one processor survives.  Returns the
     :class:`~repro.parallel.base.ParallelRunResult` — ``.result`` holds
-    the cells, ``.simulation`` the modeled cluster timing.
+    the cells, ``.simulation`` the modeled cluster timing (plus recovery
+    telemetry for faulted runs).
     """
     algo = resolve_algorithm(algorithm)
     return algo.run(relation, dims=dims, minsup=minsup, cluster_spec=cluster_spec,
-                    cost_model=cost_model)
+                    cost_model=cost_model, fault_plan=fault_plan)
 
 
 def iceberg_query(relation, group_by, minsup=1, aggregate="sum", having=None):

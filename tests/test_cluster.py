@@ -139,7 +139,7 @@ class TestDynamicScheduling:
         result = run_dynamic(
             cluster,
             tasks,
-            lambda proc, pending: pending[0],
+            lambda proc, pending: 0,  # policies return an index into pending
             lambda proc, task: execution(str(task), scan=sizes[task] * 100_000),
         )
         assert result.load_imbalance() < 1.2
@@ -150,7 +150,7 @@ class TestDynamicScheduling:
 
         def select(proc, pending):
             seen.append((proc.index, tuple(pending)))
-            return pending[-1]
+            return pending[-1]  # legacy object-return contract still works
 
         run_dynamic(cluster, ["a", "b"], select,
                     lambda proc, task: execution(task))
@@ -162,7 +162,7 @@ class TestDynamicScheduling:
             result = run_dynamic(
                 cluster,
                 list(range(12)),
-                lambda proc, pending: pending[0],
+                lambda proc, pending: 0,
                 lambda proc, task: execution(str(task), scan=(task % 5 + 1) * 1000),
             )
             return [(e.label, e.processor) for e in result.schedule]
@@ -174,7 +174,7 @@ class TestDynamicScheduling:
         result = run_dynamic(
             cluster,
             list(range(20)),
-            lambda proc, pending: pending[0],
+            lambda proc, pending: 0,
             lambda proc, task: execution(str(task), scan=100_000),
         )
         fast, slow = cluster.processors
@@ -182,6 +182,20 @@ class TestDynamicScheduling:
         assert result.makespan < 20 * CostModel().cpu_seconds(
             _scan_stats(100_000), PII_266
         )
+
+    def test_out_of_range_index_rejected(self):
+        cluster = make_cluster(2)
+        with pytest.raises(ClusterError, match="outside pending range"):
+            run_dynamic(cluster, ["a", "b"],
+                        lambda proc, pending: len(pending),
+                        lambda proc, task: execution(task))
+
+    def test_unknown_task_object_rejected(self):
+        cluster = make_cluster(2)
+        with pytest.raises(ClusterError, match="not one of the"):
+            run_dynamic(cluster, ["a", "b"],
+                        lambda proc, pending: "not-a-task",
+                        lambda proc, task: execution(task))
 
 
 def _scan_stats(n):

@@ -3,22 +3,29 @@
 import pytest
 
 from repro.errors import (
+    ClusterDegradedError,
     ClusterError,
     EncodingError,
     MemoryBudgetExceeded,
     PlanError,
     ReproError,
     SchemaError,
+    TaskRetryExhausted,
 )
 
 
 class TestHierarchy:
     @pytest.mark.parametrize(
         "exc_cls",
-        [SchemaError, EncodingError, PlanError, ClusterError, MemoryBudgetExceeded],
+        [SchemaError, EncodingError, PlanError, ClusterError, MemoryBudgetExceeded,
+         TaskRetryExhausted, ClusterDegradedError],
     )
     def test_all_derive_from_repro_error(self, exc_cls):
         assert issubclass(exc_cls, ReproError)
+
+    @pytest.mark.parametrize("exc_cls", [TaskRetryExhausted, ClusterDegradedError])
+    def test_fault_errors_are_cluster_errors(self, exc_cls):
+        assert issubclass(exc_cls, ClusterError)
 
     def test_catching_the_base_catches_everything(self):
         with pytest.raises(ReproError):
@@ -34,6 +41,18 @@ class TestHierarchy:
     def test_memory_budget_default_message(self):
         exc = MemoryBudgetExceeded(2, 1)
         assert "memory budget exceeded" in str(exc)
+
+    def test_retry_exhausted_carries_attempt_count(self):
+        exc = TaskRetryExhausted("ABC", 4)
+        assert exc.label == "ABC"
+        assert exc.attempts == 4
+        assert "ABC" in str(exc) and "4" in str(exc)
+
+    def test_cluster_degraded_carries_casualties(self):
+        exc = ClusterDegradedError(7, [2, 0])
+        assert exc.pending_tasks == 7
+        assert exc.failed_processors == (2, 0)
+        assert "[0, 2]" in str(exc)  # sorted for readability
 
 
 class TestLibraryRaisesItsOwnErrors:

@@ -1,0 +1,318 @@
+"""Fault injection and recovery: crashes, retries, stragglers.
+
+The acceptance bar is replay idempotence — any seeded FaultPlan that
+leaves at least one processor alive must yield the *exact* fault-free
+cube (cell for cell against the naive oracle), with the recovery
+telemetry showing that retries/reassignments actually happened.
+"""
+
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    CostModel,
+    FaultPlan,
+    NodeCrash,
+    Slowdown,
+    TaskExecution,
+    TaskFailure,
+    cluster1,
+    homogeneous,
+    run_dynamic,
+    run_static,
+)
+from repro.core.naive import naive_iceberg_cube
+from repro.core.stats import OpStats
+from repro.errors import (
+    ClusterDegradedError,
+    ClusterError,
+    ReproError,
+    TaskRetryExhausted,
+)
+from repro.parallel import AHT, ASL, BPP, PT, RP
+
+ALGO_CLASSES = [RP, BPP, ASL, PT, AHT]
+
+
+def fault_free_makespan(algo_cls, relation, minsup=2, n=4):
+    return algo_cls().run(relation, minsup=minsup, cluster_spec=cluster1(n)).makespan
+
+
+class TestPlanValidation:
+    def test_negative_crash_time_rejected(self):
+        with pytest.raises(ClusterError):
+            NodeCrash(0, -1.0)
+
+    def test_speedup_masquerading_as_slowdown_rejected(self):
+        with pytest.raises(ClusterError):
+            Slowdown(0, 0.5)
+
+    def test_failure_rate_bounds(self):
+        with pytest.raises(ClusterError):
+            FaultPlan(failure_rate=1.5)
+        with pytest.raises(ClusterError):
+            FaultPlan(max_retries=-1)
+
+    def test_earliest_crash_wins(self):
+        plan = FaultPlan(crashes=[NodeCrash(0, 5.0), NodeCrash(0, 2.0)])
+        assert plan.crash_time(0) == 2.0
+        assert plan.crash_time(1) is None
+
+    def test_attempt_fails_is_deterministic(self):
+        plan = FaultPlan(failure_rate=0.5, seed=3)
+        draws = [plan.attempt_fails(t, a) for t in range(20) for a in range(3)]
+        again = [plan.attempt_fails(t, a) for t in range(20) for a in range(3)]
+        assert draws == again
+        assert any(draws) and not all(draws)
+
+    def test_backoff_is_exponential(self):
+        plan = FaultPlan(backoff_s=0.1, backoff_factor=2.0)
+        assert plan.backoff_seconds(1) == pytest.approx(0.1)
+        assert plan.backoff_seconds(3) == pytest.approx(0.4)
+
+    def test_random_plan_spares_keep_alive_nodes(self):
+        plan = FaultPlan.random_plan(seed=5, n_processors=4, horizon=1.0,
+                                     crash_fraction=1.0, keep_alive=1)
+        assert len(plan.crashes) == 3
+
+
+def execution(label, scan=100_000):
+    stats = OpStats()
+    stats.add_scan(scan)
+    return TaskExecution(label, stats)
+
+
+def make_cluster(n=4):
+    return Cluster(homogeneous(n), CostModel())
+
+
+class TestSchedulerRecovery:
+    """Simulator-level semantics, independent of any cube algorithm."""
+
+    def test_static_crash_redistributes_to_survivors(self):
+        cluster = make_cluster(2)
+        plan = FaultPlan(crashes=[NodeCrash(0, 1e-6)])
+        result = run_static(
+            cluster,
+            [(0, "a"), (0, "b"), (1, "c")],
+            lambda proc, task: execution(task),
+            fault_plan=plan,
+        )
+        assert result.failed_processors == (0,)
+        assert result.reassignments == 2  # "a" and "b" moved to node 1
+        done = [e.label for e in result.schedule if "!" not in e.label]
+        assert sorted(done) == ["a", "b", "c"]
+
+    def test_mid_task_crash_charges_partial_work(self):
+        cluster = make_cluster(2)
+        baseline = run_static(make_cluster(1), [(0, "t")],
+                              lambda p, t: execution(t)).makespan
+        plan = FaultPlan(crashes=[NodeCrash(0, baseline / 2)])
+        result = run_static(cluster, [(0, "t")], lambda p, t: execution(t),
+                            fault_plan=plan)
+        assert result.lost_work_seconds == pytest.approx(baseline / 2)
+        assert cluster.processors[0].clock == pytest.approx(baseline / 2)
+
+    def test_transient_failure_retries_and_charges_twice(self):
+        cluster = make_cluster(1)
+        plan = FaultPlan(failures=[TaskFailure(0, attempt=0)])
+        clean = run_static(make_cluster(1), [(0, "t")],
+                           lambda p, t: execution(t)).makespan
+        result = run_static(cluster, [(0, "t")], lambda p, t: execution(t),
+                            fault_plan=plan)
+        assert result.retries == 1
+        assert result.lost_work_seconds == pytest.approx(clean)
+        # failed attempt + backoff + successful attempt
+        assert result.makespan == pytest.approx(2 * clean + plan.backoff_seconds(1))
+
+    def test_retry_exhaustion_escalates(self):
+        cluster = make_cluster(1)
+        plan = FaultPlan(failure_rate=1.0, max_retries=2)
+        with pytest.raises(TaskRetryExhausted) as info:
+            run_static(cluster, [(0, "t")], lambda p, t: execution(t),
+                       fault_plan=plan)
+        assert info.value.attempts == 3
+        assert isinstance(info.value, ReproError)
+
+    def test_all_nodes_crashing_degrades_cluster(self):
+        cluster = make_cluster(2)
+        plan = FaultPlan(crashes=[NodeCrash(0, 1e-9), NodeCrash(1, 1e-9)])
+        with pytest.raises(ClusterDegradedError) as info:
+            run_static(cluster, [(0, "a"), (1, "b")],
+                       lambda p, t: execution(t), fault_plan=plan)
+        assert sorted(info.value.failed_processors) == [0, 1]
+        assert info.value.pending_tasks > 0
+
+    def test_dynamic_crash_reassigns_via_policy(self):
+        cluster = make_cluster(2)
+        plan = FaultPlan(crashes=[NodeCrash(0, 1e-6)])
+        result = run_dynamic(
+            cluster,
+            ["a", "b", "c"],
+            lambda proc, pending: 0,
+            lambda proc, task: execution(task),
+            fault_plan=plan,
+        )
+        assert result.failed_processors == (0,)
+        assert cluster.processors[1].tasks_run == 3
+
+    def test_dynamic_all_dead_raises(self):
+        cluster = make_cluster(2)
+        plan = FaultPlan(crashes=[NodeCrash(0, 0.0), NodeCrash(1, 0.0)])
+        with pytest.raises(ClusterDegradedError):
+            run_dynamic(cluster, ["a"], lambda p, pending: 0,
+                        lambda p, t: execution(t), fault_plan=plan)
+
+    def test_straggler_scales_cpu_time(self):
+        plan = FaultPlan(slowdowns=[Slowdown(0, 4.0)])
+        slow_cluster = make_cluster(1)
+        slow = run_static(slow_cluster, [(0, "t")], lambda p, t: execution(t),
+                          fault_plan=plan)
+        clean = run_static(make_cluster(1), [(0, "t")],
+                           lambda p, t: execution(t), fault_plan=FaultPlan())
+        assert slow.makespan == pytest.approx(4 * clean.makespan)
+
+    def test_empty_plan_matches_fault_free_run_exactly(self):
+        tasks = [(i % 3, "t%d" % i) for i in range(9)]
+        plain_cluster = make_cluster(3)
+        plain = run_static(plain_cluster, tasks, lambda p, t: execution(t))
+        faulted_cluster = make_cluster(3)
+        faulted = run_static(faulted_cluster, tasks, lambda p, t: execution(t),
+                             fault_plan=FaultPlan())
+        assert faulted.makespan == plain.makespan  # bit-identical
+        assert faulted.retries == 0
+        assert faulted.reassignments == 0
+        assert faulted.lost_work_seconds == 0.0
+        assert faulted.failed_processors == ()
+
+    def test_degraded_makespan_ignores_dead_nodes(self):
+        cluster = make_cluster(2)
+        plan = FaultPlan(crashes=[NodeCrash(0, 1e-6)])
+        result = run_static(cluster, [(0, "a"), (1, "b")],
+                            lambda p, t: execution(t), fault_plan=plan)
+        assert result.degraded_makespan == pytest.approx(
+            cluster.processors[1].clock
+        )
+
+
+@pytest.mark.parametrize("algo_cls", ALGO_CLASSES)
+class TestReplayIdempotence:
+    """Injected faults must never change the cube — only the makespan."""
+
+    def crash_plan(self, algo_cls, relation, minsup=2):
+        """Crash node 0 mid-run so in-flight work is genuinely lost."""
+        makespan = fault_free_makespan(algo_cls, relation, minsup=minsup)
+        return FaultPlan(crashes=[NodeCrash(0, 0.3 * makespan)])
+
+    def test_exact_under_mid_run_crash(self, algo_cls, small_skewed):
+        expected = naive_iceberg_cube(small_skewed, minsup=2)
+        plan = self.crash_plan(algo_cls, small_skewed)
+        run = algo_cls().run(small_skewed, minsup=2, cluster_spec=cluster1(4),
+                             fault_plan=plan)
+        assert run.result.equals(expected), run.result.diff(expected)
+        assert run.simulation.failed_processors == (0,)
+        assert run.simulation.reassignments > 0
+
+    def test_exact_under_transient_failures(self, algo_cls, small_skewed):
+        expected = naive_iceberg_cube(small_skewed, minsup=2)
+        plan = FaultPlan(failure_rate=0.2, max_retries=10, seed=13)
+        run = algo_cls().run(small_skewed, minsup=2, cluster_spec=cluster1(4),
+                             fault_plan=plan)
+        assert run.result.equals(expected), run.result.diff(expected)
+        assert run.simulation.retries > 0
+
+    def test_exact_under_combined_faults(self, algo_cls, small_skewed):
+        expected = naive_iceberg_cube(small_skewed, minsup=2)
+        makespan = fault_free_makespan(algo_cls, small_skewed)
+        plan = FaultPlan(
+            crashes=[NodeCrash(0, 0.3 * makespan)],
+            slowdowns=[Slowdown(2, 3.0)],
+            failure_rate=0.1,
+            max_retries=10,
+            seed=11,
+        )
+        run = algo_cls().run(small_skewed, minsup=2, cluster_spec=cluster1(4),
+                             fault_plan=plan)
+        assert run.result.equals(expected), run.result.diff(expected)
+        assert run.makespan > makespan
+
+    def test_empty_plan_is_exact_with_zero_telemetry(self, algo_cls, small_skewed):
+        clean = algo_cls().run(small_skewed, minsup=2, cluster_spec=cluster1(4))
+        faulted = algo_cls().run(small_skewed, minsup=2, cluster_spec=cluster1(4),
+                                 fault_plan=FaultPlan())
+        assert faulted.result.equals(clean.result)
+        assert faulted.makespan == clean.makespan  # bit-identical timing
+        assert faulted.simulation.retries == 0
+        assert faulted.simulation.reassignments == 0
+        assert faulted.simulation.lost_work_seconds == 0.0
+
+    def test_faulted_run_is_deterministic(self, algo_cls, small_skewed):
+        plan_args = dict(crashes=[NodeCrash(1, 0.01)], failure_rate=0.1,
+                         max_retries=10, seed=5)
+        a = algo_cls().run(small_skewed, minsup=2, cluster_spec=cluster1(4),
+                           fault_plan=FaultPlan(**plan_args))
+        b = algo_cls().run(small_skewed, minsup=2, cluster_spec=cluster1(4),
+                           fault_plan=FaultPlan(**plan_args))
+        assert a.makespan == b.makespan
+        assert a.result.equals(b.result)
+
+
+class TestStragglerMitigation:
+    def test_pt_absorbs_a_straggler(self, small_skewed):
+        """Demand scheduling routes work away from the slow node, so a
+        4x straggler must not cost anywhere near 4x."""
+        base = fault_free_makespan(PT, small_skewed)
+        plan = FaultPlan(slowdowns=[Slowdown(0, 4.0)])
+        slow = PT().run(small_skewed, minsup=2, cluster_spec=cluster1(4),
+                        fault_plan=plan)
+        assert slow.result.equals(
+            naive_iceberg_cube(small_skewed, minsup=2)
+        )
+        assert slow.makespan < 3.0 * base
+
+    def test_static_rp_eats_the_straggler_whole(self, small_skewed):
+        """RP's fixed assignment cannot route around the slow node, so it
+        degrades more than PT under the same straggler."""
+        plan = FaultPlan(slowdowns=[Slowdown(0, 4.0)])
+        rp_base = fault_free_makespan(RP, small_skewed)
+        pt_base = fault_free_makespan(PT, small_skewed)
+        rp = RP().run(small_skewed, minsup=2, cluster_spec=cluster1(4),
+                      fault_plan=plan)
+        pt = PT().run(small_skewed, minsup=2, cluster_spec=cluster1(4),
+                      fault_plan=plan)
+        assert rp.makespan / rp_base > pt.makespan / pt_base
+
+
+class TestCliFaults:
+    def test_faults_option_reports_recovery(self, capsys):
+        from repro.cli import main
+
+        code = main(["cube", "--weather", "400", "--dims", "4", "--minsup", "2",
+                     "--algorithm", "pt", "--processors", "4",
+                     "--faults", "crash:0@0.01,rate=0.1,retries=10,seed=7"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "recovery" in out
+        assert "failed nodes" in out
+
+    def test_bad_faults_spec_is_a_clean_error(self, capsys):
+        from repro.cli import main
+
+        code = main(["cube", "--weather", "100", "--minsup", "2",
+                     "--faults", "bogus:1"])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "bad --faults directive" in out
+
+    def test_parse_fault_spec_round_trip(self):
+        from repro.cli import parse_fault_spec
+
+        plan = parse_fault_spec("crash:0@0.5,slow:1x4@0.2,rate=0.25,"
+                                "retries=5,backoff=0.01,seed=9")
+        assert plan.crash_time(0) == 0.5
+        assert plan.slowdown_factor(1, 0.3) == 4.0
+        assert plan.slowdown_factor(1, 0.1) == 1.0
+        assert plan.failure_rate == 0.25
+        assert plan.max_retries == 5
+        assert plan.backoff_s == 0.01
+        assert plan.seed == 9

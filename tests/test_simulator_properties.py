@@ -24,7 +24,7 @@ class TestInvariants:
         run_dynamic(
             cluster,
             list(range(len(sizes))),
-            lambda proc, pending: pending[0],
+            lambda proc, pending: 0,
             lambda proc, task: execution(str(task), sizes[task] * 1000),
         )
         for proc in cluster.processors:
@@ -38,7 +38,7 @@ class TestInvariants:
         result = run_dynamic(
             cluster,
             list(range(len(sizes))),
-            lambda proc, pending: pending[-1],
+            lambda proc, pending: len(pending) - 1,
             lambda proc, task: execution(str(task), sizes[task] * 1000),
         )
         labels = [entry.label for entry in result.schedule]
@@ -53,7 +53,7 @@ class TestInvariants:
             return run_dynamic(
                 cluster,
                 list(range(len(sizes))),
-                lambda proc, pending: pending[0],
+                lambda proc, pending: 0,
                 lambda proc, task: execution(str(task), sizes[task] * 1000),
             ).makespan
 
@@ -67,7 +67,7 @@ class TestInvariants:
         result = run_dynamic(
             cluster,
             list(range(len(sizes))),
-            lambda proc, pending: pending[0],
+            lambda proc, pending: 0,
             lambda proc, task: execution(str(task), sizes[task] * 1000),
         )
         total_busy = sum(p.busy_time for p in cluster.processors)
