@@ -1,0 +1,7 @@
+"""Extension: serving latency — cold compute vs store scan vs cache hit."""
+
+from repro.bench.extensions import ext_serving
+
+
+def test_ext_serving(run_experiment):
+    run_experiment(ext_serving)

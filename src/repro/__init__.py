@@ -51,6 +51,7 @@ from .online import POL, LeafMaterialization
 from .parallel import AHT, ASL, BPP, PT, RP, features_table
 from .queries import IcebergQuery, iceberg_cube, iceberg_query
 from .recipe import Workload, recommend, recommend_for, recipe_table
+from .serve import CubeServer, CubeStore, QueryCache, ServerTelemetry
 
 __version__ = "1.0.0"
 
@@ -77,6 +78,10 @@ __all__ = [
     "AHT",
     "POL",
     "LeafMaterialization",
+    "CubeStore",
+    "QueryCache",
+    "CubeServer",
+    "ServerTelemetry",
     "features_table",
     "IcebergQuery",
     "iceberg_cube",

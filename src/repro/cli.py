@@ -1,6 +1,6 @@
 """Command-line interface: ``repro-cube``.
 
-Four subcommands cover the library's everyday uses:
+Six subcommands cover the library's everyday uses:
 
 * ``cube``    — compute an iceberg cube from a CSV (or a synthetic
   weather workload) with any of the five parallel algorithms, print a
@@ -8,7 +8,11 @@ Four subcommands cover the library's everyday uses:
 * ``query``   — answer one iceberg group-by and print its cells;
 * ``recipe``  — print the Figure 4.7 recommendation for a workload;
 * ``bench``   — run one of the paper's experiments by name (or list
-  them) and print the thesis-style table.
+  them) and print the thesis-style table;
+* ``store``   — ``store build`` precomputes the leaf cuboids into a
+  persistent on-disk :class:`~repro.serve.store.CubeStore`;
+* ``serve``   — serve iceberg queries from a built store over HTTP
+  (cache + telemetry included).
 
 Examples::
 
@@ -16,6 +20,8 @@ Examples::
     repro-cube cube --weather 20000 --dims 7 --minsup 2 --export out/
     repro-cube query --csv sales.csv --group-by city,item --min-sum 1000
     repro-cube bench fig_4_2_scalability
+    repro-cube store build --weather 20000 --dims 6 --out /tmp/cube-store
+    repro-cube serve --store /tmp/cube-store --port 8642
 """
 
 import argparse
@@ -81,6 +87,31 @@ def build_parser():
     bench = sub.add_parser("bench", help="run one paper experiment by name")
     bench.add_argument("experiment", nargs="?",
                        help="experiment function name; omit to list them")
+
+    store = sub.add_parser("store", help="manage a persistent cube store")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    build = store_sub.add_parser(
+        "build", help="precompute leaf cuboids into an on-disk store")
+    _add_input_options(build)
+    build.add_argument("--out", required=True, metavar="DIR",
+                       help="directory to write the store under")
+    build.add_argument("--processors", type=int, default=8)
+    build.add_argument("--cluster", default="cluster1", choices=sorted(CLUSTERS))
+
+    serve = sub.add_parser("serve",
+                           help="serve iceberg queries from a store over HTTP")
+    serve.add_argument("--store", required=True, metavar="DIR",
+                       help="directory written by 'store build'")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="TCP port (0 picks a free one; default 8642)")
+    serve.add_argument("--cache-size", type=int, default=256,
+                       help="LRU query-cache capacity (0 disables)")
+    serve.add_argument("--threads", type=int, default=8,
+                       help="query worker threads (default 8)")
+    serve.add_argument("--self-test", type=int, metavar="N", default=None,
+                       help="fire N HTTP queries at the served store, print "
+                            "the stats and exit (smoke mode)")
     return parser
 
 
@@ -258,6 +289,78 @@ def cmd_bench(args, out):
     return 0 if result.passed else 1
 
 
+def cmd_store(args, out):
+    """Build a persistent cube store from an input relation."""
+    from .serve import CubeStore
+
+    relation, dims = _load_relation(args)
+    cluster = CLUSTERS[args.cluster](args.processors)
+    store = CubeStore.build(relation, args.out, dims=dims, cluster_spec=cluster)
+    print("built cube store : %s" % args.out, file=out)
+    print("input            : %d tuples, dims %s"
+          % (len(relation), ", ".join(store.dims)), file=out)
+    print("stored leaves    : %d (sorted, prefix-indexed), %d cells"
+          % (len(store.leaves), store.total_cells()), file=out)
+    print("generation       : %d" % store.generation, file=out)
+    store.close()
+    return 0
+
+
+def cmd_serve(args, out):
+    """Serve iceberg queries from a built store over HTTP."""
+    from .serve import CubeServer, CubeStore
+
+    store = CubeStore.open(args.store)
+    server = CubeServer(store, cache_size=args.cache_size,
+                        max_workers=args.threads)
+    endpoint = server.serve_http(host=args.host, port=args.port)
+    print("serving cube store %s" % args.store, file=out)
+    print("dims   : %s" % ", ".join(store.dims), file=out)
+    print("leaves : %d   rows : %d" % (len(store.leaves), store.total_rows),
+          file=out)
+    print("listening on %s (GET /query /point /stats /cuboids)"
+          % endpoint.url, file=out)
+    try:
+        if args.self_test is not None:
+            _serve_self_test(args.self_test, endpoint, store, out)
+        else:
+            endpoint.join()
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    finally:
+        server.close()
+        store.close()
+    return 0
+
+
+def _serve_self_test(n_queries, endpoint, store, out):
+    """Fire queries at the live endpoint and print the resulting stats."""
+    import json
+    from urllib.request import urlopen
+
+    cuboids = [(dim,) for dim in store.dims] + [store.leaves[0]]
+    answered = 0
+    for i in range(max(1, n_queries)):
+        cuboid = cuboids[i % len(cuboids)]
+        url = "%s/query?cuboid=%s&minsup=%d" % (
+            endpoint.url, ",".join(cuboid), 1 + (i % 2))
+        with urlopen(url) as response:
+            payload = json.loads(response.read())
+        answered += 1
+        if "error" in payload:
+            print("self-test error: %s" % payload["error"], file=out)
+            return
+    with urlopen(endpoint.url + "/stats") as response:
+        stats = json.loads(response.read())
+    print("self-test        : %d HTTP queries answered" % answered, file=out)
+    print("cache hit rate   : %.2f (%d hits, %d misses)"
+          % (stats["cache"]["hit_rate"], stats["cache"]["hits"],
+             stats["cache"]["misses"]), file=out)
+    print("latency p50/p95  : %.3f / %.3f ms"
+          % (stats["telemetry"]["p50_ms"], stats["telemetry"]["p95_ms"]),
+          file=out)
+
+
 def main(argv=None, out=None):
     """CLI entry point; returns the process exit code."""
     out = out if out is not None else sys.stdout
@@ -268,6 +371,8 @@ def main(argv=None, out=None):
         "query": cmd_query,
         "recipe": cmd_recipe,
         "bench": cmd_bench,
+        "store": cmd_store,
+        "serve": cmd_serve,
     }
     try:
         return handlers[args.command](args, out)

@@ -24,15 +24,44 @@ from .result import CubeResult
 MANIFEST = "manifest.json"
 ALL_FILE = "all.csv"
 
+#: Bumped whenever the on-disk layout changes incompatibly; checked by
+#: :func:`load_cube` so a newer writer fails loudly instead of parsing
+#: wrong.
+FORMAT_VERSION = 1
+
 
 def _cuboid_filename(cuboid):
     return (("_".join(cuboid)) if cuboid else "all") + ".csv"
 
 
+def atomic_write(path, write_body, binary=False):
+    """Write ``path`` via a same-directory temp file and :func:`os.replace`.
+
+    ``write_body`` receives the open handle.  A crash mid-write leaves
+    the previous file (or nothing) in place — never a truncated one.
+    """
+    tmp = "%s.tmp.%d" % (path, os.getpid())
+    mode = "wb" if binary else "w"
+    kwargs = {} if binary else {"newline": ""}
+    try:
+        with open(tmp, mode, **kwargs) as handle:
+            write_body(handle)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
 def save_cube(result, directory):
     """Write a :class:`CubeResult` under ``directory``.
 
-    Returns the manifest dict that was written.
+    Each file lands atomically (temp file + ``os.replace``), the manifest
+    last, so a crashed save never leaves a half-written cuboid CSV next
+    to a manifest that claims it is complete.  Returns the manifest dict
+    that was written.
     """
     os.makedirs(directory, exist_ok=True)
     index = []
@@ -40,12 +69,15 @@ def save_cube(result, directory):
         cells = result.cuboids[cuboid]
         filename = _cuboid_filename(cuboid)
         path = os.path.join(directory, filename)
-        with open(path, "w", newline="") as handle:
+
+        def write_body(handle, cuboid=cuboid, cells=cells):
             writer = csv.writer(handle)
             writer.writerow(list(cuboid) + ["count", "sum"])
             for cell in sorted(cells):
                 count, value = cells[cell]
                 writer.writerow(list(cell) + [count, repr(value)])
+
+        atomic_write(path, write_body)
         index.append({
             "cuboid": list(cuboid),
             "file": filename,
@@ -53,12 +85,15 @@ def save_cube(result, directory):
         })
     manifest = {
         "format": "repro-cube/1",
+        "format_version": FORMAT_VERSION,
         "dims": list(result.dims),
         "cuboids": index,
         "total_cells": result.total_cells(),
     }
-    with open(os.path.join(directory, MANIFEST), "w") as handle:
-        json.dump(manifest, handle, indent=2, sort_keys=True)
+    atomic_write(
+        os.path.join(directory, MANIFEST),
+        lambda handle: json.dump(manifest, handle, indent=2, sort_keys=True),
+    )
     return manifest
 
 
@@ -72,6 +107,12 @@ def load_cube(directory):
         raise SchemaError("no cube manifest at %r" % (manifest_path,)) from None
     if manifest.get("format") != "repro-cube/1":
         raise SchemaError("unknown cube format %r" % (manifest.get("format"),))
+    version = manifest.get("format_version", FORMAT_VERSION)
+    if version != FORMAT_VERSION:
+        raise SchemaError(
+            "cube format_version %r not supported (this library reads %d)"
+            % (version, FORMAT_VERSION)
+        )
     result = CubeResult(tuple(manifest["dims"]))
     for entry in manifest["cuboids"]:
         cuboid = tuple(entry["cuboid"])

@@ -18,7 +18,7 @@ ordering.
 
 from ..core.thresholds import as_threshold
 from ..errors import PlanError
-from ..lattice.lattice import CubeLattice, is_prefix
+from ..lattice.lattice import CubeLattice
 from ..parallel.asl import ASL
 
 
@@ -42,6 +42,7 @@ class LeafMaterialization:
         self.dims = tuple(dims)
         self._lattice = CubeLattice(self.dims)
         self.leaves = leaf_cuboids(self.dims)
+        self._leaf_set = frozenset(self.leaves)
         algo = ASL(cuboids=self.leaves)
         run = algo.run(
             relation, self.dims, minsup=1, cluster_spec=cluster_spec, cost_model=cost_model
@@ -56,6 +57,9 @@ class LeafMaterialization:
         self.precompute_seconds = run.makespan
         self.total_rows = len(relation)
         self.total_measure = sum(relation.measures)
+        #: bumped by every insert so serving caches can invalidate
+        #: (same contract as :class:`repro.serve.store.CubeStore`)
+        self.generation = 1
 
     def _items(self, leaf):
         """The leaf's cells in key order (cached until the next insert)."""
@@ -93,18 +97,31 @@ class LeafMaterialization:
             self._sorted.pop(leaf, None)
         self.total_rows += len(relation)
         self.total_measure += sum(relation.measures)
+        self.generation += 1
+
+    def append(self, relation):
+        """Alias for :meth:`insert` (the cube-store maintenance name),
+        so a :class:`~repro.serve.server.CubeServer` can front an
+        in-memory materialization and a persistent store uniformly."""
+        self.insert(relation)
+
+    def canonical(self, cuboid):
+        """Normalize a cuboid to schema order (store-compatible surface)."""
+        return self._lattice.canonical(cuboid)
 
     def covering_leaf(self, cuboid):
-        """The materialized leaf that has ``cuboid`` as a prefix."""
+        """The materialized leaf that has ``cuboid`` as a prefix.
+
+        Any canonical cuboid not already ending with the last dimension
+        becomes a leaf by appending it, so this is a single frozenset
+        membership test — no per-call set construction or linear scan.
+        """
         cuboid = self._lattice.canonical(cuboid)
         if cuboid and cuboid[-1] == self.dims[-1]:
             return cuboid
         candidate = cuboid + (self.dims[-1],)
-        if candidate in self._store or candidate in set(self.leaves):
+        if candidate in self._leaf_set:
             return candidate
-        for leaf in self.leaves:
-            if is_prefix(cuboid, leaf):
-                return leaf
         raise PlanError("no materialized leaf covers cuboid %r" % (cuboid,))
 
     def query(self, cuboid, minsup=1):

@@ -43,6 +43,68 @@ class IcebergQuery:
         get_aggregate(self.aggregate)  # validate early
         self.cube = cube
 
+    def execute(self, target):
+        """Run this query against any answering surface.
+
+        ``target`` may be a :class:`~repro.data.relation.Relation` (the
+        group-by is computed fresh) or anything with the serving
+        ``query(cuboid, minsup=...)`` surface — a
+        :class:`~repro.online.materialize.LeafMaterialization`, a
+        :class:`~repro.serve.store.CubeStore` or a live
+        :class:`~repro.serve.server.CubeServer`.  Returns
+        ``{cell: value}`` for a single group-by, or ``{cuboid: {cell:
+        value}}`` when the query was built with ``cube=True``.
+
+        Served targets hold ``(count, sum)`` cells, so only COUNT/SUM/
+        AVG are answerable there; holistic aggregates need the relation.
+        """
+        from .data.relation import Relation
+
+        if isinstance(target, Relation):
+            if self.cube:
+                from itertools import combinations
+
+                out = {}
+                for size in range(len(self.group_by), 0, -1):
+                    for cuboid in combinations(self.group_by, size):
+                        out[cuboid] = iceberg_query(
+                            target, cuboid, aggregate=self.aggregate,
+                            having=self.threshold,
+                        )
+                return out
+            return iceberg_query(target, self.group_by, aggregate=self.aggregate,
+                                 having=self.threshold)
+        if not hasattr(target, "query"):
+            raise PlanError(
+                "cannot execute against %r: need a Relation or an object "
+                "with a query(cuboid, minsup=...) method" % (target,)
+            )
+        if self.aggregate not in DERIVABLE_FROM_COUNT_SUM:
+            raise PlanError(
+                "aggregate %r needs the raw relation; served cells only "
+                "carry (count, sum)" % (self.aggregate,)
+            )
+        if self.cube:
+            from itertools import combinations
+
+            out = {}
+            for size in range(len(self.group_by), 0, -1):
+                for cuboid in combinations(self.group_by, size):
+                    out[cuboid] = self._served_cells(target, cuboid)
+            return out
+        return self._served_cells(target, self.group_by)
+
+    def _served_cells(self, target, cuboid):
+        """One served group-by, with aggregate values derived."""
+        from .core.aggregates import from_count_sum
+
+        answer = target.query(cuboid, minsup=self.threshold)
+        cells = getattr(answer, "cells", answer)  # unwrap a QueryAnswer
+        return {
+            cell: from_count_sum(self.aggregate, count, value)
+            for cell, (count, value) in cells.items()
+        }
+
     def sql(self, table="R", measure="measure"):
         """The query rendered as the thesis' SQL form (for display)."""
         attrs = ", ".join(self.group_by)

@@ -1,0 +1,29 @@
+"""Query serving: persistent cube store, cache, server and telemetry.
+
+Section 5.1's observation — precomputed BUC-tree leaves answer any
+iceberg query almost immediately — made into a serving subsystem:
+
+* :class:`CubeStore` persists the leaves (sorted, prefix-indexed) so a
+  restart never repeats the precompute;
+* :class:`QueryCache` keeps hot answers with LRU eviction and
+  insert-generation invalidation;
+* :class:`CubeServer` admits concurrent queries (thread pool + optional
+  stdlib-HTTP JSON endpoint) and answers cache -> store -> compute;
+* :class:`ServerTelemetry` records per-query latency and source.
+"""
+
+from .cache import QueryCache, cache_key
+from .server import CubeServer, HttpEndpoint, QueryAnswer
+from .store import CubeStore
+from .telemetry import QueryRecord, ServerTelemetry
+
+__all__ = [
+    "CubeStore",
+    "QueryCache",
+    "cache_key",
+    "CubeServer",
+    "HttpEndpoint",
+    "QueryAnswer",
+    "QueryRecord",
+    "ServerTelemetry",
+]

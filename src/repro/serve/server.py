@@ -1,0 +1,313 @@
+"""A concurrent iceberg-query front-end over a :class:`CubeStore`.
+
+:class:`CubeServer` admits queries through a thread pool and answers
+each from the cheapest source available::
+
+    cache hit  ->  stored leaf scan  ->  (optional) fresh compute
+
+The cache is the LRU :class:`~repro.serve.cache.QueryCache`; the store
+is a :class:`~repro.serve.store.CubeStore` (or any object with the same
+``query``/``canonical`` surface, e.g. a ``LeafMaterialization``); the
+compute fallback — for cuboids the store does not cover, such as
+dimensions left out of the materialization — runs the real local
+multiprocess backend from :mod:`repro.parallel.local` over the raw
+relation.  Every answer is recorded in
+:class:`~repro.serve.telemetry.ServerTelemetry`.
+
+``serve_http`` exposes the same surface as a JSON HTTP endpoint (pure
+stdlib ``http.server``) for point, roll-up and drill-down queries::
+
+    GET /query?cuboid=A,B&minsup=2        # group-by (roll-up / drill-down
+                                          #   by dropping / adding dims)
+    GET /point?cuboid=A,B&cell=3,1        # one cell, O(log n) lookup
+    GET /stats                            # cache + latency telemetry
+    GET /cuboids                          # dims and stored leaves
+"""
+
+import json
+import threading
+from collections import namedtuple
+from concurrent.futures import ThreadPoolExecutor
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from time import perf_counter
+from urllib.parse import parse_qs, urlsplit
+
+from ..core.thresholds import AndThreshold, CountThreshold, SumThreshold, as_threshold
+from ..errors import PlanError, ReproError, SchemaError
+from .cache import QueryCache
+from .telemetry import ServerTelemetry
+
+#: One served answer: the canonical cuboid, the threshold text, the
+#: ``{cell: (count, sum)}`` dict, where it came from and how long it took.
+QueryAnswer = namedtuple(
+    "QueryAnswer", ("cuboid", "threshold", "cells", "source", "latency_s")
+)
+
+
+class CubeServer:
+    """Thread-pooled query serving over a persistent cube store."""
+
+    def __init__(self, store, relation=None, cache_size=256, max_workers=8,
+                 fallback_workers=1):
+        """``relation`` enables the compute fallback (and ``append``
+        equivalence checks); without it, uncovered cuboids raise."""
+        self.store = store
+        self.relation = relation
+        self.cache = QueryCache(cache_size)
+        self.telemetry = ServerTelemetry()
+        self.fallback_workers = fallback_workers
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="cube-query"
+        )
+        self._write_lock = threading.Lock()
+        self._endpoints = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # query paths
+    # ------------------------------------------------------------------
+    def query(self, cuboid, minsup=1):
+        """Answer one group-by, cache -> store -> compute.
+
+        Returns a :class:`QueryAnswer`; ``.cells`` maps each qualifying
+        cell to its ``(count, sum)`` pair.
+        """
+        start = perf_counter()
+        threshold = as_threshold(minsup)
+        try:
+            canonical = self.store.canonical(cuboid)
+        except SchemaError:
+            if self.relation is None:
+                raise
+            canonical = self._relation_canonical(cuboid)
+        generation = self.store.generation
+        cells = self.cache.get(canonical, threshold, generation)
+        if cells is not None:
+            source = "cache"
+        else:
+            try:
+                cells = self.store.query(canonical, minsup=threshold)
+                source = "store"
+            except (PlanError, SchemaError):
+                if self.relation is None:
+                    raise
+                cells = self._compute(canonical, threshold)
+                source = "compute"
+            self.cache.put(canonical, threshold, generation, cells)
+        latency = perf_counter() - start
+        self.telemetry.record(canonical, threshold.describe(), source, latency)
+        return QueryAnswer(canonical, threshold.describe(), cells, source, latency)
+
+    def point(self, cuboid, cell, minsup=1):
+        """One cell of one cuboid via the store's prefix offset index."""
+        start = perf_counter()
+        threshold = as_threshold(minsup)
+        canonical = self.store.canonical(cuboid)
+        agg = self.store.point(canonical, cell, minsup=threshold)
+        cells = {tuple(cell): agg} if agg is not None else {}
+        latency = perf_counter() - start
+        self.telemetry.record(canonical, threshold.describe(), "store", latency)
+        return QueryAnswer(canonical, threshold.describe(), cells, "store", latency)
+
+    def submit(self, cuboid, minsup=1):
+        """Admit a query to the thread pool; returns a Future."""
+        if self._closed:
+            raise PlanError("server is closed")
+        return self._pool.submit(self.query, cuboid, minsup)
+
+    def query_many(self, queries):
+        """Answer ``(cuboid, minsup)`` pairs concurrently, in order."""
+        futures = [self.submit(cuboid, minsup) for cuboid, minsup in queries]
+        return [future.result() for future in futures]
+
+    def _relation_canonical(self, cuboid):
+        order = {name: i for i, name in enumerate(self.relation.dims)}
+        try:
+            return tuple(sorted(cuboid, key=order.__getitem__))
+        except KeyError as exc:
+            raise SchemaError(
+                "unknown dimension %s in cuboid %r" % (exc, cuboid)
+            ) from None
+
+    def _compute(self, cuboid, threshold):
+        """Fresh compute with the local multiprocess backend."""
+        from ..parallel.local import multiprocess_iceberg_cube
+
+        if not cuboid:
+            count = len(self.relation)
+            total = sum(self.relation.measures)
+            if threshold.qualifies(count, total):
+                return {(): (count, total)}
+            return {}
+        projected = self.relation.project(cuboid)
+        result = multiprocess_iceberg_cube(
+            projected, dims=cuboid, minsup=threshold, workers=self.fallback_workers
+        )
+        return dict(result.cuboid(cuboid))
+
+    # ------------------------------------------------------------------
+    # maintenance and stats
+    # ------------------------------------------------------------------
+    def append(self, relation):
+        """Fold new rows into the store; cached answers go stale.
+
+        Serialized against other appends; in-flight readers see either
+        the old or the new leaf lists (both internally consistent), and
+        the generation bump keeps the cache from mixing the two.
+        """
+        with self._write_lock:
+            self.store.append(relation)
+            if self.relation is not None:
+                self.relation = self.relation.concat(relation)
+
+    def stats(self):
+        """Server-wide counters: store shape, cache and latency summary."""
+        return {
+            "dims": list(self.store.dims),
+            "leaves": len(self.store.leaves),
+            "generation": self.store.generation,
+            "total_rows": self.store.total_rows,
+            "cache": self.cache.stats(),
+            "telemetry": self.telemetry.summary(),
+        }
+
+    # ------------------------------------------------------------------
+    # HTTP endpoint
+    # ------------------------------------------------------------------
+    def serve_http(self, host="127.0.0.1", port=0):
+        """Start the JSON endpoint on a background thread.
+
+        ``port`` 0 picks a free port.  Returns an :class:`HttpEndpoint`
+        whose ``.url`` is ready immediately; ``.close()`` stops it.
+        """
+        if self._closed:
+            raise PlanError("server is closed")
+        httpd = _CubeHTTPServer((host, port), _CubeRequestHandler)
+        httpd.cube_server = self
+        thread = threading.Thread(
+            target=httpd.serve_forever, name="cube-http", daemon=True
+        )
+        thread.start()
+        endpoint = HttpEndpoint(httpd, thread)
+        self._endpoints.append(endpoint)
+        return endpoint
+
+    def close(self):
+        """Stop the endpoint(s) and the worker pool."""
+        if self._closed:
+            return
+        self._closed = True
+        for endpoint in self._endpoints:
+            endpoint.close()
+        self._endpoints = []
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+
+class HttpEndpoint:
+    """A running HTTP endpoint: address, URL and shutdown."""
+
+    def __init__(self, httpd, thread):
+        self._httpd = httpd
+        self._thread = thread
+        self.host, self.port = httpd.server_address[:2]
+
+    @property
+    def url(self):
+        return "http://%s:%d" % (self.host, self.port)
+
+    def join(self):
+        """Block until the endpoint is shut down (CLI serve mode)."""
+        self._thread.join()
+
+    def close(self):
+        self._httpd.shutdown()
+        self._httpd.server_close()
+
+    def __repr__(self):
+        return "HttpEndpoint(%s)" % self.url
+
+
+class _CubeHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    cube_server = None
+
+
+def _parse_threshold(params):
+    conditions = []
+    minsup = int(params.get("minsup", ["1"])[0])
+    min_sum = params.get("min_sum")
+    if minsup > 1 or min_sum is None:
+        conditions.append(CountThreshold(max(1, minsup)))
+    if min_sum is not None:
+        conditions.append(SumThreshold(float(min_sum[0])))
+    return conditions[0] if len(conditions) == 1 else AndThreshold(*conditions)
+
+
+def _parse_cuboid(params):
+    raw = params.get("cuboid", [""])[0]
+    return tuple(filter(None, (name.strip() for name in raw.split(","))))
+
+
+class _CubeRequestHandler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self):  # noqa: N802 - http.server naming
+        split = urlsplit(self.path)
+        params = parse_qs(split.query)
+        server = self.server.cube_server
+        try:
+            if split.path == "/query":
+                answer = server.query(_parse_cuboid(params), _parse_threshold(params))
+                self._reply(200, _answer_payload(answer))
+            elif split.path == "/point":
+                raw_cell = params.get("cell", [""])[0]
+                cell = tuple(int(v) for v in raw_cell.split(",") if v.strip())
+                answer = server.point(
+                    _parse_cuboid(params), cell, _parse_threshold(params)
+                )
+                self._reply(200, _answer_payload(answer))
+            elif split.path == "/stats":
+                self._reply(200, server.stats())
+            elif split.path == "/cuboids":
+                self._reply(200, {
+                    "dims": list(server.store.dims),
+                    "leaves": [list(leaf) for leaf in server.store.leaves],
+                    "generation": server.store.generation,
+                })
+            else:
+                self._reply(404, {"error": "unknown path %r" % split.path})
+        except (ReproError, ValueError) as exc:
+            self._reply(400, {"error": str(exc)})
+
+    def _reply(self, status, payload):
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format, *args):  # noqa: A002 - http.server naming
+        pass  # keep the serving path quiet; telemetry covers it
+
+
+def _answer_payload(answer):
+    return {
+        "cuboid": list(answer.cuboid),
+        "threshold": answer.threshold,
+        "source": answer.source,
+        "latency_ms": round(answer.latency_s * 1000.0, 3),
+        "cells": [
+            {"cell": list(cell), "count": count, "sum": value}
+            for cell, (count, value) in sorted(answer.cells.items())
+        ],
+    }

@@ -1,0 +1,465 @@
+"""A persistent store of materialized leaf cuboids.
+
+:class:`~repro.online.materialize.LeafMaterialization` holds the BUC
+processing tree's leaf cuboids in memory; a :class:`CubeStore` is the
+same idea made durable.  ``build`` precomputes the leaves (minsup 1)
+and writes one file per leaf under a directory; ``open`` attaches to a
+previously built store, so a process restart pays a file read instead
+of the full precompute.
+
+On-disk layout (extending :mod:`repro.core.export`'s one-file-per-cuboid
+manifest convention)::
+
+    <directory>/
+      manifest.json        # dims, generation, per-leaf index
+      A_D.csv, B_D.csv ... # one file per leaf, rows SORTED by coords
+
+Each leaf file is written in cell-coordinate order and the manifest
+carries, per leaf, a *prefix offset index*: for every distinct value of
+the leaf's first dimension, the byte offset of its first row and the
+number of rows in the run.  Because cells sharing a prefix are
+contiguous in sorted order, a point query is an index lookup + seek +
+contiguous scan of one run — never a full-leaf sort, and (for point
+lookups on an unloaded leaf) never a full-leaf read.  Group-by queries
+are one ordered pass over the presorted leaf, exactly like
+``LeafMaterialization.query`` but without the sort step.
+
+``append`` mirrors ``LeafMaterialization.insert``: new rows are folded
+into each leaf as a sorted-merge of a delta — no rescan of the original
+input — files are rewritten atomically, and the manifest ``generation``
+is bumped so caches above the store can invalidate.
+"""
+
+import json
+import os
+import threading
+from bisect import bisect_left
+
+from ..core.export import MANIFEST, atomic_write
+from ..core.thresholds import as_threshold
+from ..errors import PlanError, SchemaError
+from ..lattice.lattice import CubeLattice
+
+STORE_FORMAT = "repro-cube-store/1"
+STORE_FORMAT_VERSION = 1
+
+
+def _leaf_filename(cuboid):
+    return "_".join(cuboid) + ".csv"
+
+
+def _encode_leaf(cuboid, items):
+    """Serialize sorted leaf items; returns (bytes, prefix offset index).
+
+    The index maps each distinct first-coordinate value to
+    ``[byte_offset, run_rows]`` — the contiguous run of rows starting
+    with that value.
+    """
+    header = (",".join(list(cuboid) + ["count", "sum"]) + "\n").encode()
+    chunks = [header]
+    offset = len(header)
+    index = {}
+    for cell, (count, value) in items:
+        line = ",".join(
+            [str(coord) for coord in cell] + [str(count), repr(value)]
+        ).encode() + b"\n"
+        run = index.get(cell[0])
+        if run is None:
+            index[cell[0]] = [offset, 1]
+        else:
+            run[1] += 1
+        offset += len(line)
+        chunks.append(line)
+    return b"".join(chunks), index
+
+
+def _parse_rows(lines, width):
+    """Decode leaf rows (bytes) into ``(cell, (count, sum))`` items."""
+    items = []
+    for raw in lines:
+        parts = raw.decode().rstrip("\n").split(",")
+        if len(parts) != width + 2:
+            raise SchemaError(
+                "leaf row %r has %d fields, expected %d"
+                % (raw, len(parts), width + 2)
+            )
+        cell = tuple(int(p) for p in parts[:width])
+        items.append((cell, (int(parts[width]), float(parts[width + 1]))))
+    return items
+
+
+def _merge_sorted(items, delta_items):
+    """Merge two cell-sorted item lists, summing aggregates on equal cells."""
+    merged = []
+    i = j = 0
+    while i < len(items) and j < len(delta_items):
+        cell_a, agg_a = items[i]
+        cell_b, agg_b = delta_items[j]
+        if cell_a == cell_b:
+            merged.append((cell_a, (agg_a[0] + agg_b[0], agg_a[1] + agg_b[1])))
+            i += 1
+            j += 1
+        elif cell_a < cell_b:
+            merged.append(items[i])
+            i += 1
+        else:
+            merged.append(delta_items[j])
+            j += 1
+    merged.extend(items[i:])
+    merged.extend(delta_items[j:])
+    return merged
+
+
+class CubeStore:
+    """Persistent, incrementally maintainable leaf-cuboid store."""
+
+    def __init__(self, directory, manifest):
+        self.directory = str(directory)
+        self._check_manifest(manifest)
+        self.dims = tuple(manifest["dims"])
+        self._lattice = CubeLattice(self.dims)
+        self.generation = int(manifest["generation"])
+        self.total_rows = int(manifest["total_rows"])
+        self.total_measure = float(manifest["total_measure"])
+        #: leaf cuboid -> manifest entry (file, cells, prefix index)
+        self._entries = {}
+        self.leaves = []
+        for entry in manifest["leaves"]:
+            cuboid = tuple(entry["cuboid"])
+            self.leaves.append(cuboid)
+            self._entries[cuboid] = {
+                "file": entry["file"],
+                "cells": int(entry["cells"]),
+                "index": {int(k): tuple(v) for k, v in entry["index"].items()},
+            }
+        self._leaf_set = frozenset(self.leaves)
+        self._items = {}  # leaf -> sorted [(cell, (count, sum))], lazy
+        self._lock = threading.RLock()
+        self._closed = False
+
+    @staticmethod
+    def _check_manifest(manifest):
+        if manifest.get("format") != STORE_FORMAT:
+            raise SchemaError(
+                "unknown cube-store format %r" % (manifest.get("format"),)
+            )
+        if manifest.get("format_version") != STORE_FORMAT_VERSION:
+            raise SchemaError(
+                "cube-store format_version %r not supported (this library reads %d)"
+                % (manifest.get("format_version"), STORE_FORMAT_VERSION)
+            )
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, relation, directory, dims=None, cluster_spec=None, cost_model=None):
+        """Precompute the leaf cuboids of ``relation`` and persist them.
+
+        Runs the same minsup-1 leaf precompute as
+        :class:`~repro.online.materialize.LeafMaterialization`, then
+        writes the store and returns it open.
+        """
+        from ..online.materialize import LeafMaterialization
+
+        materialization = LeafMaterialization(
+            relation, dims=dims, cluster_spec=cluster_spec, cost_model=cost_model
+        )
+        return cls.from_materialization(materialization, directory)
+
+    @classmethod
+    def from_materialization(cls, materialization, directory):
+        """Persist an in-memory :class:`LeafMaterialization` as a store."""
+        directory = str(directory)
+        os.makedirs(directory, exist_ok=True)
+        leaf_entries = []
+        loaded = {}
+        for leaf in materialization.leaves:
+            items = list(materialization._items(leaf))
+            filename = _leaf_filename(leaf)
+            data, index = _encode_leaf(leaf, items)
+            atomic_write(
+                os.path.join(directory, filename),
+                lambda handle, data=data: handle.write(data),
+                binary=True,
+            )
+            leaf_entries.append({
+                "cuboid": list(leaf),
+                "file": filename,
+                "cells": len(items),
+                "index": {str(k): list(v) for k, v in index.items()},
+            })
+            loaded[leaf] = items
+        manifest = {
+            "format": STORE_FORMAT,
+            "format_version": STORE_FORMAT_VERSION,
+            "dims": list(materialization.dims),
+            "generation": 1,
+            "total_rows": materialization.total_rows,
+            "total_measure": materialization.total_measure,
+            "leaves": leaf_entries,
+        }
+        atomic_write(
+            os.path.join(directory, MANIFEST),
+            lambda handle: json.dump(manifest, handle, indent=2, sort_keys=True),
+        )
+        store = cls(directory, manifest)
+        store._items.update(loaded)
+        return store
+
+    @classmethod
+    def open(cls, directory):
+        """Attach to a store previously written by :meth:`build`."""
+        manifest_path = os.path.join(str(directory), MANIFEST)
+        try:
+            with open(manifest_path) as handle:
+                manifest = json.load(handle)
+        except FileNotFoundError:
+            raise SchemaError("no cube-store manifest at %r" % (manifest_path,)) from None
+        return cls(directory, manifest)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self):
+        """Release in-memory leaf data; further queries raise."""
+        with self._lock:
+            self._items.clear()
+            self._closed = True
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    def _check_open(self):
+        if self._closed:
+            raise PlanError("cube store %r is closed" % (self.directory,))
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def canonical(self, cuboid):
+        """Normalize a cuboid to the store's schema order."""
+        return self._lattice.canonical(cuboid)
+
+    def covering_leaf(self, cuboid):
+        """The stored leaf that has (canonical) ``cuboid`` as a prefix."""
+        cuboid = self._lattice.canonical(cuboid)
+        if cuboid and cuboid[-1] == self.dims[-1]:
+            return cuboid
+        candidate = cuboid + (self.dims[-1],)
+        if candidate in self._leaf_set:
+            return candidate
+        raise PlanError("no stored leaf covers cuboid %r" % (cuboid,))
+
+    def total_cells(self):
+        """Stored cells across all leaves (from the manifest, no I/O)."""
+        return sum(entry["cells"] for entry in self._entries.values())
+
+    def loaded_leaves(self):
+        """Leaves currently resident in memory (the hot set)."""
+        with self._lock:
+            return sorted(self._items)
+
+    def leaf_items(self, leaf):
+        """The leaf's cells in sorted order, loading from disk on first use."""
+        self._check_open()
+        items = self._items.get(leaf)
+        if items is not None:
+            return items
+        with self._lock:
+            items = self._items.get(leaf)
+            if items is not None:
+                return items
+            entry = self._entries.get(leaf)
+            if entry is None:
+                raise PlanError("cuboid %r is not a stored leaf" % (leaf,))
+            path = os.path.join(self.directory, entry["file"])
+            with open(path, "rb") as handle:
+                handle.readline()  # header
+                items = _parse_rows(handle.readlines(), len(leaf))
+            if len(items) != entry["cells"]:
+                raise SchemaError(
+                    "leaf %r has %d cells on disk, manifest says %d"
+                    % (leaf, len(items), entry["cells"])
+                )
+            self._items[leaf] = items
+            return items
+
+    def query(self, cuboid, minsup=1):
+        """Answer ``GROUP BY cuboid HAVING <threshold>`` from the store.
+
+        One ordered pass over the covering leaf's presorted cells —
+        identical semantics to ``LeafMaterialization.query``.  Returns
+        ``{cell: (count, sum)}``.
+        """
+        self._check_open()
+        threshold = as_threshold(minsup)
+        cuboid = self._lattice.canonical(cuboid)
+        if not cuboid:
+            if threshold.qualifies(self.total_rows, self.total_measure):
+                return {(): (self.total_rows, self.total_measure)}
+            return {}
+        leaf = self.covering_leaf(cuboid)
+        items = self.leaf_items(leaf)
+        width = len(cuboid)
+        out = {}
+        current = None
+        count = 0
+        total = 0.0
+        for cell, (c, v) in items:
+            prefix = cell[:width]
+            if prefix != current:
+                if current is not None and threshold.qualifies(count, total):
+                    out[current] = (count, total)
+                current = prefix
+                count = 0
+                total = 0.0
+            count += c
+            total += v
+        if current is not None and threshold.qualifies(count, total):
+            out[current] = (count, total)
+        return out
+
+    def point(self, cuboid, cell, minsup=1):
+        """One cell of one cuboid: ``(count, sum)`` or ``None``.
+
+        For a loaded leaf this is a binary search over the sorted items;
+        for an unloaded leaf the prefix offset index turns it into a
+        seek + one contiguous run scan, without reading the whole file.
+        """
+        self._check_open()
+        threshold = as_threshold(minsup)
+        cuboid = self._lattice.canonical(cuboid)
+        if not cuboid:
+            agg = (self.total_rows, self.total_measure)
+            return agg if threshold.qualifies(*agg) else None
+        cell = tuple(cell)
+        if len(cell) != len(cuboid):
+            raise SchemaError(
+                "cell %r has %d coordinates, cuboid %r has %d dimensions"
+                % (cell, len(cell), cuboid, len(cuboid))
+            )
+        leaf = self.covering_leaf(cuboid)
+        items = self._items.get(leaf)
+        if items is None:
+            items = self._run_items(leaf, cell[0])
+            start = 0
+        else:
+            start = bisect_left(items, (cell,))
+        width = len(cell)
+        count = 0
+        total = 0.0
+        for leaf_cell, (c, v) in items[start:]:
+            prefix = leaf_cell[:width]
+            if prefix < cell:
+                continue
+            if prefix != cell:
+                break
+            count += c
+            total += v
+        if count and threshold.qualifies(count, total):
+            return (count, total)
+        return None
+
+    def _run_items(self, leaf, first_coord):
+        """Read only the contiguous run of ``leaf`` rows starting with
+        ``first_coord``, via the manifest's prefix offset index."""
+        entry = self._entries[leaf]
+        run = entry["index"].get(first_coord)
+        if run is None:
+            return []
+        offset, n_rows = run
+        path = os.path.join(self.directory, entry["file"])
+        with self._lock:
+            self._check_open()
+            with open(path, "rb") as handle:
+                handle.seek(offset)
+                lines = [handle.readline() for _ in range(n_rows)]
+        return _parse_rows(lines, len(leaf))
+
+    # ------------------------------------------------------------------
+    # incremental maintenance
+    # ------------------------------------------------------------------
+    def append(self, relation):
+        """Fold new rows into every stored leaf (delta maintenance).
+
+        Mirrors ``LeafMaterialization.insert``: the leaves hold
+        unfiltered minsup-1 cells, so appending is pure accumulation —
+        each leaf gets a sorted delta merged into its sorted items, the
+        file is rewritten atomically, and ``generation`` is bumped so
+        caches invalidate.  No rescan of previously stored data.
+        """
+        self._check_open()
+        positions = relation.dim_indices(self.dims)
+        keyed = [
+            (tuple(row[p] for p in positions), measure)
+            for row, measure in zip(relation.rows, relation.measures)
+        ]
+        with self._lock:
+            for leaf in self.leaves:
+                delta = {}
+                leaf_positions = [self.dims.index(d) for d in leaf]
+                for key, measure in keyed:
+                    cell = tuple(key[p] for p in leaf_positions)
+                    acc = delta.get(cell)
+                    if acc is None:
+                        delta[cell] = [1, measure]
+                    else:
+                        acc[0] += 1
+                        acc[1] += measure
+                delta_items = sorted(
+                    (cell, (acc[0], acc[1])) for cell, acc in delta.items()
+                )
+                merged = _merge_sorted(self.leaf_items(leaf), delta_items)
+                data, index = _encode_leaf(leaf, merged)
+                entry = self._entries[leaf]
+                atomic_write(
+                    os.path.join(self.directory, entry["file"]),
+                    lambda handle, data=data: handle.write(data),
+                    binary=True,
+                )
+                entry["cells"] = len(merged)
+                entry["index"] = {k: tuple(v) for k, v in index.items()}
+                self._items[leaf] = merged
+            self.total_rows += len(relation)
+            self.total_measure += sum(relation.measures)
+            self.generation += 1
+            self._write_manifest()
+
+    def _write_manifest(self):
+        manifest = {
+            "format": STORE_FORMAT,
+            "format_version": STORE_FORMAT_VERSION,
+            "dims": list(self.dims),
+            "generation": self.generation,
+            "total_rows": self.total_rows,
+            "total_measure": self.total_measure,
+            "leaves": [
+                {
+                    "cuboid": list(leaf),
+                    "file": self._entries[leaf]["file"],
+                    "cells": self._entries[leaf]["cells"],
+                    "index": {
+                        str(k): list(v)
+                        for k, v in self._entries[leaf]["index"].items()
+                    },
+                }
+                for leaf in self.leaves
+            ],
+        }
+        atomic_write(
+            os.path.join(self.directory, MANIFEST),
+            lambda handle: json.dump(manifest, handle, indent=2, sort_keys=True),
+        )
+
+    def __repr__(self):
+        return "CubeStore(dims=%r, leaves=%d, rows=%d, generation=%d)" % (
+            self.dims,
+            len(self.leaves),
+            self.total_rows,
+            self.generation,
+        )

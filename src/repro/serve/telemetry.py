@@ -1,0 +1,96 @@
+"""Per-query serving telemetry: latency and answer-source records.
+
+Every query a :class:`~repro.serve.server.CubeServer` answers is
+recorded as a :class:`QueryRecord` — which cuboid, which threshold,
+where the answer came from (``cache``, ``store`` or ``compute``) and
+how long it took.  :class:`ServerTelemetry` aggregates the records into
+the numbers an operator actually watches: per-source counts, mean and
+percentile latencies.
+
+Everything here is thread-safe: the server's worker threads record
+concurrently while a stats endpoint reads.
+"""
+
+import threading
+from collections import namedtuple
+
+#: One answered query.  ``latency_s`` is real wall-clock seconds;
+#: ``source`` is "cache", "store" or "compute".
+QueryRecord = namedtuple(
+    "QueryRecord", ("cuboid", "threshold", "source", "latency_s")
+)
+
+SOURCES = ("cache", "store", "compute")
+
+
+def percentile(sorted_values, p):
+    """Nearest-rank percentile of an ascending list (``p`` in 0..100)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, -(-len(sorted_values) * p // 100))  # ceil without floats
+    return sorted_values[min(len(sorted_values), rank) - 1]
+
+
+class ServerTelemetry:
+    """Thread-safe accumulator of :class:`QueryRecord` entries."""
+
+    def __init__(self, keep_records=10_000):
+        self._lock = threading.Lock()
+        self._records = []
+        self._keep = int(keep_records)
+        self._counts = {source: 0 for source in SOURCES}
+        self._latency_totals = {source: 0.0 for source in SOURCES}
+
+    def record(self, cuboid, threshold, source, latency_s):
+        """Record one answered query."""
+        if source not in self._counts:
+            raise ValueError("unknown answer source %r" % (source,))
+        entry = QueryRecord(tuple(cuboid), threshold, source, float(latency_s))
+        with self._lock:
+            self._counts[source] += 1
+            self._latency_totals[source] += entry.latency_s
+            if len(self._records) < self._keep:
+                self._records.append(entry)
+
+    def __len__(self):
+        with self._lock:
+            return sum(self._counts.values())
+
+    def records(self, source=None):
+        """A snapshot of the retained records (optionally one source)."""
+        with self._lock:
+            records = list(self._records)
+        if source is not None:
+            records = [r for r in records if r.source == source]
+        return records
+
+    def latencies(self, source=None):
+        """Retained latencies in ascending order (seconds)."""
+        return sorted(r.latency_s for r in self.records(source))
+
+    def summary(self):
+        """Aggregate stats: counts per source, mean and p50/p95/p99.
+
+        Latency figures are in milliseconds, rounded for display; counts
+        cover every query ever recorded (percentiles cover the retained
+        window).
+        """
+        with self._lock:
+            counts = dict(self._counts)
+            totals = dict(self._latency_totals)
+        out = {"queries": sum(counts.values()), "by_source": {}}
+        for source in SOURCES:
+            ordered = self.latencies(source)
+            count = counts[source]
+            out["by_source"][source] = {
+                "count": count,
+                "mean_ms": round(1000.0 * totals[source] / count, 3) if count else 0.0,
+                "p50_ms": round(1000.0 * percentile(ordered, 50), 3),
+                "p95_ms": round(1000.0 * percentile(ordered, 95), 3),
+                "p99_ms": round(1000.0 * percentile(ordered, 99), 3),
+            }
+        overall = self.latencies()
+        out["p50_ms"] = round(1000.0 * percentile(overall, 50), 3)
+        out["p95_ms"] = round(1000.0 * percentile(overall, 95), 3)
+        out["p99_ms"] = round(1000.0 * percentile(overall, 99), 3)
+        return out

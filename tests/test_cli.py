@@ -140,3 +140,41 @@ class TestMoreCubePaths:
                                 "--minsup", "2", "--min-sum", "500"])
         assert code == 0
         assert "COUNT(*) >= 2 AND SUM(measure) >= 500" in output
+
+
+class TestStoreAndServe:
+    def test_store_build(self, sales_csv, tmp_path):
+        target = tmp_path / "store"
+        code, output = run_cli(["store", "build", "--csv", sales_csv,
+                                "--out", str(target), "--processors", "2"])
+        assert code == 0
+        assert "built cube store" in output
+        assert "stored leaves" in output
+        from repro.serve import CubeStore
+
+        store = CubeStore.open(target)
+        assert store.total_rows == 5
+        assert store.query(("brand",), minsup=1)
+        store.close()
+
+    def test_store_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["store"])
+
+    def test_serve_self_test_over_http(self, sales_csv, tmp_path):
+        target = tmp_path / "store"
+        code, _ = run_cli(["store", "build", "--csv", sales_csv,
+                           "--out", str(target), "--processors", "2"])
+        assert code == 0
+        code, output = run_cli(["serve", "--store", str(target), "--port", "0",
+                                "--self-test", "12"])
+        assert code == 0
+        assert "listening on http://" in output
+        assert "12 HTTP queries answered" in output
+        assert "cache hit rate" in output
+
+    def test_serve_missing_store_is_clean_error(self, tmp_path):
+        code, output = run_cli(["serve", "--store", str(tmp_path / "nope"),
+                                "--port", "0", "--self-test", "1"])
+        assert code == 2
+        assert "error:" in output

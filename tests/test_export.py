@@ -28,6 +28,7 @@ class TestRoundTrip:
         result = naive_iceberg_cube(small_uniform, minsup=1)
         manifest = save_cube(result, tmp_path / "cube")
         assert manifest["format"] == "repro-cube/1"
+        assert manifest["format_version"] == 1
         assert manifest["dims"] == list(small_uniform.dims)
         assert manifest["total_cells"] == result.total_cells()
         on_disk = json.loads((tmp_path / "cube" / "manifest.json").read_text())
@@ -80,3 +81,54 @@ class TestValidation:
         path.write_text("\n".join(lines[:-1]) + "\n")  # drop one cell
         with pytest.raises(SchemaError):
             load_cube(tmp_path / "cube")
+
+    def test_unsupported_format_version(self, small_uniform, tmp_path):
+        result = naive_iceberg_cube(small_uniform, minsup=1)
+        save_cube(result, tmp_path / "cube")
+        manifest_path = tmp_path / "cube" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format_version"] = 99
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(SchemaError):
+            load_cube(tmp_path / "cube")
+
+    def test_version_field_optional_for_old_saves(self, small_uniform, tmp_path):
+        result = naive_iceberg_cube(small_uniform, minsup=2)
+        save_cube(result, tmp_path / "cube")
+        manifest_path = tmp_path / "cube" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        del manifest["format_version"]  # a pre-versioning save
+        manifest_path.write_text(json.dumps(manifest))
+        assert load_cube(tmp_path / "cube").equals(result)
+
+
+class TestAtomicWrites:
+    def test_save_leaves_no_temp_files(self, small_uniform, tmp_path):
+        result = naive_iceberg_cube(small_uniform, minsup=1)
+        save_cube(result, tmp_path / "cube")
+        leftovers = [f for f in os.listdir(tmp_path / "cube") if ".tmp" in f]
+        assert leftovers == []
+
+    def test_overwrite_is_atomic_on_failure(self, small_uniform, tmp_path):
+        """A save that dies mid-write must leave the previous cube intact
+        (temp file + os.replace, never in-place truncation)."""
+        from repro.core import export
+
+        result = naive_iceberg_cube(small_uniform, minsup=2)
+        save_cube(result, tmp_path / "cube")
+
+        class Boom(RuntimeError):
+            pass
+
+        def exploding(handle):
+            handle.write("partial garbage")
+            raise Boom()
+
+        path = str(tmp_path / "cube" / "A.csv")
+        before = (tmp_path / "cube" / "A.csv").read_text()
+        with pytest.raises(Boom):
+            export.atomic_write(path, exploding)
+        assert (tmp_path / "cube" / "A.csv").read_text() == before
+        assert [f for f in os.listdir(tmp_path / "cube") if ".tmp" in f] == []
+        # and the whole cube still loads
+        assert load_cube(tmp_path / "cube").equals(result)

@@ -106,3 +106,51 @@ class TestIncrementalMaintenance:
             mat.insert(small_skewed.slice(start, start + 50))
         rebuilt = LeafMaterialization(small_skewed, cluster_spec=cluster1(2))
         assert mat.query_cube(2).equals(rebuilt.query_cube(2))
+
+    def test_interleaved_insert_query_cycles(self, small_skewed):
+        """Every query between inserts matches recomputing from the
+        concatenation of everything inserted so far — i.e. the sorted
+        -items cache is invalidated on every cycle, not just the first."""
+        seen = small_skewed.slice(0, 80)
+        mat = LeafMaterialization(seen, cluster_spec=cluster1(2))
+        cuboids = (("A",), ("A", "B"), ("B", "D"), ("A", "B", "C", "D"))
+        for start in range(80, len(small_skewed), 80):
+            # touch the caches before inserting, so stale reuse would show
+            for cuboid in cuboids:
+                mat.query(cuboid, minsup=2)
+            chunk = small_skewed.slice(start, start + 80)
+            mat.insert(chunk)
+            seen = seen.concat(chunk)
+            for cuboid in cuboids:
+                expected = {
+                    cell: agg
+                    for cell, agg in naive_cuboid(seen, cuboid).items()
+                    if agg[0] >= 2
+                }
+                got = mat.query(cuboid, minsup=2)
+                assert {
+                    k: (c, pytest.approx(v)) for k, (c, v) in got.items()
+                } == expected, (start, cuboid)
+
+    def test_insert_bumps_generation(self, small_skewed):
+        mat = LeafMaterialization(small_skewed.slice(0, 100),
+                                  cluster_spec=cluster1(2))
+        assert mat.generation == 1
+        mat.insert(small_skewed.slice(100, 150))
+        mat.append(small_skewed.slice(150, 200))  # store-compatible alias
+        assert mat.generation == 3
+
+    def test_interleaved_equals_concatenated_rebuild(self, small_skewed):
+        """After alternating insert/query cycles, the whole cube equals a
+        rebuild from the concatenated relation at every threshold."""
+        mat = LeafMaterialization(small_skewed.slice(0, 100),
+                                  cluster_spec=cluster1(2))
+        acc = small_skewed.slice(0, 100)
+        for start in range(100, len(small_skewed), 60):
+            chunk = small_skewed.slice(start, start + 60)
+            mat.query(("A", "C"), minsup=1)  # interleave reads with writes
+            mat.insert(chunk)
+            acc = acc.concat(chunk)
+        rebuilt = LeafMaterialization(acc, cluster_spec=cluster1(2))
+        for minsup in (1, 2, 4):
+            assert mat.query_cube(minsup).equals(rebuilt.query_cube(minsup))

@@ -136,3 +136,59 @@ class TestHavingThresholds:
 
         q = IcebergQuery(("A",), having=AndThreshold(2, SumThreshold(10)))
         assert "COUNT(*) >= 2 AND SUM(measure) >= 10" in q.sql()
+
+
+class TestExecute:
+    """IcebergQuery.execute against relations, stores and servers."""
+
+    def test_execute_against_relation(self, small_skewed):
+        q = IcebergQuery(("A", "B"), minsup=2)
+        assert q.execute(small_skewed) == iceberg_query(
+            small_skewed, ("A", "B"), minsup=2)
+
+    def test_execute_against_store_and_server(self, small_skewed, tmp_path):
+        from repro.serve import CubeServer, CubeStore
+
+        store = CubeStore.build(small_skewed, tmp_path / "s",
+                                cluster_spec=cluster1(2))
+        q = IcebergQuery(("A", "B"), minsup=2, aggregate="avg")
+        expected = q.execute(small_skewed)
+        assert q.execute(store) == pytest.approx(expected)
+        with CubeServer(store) as server:
+            assert q.execute(server) == pytest.approx(expected)
+        store.close()
+
+    def test_execute_against_materialization(self, small_skewed):
+        from repro.online import LeafMaterialization
+
+        mat = LeafMaterialization(small_skewed, cluster_spec=cluster1(2))
+        q = IcebergQuery(("B", "D"), minsup=3, aggregate="count")
+        assert q.execute(mat) == q.execute(small_skewed)
+
+    def test_execute_cube_form(self, small_skewed, tmp_path):
+        from repro.serve import CubeStore
+
+        store = CubeStore.build(small_skewed, tmp_path / "s",
+                                cluster_spec=cluster1(2))
+        q = IcebergQuery(("A", "B"), minsup=2, cube=True)
+        served = q.execute(store)
+        direct = q.execute(small_skewed)
+        assert set(served) == {("A", "B"), ("A",), ("B",)}
+        for cuboid in served:
+            assert served[cuboid] == pytest.approx(direct[cuboid]), cuboid
+        store.close()
+
+    def test_holistic_aggregate_needs_relation(self, small_skewed, tmp_path):
+        from repro.serve import CubeStore
+
+        store = CubeStore.build(small_skewed, tmp_path / "s",
+                                cluster_spec=cluster1(2))
+        q = IcebergQuery(("A",), minsup=2, aggregate="median")
+        assert q.execute(small_skewed)  # fine on the raw relation
+        with pytest.raises(PlanError):
+            q.execute(store)
+        store.close()
+
+    def test_execute_rejects_non_targets(self):
+        with pytest.raises(PlanError):
+            IcebergQuery(("A",)).execute(42)

@@ -1,0 +1,383 @@
+"""The serving subsystem: persistent store, cache, server, telemetry."""
+
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from urllib.request import urlopen
+
+import pytest
+
+from repro.cluster import cluster1
+from repro.core.naive import naive_cuboid
+from repro.core.thresholds import CountThreshold, SumThreshold
+from repro.errors import PlanError, SchemaError
+from repro.online import LeafMaterialization
+from repro.serve import CubeServer, CubeStore, QueryCache, ServerTelemetry
+from repro.serve.telemetry import percentile
+
+
+def oracle(relation, cuboid, minsup):
+    return {
+        cell: agg
+        for cell, agg in naive_cuboid(relation, cuboid).items()
+        if agg[0] >= minsup
+    }
+
+
+@pytest.fixture
+def store(small_skewed, tmp_path):
+    built = CubeStore.build(small_skewed, tmp_path / "store",
+                            cluster_spec=cluster1(3))
+    yield built
+    built.close()
+
+
+class TestCubeStore:
+    def test_round_trip_matches_fresh_materialization(self, small_skewed, tmp_path):
+        """Acceptance: build -> close -> reopen -> query, identical to a
+        fresh LeafMaterialization on every cuboid and threshold."""
+        CubeStore.build(small_skewed, tmp_path / "s", cluster_spec=cluster1(3)).close()
+        reopened = CubeStore.open(tmp_path / "s")
+        fresh = LeafMaterialization(small_skewed, cluster_spec=cluster1(3))
+        for cuboid in ((), ("A",), ("A", "C"), ("B", "D"), ("A", "B", "C", "D")):
+            for minsup in (1, 2, 4):
+                assert reopened.query(cuboid, minsup) == fresh.query(cuboid, minsup)
+
+    def test_query_matches_oracle(self, small_skewed, store):
+        for cuboid in (("A",), ("C", "A"), ("B", "C", "D")):
+            got = store.query(cuboid, minsup=2)
+            expected = oracle(small_skewed, store.canonical(cuboid), 2)
+            assert {k: (c, pytest.approx(v)) for k, (c, v) in got.items()} == expected
+
+    def test_accepts_threshold_objects(self, small_skewed, store):
+        got = store.query(("A",), minsup=SumThreshold(500))
+        assert got
+        assert all(v >= 500 for _c, v in got.values())
+
+    def test_leaves_load_lazily(self, small_skewed, tmp_path):
+        CubeStore.build(small_skewed, tmp_path / "s", cluster_spec=cluster1(2)).close()
+        reopened = CubeStore.open(tmp_path / "s")
+        assert reopened.loaded_leaves() == []
+        reopened.query(("A",), minsup=1)
+        assert reopened.loaded_leaves() == [("A", "D")]
+
+    def test_point_query(self, small_skewed, store):
+        full = store.query(("A", "B"), minsup=1)
+        for cell, agg in list(full.items())[:5]:
+            assert store.point(("A", "B"), cell) == agg
+        assert store.point(("A", "B"), (999, 999)) is None
+
+    def test_point_uses_index_without_loading_leaf(self, small_skewed, tmp_path):
+        CubeStore.build(small_skewed, tmp_path / "s", cluster_spec=cluster1(2)).close()
+        reopened = CubeStore.open(tmp_path / "s")
+        expected = oracle(small_skewed, ("A", "B"), 1)
+        cell = sorted(expected)[0]
+        count, value = reopened.point(("A", "B"), cell)
+        assert (count, pytest.approx(value)) == expected[cell]
+        assert reopened.loaded_leaves() == []  # seek + run scan, no full read
+
+    def test_point_respects_threshold(self, small_skewed, store):
+        full = store.query(("A",), minsup=1)
+        cell = min(full, key=lambda c: full[c][0])
+        too_high = full[cell][0] + 1
+        assert store.point(("A",), cell, minsup=too_high) is None
+
+    def test_append_matches_rebuild_and_bumps_generation(self, small_skewed, tmp_path):
+        first = small_skewed.slice(0, 250)
+        rest = small_skewed.slice(250, len(small_skewed))
+        store = CubeStore.build(first, tmp_path / "s", cluster_spec=cluster1(2))
+        assert store.generation == 1
+        store.append(rest)
+        assert store.generation == 2
+        fresh = LeafMaterialization(small_skewed, cluster_spec=cluster1(2))
+        for cuboid in (("A",), ("A", "B"), ("B", "D")):
+            assert store.query(cuboid, 2) == fresh.query(cuboid, 2)
+        store.close()
+        # the append was persisted, not just in-memory
+        reopened = CubeStore.open(tmp_path / "s")
+        assert reopened.generation == 2
+        assert reopened.total_rows == len(small_skewed)
+        assert reopened.query(("A", "C"), 2) == fresh.query(("A", "C"), 2)
+
+    def test_closed_store_rejects_queries(self, small_skewed, tmp_path):
+        store = CubeStore.build(small_skewed, tmp_path / "s", cluster_spec=cluster1(2))
+        store.close()
+        with pytest.raises(PlanError):
+            store.query(("A",))
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(SchemaError):
+            CubeStore.open(tmp_path)
+
+    def test_unknown_format_version(self, small_skewed, tmp_path):
+        CubeStore.build(small_skewed, tmp_path / "s", cluster_spec=cluster1(2)).close()
+        manifest_path = tmp_path / "s" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format_version"] = 99
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(SchemaError):
+            CubeStore.open(tmp_path / "s")
+
+    def test_unknown_dimension_rejected(self, store):
+        with pytest.raises(SchemaError):
+            store.query(("A", "nope"))
+
+    def test_total_cells_from_manifest(self, store):
+        assert store.total_cells() == sum(
+            len(store.leaf_items(leaf)) for leaf in store.leaves
+        )
+
+
+class TestQueryCache:
+    def test_hit_after_put(self):
+        cache = QueryCache(capacity=4)
+        cache.put(("A",), 2, 1, {"x": 1})
+        assert cache.get(("A",), 2, 1) == {"x": 1}
+        assert cache.stats()["hits"] == 1
+
+    def test_threshold_keying_is_canonical(self):
+        cache = QueryCache(capacity=4)
+        cache.put(("A",), 2, 1, "answer")
+        # the int shorthand and the explicit threshold share an entry
+        assert cache.get(("A",), CountThreshold(2), 1) == "answer"
+        assert cache.get(("A",), SumThreshold(2), 1) is None
+
+    def test_generation_invalidation(self):
+        cache = QueryCache(capacity=4)
+        cache.put(("A",), 2, 1, "old")
+        assert cache.get(("A",), 2, 2) is None  # stale: dropped, not served
+        assert cache.stats()["invalidations"] == 1
+        assert len(cache) == 0
+
+    def test_lru_eviction(self):
+        cache = QueryCache(capacity=2)
+        cache.put(("A",), 1, 1, "a")
+        cache.put(("B",), 1, 1, "b")
+        cache.get(("A",), 1, 1)  # A becomes most-recent
+        cache.put(("C",), 1, 1, "c")  # evicts B
+        assert cache.get(("B",), 1, 1) is None
+        assert cache.get(("A",), 1, 1) == "a"
+        assert cache.stats()["evictions"] == 1
+
+    def test_capacity_zero_disables(self):
+        cache = QueryCache(capacity=0)
+        cache.put(("A",), 1, 1, "a")
+        assert cache.get(("A",), 1, 1) is None
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(PlanError):
+            QueryCache(capacity=-1)
+
+    def test_thread_safety_under_contention(self):
+        cache = QueryCache(capacity=16)
+
+        def worker(i):
+            for j in range(200):
+                cache.put(("D%d" % (j % 32),), 1, 1, j)
+                cache.get(("D%d" % (j % 32),), 1, 1)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(worker, range(8)))
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] == 8 * 200
+        assert len(cache) <= 16
+
+
+class TestTelemetry:
+    def test_percentile_nearest_rank(self):
+        values = sorted(range(1, 101))
+        assert percentile(values, 50) == 50
+        assert percentile(values, 95) == 95
+        assert percentile(values, 99) == 99
+        assert percentile([], 50) == 0.0
+
+    def test_summary_by_source(self):
+        telemetry = ServerTelemetry()
+        for latency in (0.001, 0.002, 0.003):
+            telemetry.record(("A",), "COUNT(*) >= 1", "store", latency)
+        telemetry.record(("A",), "COUNT(*) >= 1", "cache", 0.0001)
+        summary = telemetry.summary()
+        assert summary["queries"] == 4
+        assert summary["by_source"]["store"]["count"] == 3
+        assert summary["by_source"]["cache"]["count"] == 1
+        assert summary["by_source"]["store"]["p50_ms"] == pytest.approx(2.0)
+        assert summary["by_source"]["compute"]["count"] == 0
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(ValueError):
+            ServerTelemetry().record(("A",), "t", "disk", 0.1)
+
+    def test_concurrent_recording(self):
+        telemetry = ServerTelemetry()
+
+        def worker(_):
+            for _i in range(100):
+                telemetry.record(("A",), "t", "store", 0.001)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(worker, range(8)))
+        assert len(telemetry) == 800
+
+
+class TestCubeServer:
+    def test_cache_then_store_sources(self, store):
+        with CubeServer(store) as server:
+            first = server.query(("A", "B"), minsup=2)
+            second = server.query(("B", "A"), minsup=CountThreshold(2))
+            assert first.source == "store"
+            assert second.source == "cache"  # canonical cuboid + threshold key
+            assert first.cells == second.cells
+
+    def test_concurrent_queries_oracle_exact_with_cache_hits(
+            self, small_skewed, store):
+        """Acceptance: >= 8 threads, every answer oracle-exact, and the
+        repeated workload reports a positive cache hit rate."""
+        workload = [
+            (cuboid, minsup)
+            for cuboid in (("A",), ("B",), ("A", "B"), ("A", "C"), ("B", "D"),
+                           ("C", "D"), ("A", "B", "C"), ("A", "B", "C", "D"))
+            for minsup in (1, 2, 3)
+        ] * 3  # repeats make cache hits inevitable
+        expected = {
+            (cuboid, minsup): oracle(small_skewed, cuboid, minsup)
+            for cuboid, minsup in set(workload)
+        }
+        with CubeServer(store, max_workers=8) as server:
+            answers = server.query_many(workload)
+            for (cuboid, minsup), answer in zip(workload, answers):
+                got = {k: (c, pytest.approx(v)) for k, (c, v) in answer.cells.items()}
+                assert got == expected[(cuboid, minsup)], (cuboid, minsup)
+            stats = server.stats()
+        assert stats["cache"]["hit_rate"] > 0
+        assert stats["telemetry"]["queries"] == len(workload)
+
+    def test_compute_fallback_for_uncovered_dims(self, small_skewed, tmp_path):
+        partial = CubeStore.build(small_skewed, tmp_path / "partial",
+                                  dims=("A", "B", "C"), cluster_spec=cluster1(2))
+        with CubeServer(partial, relation=small_skewed) as server:
+            answer = server.query(("A", "D"), minsup=2)
+            assert answer.source == "compute"
+            expected = oracle(small_skewed, ("A", "D"), 2)
+            got = {k: (c, pytest.approx(v)) for k, (c, v) in answer.cells.items()}
+            assert got == expected
+            # the computed answer is cached like any other
+            assert server.query(("A", "D"), minsup=2).source == "cache"
+        partial.close()
+
+    def test_uncovered_without_relation_raises(self, small_skewed, tmp_path):
+        partial = CubeStore.build(small_skewed, tmp_path / "partial",
+                                  dims=("A", "B"), cluster_spec=cluster1(2))
+        with CubeServer(partial) as server:
+            with pytest.raises(SchemaError):
+                server.query(("A", "D"), minsup=1)
+        partial.close()
+
+    def test_append_invalidates_cached_answers(self, small_skewed, tmp_path):
+        half = len(small_skewed) // 2
+        base = small_skewed.slice(0, half)
+        extra = small_skewed.slice(half, len(small_skewed))
+        inc = CubeStore.build(base, tmp_path / "inc", cluster_spec=cluster1(2))
+        with CubeServer(inc) as server:
+            before = server.query(("A",), minsup=1)
+            assert server.query(("A",), minsup=1).source == "cache"
+            server.append(extra)
+            after = server.query(("A",), minsup=1)
+            assert after.source == "store"  # generation bump: no stale hit
+            assert sum(c for c, _v in after.cells.values()) == len(small_skewed)
+            assert sum(c for c, _v in before.cells.values()) == half
+        inc.close()
+
+    def test_server_over_in_memory_materialization(self, small_skewed):
+        materialization = LeafMaterialization(small_skewed, cluster_spec=cluster1(2))
+        with CubeServer(materialization) as server:
+            answer = server.query(("A", "B"), minsup=2)
+            assert answer.cells == oracle(small_skewed, ("A", "B"), 2)
+            server.append(small_skewed.slice(0, 10))
+            assert server.query(("A", "B"), minsup=2).source == "store"
+
+
+class TestHttpEndpoint:
+    @pytest.fixture
+    def endpoint(self, store):
+        server = CubeServer(store, max_workers=4)
+        endpoint = server.serve_http(port=0)
+        yield endpoint, server
+        server.close()
+
+    def _get(self, endpoint, path):
+        with urlopen(endpoint.url + path) as response:
+            return response.status, json.loads(response.read())
+
+    def test_query_roll_up_and_drill_down(self, small_skewed, endpoint):
+        endpoint, _server = endpoint
+        status, rolled = self._get(endpoint, "/query?cuboid=A&minsup=2")
+        assert status == 200
+        assert rolled["source"] in ("store", "cache")
+        expected = oracle(small_skewed, ("A",), 2)
+        assert {tuple(c["cell"]): c["count"] for c in rolled["cells"]} == {
+            cell: count for cell, (count, _v) in expected.items()
+        }
+        _status, drilled = self._get(endpoint, "/query?cuboid=A,B&minsup=2")
+        assert len(drilled["cells"]) >= 0
+        assert drilled["cuboid"] == ["A", "B"]
+
+    def test_point_lookup(self, small_skewed, endpoint):
+        endpoint, _server = endpoint
+        expected = oracle(small_skewed, ("A", "B"), 1)
+        cell = sorted(expected)[0]
+        _status, payload = self._get(
+            endpoint, "/point?cuboid=A,B&cell=%d,%d" % cell)
+        assert payload["cells"][0]["count"] == expected[cell][0]
+
+    def test_min_sum_threshold(self, small_skewed, endpoint):
+        endpoint, _server = endpoint
+        _status, payload = self._get(endpoint, "/query?cuboid=A&min_sum=500")
+        assert payload["threshold"] == "SUM(measure) >= 500"
+        assert all(c["sum"] >= 500 for c in payload["cells"])
+
+    def test_stats_and_cuboids(self, endpoint):
+        endpoint, server = endpoint
+        self._get(endpoint, "/query?cuboid=A&minsup=1")
+        self._get(endpoint, "/query?cuboid=A&minsup=1")
+        _status, stats = self._get(endpoint, "/stats")
+        assert stats["cache"]["hits"] >= 1
+        assert stats["telemetry"]["queries"] >= 2
+        _status, cuboids = self._get(endpoint, "/cuboids")
+        assert cuboids["dims"] == list(server.store.dims)
+        assert len(cuboids["leaves"]) == len(server.store.leaves)
+
+    def test_bad_requests(self, endpoint):
+        endpoint, _server = endpoint
+        import urllib.error
+        for path in ("/query?cuboid=A,nope", "/query?cuboid=A&minsup=zero",
+                     "/nothing"):
+            with pytest.raises(urllib.error.HTTPError) as info:
+                self._get(endpoint, path)
+            assert info.value.code in (400, 404)
+
+    def test_concurrent_http_clients(self, small_skewed, endpoint):
+        endpoint, server = endpoint
+        expected = {
+            dim: oracle(small_skewed, (dim,), 2) for dim in small_skewed.dims
+        }
+        errors = []
+
+        def client(i):
+            dim = small_skewed.dims[i % len(small_skewed.dims)]
+            try:
+                with urlopen("%s/query?cuboid=%s&minsup=2" % (endpoint.url, dim)) as r:
+                    payload = json.loads(r.read())
+                got = {tuple(c["cell"]): c["count"] for c in payload["cells"]}
+                want = {cell: count for cell, (count, _v) in expected[dim].items()}
+                if got != want:
+                    errors.append((dim, got, want))
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append((dim, exc))
+
+        threads = [threading.Thread(target=client, args=(i,)) for i in range(24)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors, errors[:3]
