@@ -1,0 +1,13 @@
+"""Extension: columnar kernel / multiprocess backend throughput.
+
+Real wall-clock rows/sec for every compute path — naive rescan, seed
+``BucEngine``, columnar kernel, numpy kernel, multiprocess backend —
+plus the machine-readable ``BENCH_kernel.json`` artifact that the CI
+``kernel-bench`` job defends against regressions.
+"""
+
+from repro.bench.kernelbench import ext_kernel_throughput
+
+
+def test_ext_kernel(run_experiment):
+    run_experiment(ext_kernel_throughput)

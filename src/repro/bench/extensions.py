@@ -22,7 +22,11 @@ all three:
   strong/dynamic) also predicts failure resilience;
 * :func:`ext_serving` — the Section 5.1 punchline turned into a
   service: cold-compute vs persistent-store scan vs cache hit under a
-  Zipf-skewed query workload (real wall-clock, not simulated).
+  Zipf-skewed query workload (real wall-clock, not simulated);
+* :func:`~repro.bench.kernelbench.ext_kernel_throughput` — the
+  columnar/numpy compute kernels and the multiprocess backend against
+  the seed engine and the naive rescan (real wall-clock rows/sec;
+  lives in :mod:`repro.bench.kernelbench`, emits ``BENCH_kernel.json``).
 """
 
 from ..cluster.costmodel import CostModel
@@ -35,6 +39,7 @@ from ..core.pipesort import pipesort_iceberg_cube
 from ..data.weather import PAPER_CUBE_TUPLES, baseline_dims, dims_by_cardinality, weather_relation
 from ..parallel import AHT, ASL, BPP, PT, RP
 from .harness import ExperimentResult, scaled
+from .kernelbench import ext_kernel_throughput
 
 
 def _default_tuples(minimum=3000):
@@ -499,4 +504,5 @@ ALL_EXTENSIONS = (
     ext_correlation,
     ext_fault_tolerance,
     ext_serving,
+    ext_kernel_throughput,
 )

@@ -4,7 +4,10 @@ Six subcommands cover the library's everyday uses:
 
 * ``cube``    — compute an iceberg cube from a CSV (or a synthetic
   weather workload) with any of the five parallel algorithms, print a
-  summary and optionally export the cells;
+  summary and optionally export the cells; ``compute`` is an alias,
+  and ``--backend local`` swaps the simulated cluster for a real
+  process pool over the columnar kernel (``--workers``,
+  ``--batch-size``, ``--self-test``);
 * ``query``   — answer one iceberg group-by and print its cells;
 * ``recipe``  — print the Figure 4.7 recommendation for a workload;
 * ``bench``   — run one of the paper's experiments by name (or list
@@ -18,6 +21,8 @@ Examples::
 
     repro-cube cube --csv sales.csv --minsup 5 --algorithm pt --processors 8
     repro-cube cube --weather 20000 --dims 7 --minsup 2 --export out/
+    repro-cube compute --weather 50000 --dims 8 --minsup 5 --backend local \
+        --workers 4 --batch-size 4 --self-test
     repro-cube query --csv sales.csv --group-by city,item --min-sum 1000
     repro-cube bench fig_4_2_scalability
     repro-cube store build --weather 20000 --dims 6 --out /tmp/cube-store
@@ -52,14 +57,32 @@ def build_parser():
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    cube = sub.add_parser("cube", help="compute a full iceberg cube")
+    cube = sub.add_parser("cube", aliases=["compute"],
+                          help="compute a full iceberg cube")
     _add_input_options(cube)
     _add_threshold_options(cube)
+    cube.add_argument("--backend", default="simulated",
+                      choices=["simulated", "local"],
+                      help="'simulated' reproduces the paper's cluster "
+                           "timings; 'local' computes with a real process "
+                           "pool over the columnar kernel (default: simulated)")
     cube.add_argument("--algorithm", default="pt",
                       choices=["rp", "bpp", "asl", "pt", "aht"],
                       help="parallel algorithm (default: pt, the recipe's default)")
     cube.add_argument("--processors", type=int, default=8)
     cube.add_argument("--cluster", default="cluster1", choices=sorted(CLUSTERS))
+    cube.add_argument("--workers", type=int, default=None,
+                      help="local backend: worker processes "
+                           "(default: CPU count, capped at 8)")
+    cube.add_argument("--batch-size", type=int, default=4,
+                      help="local backend: subtree tasks per pool batch "
+                           "(default 4)")
+    cube.add_argument("--kernel", default="auto",
+                      choices=["auto", "columnar", "numpy"],
+                      help="local backend: refinement kernel (default auto)")
+    cube.add_argument("--self-test", action="store_true",
+                      help="validate the result against the naive oracle "
+                           "before printing the summary")
     cube.add_argument("--export", metavar="DIR",
                       help="write the result cells under DIR (one CSV per cuboid)")
     cube.add_argument("--faults", metavar="SPEC",
@@ -95,6 +118,12 @@ def build_parser():
     _add_input_options(build)
     build.add_argument("--out", required=True, metavar="DIR",
                        help="directory to write the store under")
+    build.add_argument("--backend", default="local",
+                       choices=["simulated", "local"],
+                       help="leaf precompute backend: 'local' aggregates "
+                            "over the columnar kernel at machine speed "
+                            "(default), 'simulated' runs the paper's "
+                            "cluster model")
     build.add_argument("--processors", type=int, default=8)
     build.add_argument("--cluster", default="cluster1", choices=sorted(CLUSTERS))
 
@@ -206,11 +235,15 @@ def cmd_cube(args, out):
     """Compute a full iceberg cube and print a summary (optionally export)."""
     relation, dims = _load_relation(args)
     threshold = _threshold(args)
+    if args.backend == "local":
+        return _cmd_cube_local(args, relation, dims, threshold, out)
     cluster = CLUSTERS[args.cluster](args.processors)
     fault_plan = parse_fault_spec(args.faults) if args.faults else None
     run = iceberg_cube(relation, dims=dims, minsup=threshold,
                        algorithm=args.algorithm, cluster_spec=cluster,
                        fault_plan=fault_plan)
+    if args.self_test:
+        _oracle_check(relation, dims, threshold, run.result, out)
     print("algorithm        : %s" % run.algorithm, file=out)
     print("input            : %d tuples, dims %s"
           % (len(relation), ", ".join(run.result.dims)), file=out)
@@ -235,6 +268,58 @@ def cmd_cube(args, out):
         print("exported         : %d cuboid files under %s"
               % (len(manifest["cuboids"]), args.export), file=out)
     return 0
+
+
+def _cmd_cube_local(args, relation, dims, threshold, out):
+    """The ``--backend local`` path: a real process pool, real seconds."""
+    import time as _time
+
+    from .parallel.local import multiprocess_iceberg_cube
+
+    if args.faults:
+        raise ReproError(
+            "--faults needs the simulated cluster; drop it or use "
+            "--backend simulated"
+        )
+    started = _time.perf_counter()
+    result = multiprocess_iceberg_cube(
+        relation, dims=dims, minsup=threshold, workers=args.workers,
+        batch_size=args.batch_size, kernel=args.kernel,
+    )
+    elapsed = _time.perf_counter() - started
+    if args.self_test:
+        _oracle_check(relation, dims, threshold, result, out)
+    print("backend          : local process pool (%s kernel)"
+          % args.kernel, file=out)
+    print("input            : %d tuples, dims %s"
+          % (len(relation), ", ".join(result.dims)), file=out)
+    print("threshold        : HAVING %s" % threshold.describe(), file=out)
+    print("qualifying cells : %d in %d cuboids"
+          % (result.total_cells(), len(result.cuboids)), file=out)
+    print("output volume    : %.1f KB" % (result.output_bytes() / 1024), file=out)
+    print("wall clock       : %.3f s (%s workers, batch size %d)"
+          % (elapsed, args.workers if args.workers else "auto",
+             args.batch_size), file=out)
+    if args.export:
+        manifest = save_cube(result, args.export)
+        print("exported         : %d cuboid files under %s"
+              % (len(manifest["cuboids"]), args.export), file=out)
+    return 0
+
+
+def _oracle_check(relation, dims, threshold, result, out):
+    """Validate ``result`` cell-for-cell against the naive oracle."""
+    from .core.naive import naive_iceberg_cube
+
+    expected = naive_iceberg_cube(relation, dims or relation.dims, threshold)
+    problems = result.diff(expected, limit=3)
+    if problems:
+        raise ReproError(
+            "self-test FAILED against the naive oracle: %s"
+            % "; ".join(problems)
+        )
+    print("self-test        : PASSED (%d cells match the naive oracle)"
+          % expected.total_cells(), file=out)
 
 
 def cmd_query(args, out):
@@ -295,8 +380,10 @@ def cmd_store(args, out):
 
     relation, dims = _load_relation(args)
     cluster = CLUSTERS[args.cluster](args.processors)
-    store = CubeStore.build(relation, args.out, dims=dims, cluster_spec=cluster)
-    print("built cube store : %s" % args.out, file=out)
+    store = CubeStore.build(relation, args.out, dims=dims, cluster_spec=cluster,
+                            backend=args.backend)
+    print("built cube store : %s (%s backend)" % (args.out, args.backend),
+          file=out)
     print("input            : %d tuples, dims %s"
           % (len(relation), ", ".join(store.dims)), file=out)
     print("stored leaves    : %d (sorted, prefix-indexed), %d cells"
@@ -368,6 +455,7 @@ def main(argv=None, out=None):
     args = parser.parse_args(argv)
     handlers = {
         "cube": cmd_cube,
+        "compute": cmd_cube,
         "query": cmd_query,
         "recipe": cmd_recipe,
         "bench": cmd_bench,

@@ -18,10 +18,20 @@ before descending.
 The engine counts sorts, scans and groups into an
 :class:`~repro.core.stats.OpStats`, which the simulated cluster turns
 into CPU time.
+
+The *refinement* machinery — how a row-index range is partitioned by
+one dimension — is a swappable strategy (``kernel=``): the default
+:class:`~repro.core.columnar.PythonKernel` reproduces the seed
+behaviour bit-for-bit (cells *and* OpStats pricing, so every simulated
+figure is unchanged), while ``"columnar"``/``"numpy"``/``"auto"``
+select the fast kernels from :mod:`repro.core.columnar` for real
+wall-clock work.  All kernels refine in ascending code order with
+stable within-group row order, so the produced cells are identical.
 """
 
 from ..errors import PlanError
 from ..lattice.processing_tree import ProcessingTree, SubtreeTask
+from .columnar import resolve_kernel
 from .stats import OpStats
 from .thresholds import as_threshold, validate_measures
 from .writer import ResultWriter
@@ -59,14 +69,21 @@ class PrefixCache:
 class BucEngine:
     """Bottom-up cube computation over one in-memory relation."""
 
-    def __init__(self, relation, dims, minsup, writer, stats=None, counting_sort=False):
+    def __init__(self, relation, dims, minsup, writer, stats=None, counting_sort=False,
+                 kernel="python"):
         """``counting_sort=True`` enables the BUC paper's linear-time
         refinement: ranges are bucketed by code instead of comparison
         -sorted whenever a dimension's cardinality is small relative to
         the range (``CountingSort`` in Beyer & Ramakrishnan).  Off by
         default so the simulated-cluster calibration (comparison-sort
         pricing) matches the thesis' figures; the ablation bench
-        measures the difference."""
+        measures the difference.
+
+        ``kernel`` selects the refinement machinery: ``"python"`` (the
+        default, seed-identical), ``"columnar"``, ``"numpy"`` or
+        ``"auto"`` (see :mod:`repro.core.columnar`), or a prebuilt
+        kernel instance — in which case ``relation`` may be ``None``
+        (worker processes build kernels from shared column buffers)."""
         self.dims = tuple(dims)
         self.threshold = as_threshold(minsup)
         self._qualifies = self.threshold.qualifies
@@ -74,83 +91,24 @@ class BucEngine:
         self.stats = stats if stats is not None else OpStats()
         self.counting_sort = counting_sort
         self.tree = ProcessingTree(self.dims)
-        positions = relation.dim_indices(self.dims)
-        rows = relation.rows
-        self._columns = [[row[p] for row in rows] for p in positions]
-        self._cardinalities = [
-            (max(col) + 1 if col else 0) for col in self._columns
-        ]
-        self._measures = list(relation.measures)
-        self._idx = list(range(len(rows)))
+        self.kernel = resolve_kernel(kernel)(relation, self.dims, counting_sort)
         self._dim_pos = {name: i for i, name in enumerate(self.dims)}
 
     def __len__(self):
-        return len(self._idx)
+        return len(self.kernel)
 
     def all_aggregate(self):
         """``(count, sum)`` of the whole input — the ``all`` cell."""
-        return len(self._measures), sum(self._measures)
+        return self.kernel.all_aggregate()
 
     def _refine(self, start, end, dim_position):
-        """Sort ``idx[start:end]`` by one column and split into groups.
+        """Partition ``idx[start:end]`` by one column into value groups.
 
-        Returns a list of ``(value, s, e, count, sum)``; charges the sort
-        (or linear bucketing) and scan to the stats ledger.
+        Returns a list of ``(value, s, e, count, sum)``; the kernel
+        charges the sort (or linear bucketing) and scan to the stats
+        ledger.
         """
-        idx = self._idx
-        col = self._columns[dim_position]
-        card = self._cardinalities[dim_position]
-        if self.counting_sort and 0 < card <= 4 * (end - start):
-            return self._refine_counting(start, end, col, card)
-        block = sorted(idx[start:end], key=col.__getitem__)
-        idx[start:end] = block
-        self.stats.add_sort(end - start)
-        measures = self._measures
-        groups = []
-        s = start
-        while s < end:
-            value = col[idx[s]]
-            total = measures[idx[s]]
-            e = s + 1
-            while e < end and col[idx[e]] == value:
-                total += measures[idx[e]]
-                e += 1
-            groups.append((value, s, e, e - s, total))
-            s = e
-        self.stats.add_scan(end - start)
-        self.stats.add_groups(len(groups))
-        return groups
-
-    def _refine_counting(self, start, end, col, card):
-        """Linear-time refinement: bucket the range by code.
-
-        One pass distributes rows into per-value buckets, one pass lays
-        them back contiguously — no comparisons.  Charged as partition
-        moves (linear) rather than sort units.
-        """
-        idx = self._idx
-        measures = self._measures
-        buckets = {}
-        for i in idx[start:end]:
-            value = col[i]
-            bucket = buckets.get(value)
-            if bucket is None:
-                buckets[value] = bucket = []
-            bucket.append(i)
-        groups = []
-        position = start
-        for value in sorted(buckets):
-            bucket = buckets[value]
-            idx[position : position + len(bucket)] = bucket
-            total = 0.0
-            for i in bucket:
-                total += measures[i]
-            groups.append((value, position, position + len(bucket), len(bucket), total))
-            position += len(bucket)
-        self.stats.partition_moves += 2 * (end - start)
-        self.stats.add_scan(end - start)
-        self.stats.add_groups(len(groups))
-        return groups
+        return self.kernel.refine(start, end, dim_position, self.stats)
 
     def _refine_to_root(self, task, cache=None):
         """Partition the whole input down to the task's root prefix.
@@ -161,7 +119,7 @@ class BucEngine:
         :class:`PrefixCache`, refinement resumes from the deepest level
         shared with the previous task's root (prefix affinity).
         """
-        groups = [((), 0, len(self._idx), len(self._idx), None)]
+        groups = [((), 0, len(self.kernel), len(self.kernel), None)]
         depth = 0
         if cache is not None:
             depth = cache.shared_depth(task.root)
@@ -170,11 +128,15 @@ class BucEngine:
                 groups = cache.path[depth - 1][1]
         for name in task.root[depth:]:
             position = self._dim_pos[name]
+            segments = [(s, e) for _cell, s, e, _count, _total in groups]
             refined = []
-            for cell, s, e, _count, _total in groups:
-                for value, s2, e2, count, total in self._refine(s, e, position):
-                    if self._qualifies(count, total):
-                        refined.append((cell + (value,), s2, e2, count, total))
+            for (cell, _s, _e, _count, _total), seg_groups in zip(
+                groups,
+                self.kernel.refine_segments(segments, position, self.stats,
+                                            self.threshold),
+            ):
+                for value, s2, e2, count, total in seg_groups:
+                    refined.append((cell + (value,), s2, e2, count, total))
             groups = refined
             if cache is not None:
                 cache.path.append((name, groups))
@@ -203,7 +165,7 @@ class BucEngine:
                 self.writer.write_block(
                     root_cuboid, [(cell, count, total) for cell, _s, _e, count, total in groups]
                 )
-            self._breadth_first(groups, children)
+            self._breadth_first(self.kernel.level_from_groups(groups), children)
         else:
             if root_cuboid:
                 for cell, s, e, count, total in groups:
@@ -227,31 +189,40 @@ class BucEngine:
                     self.writer.write_cell(child, child_cell, count, total)
                     self._depth_first(child, child_cell, s, e)
 
-    def _breadth_first(self, groups, children):
-        """BPP-BUC recursion: finish each cuboid's block before descending."""
+    def _breadth_first(self, level, children):
+        """BPP-BUC recursion: finish each cuboid's block before descending.
+
+        ``level`` is kernel-specific level state (parallel cells /
+        starts / counts / sums columns for one cuboid).  Every sibling
+        group of a cuboid is refined by the same dimension, so the whole
+        level goes through ``kernel.refine_level`` in one call — the
+        vectorised kernels partition an entire cuboid with a single
+        composite-key pass instead of one call per cell — and the block
+        is written column-wise in bulk.
+        """
         for child in children:
             position = self._dim_pos[child[-1]]
-            block = []
-            refined = []
-            for cell, s, e, _count, _total in groups:
-                for value, s2, e2, count, total in self._refine(s, e, position):
-                    if self._qualifies(count, total):
-                        child_cell = cell + (value,)
-                        block.append((child_cell, count, total))
-                        refined.append((child_cell, s2, e2, count, total))
-            self.writer.write_block(child, block)
-            if refined:
-                self._breadth_first(refined, self.tree.children(child))
+            grandchildren = self.tree.children(child)
+            refined = self.kernel.refine_level(
+                level, position, self.stats, self.threshold,
+                need_rows=bool(grandchildren),
+            )
+            cells, _starts, counts, sums = refined
+            self.writer.write_columns(child, cells, counts, sums)
+            if len(cells) and grandchildren:
+                self._breadth_first(refined, grandchildren)
 
 
 def buc_iceberg_cube(relation, dims=None, minsup=1, breadth_first=False, writer=None,
-                     counting_sort=False):
+                     counting_sort=False, kernel="python"):
     """Sequential BUC over all ``2**d`` cuboids (including ``all``).
 
     Returns ``(CubeResult, OpStats, ResultWriter)`` so callers can
     inspect both the cells and the I/O pattern.  ``counting_sort``
     enables the BUC paper's linear bucketing for low-cardinality
-    dimensions.
+    dimensions; ``kernel`` swaps the refinement machinery (``"python"``
+    keeps the seed pricing, ``"columnar"``/``"numpy"``/``"auto"`` run
+    the fast columnar kernels).
     """
     if dims is None:
         dims = relation.dims
@@ -263,7 +234,7 @@ def buc_iceberg_cube(relation, dims=None, minsup=1, breadth_first=False, writer=
     stats = OpStats()
     stats.read_tuples += len(relation)
     engine = BucEngine(relation, dims, threshold, writer, stats,
-                       counting_sort=counting_sort)
+                       counting_sort=counting_sort, kernel=kernel)
     count, total = engine.all_aggregate()
     if threshold.qualifies(count, total):
         writer.write_cell((), (), count, total)

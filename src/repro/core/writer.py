@@ -48,6 +48,24 @@ class ResultWriter:
             self.bytes_written += (len(cuboid) + 2) * CELL_FIELD_BYTES
             self.result.add_cell(cuboid, cell, count, value)
 
+    def write_columns(self, cuboid, cells, counts, values):
+        """Write one cuboid block given as parallel columns.
+
+        Semantics match :meth:`write_block` (one cuboid switch at most,
+        nothing recorded for an empty block) but the cells go into the
+        result in bulk — the fast kernels hand whole cuboid levels over
+        without building per-cell item tuples first.
+        """
+        n = len(cells)
+        if not n:
+            return
+        if cuboid != self._last_cuboid:
+            self.cuboid_switches += 1
+            self._last_cuboid = cuboid
+        self.cells_written += n
+        self.bytes_written += (len(cuboid) + 2) * CELL_FIELD_BYTES * n
+        self.result.add_columns(cuboid, cells, counts, values)
+
     def snapshot(self):
         """Current ``(cells, bytes, switches)`` — for per-task deltas."""
         return self.cells_written, self.bytes_written, self.cuboid_switches

@@ -2,11 +2,22 @@
 
 The simulated cluster reproduces the *paper's* measurements; this
 module is for users who just want their cube faster on a multi-core
-machine.  It parallelizes the way ASL does — one task per cuboid,
-demand-balanced across a process pool — with each worker hash
--aggregating its cuboids over a copy-on-write snapshot of the relation
-(the pool is forked where the platform allows, so the input is not
-re-pickled per task).
+machine.  It parallelizes the way PT does — the BUC processing tree is
+binary-divided into many subtree tasks (Section 3.4), dealt to a
+process pool in demand-balanced batches — and each worker runs real
+BUC over the task's subtree: threshold pruning cuts work exactly as in
+the sequential algorithm, and a per-worker :class:`PrefixCache` shares
+root-prefix sorts between consecutive tasks (PT's affinity idea, here
+as a cache because the pool, not us, picks who runs what).
+
+The input ships as a :class:`~repro.core.columnar.ColumnarFrame` —
+compact ``array`` buffers that forked workers inherit copy-on-write
+(and that pickle cheaply under spawn).  Each worker builds one fast
+columnar kernel over the shared buffers and keeps it for its whole
+life.  Relations whose cardinalities overflow the 63-bit packed-key
+budget still work: the refinement kernels read the column buffers
+directly, so the frame simply carries no key buffer (the tuple-key
+fallback only concerns single-cuboid group-bys).
 
 Results are exactly the library's usual cells and are validated against
 the naive oracle in the test suite.  This backend intentionally has no
@@ -16,53 +27,67 @@ timing model: wall-clock here is your machine's, not the thesis'.
 import os
 from multiprocessing import get_context
 
+from ..core.buc import BucEngine, PrefixCache
+from ..core.columnar import ColumnarFrame, kernel_from_frame
 from ..core.result import CubeResult
 from ..core.thresholds import as_threshold, validate_measures
+from ..core.writer import ResultWriter
 from ..errors import PlanError
-from ..lattice.lattice import CubeLattice
+from ..lattice.processing_tree import ProcessingTree, binary_divide
 
-# Worker-process globals, set once by the pool initializer.
-_ROWS = None
-_MEASURES = None
+#: Tasks per worker requested from binary division; enough granularity
+#: for demand balancing without drowning in per-task root re-sorts.
+TASKS_PER_WORKER = 16
 
-
-def _init_worker(rows, measures):
-    global _ROWS, _MEASURES
-    _ROWS = rows
-    _MEASURES = measures
+# Worker-process state, set once by the pool initializer.
+_STATE = None
 
 
-def _compute_cuboids(job):
-    """Aggregate a batch of cuboids; returns filtered cell dicts."""
-    positions_by_cuboid, threshold = job
-    out = []
-    for cuboid, positions in positions_by_cuboid:
-        cells = {}
-        for row, measure in zip(_ROWS, _MEASURES):
-            key = tuple(row[p] for p in positions)
-            acc = cells.get(key)
-            if acc is None:
-                cells[key] = [1, measure]
-            else:
-                acc[0] += 1
-                acc[1] += measure
-        qualified = {
-            cell: (count, value)
-            for cell, (count, value) in cells.items()
-            if threshold.qualifies(count, value)
-        }
-        out.append((cuboid, qualified))
-    return out
+class _WorkerState:
+    """One engine + prefix cache, reused for every batch this worker runs."""
+
+    def __init__(self, frame, threshold, kernel):
+        self.dims = frame.dims
+        self.threshold = threshold
+        self.engine = BucEngine(
+            None, frame.dims, threshold, writer=ResultWriter(frame.dims),
+            kernel=kernel_from_frame(kernel, frame),
+        )
+        self.cache = PrefixCache()
+
+
+def _init_worker(frame, threshold, kernel):
+    global _STATE
+    _STATE = _WorkerState(frame, threshold, kernel)
+
+
+def _run_batch(tasks):
+    """Run a batch of subtree tasks; returns ``[(cuboid, cells), ...]``."""
+    state = _STATE
+    writer = ResultWriter(state.dims)
+    state.engine.writer = writer
+    for task in tasks:
+        state.engine.run_task(task, breadth_first=True, cache=state.cache)
+    return list(writer.result.cuboids.items())
+
+
+def _batched(tasks, batch_size):
+    return [
+        tasks[i : i + batch_size] for i in range(0, len(tasks), batch_size)
+    ]
 
 
 def multiprocess_iceberg_cube(relation, dims=None, minsup=1, workers=None,
-                              batch_size=4):
+                              batch_size=4, kernel="auto"):
     """Compute the iceberg cube with a local process pool.
 
-    ``workers`` defaults to the machine's CPU count (capped at 8).
-    Cuboids are dealt to workers in batches of ``batch_size`` so the
-    pool's demand scheduling keeps the cores busy, mirroring ASL's
-    fine-grained task design.  Returns a
+    ``workers`` defaults to the machine's CPU count (capped at 8).  The
+    processing tree is divided into roughly ``TASKS_PER_WORKER`` subtree
+    tasks per worker, sorted largest-first and dealt in batches of
+    ``batch_size`` so the pool's demand scheduling keeps the cores busy
+    while batches stay big enough to amortise result pickling.
+    ``kernel`` picks the refinement implementation (``"auto"``,
+    ``"columnar"`` or ``"numpy"``).  Returns a
     :class:`~repro.core.result.CubeResult`.
     """
     if dims is None:
@@ -76,28 +101,25 @@ def multiprocess_iceberg_cube(relation, dims=None, minsup=1, workers=None,
         workers = min(8, os.cpu_count() or 1)
     if workers < 1:
         raise PlanError("workers must be >= 1, got %r" % (workers,))
+    if batch_size < 1:
+        raise PlanError("batch_size must be >= 1, got %r" % (batch_size,))
 
-    lattice = CubeLattice(dims)
-    cuboids = lattice.cuboids(include_all=False)
-    positions = [
-        (cuboid, relation.dim_indices(cuboid)) for cuboid in cuboids
-    ]
-    jobs = [
-        (positions[i : i + batch_size], threshold)
-        for i in range(0, len(positions), batch_size)
-    ]
-
+    frame = ColumnarFrame.from_relation(relation, dims)
+    tree = ProcessingTree(dims)
     result = CubeResult(dims)
-    if workers == 1 or len(jobs) <= 1:
-        _init_worker(relation.rows, relation.measures)
-        batches = map(_compute_cuboids, jobs)
-        for batch in batches:
-            for cuboid, cells in batch:
-                for cell, (count, value) in cells.items():
-                    result.add_cell(cuboid, cell, count, value)
+
+    if workers == 1:
+        # Inline: sequential BUC over the columnar kernel, no pool.
+        _init_worker(frame, threshold, kernel)
+        batches = [_run_batch([task]) for task in binary_divide(tree, 1)]
     else:
+        tasks = binary_divide(tree, workers * TASKS_PER_WORKER)
+        # Largest subtrees first: stragglers surface early and the
+        # demand scheduler back-fills with the small tail tasks.
+        tasks.sort(key=lambda t: t.size(tree), reverse=True)
+        jobs = _batched(tasks, batch_size)
         # Prefer fork (copy-on-write input); fall back to spawn, where
-        # the initializer pickles the input once per worker.
+        # the initializer pickles the frame once per worker.
         try:
             context = get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX platforms
@@ -105,15 +127,29 @@ def multiprocess_iceberg_cube(relation, dims=None, minsup=1, workers=None,
         with context.Pool(
             processes=workers,
             initializer=_init_worker,
-            initargs=(relation.rows, relation.measures),
+            initargs=(frame, threshold, kernel),
         ) as pool:
-            for batch in pool.imap_unordered(_compute_cuboids, jobs):
-                for cuboid, cells in batch:
-                    for cell, (count, value) in cells.items():
-                        result.add_cell(cuboid, cell, count, value)
+            batches = pool.imap_unordered(_run_batch, jobs)
+            batches = list(batches)
 
-    count = len(relation)
-    total = sum(relation.measures)
+    for batch in batches:
+        for cuboid, cells in batch:
+            # Tree division partitions the cuboids, so across-task
+            # collisions only happen at shared roots of chopped tasks;
+            # accumulate to stay correct either way.
+            mine = result.cuboids.get(cuboid)
+            if mine is None:
+                result.cuboids[cuboid] = cells
+            else:
+                for cell, (count, value) in cells.items():
+                    existing = mine.get(cell)
+                    if existing is None:
+                        mine[cell] = (count, value)
+                    else:
+                        mine[cell] = (existing[0] + count, existing[1] + value)
+
+    count = frame.n_rows
+    total = sum(frame.measures)
     if threshold.qualifies(count, total):
         result.add_cell((), (), count, total)
     return result

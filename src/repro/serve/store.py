@@ -153,17 +153,22 @@ class CubeStore:
     # construction
     # ------------------------------------------------------------------
     @classmethod
-    def build(cls, relation, directory, dims=None, cluster_spec=None, cost_model=None):
+    def build(cls, relation, directory, dims=None, cluster_spec=None, cost_model=None,
+              backend="simulated"):
         """Precompute the leaf cuboids of ``relation`` and persist them.
 
         Runs the same minsup-1 leaf precompute as
         :class:`~repro.online.materialize.LeafMaterialization`, then
-        writes the store and returns it open.
+        writes the store and returns it open.  ``backend="local"``
+        aggregates the leaves over a columnar frame at machine speed
+        instead of through the simulated cluster — same cells, much
+        faster ingest (the CLI's default).
         """
         from ..online.materialize import LeafMaterialization
 
         materialization = LeafMaterialization(
-            relation, dims=dims, cluster_spec=cluster_spec, cost_model=cost_model
+            relation, dims=dims, cluster_spec=cluster_spec, cost_model=cost_model,
+            backend=backend,
         )
         return cls.from_materialization(materialization, directory)
 

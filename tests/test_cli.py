@@ -142,6 +142,55 @@ class TestMoreCubePaths:
         assert "COUNT(*) >= 2 AND SUM(measure) >= 500" in output
 
 
+class TestLocalBackend:
+    """The ``--backend local`` path: real process pool, real seconds."""
+
+    def test_compute_alias(self, sales_csv):
+        code, output = run_cli(["compute", "--csv", sales_csv, "--minsup", "2"])
+        assert code == 0
+        assert "qualifying cells" in output
+
+    def test_local_backend_summary(self, sales_csv):
+        code, output = run_cli(["cube", "--csv", sales_csv, "--minsup", "2",
+                                "--backend", "local", "--workers", "2",
+                                "--batch-size", "2"])
+        assert code == 0
+        assert "local process pool" in output
+        assert "wall clock" in output
+        assert "2 workers, batch size 2" in output
+
+    @pytest.mark.parametrize("kernel", ["auto", "columnar"])
+    def test_local_backend_self_test(self, sales_csv, kernel):
+        code, output = run_cli(["cube", "--csv", sales_csv, "--minsup", "2",
+                                "--backend", "local", "--workers", "1",
+                                "--kernel", kernel, "--self-test"])
+        assert code == 0
+        assert "self-test        : PASSED" in output
+        assert "(%s kernel)" % kernel in output
+
+    def test_simulated_self_test(self, sales_csv):
+        code, output = run_cli(["cube", "--csv", sales_csv, "--minsup", "2",
+                                "--self-test"])
+        assert code == 0
+        assert "self-test        : PASSED" in output
+
+    def test_local_backend_export(self, sales_csv, tmp_path):
+        target = tmp_path / "out"
+        code, output = run_cli(["cube", "--csv", sales_csv,
+                                "--backend", "local", "--workers", "1",
+                                "--export", str(target)])
+        assert code == 0
+        loaded = load_cube(target)
+        assert loaded.total_cells() > 0
+
+    def test_faults_rejected_on_local_backend(self, sales_csv):
+        code, output = run_cli(["cube", "--csv", sales_csv,
+                                "--backend", "local",
+                                "--faults", "crash:0@0.05"])
+        assert code == 2
+        assert "--backend simulated" in output
+
+
 class TestStoreAndServe:
     def test_store_build(self, sales_csv, tmp_path):
         target = tmp_path / "store"
@@ -154,6 +203,19 @@ class TestStoreAndServe:
 
         store = CubeStore.open(target)
         assert store.total_rows == 5
+        assert store.query(("brand",), minsup=1)
+        store.close()
+
+    @pytest.mark.parametrize("backend", ["local", "simulated"])
+    def test_store_build_backends(self, sales_csv, tmp_path, backend):
+        target = tmp_path / ("store_" + backend)
+        code, output = run_cli(["store", "build", "--csv", sales_csv,
+                                "--out", str(target), "--backend", backend])
+        assert code == 0
+        assert "(%s backend)" % backend in output
+        from repro.serve import CubeStore
+
+        store = CubeStore.open(target)
         assert store.query(("brand",), minsup=1)
         store.close()
 

@@ -3,10 +3,13 @@
 import pytest
 
 from repro.core import SumThreshold
+from repro.core.columnar import HAS_NUMPY
 from repro.core.naive import naive_iceberg_cube
 from repro.data import Relation
 from repro.errors import PlanError
 from repro.parallel.local import multiprocess_iceberg_cube
+
+KERNEL_NAMES = ["auto", "columnar"] + (["numpy"] if HAS_NUMPY else [])
 
 
 class TestMultiprocessCube:
@@ -52,3 +55,33 @@ class TestMultiprocessCube:
         got = multiprocess_iceberg_cube(small_uniform, dims=("A", "C"),
                                         minsup=2, workers=2)
         assert got.equals(expected)
+
+
+class TestKernelAndBatching:
+    """Forced kernels and scheduling knobs all reach the same cells."""
+
+    @pytest.mark.parametrize("kernel", KERNEL_NAMES)
+    def test_forced_kernel_matches_naive(self, small_skewed, kernel):
+        expected = naive_iceberg_cube(small_skewed, minsup=2)
+        got = multiprocess_iceberg_cube(small_skewed, minsup=2, workers=2,
+                                        kernel=kernel)
+        assert got.equals(expected), got.diff(expected)
+
+    def test_unknown_kernel_is_a_plan_error(self, small_skewed):
+        with pytest.raises(PlanError):
+            multiprocess_iceberg_cube(small_skewed, kernel="fortran")
+
+    @pytest.mark.parametrize("batch_size", [1, 2, 7])
+    def test_batch_size_does_not_change_cells(self, small_skewed, batch_size):
+        expected = naive_iceberg_cube(small_skewed, minsup=2)
+        got = multiprocess_iceberg_cube(small_skewed, minsup=2, workers=2,
+                                        batch_size=batch_size)
+        assert got.equals(expected), got.diff(expected)
+
+    def test_worker_count_does_not_change_cells(self, small_uniform):
+        baseline = multiprocess_iceberg_cube(small_uniform, minsup=2,
+                                             workers=1)
+        for workers in (2, 3):
+            got = multiprocess_iceberg_cube(small_uniform, minsup=2,
+                                            workers=workers)
+            assert got.equals(baseline), got.diff(baseline)
