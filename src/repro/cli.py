@@ -86,13 +86,21 @@ def build_parser():
     cube.add_argument("--export", metavar="DIR",
                       help="write the result cells under DIR (one CSV per cuboid)")
     cube.add_argument("--faults", metavar="SPEC",
-                      help="inject faults into the simulated run; SPEC is "
+                      help="inject faults into the run; SPEC is "
                            "comma-separated directives: 'crash:P@T' (processor "
                            "P dies at T seconds), 'slow:PxF' or 'slow:PxF@T' "
                            "(P runs F times slower from T), 'rate=R' (transient "
                            "task-failure probability), 'retries=N', 'backoff=S', "
-                           "'seed=N'.  Example: "
-                           "--faults crash:0@0.05,slow:1x4,rate=0.1,seed=7")
+                           "'seed=N'.  On --backend local the same plan drives "
+                           "REAL worker processes: crash directives SIGKILL the "
+                           "worker holding that batch, slow directives hang it "
+                           "past --batch-timeout, and the supervisor recovers. "
+                           "Example: --faults crash:0@0.05,slow:1x4,rate=0.1,seed=7")
+    cube.add_argument("--batch-timeout", type=float, default=None,
+                      metavar="SECONDS",
+                      help="local backend: declare a batch hung after this many "
+                           "seconds without any pool progress and retry it "
+                           "elsewhere (default 300)")
 
     query = sub.add_parser("query", help="answer one iceberg group-by")
     _add_input_options(query)
@@ -138,6 +146,25 @@ def build_parser():
                        help="LRU query-cache capacity (0 disables)")
     serve.add_argument("--threads", type=int, default=8,
                        help="query worker threads (default 8)")
+    serve.add_argument("--max-pending", type=int, default=None, metavar="N",
+                       help="admitted-but-unfinished query bound; past it the "
+                            "server sheds with HTTP 429 (default 16*threads, "
+                            "min 64)")
+    serve.add_argument("--deadline-ms", type=float, default=None, metavar="MS",
+                       help="default per-query deadline in milliseconds; past "
+                            "it the query fails with HTTP 504 (default: none)")
+    serve.add_argument("--breaker-failures", type=int, default=5, metavar="N",
+                       help="consecutive recompute failures that trip the "
+                            "fallback circuit breaker open (default 5)")
+    serve.add_argument("--breaker-reset", type=float, default=5.0,
+                       metavar="SECONDS",
+                       help="breaker cool-down before half-open probes "
+                            "(default 5)")
+    serve.add_argument("--verify", default="quick",
+                       choices=["off", "quick", "full"],
+                       help="store integrity check on open: 'quick' compares "
+                            "leaf sizes, 'full' re-hashes every leaf "
+                            "(default quick)")
     serve.add_argument("--self-test", type=int, metavar="N", default=None,
                        help="fire N HTTP queries at the served store, print "
                             "the stats and exit (smoke mode)")
@@ -276,15 +303,12 @@ def _cmd_cube_local(args, relation, dims, threshold, out):
 
     from .parallel.local import multiprocess_iceberg_cube
 
-    if args.faults:
-        raise ReproError(
-            "--faults needs the simulated cluster; drop it or use "
-            "--backend simulated"
-        )
+    fault_plan = parse_fault_spec(args.faults) if args.faults else None
     started = _time.perf_counter()
     result = multiprocess_iceberg_cube(
         relation, dims=dims, minsup=threshold, workers=args.workers,
         batch_size=args.batch_size, kernel=args.kernel,
+        fault_plan=fault_plan, batch_timeout=args.batch_timeout,
     )
     elapsed = _time.perf_counter() - started
     if args.self_test:
@@ -300,6 +324,12 @@ def _cmd_cube_local(args, relation, dims, threshold, out):
     print("wall clock       : %.3f s (%s workers, batch size %d)"
           % (elapsed, args.workers if args.workers else "auto",
              args.batch_size), file=out)
+    recovery = getattr(result, "recovery", None)
+    if fault_plan is not None and recovery is not None:
+        print("recovery         : %d retries, %d pool respawns, %d worker "
+              "crashes, %d stalls, %.3f s backoff"
+              % (recovery.retries, recovery.respawns, recovery.worker_crashes,
+                 recovery.stalls, recovery.backoff_seconds), file=out)
     if args.export:
         manifest = save_cube(result, args.export)
         print("exported         : %d cuboid files under %s"
@@ -395,17 +425,35 @@ def cmd_store(args, out):
 
 def cmd_serve(args, out):
     """Serve iceberg queries from a built store over HTTP."""
-    from .serve import CubeServer, CubeStore
+    from .serve import CircuitBreaker, CubeServer, CubeStore
 
-    store = CubeStore.open(args.store)
+    store = CubeStore.open(args.store, verify=args.verify)
+    recovery = getattr(store, "recovery", None)
+    if recovery and (recovery.get("rolled_forward")
+                     or recovery.get("orphans_removed")
+                     or recovery.get("salvaged")):
+        print("store recovery   : rolled_forward=%s, %d orphans removed, "
+              "%d leaves salvaged"
+              % (recovery["rolled_forward"], len(recovery["orphans_removed"]),
+                 len(recovery["salvaged"])), file=out)
+    deadline_s = args.deadline_ms / 1000.0 if args.deadline_ms else None
     server = CubeServer(store, cache_size=args.cache_size,
-                        max_workers=args.threads)
+                        max_workers=args.threads,
+                        max_pending=args.max_pending,
+                        default_deadline_s=deadline_s,
+                        breaker=CircuitBreaker(
+                            failure_threshold=args.breaker_failures,
+                            reset_after_s=args.breaker_reset))
     endpoint = server.serve_http(host=args.host, port=args.port)
     print("serving cube store %s" % args.store, file=out)
     print("dims   : %s" % ", ".join(store.dims), file=out)
     print("leaves : %d   rows : %d" % (len(store.leaves), store.total_rows),
           file=out)
-    print("listening on %s (GET /query /point /stats /cuboids)"
+    print("admission limit  : %d pending queries%s"
+          % (server.gate.limit,
+             ", %.0f ms default deadline" % args.deadline_ms
+             if args.deadline_ms else ""), file=out)
+    print("listening on %s (GET /query /point /stats /cuboids /healthz)"
           % endpoint.url, file=out)
     try:
         if args.self_test is not None:

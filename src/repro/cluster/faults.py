@@ -190,6 +190,36 @@ class FaultPlan:
         """Simulated wait before the retry after the ``failures``-th failure."""
         return self.backoff_s * self.backoff_factor ** (failures - 1)
 
+    def local_fault(self, task_id, attempt):
+        """The fault to inject into a *real* worker process, or ``None``.
+
+        The supervised local backend
+        (:func:`~repro.parallel.local.multiprocess_iceberg_cube`) reuses
+        this plan's vocabulary against real OS processes, keyed by the
+        *batch id* instead of a simulated processor:
+
+        * explicit :class:`TaskFailure` entries and the seeded
+          ``failure_rate`` SIGKILL the worker mid-batch (``"kill"``);
+        * a :class:`NodeCrash` whose ``processor`` equals the batch id
+          kills the batch's first attempt too (``crash:B@T`` reads as
+          "the worker running batch B dies");
+        * a :class:`Slowdown` keyed by the batch id hangs the first
+          attempt past any batch timeout (``"hang"``).
+
+        Crash/hang directives only fire on attempt 0 and the seeded
+        draws are bounded by ``max_retries``, so a run under any plan
+        with ``failure_rate < 1`` still completes.  Deterministic: a
+        pure function of the plan and ``(task_id, attempt)``.
+        """
+        if self.attempt_fails(task_id, attempt):
+            return "kill"
+        if attempt == 0:
+            if task_id in self._crash_at:
+                return "kill"
+            if task_id in self._slow:
+                return "hang"
+        return None
+
     def __repr__(self):
         return "FaultPlan(%d crashes, %d slowdowns, rate=%.3f, seed=%d)" % (
             len(self.crashes), len(self.slowdowns), self.failure_rate, self.seed,

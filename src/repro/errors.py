@@ -60,6 +60,76 @@ class ClusterDegradedError(ClusterError):
         self.failed_processors = tuple(failed_processors)
 
 
+class WorkerCrashError(ReproError):
+    """A real worker process kept dying (or hanging) past the retry budget.
+
+    Raised by the supervised local backend
+    (:func:`~repro.parallel.local.multiprocess_iceberg_cube`) when one
+    task batch fails more than ``max_retries`` times — the worker was
+    SIGKILLed, segfaulted, or exceeded the batch timeout on every
+    attempt.
+    """
+
+    def __init__(self, batch_id, attempts, message=""):
+        detail = message or "worker crash retries exhausted"
+        super().__init__(
+            "%s: batch %r failed %d time(s), exceeding the retry budget"
+            % (detail, batch_id, attempts)
+        )
+        self.batch_id = batch_id
+        self.attempts = attempts
+
+
+class StoreCorruptError(ReproError):
+    """A persistent cube store failed integrity verification.
+
+    Raised by :meth:`~repro.serve.store.CubeStore.open` when a leaf file
+    is truncated, corrupted or missing and cannot be salvaged.  ``leaf``
+    names the offending cuboid (or file) precisely.
+    """
+
+    def __init__(self, leaf, reason, directory=""):
+        where = " in %r" % (directory,) if directory else ""
+        super().__init__(
+            "cube store corrupt%s: leaf %s: %s" % (where, leaf, reason)
+        )
+        self.leaf = leaf
+        self.reason = reason
+        self.directory = directory
+
+
+class ServerOverloadedError(ReproError):
+    """The server shed this query instead of queueing it unboundedly.
+
+    Raised on admission when the pending-query queue is full, or when
+    the recompute circuit breaker is open.  Maps to HTTP 429.
+    """
+
+    def __init__(self, reason="admission queue full", pending=None, limit=None):
+        detail = reason
+        if pending is not None and limit is not None:
+            detail = "%s (%d pending, limit %d)" % (reason, pending, limit)
+        super().__init__("server overloaded: %s" % detail)
+        self.reason = reason
+        self.pending = pending
+        self.limit = limit
+
+
+class DeadlineExceededError(ReproError):
+    """A query (or batch) ran past its deadline.  Maps to HTTP 504."""
+
+    def __init__(self, deadline_s, elapsed_s=None, stage=""):
+        detail = "deadline of %.3fs exceeded" % (deadline_s,)
+        if elapsed_s is not None:
+            detail += " after %.3fs" % (elapsed_s,)
+        if stage:
+            detail += " during %s" % (stage,)
+        super().__init__(detail)
+        self.deadline_s = deadline_s
+        self.elapsed_s = elapsed_s
+        self.stage = stage
+
+
 class MemoryBudgetExceeded(ReproError):
     """A data structure outgrew its configured memory budget.
 

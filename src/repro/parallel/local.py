@@ -1,4 +1,4 @@
-"""Real multi-process cube computation (not simulated).
+"""Real multi-process cube computation (not simulated), supervised.
 
 The simulated cluster reproduces the *paper's* measurements; this
 module is for users who just want their cube faster on a multi-core
@@ -19,12 +19,30 @@ budget still work: the refinement kernels read the column buffers
 directly, so the frame simply carries no key buffer (the tuple-key
 fallback only concerns single-cuboid group-bys).
 
+**Supervision.**  Real workers die (OOM killer, segfaulting C
+extensions, an operator's stray ``kill -9``) and hang (NFS stalls, a
+deadlocked import).  The dispatch loop is therefore a supervisor, not a
+bare ``Pool.map``: every batch is tracked individually, a worker death
+(``BrokenProcessPool``) or a stall longer than ``batch_timeout``
+seconds tears the pool down, respawns it, and retries only the
+unfinished batches — with capped exponential backoff and a per-batch
+retry budget whose exhaustion raises
+:class:`~repro.errors.WorkerCrashError`.  Recovery is testable: a
+seedable :class:`~repro.cluster.faults.FaultPlan` passed as
+``fault_plan`` SIGKILLs and hangs *real* worker processes
+(:meth:`~repro.cluster.faults.FaultPlan.local_fault`), and the fault-free
+path produces exactly the cells it always did.
+
 Results are exactly the library's usual cells and are validated against
 the naive oracle in the test suite.  This backend intentionally has no
 timing model: wall-clock here is your machine's, not the thesis'.
 """
 
 import os
+import signal
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import get_context
 
 from ..core.buc import BucEngine, PrefixCache
@@ -32,12 +50,27 @@ from ..core.columnar import ColumnarFrame, kernel_from_frame
 from ..core.result import CubeResult
 from ..core.thresholds import as_threshold, validate_measures
 from ..core.writer import ResultWriter
-from ..errors import PlanError
+from ..errors import PlanError, WorkerCrashError
 from ..lattice.processing_tree import ProcessingTree, binary_divide
 
 #: Tasks per worker requested from binary division; enough granularity
 #: for demand balancing without drowning in per-task root re-sorts.
 TASKS_PER_WORKER = 16
+
+#: Default per-batch stall window: if no batch completes for this many
+#: seconds, the outstanding ones are declared hung and retried on a
+#: fresh pool.  Generous — a legitimate batch is seconds, not minutes.
+DEFAULT_BATCH_TIMEOUT = 300.0
+
+#: Default per-batch retry budget when no fault plan supplies one.
+DEFAULT_MAX_RETRIES = 3
+
+#: Real-seconds ceiling on one exponential-backoff sleep.
+BACKOFF_CAP_S = 2.0
+
+#: How long an injected "hang" fault sleeps — far past any sane batch
+#: timeout, so the stall detector (not luck) has to recover it.
+_HANG_SECONDS = 3600.0
 
 # Worker-process state, set once by the pool initializer.
 _STATE = None
@@ -46,7 +79,7 @@ _STATE = None
 class _WorkerState:
     """One engine + prefix cache, reused for every batch this worker runs."""
 
-    def __init__(self, frame, threshold, kernel):
+    def __init__(self, frame, threshold, kernel, fault_plan=None):
         self.dims = frame.dims
         self.threshold = threshold
         self.engine = BucEngine(
@@ -54,21 +87,36 @@ class _WorkerState:
             kernel=kernel_from_frame(kernel, frame),
         )
         self.cache = PrefixCache()
+        self.fault_plan = fault_plan
 
 
-def _init_worker(frame, threshold, kernel):
+def _init_worker(frame, threshold, kernel, fault_plan=None):
     global _STATE
-    _STATE = _WorkerState(frame, threshold, kernel)
+    _STATE = _WorkerState(frame, threshold, kernel, fault_plan)
 
 
-def _run_batch(tasks):
-    """Run a batch of subtree tasks; returns ``[(cuboid, cells), ...]``."""
+def _run_batch(job):
+    """Run one batch of subtree tasks; returns ``(batch_id, items)``.
+
+    ``job`` is ``(batch_id, attempt, tasks)``; the id and attempt feed
+    the fault injector so kills and hangs are deterministic per plan.
+    """
+    batch_id, attempt, tasks = job
     state = _STATE
+    plan = state.fault_plan
+    if plan is not None:
+        action = plan.local_fault(batch_id, attempt)
+        if action == "kill":
+            # A real, uncatchable death — exactly what a segfault or the
+            # OOM killer looks like from the supervisor's side.
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif action == "hang":
+            time.sleep(_HANG_SECONDS)
     writer = ResultWriter(state.dims)
     state.engine.writer = writer
     for task in tasks:
         state.engine.run_task(task, breadth_first=True, cache=state.cache)
-    return list(writer.result.cuboids.items())
+    return batch_id, list(writer.result.cuboids.items())
 
 
 def _batched(tasks, batch_size):
@@ -77,9 +125,149 @@ def _batched(tasks, batch_size):
     ]
 
 
+class SupervisorLog:
+    """Recovery telemetry of one supervised local run.
+
+    Attached to the returned :class:`CubeResult` as ``.recovery`` so the
+    CLI (and tests) can report what the supervisor had to do.
+    """
+
+    __slots__ = ("retries", "respawns", "worker_crashes", "stalls",
+                 "backoff_seconds")
+
+    def __init__(self):
+        #: batch re-executions (any cause)
+        self.retries = 0
+        #: pool teardown + rebuild cycles
+        self.respawns = 0
+        #: rounds lost to a dead worker (BrokenProcessPool)
+        self.worker_crashes = 0
+        #: rounds lost to the stall detector (hung worker)
+        self.stalls = 0
+        #: real seconds slept in retry backoffs
+        self.backoff_seconds = 0.0
+
+    def __repr__(self):
+        return ("SupervisorLog(retries=%d, respawns=%d, crashes=%d, "
+                "stalls=%d)" % (self.retries, self.respawns,
+                                self.worker_crashes, self.stalls))
+
+
+def _pool_context():
+    # Prefer fork (copy-on-write input); fall back to spawn, where the
+    # initializer pickles the frame once per worker.
+    try:
+        return get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return get_context("spawn")
+
+
+def _abandon_pool(executor):
+    """Tear down a broken or stalled pool without waiting on hung workers.
+
+    A worker asleep in an injected hang (or a real NFS stall) never
+    drains the call queue, so it must be reaped directly — otherwise the
+    executor's management thread (and the interpreter's atexit hook)
+    would join it forever.  ``_processes`` is the executor's
+    pid -> Process map; it must be captured *before* ``shutdown``, which
+    drops the reference even with ``wait=False``.
+    """
+    processes = list((getattr(executor, "_processes", None) or {}).values())
+    executor.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        try:
+            process.terminate()
+        except (OSError, AttributeError):  # pragma: no cover - already dead
+            pass
+    for process in processes:
+        process.join(timeout=5.0)
+        if process.is_alive():  # pragma: no cover - SIGTERM ignored
+            process.kill()
+            process.join(timeout=5.0)
+
+
+def _supervised_map(jobs, workers, frame, threshold, kernel, fault_plan,
+                    batch_timeout, max_retries, backoff_s, log):
+    """Run every batch to completion under supervision.
+
+    Returns ``{batch_id: [(cuboid, cells), ...]}``.  A pool whose worker
+    dies (``BrokenProcessPool``) or that completes nothing for
+    ``batch_timeout`` seconds is torn down and respawned; the unfinished
+    batches are retried with capped exponential backoff.  A batch that
+    fails more than ``max_retries`` times raises
+    :class:`~repro.errors.WorkerCrashError`.
+    """
+    context = _pool_context()
+    pending = dict(enumerate(jobs))
+    attempts = dict.fromkeys(pending, 0)
+    results = {}
+    while pending:
+        executor = ProcessPoolExecutor(
+            max_workers=min(workers, len(pending)),
+            mp_context=context,
+            initializer=_init_worker,
+            initargs=(frame, threshold, kernel, fault_plan),
+        )
+        broken = stalled = False
+        try:
+            futures = {
+                executor.submit(_run_batch, (bid, attempts[bid], tasks)): bid
+                for bid, tasks in sorted(pending.items())
+            }
+            not_done = set(futures)
+            while not_done and not broken:
+                done, not_done = wait(not_done, timeout=batch_timeout,
+                                      return_when=FIRST_COMPLETED)
+                if not done:
+                    # No batch finished inside the window: a worker is
+                    # hung.  Everything still outstanding is retried.
+                    stalled = True
+                    break
+                for future in done:
+                    bid = futures[future]
+                    try:
+                        _bid, items = future.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        continue
+                    results[bid] = items
+                    del pending[bid]
+        finally:
+            if broken or stalled:
+                _abandon_pool(executor)
+            else:
+                executor.shutdown(wait=True)
+        if not pending:
+            break
+        # Crash or stall: charge an attempt to every unfinished batch,
+        # enforce the budget, back off, respawn and go again.
+        log.respawns += 1
+        if broken:
+            log.worker_crashes += 1
+        if stalled:
+            log.stalls += 1
+        worst = None
+        for bid in pending:
+            attempts[bid] += 1
+            log.retries += 1
+            if worst is None or attempts[bid] > attempts[worst]:
+                worst = bid
+        if attempts[worst] > max_retries:
+            raise WorkerCrashError(
+                worst, attempts[worst],
+                "worker died or hung on every attempt")
+        pause = min(BACKOFF_CAP_S, backoff_s * 2.0 ** (attempts[worst] - 1))
+        if pause > 0:
+            time.sleep(pause)
+            log.backoff_seconds += pause
+    return results
+
+
 def multiprocess_iceberg_cube(relation, dims=None, minsup=1, workers=None,
-                              batch_size=4, kernel="auto"):
-    """Compute the iceberg cube with a local process pool.
+                              batch_size=4, kernel="auto", fault_plan=None,
+                              batch_timeout=None, max_retries=None,
+                              backoff_s=0.05):
+    """Compute the iceberg cube with a supervised local process pool.
 
     ``workers`` defaults to the machine's CPU count (capped at 8).  The
     processing tree is divided into roughly ``TASKS_PER_WORKER`` subtree
@@ -87,8 +275,19 @@ def multiprocess_iceberg_cube(relation, dims=None, minsup=1, workers=None,
     ``batch_size`` so the pool's demand scheduling keeps the cores busy
     while batches stay big enough to amortise result pickling.
     ``kernel`` picks the refinement implementation (``"auto"``,
-    ``"columnar"`` or ``"numpy"``).  Returns a
-    :class:`~repro.core.result.CubeResult`.
+    ``"columnar"`` or ``"numpy"``).
+
+    Robustness knobs: a worker death or a stall longer than
+    ``batch_timeout`` seconds (default :data:`DEFAULT_BATCH_TIMEOUT`)
+    becomes a retry on a respawned pool, each batch at most
+    ``max_retries`` times (default: the fault plan's budget, else
+    :data:`DEFAULT_MAX_RETRIES`) with capped exponential backoff from
+    ``backoff_s``.  ``fault_plan`` injects real kills and hangs for
+    testing (see :meth:`~repro.cluster.faults.FaultPlan.local_fault`).
+
+    Returns a :class:`~repro.core.result.CubeResult` whose ``.recovery``
+    attribute is a :class:`SupervisorLog` (``None`` on the inline
+    single-worker path).
     """
     if dims is None:
         dims = relation.dims
@@ -103,37 +302,43 @@ def multiprocess_iceberg_cube(relation, dims=None, minsup=1, workers=None,
         raise PlanError("workers must be >= 1, got %r" % (workers,))
     if batch_size < 1:
         raise PlanError("batch_size must be >= 1, got %r" % (batch_size,))
+    if batch_timeout is None:
+        batch_timeout = DEFAULT_BATCH_TIMEOUT
+    if batch_timeout <= 0:
+        raise PlanError("batch_timeout must be > 0, got %r" % (batch_timeout,))
+    if max_retries is None:
+        max_retries = (fault_plan.max_retries if fault_plan is not None
+                       else DEFAULT_MAX_RETRIES)
+    if max_retries < 0:
+        raise PlanError("max_retries must be >= 0, got %r" % (max_retries,))
 
     frame = ColumnarFrame.from_relation(relation, dims)
     tree = ProcessingTree(dims)
     result = CubeResult(dims)
+    result.recovery = None
 
-    if workers == 1:
+    if workers == 1 and fault_plan is None:
         # Inline: sequential BUC over the columnar kernel, no pool.
         _init_worker(frame, threshold, kernel)
-        batches = [_run_batch([task]) for task in binary_divide(tree, 1)]
+        batches = {
+            bid: _run_batch((bid, 0, [task]))[1]
+            for bid, task in enumerate(binary_divide(tree, 1))
+        }
     else:
         tasks = binary_divide(tree, workers * TASKS_PER_WORKER)
         # Largest subtrees first: stragglers surface early and the
         # demand scheduler back-fills with the small tail tasks.
         tasks.sort(key=lambda t: t.size(tree), reverse=True)
         jobs = _batched(tasks, batch_size)
-        # Prefer fork (copy-on-write input); fall back to spawn, where
-        # the initializer pickles the frame once per worker.
-        try:
-            context = get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX platforms
-            context = get_context("spawn")
-        with context.Pool(
-            processes=workers,
-            initializer=_init_worker,
-            initargs=(frame, threshold, kernel),
-        ) as pool:
-            batches = pool.imap_unordered(_run_batch, jobs)
-            batches = list(batches)
+        log = SupervisorLog()
+        batches = _supervised_map(
+            jobs, workers, frame, threshold, kernel, fault_plan,
+            batch_timeout, max_retries, backoff_s, log,
+        )
+        result.recovery = log
 
-    for batch in batches:
-        for cuboid, cells in batch:
+    for bid in sorted(batches):
+        for cuboid, cells in batches[bid]:
             # Tree division partitions the cuboids, so across-task
             # collisions only happen at shared roots of chopped tasks;
             # accumulate to stay correct either way.

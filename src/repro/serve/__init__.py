@@ -3,16 +3,23 @@
 Section 5.1's observation — precomputed BUC-tree leaves answer any
 iceberg query almost immediately — made into a serving subsystem:
 
-* :class:`CubeStore` persists the leaves (sorted, prefix-indexed) so a
-  restart never repeats the precompute;
+* :class:`CubeStore` persists the leaves (sorted, prefix-indexed,
+  checksummed) so a restart never repeats the precompute, and recovers
+  from crashes mid-append (journal roll-forward) and damaged leaf files
+  (salvage from the covering root leaf);
 * :class:`QueryCache` keeps hot answers with LRU eviction and
   insert-generation invalidation;
 * :class:`CubeServer` admits concurrent queries (thread pool + optional
-  stdlib-HTTP JSON endpoint) and answers cache -> store -> compute;
-* :class:`ServerTelemetry` records per-query latency and source.
+  stdlib-HTTP JSON endpoint) and answers cache -> store -> compute,
+  degrading gracefully under load: bounded admission
+  (:class:`AdmissionGate`), per-query :class:`Deadline` budgets, and a
+  :class:`CircuitBreaker` around the recompute fallback;
+* :class:`ServerTelemetry` records per-query latency, source and
+  degradation events.
 """
 
 from .cache import QueryCache, cache_key
+from .resilience import AdmissionGate, CircuitBreaker, Deadline
 from .server import CubeServer, HttpEndpoint, QueryAnswer
 from .store import CubeStore
 from .telemetry import QueryRecord, ServerTelemetry
@@ -26,4 +33,7 @@ __all__ = [
     "QueryAnswer",
     "QueryRecord",
     "ServerTelemetry",
+    "AdmissionGate",
+    "CircuitBreaker",
+    "Deadline",
 ]

@@ -14,27 +14,54 @@ multiprocess backend from :mod:`repro.parallel.local` over the raw
 relation.  Every answer is recorded in
 :class:`~repro.serve.telemetry.ServerTelemetry`.
 
+**Degradation ladder** (:mod:`repro.serve.resilience`): admission is
+bounded — past ``max_pending`` in-flight queries, :meth:`submit` sheds
+with a fast :class:`~repro.errors.ServerOverloadedError` (HTTP 429)
+instead of queueing unboundedly.  Each query can carry a wall-clock
+deadline (created at admission, so queue time counts) that turns into
+:class:`~repro.errors.DeadlineExceededError` (HTTP 504).  The recompute
+fallback sits behind a :class:`~repro.serve.resilience.CircuitBreaker`:
+repeated failures trip it open so the server keeps answering cache and
+store hits fast while the expensive path cools down, then half-open
+probes restore it.  All of it is visible in :meth:`stats` and the
+``/healthz`` endpoint.
+
 ``serve_http`` exposes the same surface as a JSON HTTP endpoint (pure
 stdlib ``http.server``) for point, roll-up and drill-down queries::
 
     GET /query?cuboid=A,B&minsup=2        # group-by (roll-up / drill-down
                                           #   by dropping / adding dims)
+    GET /query?cuboid=A&deadline_ms=50    # per-query deadline
     GET /point?cuboid=A,B&cell=3,1        # one cell, O(log n) lookup
-    GET /stats                            # cache + latency telemetry
+    GET /stats                            # cache + latency + resilience
     GET /cuboids                          # dims and stored leaves
+    GET /healthz                          # liveness + degradation state
+
+Errors are always structured JSON — ``400`` for malformed queries,
+``404`` for unknown paths, ``413`` for oversized requests, ``429`` when
+shedding, ``504`` past a deadline — never an HTML traceback.
 """
 
 import json
 import threading
 from collections import namedtuple
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from time import perf_counter
 from urllib.parse import parse_qs, urlsplit
 
 from ..core.thresholds import AndThreshold, CountThreshold, SumThreshold, as_threshold
-from ..errors import PlanError, ReproError, SchemaError
+from ..errors import (
+    DeadlineExceededError,
+    PlanError,
+    ReproError,
+    SchemaError,
+    ServerOverloadedError,
+    StoreCorruptError,
+)
 from .cache import QueryCache
+from .resilience import AdmissionGate, CircuitBreaker, Deadline
 from .telemetry import ServerTelemetry
 
 #: One served answer: the canonical cuboid, the threshold text, the
@@ -43,37 +70,72 @@ QueryAnswer = namedtuple(
     "QueryAnswer", ("cuboid", "threshold", "cells", "source", "latency_s")
 )
 
+#: Largest request body the HTTP endpoint will accept (it serves GETs;
+#: anything bigger than this is abuse, not a query).
+MAX_REQUEST_BYTES = 1 << 20
+
 
 class CubeServer:
     """Thread-pooled query serving over a persistent cube store."""
 
     def __init__(self, store, relation=None, cache_size=256, max_workers=8,
-                 fallback_workers=1):
+                 fallback_workers=1, max_pending=None, default_deadline_s=None,
+                 breaker=None):
         """``relation`` enables the compute fallback (and ``append``
-        equivalence checks); without it, uncovered cuboids raise."""
+        equivalence checks); without it, uncovered cuboids raise.
+
+        ``max_pending`` bounds admitted-but-unfinished queries (default
+        ``16 * max_workers``, minimum 64) — the excess is shed.
+        ``default_deadline_s`` applies to queries that don't carry their
+        own deadline (``None``: no deadline).  ``breaker`` guards the
+        recompute fallback (default: a
+        :class:`~repro.serve.resilience.CircuitBreaker` tripping after 5
+        consecutive failures, 5 s cool-down).
+        """
         self.store = store
         self.relation = relation
         self.cache = QueryCache(cache_size)
         self.telemetry = ServerTelemetry()
         self.fallback_workers = fallback_workers
+        self.default_deadline_s = default_deadline_s
+        if max_pending is None:
+            max_pending = max(64, 16 * max_workers)
+        self.gate = AdmissionGate(max_pending)
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="cube-query"
         )
+        self._compute_pool = None  # lazy: only deadline-bounded computes
         self._write_lock = threading.Lock()
+        self._close_lock = threading.Lock()
         self._endpoints = []
         self._closed = False
 
     # ------------------------------------------------------------------
     # query paths
     # ------------------------------------------------------------------
-    def query(self, cuboid, minsup=1):
+    def query(self, cuboid, minsup=1, deadline_s=None):
         """Answer one group-by, cache -> store -> compute.
 
-        Returns a :class:`QueryAnswer`; ``.cells`` maps each qualifying
-        cell to its ``(count, sum)`` pair.
+        ``deadline_s`` (seconds, or a prebuilt
+        :class:`~repro.serve.resilience.Deadline`) bounds the query's
+        wall clock; past it, :class:`~repro.errors.DeadlineExceededError`
+        is raised instead of continuing dead work.  Returns a
+        :class:`QueryAnswer`; ``.cells`` maps each qualifying cell to
+        its ``(count, sum)`` pair.
         """
         start = perf_counter()
+        deadline = self._deadline(deadline_s)
+        try:
+            return self._query(cuboid, minsup, deadline, start)
+        except DeadlineExceededError:
+            self.telemetry.bump("deadline_exceeded")
+            raise
+
+    def _query(self, cuboid, minsup, deadline, start):
         threshold = as_threshold(minsup)
+        if deadline is not None:
+            deadline.check("admission queue")
         try:
             canonical = self.store.canonical(cuboid)
         except SchemaError:
@@ -85,15 +147,21 @@ class CubeServer:
         if cells is not None:
             source = "cache"
         else:
+            if deadline is not None:
+                deadline.check("store scan")
             try:
                 cells = self.store.query(canonical, minsup=threshold)
                 source = "store"
             except (PlanError, SchemaError):
                 if self.relation is None:
                     raise
-                cells = self._compute(canonical, threshold)
+                cells = self._compute_guarded(canonical, threshold, deadline)
                 source = "compute"
             self.cache.put(canonical, threshold, generation, cells)
+            if deadline is not None:
+                # The answer is cached for the next caller either way,
+                # but a reply past its budget is honestly late.
+                deadline.check("reply")
         latency = perf_counter() - start
         self.telemetry.record(canonical, threshold.describe(), source, latency)
         return QueryAnswer(canonical, threshold.describe(), cells, source, latency)
@@ -109,16 +177,48 @@ class CubeServer:
         self.telemetry.record(canonical, threshold.describe(), "store", latency)
         return QueryAnswer(canonical, threshold.describe(), cells, "store", latency)
 
-    def submit(self, cuboid, minsup=1):
-        """Admit a query to the thread pool; returns a Future."""
-        if self._closed:
-            raise PlanError("server is closed")
-        return self._pool.submit(self.query, cuboid, minsup)
+    def submit(self, cuboid, minsup=1, deadline_s=None):
+        """Admit a query to the thread pool; returns a Future.
+
+        Admission is bounded: past ``max_pending`` unfinished queries
+        this sheds immediately with
+        :class:`~repro.errors.ServerOverloadedError` rather than growing
+        the queue.  The deadline clock starts *now* — time spent queued
+        counts, so an aged-out query fails fast when it reaches a
+        worker.
+        """
+        if deadline_s is None:
+            deadline_s = self.default_deadline_s
+        deadline = self._deadline(deadline_s)
+        return self._admit(self.query, cuboid, minsup, deadline_s=deadline)
+
+    def submit_point(self, cuboid, cell, minsup=1):
+        """Admit a point lookup to the thread pool; returns a Future."""
+        return self._admit(self.point, cuboid, cell, minsup)
 
     def query_many(self, queries):
         """Answer ``(cuboid, minsup)`` pairs concurrently, in order."""
         futures = [self.submit(cuboid, minsup) for cuboid, minsup in queries]
         return [future.result() for future in futures]
+
+    def _admit(self, fn, *args, **kwargs):
+        if self._closed:
+            raise PlanError("server is closed")
+        self.gate.acquire()
+        try:
+            future = self._pool.submit(fn, *args, **kwargs)
+        except BaseException:
+            self.gate.release()
+            raise
+        future.add_done_callback(lambda _future: self.gate.release())
+        return future
+
+    def _deadline(self, deadline_s):
+        if deadline_s is None:
+            deadline_s = self.default_deadline_s
+        if deadline_s is None or isinstance(deadline_s, Deadline):
+            return deadline_s
+        return Deadline(deadline_s)
 
     def _relation_canonical(self, cuboid):
         order = {name: i for i, name in enumerate(self.relation.dims)}
@@ -128,6 +228,52 @@ class CubeServer:
             raise SchemaError(
                 "unknown dimension %s in cuboid %r" % (exc, cuboid)
             ) from None
+
+    def _compute_guarded(self, cuboid, threshold, deadline=None):
+        """The recompute fallback behind the circuit breaker.
+
+        Breaker open: fail fast with
+        :class:`~repro.errors.ServerOverloadedError` — cache and store
+        hits keep flowing while the expensive path cools down.  With a
+        deadline, the compute runs on a side thread so the caller can
+        give up on time (the stray compute finishes in the background;
+        the breaker keeps a pile-up from forming).
+        """
+        if not self.breaker.allow():
+            self.telemetry.bump("breaker_rejected")
+            raise ServerOverloadedError(
+                "recompute circuit breaker is open (%d consecutive failures "
+                "tripped it)" % (self.breaker.failure_threshold,)
+            )
+        try:
+            if deadline is None:
+                cells = self._compute(cuboid, threshold)
+            else:
+                deadline.check("compute fallback")
+                future = self._compute_executor().submit(
+                    self._compute, cuboid, threshold)
+                try:
+                    cells = future.result(timeout=max(0.0, deadline.remaining()))
+                except FutureTimeoutError:
+                    raise DeadlineExceededError(
+                        deadline.seconds, elapsed_s=deadline.elapsed(),
+                        stage="compute fallback",
+                    ) from None
+        except Exception:
+            self.breaker.record_failure()
+            if self.breaker.state == "open":
+                self.telemetry.bump("breaker_tripped")
+            raise
+        self.breaker.record_success()
+        return cells
+
+    def _compute_executor(self):
+        with self._close_lock:
+            if self._compute_pool is None:
+                self._compute_pool = ThreadPoolExecutor(
+                    max_workers=2, thread_name_prefix="cube-compute"
+                )
+            return self._compute_pool
 
     def _compute(self, cuboid, threshold):
         """Fresh compute with the local multiprocess backend."""
@@ -161,7 +307,7 @@ class CubeServer:
                 self.relation = self.relation.concat(relation)
 
     def stats(self):
-        """Server-wide counters: store shape, cache and latency summary."""
+        """Server-wide counters: store shape, cache, latency, resilience."""
         return {
             "dims": list(self.store.dims),
             "leaves": len(self.store.leaves),
@@ -169,6 +315,23 @@ class CubeServer:
             "total_rows": self.store.total_rows,
             "cache": self.cache.stats(),
             "telemetry": self.telemetry.summary(),
+            "resilience": {
+                "admission": self.gate.stats(),
+                "breaker": self.breaker.stats(),
+                "default_deadline_s": self.default_deadline_s,
+            },
+        }
+
+    def health(self):
+        """Liveness plus the degradation state (the ``/healthz`` body)."""
+        gate = self.gate.stats()
+        return {
+            "status": "closed" if self._closed else "ok",
+            "generation": self.store.generation,
+            "pending": gate["pending"],
+            "max_pending": gate["limit"],
+            "shed": gate["shed"],
+            "breaker": self.breaker.state,
         }
 
     # ------------------------------------------------------------------
@@ -192,15 +355,27 @@ class CubeServer:
         self._endpoints.append(endpoint)
         return endpoint
 
-    def close(self):
-        """Stop the endpoint(s) and the worker pool."""
-        if self._closed:
-            return
-        self._closed = True
-        for endpoint in self._endpoints:
+    def close(self, cancel_pending=False):
+        """Stop the endpoint(s) and the worker pool.  Idempotent.
+
+        Deterministic teardown: after :meth:`close` returns, every
+        future :meth:`submit` handed out is *done* — drained to a real
+        answer by default, or cancelled (``CancelledError``) when
+        ``cancel_pending`` is true and the query had not started.  New
+        submissions raise :class:`~repro.errors.PlanError` the moment
+        close begins.  A second (or concurrent) close is a no-op.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+            endpoints, self._endpoints = self._endpoints, []
+            compute_pool, self._compute_pool = self._compute_pool, None
+        for endpoint in endpoints:
             endpoint.close()
-        self._endpoints = []
-        self._pool.shutdown(wait=True)
+        self._pool.shutdown(wait=True, cancel_futures=cancel_pending)
+        if compute_pool is not None:
+            compute_pool.shutdown(wait=True, cancel_futures=True)
 
     def __enter__(self):
         return self
@@ -256,37 +431,94 @@ def _parse_cuboid(params):
     return tuple(filter(None, (name.strip() for name in raw.split(","))))
 
 
+def _parse_deadline(params):
+    raw = params.get("deadline_ms")
+    if raw is None:
+        return None
+    deadline_ms = float(raw[0])
+    if deadline_ms <= 0:
+        raise ValueError("deadline_ms must be > 0, got %r" % (raw[0],))
+    return deadline_ms / 1000.0
+
+
 class _CubeRequestHandler(BaseHTTPRequestHandler):
     server_version = "repro-serve/1.0"
     protocol_version = "HTTP/1.1"
 
     def do_GET(self):  # noqa: N802 - http.server naming
+        try:
+            self._route()
+        except ServerOverloadedError as exc:
+            self._reply(429, {"error": str(exc), "kind": "overloaded"})
+        except DeadlineExceededError as exc:
+            self._reply(504, {"error": str(exc), "kind": "deadline"})
+        except StoreCorruptError as exc:
+            self._reply(500, {"error": str(exc), "kind": "corrupt"})
+        except (ReproError, ValueError) as exc:
+            self._reply(400, {"error": str(exc), "kind": "bad_request"})
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            pass  # client hung up mid-reply; nothing to answer
+        except Exception as exc:  # pragma: no cover - last-ditch guard
+            # Never a traceback on the wire: a structured 500 instead.
+            self._reply(500, {"error": "internal error (%s)"
+                              % exc.__class__.__name__, "kind": "internal"})
+
+    def _route(self):
+        if not self._bounded_request():
+            return
         split = urlsplit(self.path)
         params = parse_qs(split.query)
         server = self.server.cube_server
-        try:
-            if split.path == "/query":
-                answer = server.query(_parse_cuboid(params), _parse_threshold(params))
-                self._reply(200, _answer_payload(answer))
-            elif split.path == "/point":
-                raw_cell = params.get("cell", [""])[0]
-                cell = tuple(int(v) for v in raw_cell.split(",") if v.strip())
-                answer = server.point(
-                    _parse_cuboid(params), cell, _parse_threshold(params)
-                )
-                self._reply(200, _answer_payload(answer))
-            elif split.path == "/stats":
-                self._reply(200, server.stats())
-            elif split.path == "/cuboids":
-                self._reply(200, {
-                    "dims": list(server.store.dims),
-                    "leaves": [list(leaf) for leaf in server.store.leaves],
-                    "generation": server.store.generation,
-                })
-            else:
-                self._reply(404, {"error": "unknown path %r" % split.path})
-        except (ReproError, ValueError) as exc:
-            self._reply(400, {"error": str(exc)})
+        if split.path == "/query":
+            # Through the bounded gate: overload sheds here with a fast
+            # 429 instead of stacking requests on the HTTP threads.
+            future = server.submit(
+                _parse_cuboid(params), _parse_threshold(params),
+                deadline_s=_parse_deadline(params),
+            )
+            self._reply(200, _answer_payload(future.result()))
+        elif split.path == "/point":
+            raw_cell = params.get("cell", [""])[0]
+            cell = tuple(int(v) for v in raw_cell.split(",") if v.strip())
+            future = server.submit_point(
+                _parse_cuboid(params), cell, _parse_threshold(params)
+            )
+            self._reply(200, _answer_payload(future.result()))
+        elif split.path == "/stats":
+            self._reply(200, server.stats())
+        elif split.path == "/cuboids":
+            self._reply(200, {
+                "dims": list(server.store.dims),
+                "leaves": [list(leaf) for leaf in server.store.leaves],
+                "generation": server.store.generation,
+            })
+        elif split.path == "/healthz":
+            health = server.health()
+            self._reply(200 if health["status"] == "ok" else 503, health)
+        else:
+            self._reply(404, {"error": "unknown path %r" % split.path,
+                              "kind": "not_found"})
+
+    def _bounded_request(self):
+        """Reject oversized or malformed requests before any work."""
+        if len(self.path) > 8192:
+            self._reply(400, {"error": "request path too long",
+                              "kind": "bad_request"})
+            return False
+        length = self.headers.get("Content-Length")
+        if length is not None:
+            try:
+                n_bytes = int(length)
+            except ValueError:
+                self._reply(400, {"error": "malformed Content-Length %r" % length,
+                                  "kind": "bad_request"})
+                return False
+            if n_bytes > MAX_REQUEST_BYTES:
+                self._reply(413, {"error": "request body of %d bytes exceeds "
+                                  "the %d byte limit" % (n_bytes, MAX_REQUEST_BYTES),
+                                  "kind": "too_large"})
+                return False
+        return True
 
     def _reply(self, status, payload):
         body = json.dumps(payload).encode()
@@ -298,6 +530,9 @@ class _CubeRequestHandler(BaseHTTPRequestHandler):
 
     def log_message(self, format, *args):  # noqa: A002 - http.server naming
         pass  # keep the serving path quiet; telemetry covers it
+
+    def log_request(self, code="-", size="-"):
+        pass
 
 
 def _answer_payload(answer):

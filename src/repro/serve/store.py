@@ -11,7 +11,8 @@ On-disk layout (extending :mod:`repro.core.export`'s one-file-per-cuboid
 manifest convention)::
 
     <directory>/
-      manifest.json        # dims, generation, per-leaf index
+      manifest.json        # dims, generation, per-leaf index + checksums
+      journal.json         # only mid-append: the pending generation
       A_D.csv, B_D.csv ... # one file per leaf, rows SORTED by coords
 
 Each leaf file is written in cell-coordinate order and the manifest
@@ -24,12 +25,28 @@ lookups on an unloaded leaf) never a full-leaf read.  Group-by queries
 are one ordered pass over the presorted leaf, exactly like
 ``LeafMaterialization.query`` but without the sort step.
 
+**Crash safety.**  The manifest records every leaf's byte size and
+SHA-256, and :meth:`CubeStore.open` verifies them (``verify="quick"``
+checks sizes, ``"full"`` re-hashes the content).  A truncated, corrupted
+or missing leaf is *salvaged* — rebuilt by re-aggregating the root leaf,
+which covers every other leaf at minsup 1 — or, when the root leaf
+itself is damaged, :class:`~repro.errors.StoreCorruptError` names the
+offending leaf.  Debris from interrupted writes (``*.tmp.*``,
+``*.staged``, leaf files no manifest references) is swept on open.
+
 ``append`` mirrors ``LeafMaterialization.insert``: new rows are folded
 into each leaf as a sorted-merge of a delta — no rescan of the original
-input — files are rewritten atomically, and the manifest ``generation``
-is bumped so caches above the store can invalidate.
+input — and the rewrite is *journalled two-phase*: every new leaf file
+is staged next to the live one, a journal naming the complete next
+generation is written atomically (the commit point), and only then are
+the live files swung over.  A crash at any instant leaves the store
+openable at exactly the old generation (journal absent: staged files
+are swept) or the new one (journal present: roll-forward completes the
+swing) — never a mix.  The manifest ``generation`` is bumped so caches
+above the store invalidate.
 """
 
+import hashlib
 import json
 import os
 import threading
@@ -37,15 +54,38 @@ from bisect import bisect_left
 
 from ..core.export import MANIFEST, atomic_write
 from ..core.thresholds import as_threshold
-from ..errors import PlanError, SchemaError
+from ..errors import PlanError, SchemaError, StoreCorruptError
 from ..lattice.lattice import CubeLattice
 
 STORE_FORMAT = "repro-cube-store/1"
-STORE_FORMAT_VERSION = 1
+STORE_FORMAT_VERSION = 2
+
+#: The append journal: present only between an append's commit point and
+#: its completed leaf swing; holds the complete next-generation manifest.
+JOURNAL = "journal.json"
+JOURNAL_FORMAT = "repro-cube-store-journal/1"
+
+#: Suffix of a staged (phase-1) leaf rewrite awaiting the journal commit.
+STAGED_SUFFIX = ".staged"
+
+#: Verification levels accepted by :meth:`CubeStore.open`.
+VERIFY_LEVELS = ("off", "quick", "full")
 
 
 def _leaf_filename(cuboid):
     return "_".join(cuboid) + ".csv"
+
+
+def _sha256_bytes(data):
+    return hashlib.sha256(data).hexdigest()
+
+
+def _sha256_file(path):
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
 
 
 def _encode_leaf(cuboid, items):
@@ -110,6 +150,17 @@ def _merge_sorted(items, delta_items):
     return merged
 
 
+def _leaf_entry(cuboid, filename, data, index, n_cells):
+    """One manifest entry (the internal, typed form)."""
+    return {
+        "file": filename,
+        "cells": n_cells,
+        "bytes": len(data),
+        "sha256": _sha256_bytes(data),
+        "index": {k: tuple(v) for k, v in index.items()},
+    }
+
+
 class CubeStore:
     """Persistent, incrementally maintainable leaf-cuboid store."""
 
@@ -121,7 +172,7 @@ class CubeStore:
         self.generation = int(manifest["generation"])
         self.total_rows = int(manifest["total_rows"])
         self.total_measure = float(manifest["total_measure"])
-        #: leaf cuboid -> manifest entry (file, cells, prefix index)
+        #: leaf cuboid -> manifest entry (file, cells, checksums, index)
         self._entries = {}
         self.leaves = []
         for entry in manifest["leaves"]:
@@ -130,12 +181,19 @@ class CubeStore:
             self._entries[cuboid] = {
                 "file": entry["file"],
                 "cells": int(entry["cells"]),
+                "bytes": int(entry["bytes"]),
+                "sha256": entry["sha256"],
                 "index": {int(k): tuple(v) for k, v in entry["index"].items()},
             }
         self._leaf_set = frozenset(self.leaves)
         self._items = {}  # leaf -> sorted [(cell, (count, sum))], lazy
         self._lock = threading.RLock()
         self._closed = False
+        #: what `open` had to repair: rolled_forward / orphans_removed /
+        #: salvaged (empty for a clean open or a fresh build)
+        self.recovery = {
+            "rolled_forward": False, "orphans_removed": [], "salvaged": [],
+        }
 
     @staticmethod
     def _check_manifest(manifest):
@@ -177,7 +235,7 @@ class CubeStore:
         """Persist an in-memory :class:`LeafMaterialization` as a store."""
         directory = str(directory)
         os.makedirs(directory, exist_ok=True)
-        leaf_entries = []
+        entries = {}
         loaded = {}
         for leaf in materialization.leaves:
             items = list(materialization._items(leaf))
@@ -188,22 +246,14 @@ class CubeStore:
                 lambda handle, data=data: handle.write(data),
                 binary=True,
             )
-            leaf_entries.append({
-                "cuboid": list(leaf),
-                "file": filename,
-                "cells": len(items),
-                "index": {str(k): list(v) for k, v in index.items()},
-            })
+            entries[leaf] = _leaf_entry(leaf, filename, data, index, len(items))
             loaded[leaf] = items
-        manifest = {
-            "format": STORE_FORMAT,
-            "format_version": STORE_FORMAT_VERSION,
-            "dims": list(materialization.dims),
-            "generation": 1,
-            "total_rows": materialization.total_rows,
-            "total_measure": materialization.total_measure,
-            "leaves": leaf_entries,
-        }
+        manifest = cls._manifest_dict(
+            materialization.dims, materialization.leaves, entries,
+            generation=1,
+            total_rows=materialization.total_rows,
+            total_measure=materialization.total_measure,
+        )
         atomic_write(
             os.path.join(directory, MANIFEST),
             lambda handle: json.dump(manifest, handle, indent=2, sort_keys=True),
@@ -213,15 +263,192 @@ class CubeStore:
         return store
 
     @classmethod
-    def open(cls, directory):
-        """Attach to a store previously written by :meth:`build`."""
-        manifest_path = os.path.join(str(directory), MANIFEST)
+    def open(cls, directory, verify="quick", salvage=True):
+        """Attach to a store previously written by :meth:`build`.
+
+        ``verify`` controls the integrity pass: ``"quick"`` (default)
+        checks every leaf file's existence and byte size against the
+        manifest, ``"full"`` re-hashes the content, ``"off"`` skips the
+        pass (an interrupted append is still rolled forward or back —
+        generation mixing is never allowed).  Damaged leaves are rebuilt
+        from the root leaf when ``salvage`` is true; otherwise — or when
+        the root leaf itself is damaged —
+        :class:`~repro.errors.StoreCorruptError` names the leaf.  What
+        was repaired is reported in the returned store's ``.recovery``.
+        """
+        if verify not in VERIFY_LEVELS:
+            raise PlanError(
+                "verify must be one of %s, got %r" % (", ".join(VERIFY_LEVELS), verify)
+            )
+        directory = str(directory)
+        recovery = {
+            "rolled_forward": False, "orphans_removed": [], "salvaged": [],
+        }
+        manifest = cls._recover_journal(directory, recovery)
+        if manifest is None:
+            manifest_path = os.path.join(directory, MANIFEST)
+            try:
+                with open(manifest_path) as handle:
+                    manifest = json.load(handle)
+            except FileNotFoundError:
+                raise SchemaError(
+                    "no cube-store manifest at %r" % (manifest_path,)
+                ) from None
+        store = cls(directory, manifest)
+        store.recovery = recovery
+        if verify != "off":
+            store._sweep_orphans(recovery)
+            store._verify_leaves(verify, salvage, recovery)
+        return store
+
+    # ------------------------------------------------------------------
+    # crash recovery
+    # ------------------------------------------------------------------
+    @classmethod
+    def _recover_journal(cls, directory, recovery):
+        """Complete (or discard) an append interrupted mid-commit.
+
+        Returns the rolled-forward manifest, or ``None`` when there is
+        no journal (the common case).  The journal is only ever written
+        *after* every staged leaf file landed, so roll-forward can
+        always finish the swing: each leaf either still has its staged
+        file (swing it now) or was already swung (its content matches
+        the journalled checksum).
+        """
+        journal_path = os.path.join(directory, JOURNAL)
         try:
-            with open(manifest_path) as handle:
-                manifest = json.load(handle)
+            with open(journal_path) as handle:
+                journal = json.load(handle)
         except FileNotFoundError:
-            raise SchemaError("no cube-store manifest at %r" % (manifest_path,)) from None
-        return cls(directory, manifest)
+            return None
+        except (json.JSONDecodeError, OSError):
+            # The journal is written atomically, so a malformed one is
+            # foreign debris; without a valid commit record, roll back.
+            os.unlink(journal_path)
+            return None
+        if journal.get("format") != JOURNAL_FORMAT:
+            raise SchemaError(
+                "unknown cube-store journal format %r" % (journal.get("format"),)
+            )
+        manifest = journal["manifest"]
+        cls._check_manifest(manifest)
+        for entry in manifest["leaves"]:
+            path = os.path.join(directory, entry["file"])
+            staged = path + STAGED_SUFFIX
+            if os.path.exists(staged):
+                os.replace(staged, path)
+            elif not (os.path.exists(path)
+                      and os.path.getsize(path) == int(entry["bytes"])
+                      and _sha256_file(path) == entry["sha256"]):
+                raise StoreCorruptError(
+                    tuple(entry["cuboid"]),
+                    "journal roll-forward found neither the staged file "
+                    "nor the committed content",
+                    directory,
+                )
+        atomic_write(
+            os.path.join(directory, MANIFEST),
+            lambda handle: json.dump(manifest, handle, indent=2, sort_keys=True),
+        )
+        os.unlink(journal_path)
+        recovery["rolled_forward"] = True
+        return manifest
+
+    def _sweep_orphans(self, recovery):
+        """Remove write debris the manifest does not reference.
+
+        Staged files and ``atomic_write`` temps are always an
+        interrupted writer's leftovers (a journalled writer's staged
+        files were consumed by roll-forward before this runs); ``.csv``
+        files no manifest entry names are stale leaves from a superseded
+        generation.  Anything else is left alone.
+        """
+        known = {MANIFEST, JOURNAL}
+        known.update(entry["file"] for entry in self._entries.values())
+        for name in sorted(os.listdir(self.directory)):
+            if name in known:
+                continue
+            path = os.path.join(self.directory, name)
+            if not os.path.isfile(path):
+                continue
+            if (".tmp." in name or name.endswith(STAGED_SUFFIX)
+                    or name.endswith(".csv")):
+                os.unlink(path)
+                recovery["orphans_removed"].append(name)
+
+    def _leaf_damage(self, leaf, level):
+        """Why the leaf's file fails verification, or ``None`` if intact."""
+        entry = self._entries[leaf]
+        path = os.path.join(self.directory, entry["file"])
+        try:
+            size = os.path.getsize(path)
+        except OSError:
+            return "leaf file %r is missing" % (entry["file"],)
+        if size != entry["bytes"]:
+            return ("leaf file %r is %d bytes, manifest says %d "
+                    "(truncated or overwritten)"
+                    % (entry["file"], size, entry["bytes"]))
+        if level == "full" and _sha256_file(path) != entry["sha256"]:
+            return "leaf file %r fails its SHA-256 check (corrupted content)" % (
+                entry["file"],)
+        return None
+
+    def _verify_leaves(self, level, salvage, recovery):
+        damaged = []
+        for leaf in self.leaves:
+            reason = self._leaf_damage(leaf, level)
+            if reason is not None:
+                damaged.append((leaf, reason))
+        if not damaged:
+            return
+        root = self.dims
+        root_damage = [item for item in damaged if item[0] == root]
+        if root_damage:
+            leaf, reason = root_damage[0]
+            raise StoreCorruptError(
+                leaf, reason + "; the root leaf covers every other leaf, so "
+                "nothing remains to salvage from — rebuild the store",
+                self.directory,
+            )
+        if not salvage:
+            leaf, reason = damaged[0]
+            raise StoreCorruptError(leaf, reason, self.directory)
+        with self._lock:
+            for leaf, _reason in damaged:
+                self._rebuild_leaf(leaf)
+                recovery["salvaged"].append(leaf)
+            self._write_manifest()
+
+    def _rebuild_leaf(self, leaf):
+        """Regenerate one leaf by re-aggregating the (intact) root leaf.
+
+        Leaves hold unfiltered minsup-1 cells and count/sum are
+        distributive, so projecting the root leaf's cells onto the
+        damaged leaf's dimensions reproduces its content exactly.
+        """
+        positions = [self.dims.index(d) for d in leaf]
+        accumulated = {}
+        for cell, (count, value) in self.leaf_items(self.dims):
+            sub = tuple(cell[p] for p in positions)
+            acc = accumulated.get(sub)
+            if acc is None:
+                accumulated[sub] = [count, value]
+            else:
+                acc[0] += count
+                acc[1] += value
+        items = sorted(
+            (cell, (acc[0], acc[1])) for cell, acc in accumulated.items()
+        )
+        entry = self._entries[leaf]
+        data, index = _encode_leaf(leaf, items)
+        atomic_write(
+            os.path.join(self.directory, entry["file"]),
+            lambda handle, data=data: handle.write(data),
+            binary=True,
+        )
+        self._entries[leaf] = _leaf_entry(
+            leaf, entry["file"], data, index, len(items))
+        self._items[leaf] = items
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -287,9 +514,11 @@ class CubeStore:
                 handle.readline()  # header
                 items = _parse_rows(handle.readlines(), len(leaf))
             if len(items) != entry["cells"]:
-                raise SchemaError(
-                    "leaf %r has %d cells on disk, manifest says %d"
-                    % (leaf, len(items), entry["cells"])
+                raise StoreCorruptError(
+                    leaf,
+                    "has %d cells on disk, manifest says %d"
+                    % (len(items), entry["cells"]),
+                    self.directory,
                 )
             self._items[leaf] = items
             return items
@@ -394,9 +623,15 @@ class CubeStore:
 
         Mirrors ``LeafMaterialization.insert``: the leaves hold
         unfiltered minsup-1 cells, so appending is pure accumulation —
-        each leaf gets a sorted delta merged into its sorted items, the
-        file is rewritten atomically, and ``generation`` is bumped so
-        caches invalidate.  No rescan of previously stored data.
+        each leaf gets a sorted delta merged into its sorted items — and
+        ``generation`` is bumped so caches invalidate.  No rescan of
+        previously stored data.
+
+        The rewrite is journalled two-phase (see the module docstring):
+        stage every new leaf file, atomically commit a journal naming
+        the complete next generation, then swing the live files.  A
+        crash at any point leaves the store openable at exactly the old
+        or the new generation.
         """
         self._check_open()
         positions = relation.dim_indices(self.dims)
@@ -405,6 +640,7 @@ class CubeStore:
             for row, measure in zip(relation.rows, relation.measures)
         ]
         with self._lock:
+            staged = []  # (leaf, entry, data, merged)
             for leaf in self.leaves:
                 delta = {}
                 leaf_positions = [self.dims.index(d) for d in leaf]
@@ -421,41 +657,88 @@ class CubeStore:
                 )
                 merged = _merge_sorted(self.leaf_items(leaf), delta_items)
                 data, index = _encode_leaf(leaf, merged)
-                entry = self._entries[leaf]
+                filename = self._entries[leaf]["file"]
+                staged.append((
+                    leaf,
+                    _leaf_entry(leaf, filename, data, index, len(merged)),
+                    data,
+                    merged,
+                ))
+            # Phase 1: stage every rewritten leaf next to the live one.
+            for _leaf, entry, data, _merged in staged:
                 atomic_write(
-                    os.path.join(self.directory, entry["file"]),
+                    os.path.join(self.directory, entry["file"] + STAGED_SUFFIX),
                     lambda handle, data=data: handle.write(data),
                     binary=True,
                 )
-                entry["cells"] = len(merged)
-                entry["index"] = {k: tuple(v) for k, v in index.items()}
+            new_entries = {leaf: entry for leaf, entry, _data, _merged in staged}
+            manifest = self._manifest_dict(
+                self.dims, self.leaves, new_entries,
+                generation=self.generation + 1,
+                total_rows=self.total_rows + len(relation),
+                total_measure=self.total_measure + sum(relation.measures),
+            )
+            # Commit point: after this journal lands, the new generation
+            # is durable; before it, the staged files are mere debris.
+            journal = {"format": JOURNAL_FORMAT,
+                       "generation": manifest["generation"],
+                       "manifest": manifest}
+            atomic_write(
+                os.path.join(self.directory, JOURNAL),
+                lambda handle: json.dump(journal, handle, indent=2,
+                                         sort_keys=True),
+            )
+            # Phase 2: swing the leaves, rewrite the manifest, drop the
+            # journal.  Any crash in here is rolled forward on open.
+            for _leaf, entry, _data, _merged in staged:
+                path = os.path.join(self.directory, entry["file"])
+                os.replace(path + STAGED_SUFFIX, path)
+            atomic_write(
+                os.path.join(self.directory, MANIFEST),
+                lambda handle: json.dump(manifest, handle, indent=2,
+                                         sort_keys=True),
+            )
+            os.unlink(os.path.join(self.directory, JOURNAL))
+            for leaf, entry, _data, merged in staged:
+                self._entries[leaf] = entry
                 self._items[leaf] = merged
-            self.total_rows += len(relation)
-            self.total_measure += sum(relation.measures)
-            self.generation += 1
-            self._write_manifest()
+            self.total_rows = manifest["total_rows"]
+            self.total_measure = manifest["total_measure"]
+            self.generation = manifest["generation"]
 
-    def _write_manifest(self):
-        manifest = {
+    @staticmethod
+    def _manifest_dict(dims, leaves, entries, generation, total_rows,
+                       total_measure):
+        return {
             "format": STORE_FORMAT,
             "format_version": STORE_FORMAT_VERSION,
-            "dims": list(self.dims),
-            "generation": self.generation,
-            "total_rows": self.total_rows,
-            "total_measure": self.total_measure,
+            "dims": list(dims),
+            "generation": generation,
+            "total_rows": total_rows,
+            "total_measure": total_measure,
             "leaves": [
                 {
                     "cuboid": list(leaf),
-                    "file": self._entries[leaf]["file"],
-                    "cells": self._entries[leaf]["cells"],
+                    "file": entries[leaf]["file"],
+                    "cells": entries[leaf]["cells"],
+                    "bytes": entries[leaf]["bytes"],
+                    "sha256": entries[leaf]["sha256"],
                     "index": {
                         str(k): list(v)
-                        for k, v in self._entries[leaf]["index"].items()
+                        for k, v in entries[leaf]["index"].items()
                     },
                 }
-                for leaf in self.leaves
+                for leaf in leaves
             ],
         }
+
+    def _write_manifest(self):
+        manifest = self._manifest_dict(
+            self.dims, self.leaves, self._entries,
+            generation=self.generation,
+            total_rows=self.total_rows,
+            total_measure=self.total_measure,
+        )
         atomic_write(
             os.path.join(self.directory, MANIFEST),
             lambda handle: json.dump(manifest, handle, indent=2, sort_keys=True),

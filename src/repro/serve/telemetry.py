@@ -40,6 +40,19 @@ class ServerTelemetry:
         self._keep = int(keep_records)
         self._counts = {source: 0 for source in SOURCES}
         self._latency_totals = {source: 0.0 for source in SOURCES}
+        self._events = {}
+
+    def bump(self, event, n=1):
+        """Count one degradation event (``shed``, ``deadline_exceeded``,
+        ``breaker_open`` ...) — free-form names, surfaced in
+        :meth:`summary` under ``events``."""
+        with self._lock:
+            self._events[event] = self._events.get(event, 0) + n
+
+    def event_counts(self):
+        """A snapshot of the degradation-event counters."""
+        with self._lock:
+            return dict(self._events)
 
     def record(self, cuboid, threshold, source, latency_s):
         """Record one answered query."""
@@ -93,4 +106,5 @@ class ServerTelemetry:
         out["p50_ms"] = round(1000.0 * percentile(overall, 50), 3)
         out["p95_ms"] = round(1000.0 * percentile(overall, 95), 3)
         out["p99_ms"] = round(1000.0 * percentile(overall, 99), 3)
+        out["events"] = self.event_counts()
         return out

@@ -1,0 +1,238 @@
+"""Chaos smoke test: kill, corrupt and overload the real paths (CI job).
+
+Three acts, each asserting the acceptance criteria of the robustness
+work end-to-end rather than via unit seams:
+
+1. **Worker chaos** — a fault plan SIGKILLs real pool workers and hangs
+   a batch past the supervisor's timeout; the cube must still match the
+   single-process oracle cell-for-cell.
+2. **Append crash sweep** — an append is interrupted at *every* file
+   operation (atomic_write / os.replace / os.unlink) in turn; each
+   reopen must land on exactly the old or the new generation, with
+   queries matching the corresponding full-store oracle at
+   ``verify="full"``.
+3. **Overload flood** — hundreds of concurrent queries hit a small
+   server whose recompute fallback always fails: the admission gate
+   must shed the excess, the circuit breaker must trip (and say so in
+   stats), and cache/store-served answers must keep flowing correctly
+   throughout.
+
+Run:  PYTHONPATH=src python tests/smoke_chaos.py
+"""
+
+import sys
+import tempfile
+from concurrent.futures import ThreadPoolExecutor
+
+from repro import CubeServer, CubeStore, cluster1, zipf_relation
+from repro.cluster.faults import FaultPlan, Slowdown, TaskFailure
+from repro.core.naive import naive_cuboid, naive_iceberg_cube
+from repro.errors import DeadlineExceededError, ServerOverloadedError
+from repro.parallel.local import multiprocess_iceberg_cube
+from repro.serve import CircuitBreaker
+from repro.serve import store as store_module
+
+
+def act_one_worker_chaos():
+    relation = zipf_relation(500, [8, 6, 5, 3], skew=1.0, seed=19)
+    expected = naive_iceberg_cube(relation, minsup=2)
+
+    plan = FaultPlan(failures=[TaskFailure(0, 0), TaskFailure(3, 0)],
+                     slowdowns=[Slowdown(1, 4.0)], backoff_s=0.01)
+    got = multiprocess_iceberg_cube(relation, minsup=2, workers=3,
+                                    batch_size=2, fault_plan=plan,
+                                    batch_timeout=1.0)
+    assert got.equals(expected), got.diff(expected)
+    recovery = got.recovery
+    assert recovery.worker_crashes >= 1, recovery
+    assert recovery.retries >= 2, recovery
+
+    # A pure hang (no crash to pre-empt it) must be diagnosed as a stall.
+    plan = FaultPlan(slowdowns=[Slowdown(0, 4.0)], backoff_s=0.01)
+    got = multiprocess_iceberg_cube(relation, minsup=2, workers=2,
+                                    batch_size=2, fault_plan=plan,
+                                    batch_timeout=1.0)
+    assert got.equals(expected), got.diff(expected)
+    assert got.recovery.stalls >= 1, got.recovery
+    print("act 1: SIGKILLed %d worker(s), survived %d stall(s), "
+          "%d retries -- oracle-exact"
+          % (recovery.worker_crashes, got.recovery.stalls,
+             recovery.retries + got.recovery.retries))
+
+
+class Boom(RuntimeError):
+    pass
+
+
+class CrashingOps:
+    """Wrap the store module's file ops to die after ``n`` calls."""
+
+    def __init__(self, fail_after):
+        self.fail_after = fail_after
+        self.calls = 0
+
+    def _tick(self):
+        self.calls += 1
+        if self.calls > self.fail_after:
+            raise Boom("simulated crash at file op %d" % self.calls)
+
+
+def act_two_append_crash_sweep():
+    relation = zipf_relation(400, [8, 5, 6, 3], skew=1.0, seed=7)
+    base = relation.slice(0, 300)
+    delta = relation.slice(300, len(relation))
+
+    real_atomic_write = store_module.atomic_write
+    real_replace = store_module.os.replace
+    real_unlink = store_module.os.unlink
+
+    with tempfile.TemporaryDirectory() as tmp:
+        old_dir = tmp + "/old-oracle"
+        new_dir = tmp + "/new-oracle"
+        CubeStore.build(base, old_dir).close()
+        CubeStore.build(relation, new_dir).close()
+        with CubeStore.open(old_dir, verify="off") as old_store, \
+                CubeStore.open(new_dir, verify="off") as new_store:
+            leaves = list(old_store.leaves)
+            old_answers = {leaf: old_store.query(leaf, minsup=2)
+                           for leaf in leaves}
+            new_answers = {leaf: new_store.query(leaf, minsup=2)
+                           for leaf in leaves}
+
+        crash_point = 0
+        outcomes = {1: 0, 2: 0}
+        while True:
+            ops = CrashingOps(crash_point)
+
+            def crashing_write(path, writer, _ops=ops, **kwargs):
+                _ops._tick()
+                return real_atomic_write(path, writer, **kwargs)
+
+            def crashing_replace(src, dst, _ops=ops):
+                _ops._tick()
+                return real_replace(src, dst)
+
+            def crashing_unlink(path, _ops=ops):
+                _ops._tick()
+                return real_unlink(path)
+
+            victim_dir = "%s/victim-%d" % (tmp, crash_point)
+            CubeStore.build(base, victim_dir).close()
+            store = CubeStore.open(victim_dir, verify="off")
+            store_module.atomic_write = crashing_write
+            store_module.os.replace = crashing_replace
+            store_module.os.unlink = crashing_unlink
+            try:
+                store.append(delta)
+                completed = True
+            except Boom:
+                completed = False
+            finally:
+                store_module.atomic_write = real_atomic_write
+                store_module.os.replace = real_replace
+                store_module.os.unlink = real_unlink
+                store.close()
+
+            with CubeStore.open(victim_dir, verify="full") as reopened:
+                generation = reopened.generation
+                assert generation in (1, 2), generation
+                oracle = old_answers if generation == 1 else new_answers
+                for leaf in leaves:
+                    got = reopened.query(leaf, minsup=2)
+                    assert got == oracle[leaf], (crash_point, leaf)
+            outcomes[generation] += 1
+            if completed:
+                break
+            crash_point += 1
+
+    assert outcomes[1] > 0 and outcomes[2] > 0, outcomes
+    print("act 2: append interrupted at %d distinct crash points -- "
+          "%d rolled back to gen 1, %d rolled forward to gen 2, "
+          "all oracle-exact at verify=full"
+          % (crash_point + 1, outcomes[1], outcomes[2]))
+
+
+def act_three_overload_flood():
+    relation = zipf_relation(1_500, [9, 7, 5, 4], skew=1.0, seed=23)
+    n_queries, n_threads = 500, 32
+
+    with tempfile.TemporaryDirectory() as tmp:
+        # Materialize only three of the four dims: cuboids touching "D"
+        # must fall through to the (deliberately broken) recompute path.
+        store = CubeStore.build(relation, tmp, dims=("A", "B", "C"),
+                                cluster_spec=cluster1(4))
+        server = CubeServer(store, relation=relation, max_workers=4,
+                            max_pending=16,
+                            breaker=CircuitBreaker(failure_threshold=3,
+                                                   reset_after_s=60.0))
+        server._compute = lambda cuboid, threshold: (_ for _ in ()).throw(
+            RuntimeError("recompute backend is down"))
+
+        served = {("A",): dict(naive_cuboid(relation, ("A",))),
+                  ("A", "B"): dict(naive_cuboid(relation, ("A", "B"))),
+                  ("B", "C"): dict(naive_cuboid(relation, ("B", "C")))}
+        expected = {
+            cuboid: {cell: agg for cell, agg in cells.items() if agg[0] >= 2}
+            for cuboid, cells in served.items()
+        }
+
+        counts = {"ok": 0, "shed": 0, "broken": 0, "wrong": 0}
+
+        def client(i):
+            cuboids = list(expected)
+            if i % 5 == 0:
+                try:  # poison traffic: needs the dead recompute path
+                    server.query(("A", "D"), 2)
+                    counts["wrong"] += 1
+                except (RuntimeError, ServerOverloadedError,
+                        DeadlineExceededError):
+                    counts["broken"] += 1
+                return
+            cuboid = cuboids[i % len(cuboids)]
+            try:
+                future = server.submit(cuboid, 2)
+            except ServerOverloadedError:
+                counts["shed"] += 1
+                return
+            answer = future.result(timeout=30.0)
+            if answer.cells == expected[cuboid]:
+                counts["ok"] += 1
+            else:
+                counts["wrong"] += 1
+
+        with ThreadPoolExecutor(max_workers=n_threads) as pool:
+            list(pool.map(client, range(n_queries)))
+
+        stats = server.stats()["resilience"]
+        health = server.health()
+        server.close()
+        store.close()
+
+    assert counts["wrong"] == 0, counts
+    assert counts["ok"] > 0, counts
+    assert counts["broken"] > 0, counts
+    assert stats["breaker"]["trips"] >= 1, stats
+    assert stats["breaker"]["state"] == "open", stats
+    assert health["breaker"] == "open", health
+    # With 32 clients racing a 16-slot gate the flood must shed some
+    # load (either at submit or as breaker fast-fails).
+    assert stats["admission"]["shed"] + stats["breaker"]["rejections"] > 0
+    print("act 3: flood of %d queries -> %d served exactly, %d shed/fast-"
+          "failed, breaker tripped %d time(s) and left open -- cache/store "
+          "hits kept flowing"
+          % (n_queries, counts["ok"],
+             counts["shed"] + counts["broken"] + stats["breaker"]["rejections"],
+             stats["breaker"]["trips"]))
+
+
+def main():
+    act_one_worker_chaos()
+    act_two_append_crash_sweep()
+    act_three_overload_flood()
+    print("PASS: chaos smoke survived worker kills, torn appends and "
+          "overload")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

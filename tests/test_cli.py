@@ -183,12 +183,16 @@ class TestLocalBackend:
         loaded = load_cube(target)
         assert loaded.total_cells() > 0
 
-    def test_faults_rejected_on_local_backend(self, sales_csv):
+    def test_faults_drive_real_workers_on_local_backend(self, sales_csv):
+        # crash:0@0 SIGKILLs the real worker holding batch 0; the
+        # supervisor retries and the result still matches the oracle.
         code, output = run_cli(["cube", "--csv", sales_csv,
-                                "--backend", "local",
-                                "--faults", "crash:0@0.05"])
-        assert code == 2
-        assert "--backend simulated" in output
+                                "--backend", "local", "--workers", "2",
+                                "--faults", "crash:0@0", "--self-test"])
+        assert code == 0
+        assert "self-test        : PASSED" in output
+        assert "recovery         :" in output
+        assert "1 worker crashes" in output
 
 
 class TestStoreAndServe:

@@ -5,12 +5,16 @@ import pytest
 from repro.errors import (
     ClusterDegradedError,
     ClusterError,
+    DeadlineExceededError,
     EncodingError,
     MemoryBudgetExceeded,
     PlanError,
     ReproError,
     SchemaError,
+    ServerOverloadedError,
+    StoreCorruptError,
     TaskRetryExhausted,
+    WorkerCrashError,
 )
 
 
@@ -18,7 +22,8 @@ class TestHierarchy:
     @pytest.mark.parametrize(
         "exc_cls",
         [SchemaError, EncodingError, PlanError, ClusterError, MemoryBudgetExceeded,
-         TaskRetryExhausted, ClusterDegradedError],
+         TaskRetryExhausted, ClusterDegradedError, WorkerCrashError,
+         StoreCorruptError, ServerOverloadedError, DeadlineExceededError],
     )
     def test_all_derive_from_repro_error(self, exc_cls):
         assert issubclass(exc_cls, ReproError)
@@ -54,6 +59,30 @@ class TestHierarchy:
         assert exc.failed_processors == (2, 0)
         assert "[0, 2]" in str(exc)  # sorted for readability
 
+    def test_worker_crash_carries_batch_and_attempts(self):
+        exc = WorkerCrashError(3, 4)
+        assert exc.batch_id == 3
+        assert exc.attempts == 4
+        assert "batch 3" in str(exc) and "4 time(s)" in str(exc)
+
+    def test_store_corrupt_names_leaf_and_reason(self):
+        exc = StoreCorruptError(("A", "B"), "truncated or overwritten",
+                                directory="/tmp/store")
+        assert exc.leaf == ("A", "B")
+        assert "truncated" in str(exc)
+        assert "/tmp/store" in str(exc)
+
+    def test_server_overloaded_carries_queue_shape(self):
+        exc = ServerOverloadedError(pending=9, limit=8)
+        assert exc.pending == 9
+        assert exc.limit == 8
+        assert "9" in str(exc) and "8" in str(exc)
+
+    def test_deadline_exceeded_carries_budget(self):
+        exc = DeadlineExceededError(0.25, elapsed_s=0.4, stage="store scan")
+        assert exc.deadline_s == 0.25
+        assert "store scan" in str(exc)
+
 
 class TestLibraryRaisesItsOwnErrors:
     def test_api_surface_raises_repro_errors_only(self, small_uniform):
@@ -65,3 +94,35 @@ class TestLibraryRaisesItsOwnErrors:
             iceberg_cube(small_uniform, algorithm="bogus")
         with pytest.raises(ReproError):
             iceberg_query(small_uniform, ("missing-dim",))
+
+
+class TestCliSurfacesOneLine:
+    """Every ReproError subclass ends up as a single `error:` line."""
+
+    def test_robustness_errors_surface_without_traceback(self, tmp_path):
+        import io
+
+        from repro.cli import main
+
+        out = io.StringIO()
+        code = main(["serve", "--store", str(tmp_path / "missing")], out=out)
+        assert code == 2
+        text = out.getvalue()
+        assert text.startswith("error: ")
+        assert len(text.strip().splitlines()) == 1
+        assert "Traceback" not in text
+
+    def test_worker_crash_surfaces_as_one_line(self):
+        import io
+
+        from repro.cli import main
+
+        out = io.StringIO()
+        code = main(["cube", "--weather", "120", "--dims", "2",
+                     "--backend", "local", "--workers", "2",
+                     "--faults", "rate=1.0,retries=0,backoff=0.01"], out=out)
+        assert code == 2
+        text = out.getvalue()
+        assert text.startswith("error: ")
+        assert "retry budget" in text
+        assert "Traceback" not in text

@@ -2,6 +2,7 @@
 
 import json
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from urllib.request import urlopen
 
@@ -10,9 +11,22 @@ import pytest
 from repro.cluster import cluster1
 from repro.core.naive import naive_cuboid
 from repro.core.thresholds import CountThreshold, SumThreshold
-from repro.errors import PlanError, SchemaError
+from repro.errors import (
+    DeadlineExceededError,
+    PlanError,
+    SchemaError,
+    ServerOverloadedError,
+)
 from repro.online import LeafMaterialization
-from repro.serve import CubeServer, CubeStore, QueryCache, ServerTelemetry
+from repro.serve import (
+    AdmissionGate,
+    CircuitBreaker,
+    CubeServer,
+    CubeStore,
+    Deadline,
+    QueryCache,
+    ServerTelemetry,
+)
 from repro.serve.telemetry import percentile
 
 
@@ -381,3 +395,367 @@ class TestHttpEndpoint:
         for thread in threads:
             thread.join()
         assert not errors, errors[:3]
+
+
+class TestGracefulDegradation:
+    """Bounded admission, deadlines and the recompute circuit breaker."""
+
+    def test_admission_gate_sheds_past_max_pending(self, store, small_skewed):
+        release = threading.Event()
+
+        class SlowStore:
+            """Wrap the store so queries block until released."""
+
+            def __init__(self, inner):
+                self._inner = inner
+
+            def __getattr__(self, name):
+                return getattr(self._inner, name)
+
+            def query(self, cuboid, minsup=1):
+                release.wait(10.0)
+                return self._inner.query(cuboid, minsup=minsup)
+
+        server = CubeServer(SlowStore(store), max_workers=2, max_pending=64,
+                            cache_size=0)
+        server.gate = AdmissionGate(3)
+        try:
+            futures = [server.submit(("A",), 1) for _ in range(3)]
+            with pytest.raises(ServerOverloadedError) as exc_info:
+                server.submit(("A",), 1)
+            assert exc_info.value.pending == 3
+            release.set()
+            for future in futures:
+                assert future.result(timeout=10.0).cells
+            # Completed queries release their slots: admission reopens.
+            assert server.gate.stats()["pending"] == 0
+            server.submit(("A",), 1).result(timeout=10.0)
+        finally:
+            release.set()
+            server.close()
+
+    def test_default_max_pending_scales_with_workers(self, store):
+        server = CubeServer(store, max_workers=8)
+        assert server.gate.limit == 128
+        server.close()
+        tiny = CubeServer(store, max_workers=1)
+        assert tiny.gate.limit == 64
+        tiny.close()
+
+    def test_deadline_counts_queue_time(self, store):
+        server = CubeServer(store)
+        try:
+            clock = [100.0]
+            deadline = Deadline(0.05, clock=lambda: clock[0])
+            clock[0] += 0.2  # the query "waited" 200 ms before running
+            with pytest.raises(DeadlineExceededError) as exc_info:
+                server.query(("A",), 1, deadline_s=deadline)
+            assert "admission queue" in str(exc_info.value)
+            assert server.telemetry.event_counts()["deadline_exceeded"] == 1
+        finally:
+            server.close()
+
+    def test_query_without_deadline_is_unbounded(self, store, small_skewed):
+        server = CubeServer(store)
+        try:
+            answer = server.query(("A",), 2)
+            assert answer.cells == oracle(small_skewed, ("A",), 2)
+        finally:
+            server.close()
+
+    def test_breaker_trips_on_failing_recompute_and_store_hits_survive(
+            self, small_skewed, tmp_path):
+        # A relation is present so uncovered cuboids go to compute, but
+        # the compute path is broken: the breaker must trip and cache /
+        # store answers must keep flowing.
+        partial = CubeStore.build(small_skewed, tmp_path / "partial",
+                                  dims=("A", "B", "C"),
+                                  cluster_spec=cluster1(2))
+        server = CubeServer(partial, relation=small_skewed,
+                            breaker=CircuitBreaker(failure_threshold=2,
+                                                   reset_after_s=60.0))
+        server._compute = lambda cuboid, threshold: (_ for _ in ()).throw(
+            RuntimeError("compute backend down"))
+        try:
+            uncovered = ("A", "D")  # D is not in the materialized dims
+            for _ in range(2):
+                with pytest.raises(RuntimeError):
+                    server.query(uncovered, 1)
+            assert server.breaker.state == "open"
+            # Third call fails fast with overload, not the RuntimeError.
+            with pytest.raises(ServerOverloadedError) as exc_info:
+                server.query(uncovered, 1)
+            assert "circuit breaker is open" in str(exc_info.value)
+            # Store-served queries are unaffected while the breaker is open.
+            answer = server.query(("A",), 2)
+            assert answer.source == "store"
+            assert answer.cells == oracle(small_skewed, ("A",), 2)
+            stats = server.stats()["resilience"]
+            assert stats["breaker"]["state"] == "open"
+            assert stats["breaker"]["trips"] == 1
+        finally:
+            server.close()
+            partial.close()
+
+    def test_breaker_recovers_after_cooldown(self, small_skewed, tmp_path):
+        partial = CubeStore.build(small_skewed, tmp_path / "partial",
+                                  dims=("A", "B", "C"),
+                                  cluster_spec=cluster1(2))
+        clock = [100.0]
+        server = CubeServer(partial, relation=small_skewed, cache_size=0,
+                            breaker=CircuitBreaker(failure_threshold=1,
+                                                   reset_after_s=5.0,
+                                                   clock=lambda: clock[0]))
+        real_compute = server._compute
+        server._compute = lambda cuboid, threshold: (_ for _ in ()).throw(
+            RuntimeError("transient outage"))
+        try:
+            with pytest.raises(RuntimeError):
+                server.query(("A", "D"), 1)
+            assert server.breaker.state == "open"
+            server._compute = real_compute  # the dependency heals
+            clock[0] += 5.0                 # cool-down elapses
+            answer = server.query(("A", "D"), 1)  # half-open probe succeeds
+            assert answer.source == "compute"
+            assert server.breaker.state == "closed"
+        finally:
+            server.close()
+            partial.close()
+
+    def test_deadline_bounds_slow_compute(self, small_skewed, tmp_path):
+        partial = CubeStore.build(small_skewed, tmp_path / "partial",
+                                  dims=("A", "B", "C"),
+                                  cluster_spec=cluster1(2))
+        server = CubeServer(partial, relation=small_skewed)
+
+        def glacial(cuboid, threshold):
+            time.sleep(5.0)
+            return {}
+
+        server._compute = glacial
+        try:
+            started = time.perf_counter()
+            with pytest.raises(DeadlineExceededError):
+                server.query(("A", "D"), 1, deadline_s=0.2)
+            assert time.perf_counter() - started < 2.0
+            server.breaker.record_success()  # reset for teardown
+        finally:
+            server.close()
+            partial.close()
+
+    def test_health_endpoint_surface(self, store):
+        server = CubeServer(store, max_pending=77)
+        try:
+            health = server.health()
+            assert health["status"] == "ok"
+            assert health["max_pending"] == 77
+            assert health["breaker"] == "closed"
+        finally:
+            server.close()
+        assert server.health()["status"] == "closed"
+
+
+class TestServerClose:
+    """close() is idempotent and deterministically drains or cancels."""
+
+    def test_close_is_idempotent_and_thread_safe(self, store):
+        server = CubeServer(store)
+        threads = [threading.Thread(target=server.close) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        server.close()  # and once more for good measure
+
+    def test_submit_after_close_raises(self, store):
+        server = CubeServer(store)
+        server.close()
+        with pytest.raises(PlanError):
+            server.submit(("A",), 1)
+        with pytest.raises(PlanError):
+            server.serve_http(port=0)
+
+    def test_close_drains_in_flight_queries(self, store, small_skewed):
+        server = CubeServer(store, max_workers=2)
+        futures = [server.submit(("A",), 2) for _ in range(8)]
+        server.close()
+        for future in futures:
+            assert future.done()
+            assert future.result().cells == oracle(small_skewed, ("A",), 2)
+
+    def test_close_cancel_pending_cancels_unstarted_work(self, store):
+        import concurrent.futures
+
+        release = threading.Event()
+
+        class BlockingStore:
+            def __init__(self, inner):
+                self._inner = inner
+
+            def __getattr__(self, name):
+                return getattr(self._inner, name)
+
+            def query(self, cuboid, minsup=1):
+                release.wait(10.0)
+                return self._inner.query(cuboid, minsup=minsup)
+
+        server = CubeServer(BlockingStore(store), max_workers=1, cache_size=0)
+        running = server.submit(("A",), 1)
+        queued = [server.submit(("A",), 1) for _ in range(4)]
+
+        closer = threading.Thread(target=server.close,
+                                  kwargs={"cancel_pending": True})
+        closer.start()
+        release.set()
+        closer.join(timeout=10.0)
+        assert not closer.is_alive()
+        assert running.result(timeout=1.0).cells  # the started one drained
+        for future in queued:
+            assert future.done()
+            assert future.cancelled() or future.result(timeout=1.0)
+        assert any(future.cancelled() for future in queued)
+        with pytest.raises(concurrent.futures.CancelledError):
+            next(f for f in queued if f.cancelled()).result()
+
+    def test_gate_slots_released_on_cancellation(self, store):
+        release = threading.Event()
+
+        class BlockingStore:
+            def __init__(self, inner):
+                self._inner = inner
+
+            def __getattr__(self, name):
+                return getattr(self._inner, name)
+
+            def query(self, cuboid, minsup=1):
+                release.wait(10.0)
+                return self._inner.query(cuboid, minsup=minsup)
+
+        server = CubeServer(BlockingStore(store), max_workers=1, cache_size=0)
+        for _ in range(5):
+            server.submit(("A",), 1)
+        release.set()
+        server.close(cancel_pending=True)
+        assert server.gate.stats()["pending"] == 0
+
+
+class TestHttpHardening:
+    """The endpoint degrades with structured JSON, never a traceback."""
+
+    @pytest.fixture
+    def endpoint(self, store):
+        server = CubeServer(store, max_workers=4)
+        endpoint = server.serve_http(port=0)
+        yield endpoint, server
+        server.close()
+
+    def _get_error(self, endpoint, path, headers=None):
+        import urllib.error
+        from urllib.request import Request
+
+        request = Request(endpoint.url + path, headers=headers or {})
+        try:
+            with urlopen(request) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read())
+
+    def test_unknown_path_is_structured_404(self, endpoint):
+        endpoint, _server = endpoint
+        status, payload = self._get_error(endpoint, "/no/such/endpoint")
+        assert status == 404
+        assert payload["kind"] == "not_found"
+        assert "Traceback" not in payload["error"]
+
+    def test_malformed_query_is_structured_400(self, endpoint):
+        endpoint, _server = endpoint
+        for path in ("/query?cuboid=A&minsup=zero",
+                     "/query?cuboid=A,nope",
+                     "/query?cuboid=A&deadline_ms=-5",
+                     "/point?cuboid=A&cell=x"):
+            status, payload = self._get_error(endpoint, path)
+            assert status == 400, path
+            assert payload["kind"] == "bad_request"
+            assert "Traceback" not in payload["error"]
+
+    def test_oversized_content_length_is_413(self, endpoint):
+        endpoint, _server = endpoint
+        status, payload = self._get_error(
+            endpoint, "/query?cuboid=A",
+            headers={"Content-Length": str(10 * 1024 * 1024)})
+        assert status == 413
+        assert payload["kind"] == "too_large"
+
+    def test_malformed_content_length_is_400(self, endpoint):
+        endpoint, _server = endpoint
+        status, payload = self._get_error(
+            endpoint, "/query?cuboid=A", headers={"Content-Length": "banana"})
+        assert status == 400
+
+    def test_healthz_endpoint(self, endpoint):
+        endpoint, server = endpoint
+        status, payload = self._get_error(endpoint, "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["breaker"] == "closed"
+        assert payload["max_pending"] == server.gate.limit
+
+    def test_deadline_ms_param_maps_to_504(self, endpoint):
+        endpoint, server = endpoint
+
+        real_query = server.store.query
+
+        def slow_query(cuboid, minsup=1):
+            time.sleep(1.0)
+            return real_query(cuboid, minsup=minsup)
+
+        server.store.query = slow_query
+        server.cache = QueryCache(0)
+        try:
+            status, payload = self._get_error(
+                endpoint, "/query?cuboid=A&deadline_ms=50")
+            assert status == 504
+            assert payload["kind"] == "deadline"
+        finally:
+            server.store.query = real_query
+
+    def test_overload_maps_to_429(self, store):
+        release = threading.Event()
+
+        class BlockingStore:
+            def __init__(self, inner):
+                self._inner = inner
+
+            def __getattr__(self, name):
+                return getattr(self._inner, name)
+
+            def query(self, cuboid, minsup=1):
+                release.wait(10.0)
+                return self._inner.query(cuboid, minsup=minsup)
+
+        server = CubeServer(BlockingStore(store), max_workers=1,
+                            max_pending=64, cache_size=0)
+        server.gate = AdmissionGate(2)
+        endpoint = server.serve_http(port=0)
+        import urllib.error
+        try:
+            pool = ThreadPoolExecutor(max_workers=4)
+            blockers = [pool.submit(urlopen, endpoint.url + "/query?cuboid=A")
+                        for _ in range(2)]
+            deadline = time.perf_counter() + 5.0
+            while (server.gate.stats()["pending"] < 2
+                   and time.perf_counter() < deadline):
+                time.sleep(0.01)
+            try:
+                with urlopen(endpoint.url + "/query?cuboid=A") as r:
+                    raise AssertionError("expected 429, got %d" % r.status)
+            except urllib.error.HTTPError as error:
+                assert error.code == 429
+                assert json.loads(error.read())["kind"] == "overloaded"
+            release.set()
+            for blocker in blockers:
+                blocker.result(timeout=10.0).close()
+            pool.shutdown(wait=True)
+        finally:
+            release.set()
+            server.close()
