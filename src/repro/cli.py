@@ -27,6 +27,14 @@ Examples::
     repro-cube bench fig_4_2_scalability
     repro-cube store build --weather 20000 --dims 6 --out /tmp/cube-store
     repro-cube serve --store /tmp/cube-store --port 8642
+
+``cube``, ``store build`` and ``serve`` all accept ``--trace-out FILE``
+(write a Chrome ``trace_event`` JSON of the run, viewable in
+``chrome://tracing`` or Perfetto) and ``--metrics`` (print Prometheus
+text-format metrics on exit); ``serve`` additionally exposes the live
+registry at ``GET /metrics``::
+
+    repro-cube cube --weather 5000 --dims 5 --minsup 4 --trace-out t.json
 """
 
 import argparse
@@ -101,6 +109,7 @@ def build_parser():
                       help="local backend: declare a batch hung after this many "
                            "seconds without any pool progress and retry it "
                            "elsewhere (default 300)")
+    _add_obs_options(cube)
 
     query = sub.add_parser("query", help="answer one iceberg group-by")
     _add_input_options(query)
@@ -134,6 +143,7 @@ def build_parser():
                             "cluster model")
     build.add_argument("--processors", type=int, default=8)
     build.add_argument("--cluster", default="cluster1", choices=sorted(CLUSTERS))
+    _add_obs_options(build)
 
     serve = sub.add_parser("serve",
                            help="serve iceberg queries from a store over HTTP")
@@ -168,7 +178,45 @@ def build_parser():
     serve.add_argument("--self-test", type=int, metavar="N", default=None,
                        help="fire N HTTP queries at the served store, print "
                             "the stats and exit (smoke mode)")
+    _add_obs_options(serve)
     return parser
+
+
+def _add_obs_options(parser):
+    parser.add_argument("--trace-out", metavar="FILE", default=None,
+                        help="record tracing spans and write a Chrome "
+                             "trace_event JSON to FILE on exit (open in "
+                             "chrome://tracing or ui.perfetto.dev)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print Prometheus text-format metrics on exit")
+
+
+def _setup_obs(args):
+    """Install the observability layer when the run asked for it."""
+    if not (args.trace_out or args.metrics):
+        return None
+    from . import obs
+
+    return obs.install()
+
+
+def _finish_obs(args, active, out):
+    """Export what ``_setup_obs`` collected, then switch back off."""
+    if active is None:
+        return
+    from . import obs
+
+    try:
+        if args.trace_out:
+            active.tracer.export_chrome(args.trace_out)
+            dropped = active.tracer.dropped
+            print("trace written    : %s (%d spans%s)"
+                  % (args.trace_out, len(active.tracer),
+                     ", %d dropped" % dropped if dropped else ""), file=out)
+        if args.metrics:
+            out.write(active.registry.to_prometheus())
+    finally:
+        obs.uninstall()
 
 
 def _add_input_options(parser):
@@ -262,8 +310,17 @@ def cmd_cube(args, out):
     """Compute a full iceberg cube and print a summary (optionally export)."""
     relation, dims = _load_relation(args)
     threshold = _threshold(args)
-    if args.backend == "local":
-        return _cmd_cube_local(args, relation, dims, threshold, out)
+    active = _setup_obs(args)
+    try:
+        if args.backend == "local":
+            return _cmd_cube_local(args, relation, dims, threshold, out)
+        return _cmd_cube_simulated(args, relation, dims, threshold, out)
+    finally:
+        _finish_obs(args, active, out)
+
+
+def _cmd_cube_simulated(args, relation, dims, threshold, out):
+    """The default path: the paper's simulated PC cluster."""
     cluster = CLUSTERS[args.cluster](args.processors)
     fault_plan = parse_fault_spec(args.faults) if args.faults else None
     run = iceberg_cube(relation, dims=dims, minsup=threshold,
@@ -410,21 +467,33 @@ def cmd_store(args, out):
 
     relation, dims = _load_relation(args)
     cluster = CLUSTERS[args.cluster](args.processors)
-    store = CubeStore.build(relation, args.out, dims=dims, cluster_spec=cluster,
-                            backend=args.backend)
-    print("built cube store : %s (%s backend)" % (args.out, args.backend),
-          file=out)
-    print("input            : %d tuples, dims %s"
-          % (len(relation), ", ".join(store.dims)), file=out)
-    print("stored leaves    : %d (sorted, prefix-indexed), %d cells"
-          % (len(store.leaves), store.total_cells()), file=out)
-    print("generation       : %d" % store.generation, file=out)
-    store.close()
-    return 0
+    active = _setup_obs(args)
+    try:
+        store = CubeStore.build(relation, args.out, dims=dims,
+                                cluster_spec=cluster, backend=args.backend)
+        print("built cube store : %s (%s backend)" % (args.out, args.backend),
+              file=out)
+        print("input            : %d tuples, dims %s"
+              % (len(relation), ", ".join(store.dims)), file=out)
+        print("stored leaves    : %d (sorted, prefix-indexed), %d cells"
+              % (len(store.leaves), store.total_cells()), file=out)
+        print("generation       : %d" % store.generation, file=out)
+        store.close()
+        return 0
+    finally:
+        _finish_obs(args, active, out)
 
 
 def cmd_serve(args, out):
     """Serve iceberg queries from a built store over HTTP."""
+    active = _setup_obs(args)
+    try:
+        return _cmd_serve(args, out)
+    finally:
+        _finish_obs(args, active, out)
+
+
+def _cmd_serve(args, out):
     from .serve import CircuitBreaker, CubeServer, CubeStore
 
     store = CubeStore.open(args.store, verify=args.verify)
@@ -453,8 +522,8 @@ def cmd_serve(args, out):
           % (server.gate.limit,
              ", %.0f ms default deadline" % args.deadline_ms
              if args.deadline_ms else ""), file=out)
-    print("listening on %s (GET /query /point /stats /cuboids /healthz)"
-          % endpoint.url, file=out)
+    print("listening on %s (GET /query /point /stats /metrics /cuboids "
+          "/healthz)" % endpoint.url, file=out)
     try:
         if args.self_test is not None:
             _serve_self_test(args.self_test, endpoint, store, out)

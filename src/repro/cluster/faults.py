@@ -36,6 +36,7 @@ inputs reproduces the schedule exactly.
 import random
 from collections import deque
 
+from .. import obs
 from ..errors import ClusterDegradedError, ClusterError, TaskRetryExhausted
 from .simulator import SimulationResult, resolve_choice
 
@@ -281,9 +282,12 @@ def _dispatch(cluster, plan, log, processor, task_id, task, execute, attempts,
         frac = (crash_at - start) / duration if duration > 0 else 0.0
         frac = max(0.0, frac)
         entry = cluster.charge_priced(processor, "%s!crash" % execution.label,
-                                      cpu * frac, io * frac, comm * frac)
+                                      cpu * frac, io * frac, comm * frac,
+                                      execution=execution)
         processor.clock = crash_at
         log.lost_work_seconds += max(0.0, crash_at - start)
+        obs.event("sim.node_crash", processor=processor.index,
+                  sim_time=crash_at, task=str(execution.label))
         return "crashed", entry
 
     failures = attempts.get(task_id, 0)
@@ -292,15 +296,19 @@ def _dispatch(cluster, plan, log, processor, task_id, task, execute, attempts,
         if failures + 1 > plan.max_retries:
             raise TaskRetryExhausted(execution.label, failures + 1)
         entry = cluster.charge_priced(processor, "%s!retry" % execution.label,
-                                      cpu, io, comm)
+                                      cpu, io, comm, execution=execution)
         backoff = plan.backoff_seconds(failures + 1)
         processor.clock += backoff
         log.backoff_seconds += backoff
         log.lost_work_seconds += cpu + io + comm
         log.retries += 1
+        obs.event("sim.task_retry", processor=processor.index,
+                  task=str(execution.label), attempt=failures + 1,
+                  backoff_s=backoff)
         return "failed", entry
 
-    entry = cluster.charge_priced(processor, execution.label, cpu, io, comm)
+    entry = cluster.charge_priced(processor, execution.label, cpu, io, comm,
+                                  execution=execution)
     log.committed.append(execution)
     return "done", entry
 

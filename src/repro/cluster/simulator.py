@@ -17,8 +17,17 @@ Two scheduling modes cover all the thesis' algorithms:
 
 Determinism: ties on the clock break by processor index, and policies
 receive tasks in a stable order, so a run is exactly reproducible.
+
+With :func:`repro.obs.install` active, every charged task additionally
+records a span on the *simulated* clock — one per task per node, named
+by the task label, carrying the priced cpu/io/comm split and the
+:class:`~repro.core.stats.OpStats` ledger as attributes — and each run
+wraps in a wall-clock ``sim.run`` span, so simulated and real time sit
+side by side in the exported timeline.  Instrumentation only reads;
+simulated figures are bit-identical with it on or off.
 """
 
+from .. import obs
 from ..errors import ClusterError
 
 
@@ -215,22 +224,59 @@ class Cluster:
             )
         return cpu, io, comm
 
-    def charge_priced(self, processor, label, cpu, io, comm):
-        """Advance ``processor``'s clock by an already-priced cost."""
+    def charge_priced(self, processor, label, cpu, io, comm, execution=None):
+        """Advance ``processor``'s clock by an already-priced cost.
+
+        ``execution`` (when the caller has one) is only read for
+        observability: its :class:`~repro.core.stats.OpStats` ledger and
+        output counts become span attributes.
+        """
         start = processor.clock
         processor.clock = start + cpu + io + comm
         processor.cpu_time += cpu
         processor.io_time += io
         processor.comm_time += comm
         processor.tasks_run += 1
+        active = obs.current()
+        if active is not None:
+            self._trace_task(active, processor, label, start, cpu, io, comm,
+                             execution)
         return ScheduleEntry(
             label, processor.index, start, processor.clock, cpu, io, comm
         )
 
+    def _trace_task(self, active, processor, label, start, cpu, io, comm,
+                    execution):
+        """One simulated-clock span per charged task (obs installed)."""
+        attrs = {
+            "processor": processor.index,
+            "machine": processor.machine.name,
+            "cpu_s": cpu, "io_s": io, "comm_s": comm,
+        }
+        if execution is not None:
+            stats = execution.stats
+            attrs.update(
+                cells=execution.cells,
+                bytes_written=execution.bytes_written,
+                opstats_read_tuples=stats.read_tuples,
+                opstats_sort_units=stats.sort_units,
+                opstats_scan_tuples=stats.scan_tuples,
+                opstats_groups=stats.groups,
+                opstats_structure_units=stats.structure_units,
+                opstats_partition_moves=stats.partition_moves,
+                opstats_peak_items=stats.peak_items,
+            )
+        active.tracer.add_span(str(label), start, cpu + io + comm,
+                               tid="p%d" % processor.index, attrs=attrs)
+        active.registry.counter(
+            "repro_sim_tasks_total", "Simulated tasks charged, per node.",
+            ("processor",)).inc(processor=processor.index)
+
     def charge(self, processor, execution, include_task_overhead=True):
         """Advance ``processor``'s clock by the priced cost of one task."""
         cpu, io, comm = self.price(processor, execution, include_task_overhead)
-        return self.charge_priced(processor, execution.label, cpu, io, comm)
+        return self.charge_priced(processor, execution.label, cpu, io, comm,
+                                  execution=execution)
 
 
 def resolve_choice(pending, choice):
@@ -273,21 +319,29 @@ def run_static(cluster, assignments, execute, fault_plan=None):
     fault-tolerant scheduler: failed tasks retry with backoff and a
     crashed node's queue is redistributed round-robin over survivors.
     """
-    if fault_plan is not None:
-        from .faults import run_static_faulted
+    with obs.span("sim.run", mode="static") as span:
+        if fault_plan is not None:
+            from .faults import run_static_faulted
 
-        return run_static_faulted(cluster, assignments, execute, fault_plan)
-    schedule = []
-    for proc_index, task in assignments:
-        try:
-            processor = cluster.processors[proc_index]
-        except IndexError:
-            raise ClusterError(
-                "assignment to processor %d of %d" % (proc_index, len(cluster))
-            ) from None
-        execution = execute(processor, task)
-        schedule.append(cluster.charge(processor, execution))
-    return SimulationResult(cluster.processors, schedule)
+            result = run_static_faulted(cluster, assignments, execute,
+                                        fault_plan)
+        else:
+            schedule = []
+            for proc_index, task in assignments:
+                try:
+                    processor = cluster.processors[proc_index]
+                except IndexError:
+                    raise ClusterError(
+                        "assignment to processor %d of %d"
+                        % (proc_index, len(cluster))
+                    ) from None
+                execution = execute(processor, task)
+                schedule.append(cluster.charge(processor, execution))
+            result = SimulationResult(cluster.processors, schedule)
+        if span:
+            span.set(processors=len(cluster), tasks=len(result.schedule),
+                     makespan=result.makespan, faulted=fault_plan is not None)
+        return result
 
 
 def run_dynamic(cluster, tasks, select_task, execute, fault_plan=None):
@@ -303,18 +357,26 @@ def run_dynamic(cluster, tasks, select_task, execute, fault_plan=None):
     ``fault_plan`` the fault-tolerant scheduler re-queues failed and
     orphaned tasks for the surviving workers to pick up on demand.
     """
-    if fault_plan is not None:
-        from .faults import run_dynamic_faulted
+    with obs.span("sim.run", mode="dynamic") as span:
+        if fault_plan is not None:
+            from .faults import run_dynamic_faulted
 
-        return run_dynamic_faulted(cluster, tasks, select_task, execute, fault_plan)
-    pending = list(tasks)
-    schedule = []
-    overhead = cluster.cost_model.schedule_overhead_s
-    while pending:
-        processor = min(cluster.processors, key=lambda p: (p.clock, p.index))
-        task = take_pending(pending, select_task(processor, pending))
-        execution = execute(processor, task)
-        processor.clock += overhead
-        processor.comm_time += overhead
-        schedule.append(cluster.charge(processor, execution))
-    return SimulationResult(cluster.processors, schedule)
+            result = run_dynamic_faulted(cluster, tasks, select_task, execute,
+                                         fault_plan)
+        else:
+            pending = list(tasks)
+            schedule = []
+            overhead = cluster.cost_model.schedule_overhead_s
+            while pending:
+                processor = min(cluster.processors,
+                                key=lambda p: (p.clock, p.index))
+                task = take_pending(pending, select_task(processor, pending))
+                execution = execute(processor, task)
+                processor.clock += overhead
+                processor.comm_time += overhead
+                schedule.append(cluster.charge(processor, execution))
+            result = SimulationResult(cluster.processors, schedule)
+        if span:
+            span.set(processors=len(cluster), tasks=len(result.schedule),
+                     makespan=result.makespan, faulted=fault_plan is not None)
+        return result

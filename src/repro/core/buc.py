@@ -29,6 +29,7 @@ wall-clock work.  All kernels refine in ascending code order with
 stable within-group row order, so the produced cells are identical.
 """
 
+from .. import obs
 from ..errors import PlanError
 from ..lattice.processing_tree import ProcessingTree, SubtreeTask
 from .columnar import resolve_kernel
@@ -157,24 +158,33 @@ class BucEngine:
         """
         if not isinstance(task, SubtreeTask):
             raise PlanError("expected a SubtreeTask, got %r" % (task,))
-        groups = self._refine_to_root(task, cache=cache)
-        root_cuboid = task.root
-        children = task.active_children(self.tree)
-        if breadth_first:
-            if root_cuboid:
-                self.writer.write_block(
-                    root_cuboid, [(cell, count, total) for cell, _s, _e, count, total in groups]
-                )
-            self._breadth_first(self.kernel.level_from_groups(groups), children)
-        else:
-            if root_cuboid:
-                for cell, s, e, count, total in groups:
-                    self.writer.write_cell(root_cuboid, cell, count, total)
-                    self._depth_first(root_cuboid, cell, s, e, children_override=children)
+        with obs.span("buc.task") as span:
+            if span:
+                span.set(root="/".join(task.root) if task.root else "(all)",
+                         breadth_first=breadth_first)
+            groups = self._refine_to_root(task, cache=cache)
+            root_cuboid = task.root
+            children = task.active_children(self.tree)
+            if breadth_first:
+                if root_cuboid:
+                    self.writer.write_block(
+                        root_cuboid,
+                        [(cell, count, total)
+                         for cell, _s, _e, count, total in groups]
+                    )
+                self._breadth_first(self.kernel.level_from_groups(groups),
+                                    children)
             else:
-                # Depth-first from the (unwritten) all node.
-                for _cell, s, e, _count, _total in groups:
-                    self._depth_first((), (), s, e, children_override=children)
+                if root_cuboid:
+                    for cell, s, e, count, total in groups:
+                        self.writer.write_cell(root_cuboid, cell, count, total)
+                        self._depth_first(root_cuboid, cell, s, e,
+                                          children_override=children)
+                else:
+                    # Depth-first from the (unwritten) all node.
+                    for _cell, s, e, _count, _total in groups:
+                        self._depth_first((), (), s, e,
+                                          children_override=children)
 
     def _depth_first(self, node, cell, start, end, children_override=None):
         """Classic BUC recursion: write each qualifying cell, then descend."""
@@ -203,12 +213,15 @@ class BucEngine:
         for child in children:
             position = self._dim_pos[child[-1]]
             grandchildren = self.tree.children(child)
-            refined = self.kernel.refine_level(
-                level, position, self.stats, self.threshold,
-                need_rows=bool(grandchildren),
-            )
-            cells, _starts, counts, sums = refined
-            self.writer.write_columns(child, cells, counts, sums)
+            with obs.span("buc.cuboid") as span:
+                refined = self.kernel.refine_level(
+                    level, position, self.stats, self.threshold,
+                    need_rows=bool(grandchildren),
+                )
+                cells, _starts, counts, sums = refined
+                self.writer.write_columns(child, cells, counts, sums)
+                if span:
+                    span.set(cuboid="/".join(child), cells=len(cells))
             if len(cells) and grandchildren:
                 self._breadth_first(refined, grandchildren)
 

@@ -1,0 +1,35 @@
+"""Small numeric helpers shared by every stats surface.
+
+:func:`percentile` is the single nearest-rank implementation used by
+:class:`~repro.serve.telemetry.ServerTelemetry` summaries and the
+:class:`~repro.obs.metrics.Histogram` sample summaries — one definition,
+so ``/stats`` and ``/metrics`` quote the same numbers for the same data.
+"""
+
+import math
+
+__all__ = ["percentile"]
+
+
+def percentile(sorted_values, p, default=0.0):
+    """Nearest-rank percentile of an ascending sequence.
+
+    ``p`` is a percentage in ``0..100`` (ints or floats both work); the
+    nearest-rank definition picks the smallest value with at least
+    ``p``% of the data at or below it, so the result is always an actual
+    observed value.  Edge cases are pinned down:
+
+    * empty input returns ``default`` (0.0 — a silent stats endpoint,
+      not a crash);
+    * ``p == 0`` returns the minimum, ``p == 100`` the maximum;
+    * a single element is every percentile of itself;
+    * ``p`` outside ``0..100`` raises ``ValueError`` (the seed helper
+      silently clamped, hiding caller bugs).
+    """
+    if not 0 <= p <= 100:
+        raise ValueError("percentile p must be in 0..100, got %r" % (p,))
+    n = len(sorted_values)
+    if n == 0:
+        return default
+    rank = math.ceil(n * p / 100.0)  # nearest-rank; 0 only when p == 0
+    return sorted_values[max(1, min(n, rank)) - 1]

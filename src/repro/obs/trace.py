@@ -1,0 +1,274 @@
+"""Structured tracing: nestable spans into a bounded in-memory buffer.
+
+A :class:`Tracer` records :class:`Span` intervals — named, attributed,
+nested via per-thread stacks so ids/parent-ids reconstruct the call
+tree — plus instant events, into a bounded ring buffer (oldest spans
+evicted, eviction counted).  Two clock domains coexist:
+
+* ``wall`` — real spans opened with :meth:`Tracer.span`, timed by an
+  injectable monotonic clock relative to the tracer's epoch;
+* ``sim`` — already-timed intervals (the cluster simulator's virtual
+  processor clocks) recorded whole with :meth:`Tracer.add_span`.
+
+:meth:`Tracer.chrome_trace` renders everything as Chrome
+``trace_event`` JSON — load the file in ``chrome://tracing`` or
+`Perfetto <https://ui.perfetto.dev>`_ and a whole cube build (or a
+fault-recovery episode) sits on one timeline, wall and simulated time
+side by side as two named processes.
+"""
+
+import itertools
+import json
+import threading
+import time
+
+__all__ = ["Span", "Tracer", "WALL_PID", "SIM_PID"]
+
+#: Chrome-trace process ids for the two clock domains.
+WALL_PID = 1
+SIM_PID = 2
+
+
+class Span:
+    """One traced interval (or instant event, when ``duration is None``).
+
+    Live spans are context managers::
+
+        with tracer.span("store.append", rows=n) as span:
+            ...
+            span.event("journal.commit")
+            span.set(leaves=len(out))
+
+    A span records itself into the tracer's buffer on exit; attributes
+    set after exit are not seen by exports already taken.
+    """
+
+    __slots__ = ("name", "span_id", "parent_id", "tid", "start", "duration",
+                 "attrs", "events", "clock", "_tracer")
+
+    def __init__(self, tracer, name, span_id, parent_id, tid, start,
+                 attrs=None, clock="wall", duration=None):
+        # The span takes ownership of ``attrs`` (no defensive copy):
+        # this runs per cuboid on the hot path.
+        self._tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.tid = tid
+        self.start = start
+        self.duration = duration
+        self.attrs = attrs if attrs is not None else {}
+        self.events = None  # lazily created; most spans have none
+        self.clock = clock
+
+    def set(self, **attrs):
+        """Attach (or overwrite) attributes on the span."""
+        self.attrs.update(attrs)
+        return self
+
+    def event(self, name, **attrs):
+        """Record a named instant inside this span (span-relative ts)."""
+        ts = self._tracer.now() if self.clock == "wall" else self.start
+        if self.events is None:
+            self.events = []
+        self.events.append((name, ts, attrs))
+        return self
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self._tracer._finish(self, error=exc_type is not None)
+        return False
+
+    def __repr__(self):
+        dur = "%.6fs" % self.duration if self.duration is not None else "?"
+        return "Span(%r, id=%d, parent=%r, %s, %s)" % (
+            self.name, self.span_id, self.parent_id, dur, self.clock)
+
+
+class Tracer:
+    """Span recorder with a bounded buffer and Chrome-trace export."""
+
+    def __init__(self, max_spans=20_000, clock=time.perf_counter):
+        if max_spans < 1:
+            raise ValueError("max_spans must be >= 1, got %r" % (max_spans,))
+        self.max_spans = int(max_spans)
+        self._clock = clock
+        self._epoch = clock()
+        self._lock = threading.Lock()
+        self._buffer = []
+        self._head = 0  # ring-buffer write position once full
+        self._ids = itertools.count(1)  # next() is atomic in CPython
+        #: spans evicted from the buffer (oldest-first) since creation
+        self.dropped = 0
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def now(self):
+        """Seconds since the tracer's epoch (the wall-span timebase)."""
+        return self._clock() - self._epoch
+
+    def _stack(self):
+        # One (stack, thread-name) pair per thread, created on first use;
+        # the try/except is cheaper than getattr-with-default on the hit
+        # path, and this runs per span.
+        local = self._local
+        try:
+            return local.stack
+        except AttributeError:
+            local.stack = []
+            local.tid = threading.current_thread().name
+            return local.stack
+
+    def _new_id(self):
+        return next(self._ids)
+
+    def current_span(self):
+        """The innermost open span on this thread, or ``None``."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def span(self, name, **attrs):
+        """Open a nested wall-clock span on the calling thread."""
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        span = Span(
+            self, name, next(self._ids),
+            parent.span_id if parent is not None else None,
+            self._local.tid, self._clock() - self._epoch, attrs,
+        )
+        stack.append(span)
+        return span
+
+    def event(self, name, **attrs):
+        """An instant event: on the current span, else standalone."""
+        current = self.current_span()
+        if current is not None:
+            current.event(name, **attrs)
+            return
+        span = Span(self, name, next(self._ids), None,
+                    self._local.tid, self.now(), attrs)
+        self._record(span)  # duration None -> rendered as an instant
+
+    def add_span(self, name, start, duration, tid="sim", parent_id=None,
+                 attrs=None, clock="sim"):
+        """Record an already-timed interval (e.g. simulated time).
+
+        ``start``/``duration`` are seconds on the caller's clock;
+        ``clock="sim"`` renders under the simulated-cluster process in
+        the Chrome export, keeping virtual and wall timelines apart.
+        """
+        span = Span(self, name, self._new_id(), parent_id, tid,
+                    float(start), attrs, clock=clock,
+                    duration=float(duration))
+        self._record(span)
+        return span
+
+    def _finish(self, span, error=False):
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # pragma: no cover - exotic exit order
+            stack.remove(span)
+        span.duration = max(0.0, self.now() - span.start)
+        if error:
+            span.attrs.setdefault("error", True)
+        self._record(span)
+
+    def _record(self, span):
+        with self._lock:
+            if len(self._buffer) < self.max_spans:
+                self._buffer.append(span)
+            else:
+                self._buffer[self._head] = span
+                self._head = (self._head + 1) % self.max_spans
+                self.dropped += 1
+
+    # ------------------------------------------------------------------
+    # reading and export
+    # ------------------------------------------------------------------
+    def spans(self, name=None):
+        """Snapshot of recorded spans, oldest first."""
+        with self._lock:
+            ordered = self._buffer[self._head:] + self._buffer[:self._head]
+        if name is not None:
+            ordered = [s for s in ordered if s.name == name]
+        return ordered
+
+    def __len__(self):
+        with self._lock:
+            return len(self._buffer)
+
+    def chrome_trace(self):
+        """The buffer as a Chrome ``trace_event`` JSON object.
+
+        Wall spans land under process "wall clock", simulated spans
+        under "simulated cluster"; per-domain threads keep their
+        recorded names.  ``ts``/``dur`` are microseconds, as the format
+        requires.
+        """
+        events = []
+        tids = {}  # (pid, tid_label) -> numeric tid
+
+        def tid_for(pid, label):
+            key = (pid, str(label))
+            if key not in tids:
+                tids[key] = len(tids) + 1
+                events.append({
+                    "name": "thread_name", "ph": "M", "pid": pid,
+                    "tid": tids[key], "args": {"name": str(label)},
+                })
+            return tids[key]
+
+        for pid, label in ((WALL_PID, "wall clock"),
+                           (SIM_PID, "simulated cluster")):
+            events.append({"name": "process_name", "ph": "M", "pid": pid,
+                           "args": {"name": label}})
+        for span in self.spans():
+            pid = SIM_PID if span.clock == "sim" else WALL_PID
+            tid = tid_for(pid, span.tid)
+            ts = span.start * 1e6
+            args = {key: _jsonable(value)
+                    for key, value in span.attrs.items()}
+            if span.parent_id is not None:
+                args["parent_span_id"] = span.parent_id
+            args["span_id"] = span.span_id
+            if span.duration is None:
+                events.append({"name": span.name, "ph": "i", "s": "t",
+                               "pid": pid, "tid": tid, "ts": ts,
+                               "args": args})
+            else:
+                events.append({"name": span.name, "ph": "X", "pid": pid,
+                               "tid": tid, "ts": ts,
+                               "dur": span.duration * 1e6, "args": args})
+            for name, ts_event, attrs in span.events or ():
+                events.append({
+                    "name": name, "ph": "i", "s": "t", "pid": pid,
+                    "tid": tid, "ts": ts_event * 1e6,
+                    "args": {key: _jsonable(value)
+                             for key, value in attrs.items()},
+                })
+        return {"traceEvents": events, "displayTimeUnit": "ms",
+                "otherData": {"dropped_spans": self.dropped}}
+
+    def export_chrome(self, path):
+        """Write :meth:`chrome_trace` to ``path``; returns the dict."""
+        trace = self.chrome_trace()
+        with open(path, "w") as handle:
+            json.dump(trace, handle, indent=1)
+            handle.write("\n")
+        return trace
+
+
+def _jsonable(value):
+    """Coerce an attribute to something ``json.dump`` accepts."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return repr(value)

@@ -45,6 +45,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import get_context
 
+from .. import obs
 from ..core.buc import BucEngine, PrefixCache
 from ..core.columnar import ColumnarFrame, kernel_from_frame
 from ..core.result import CubeResult
@@ -201,6 +202,7 @@ def _supervised_map(jobs, workers, frame, threshold, kernel, fault_plan,
     pending = dict(enumerate(jobs))
     attempts = dict.fromkeys(pending, 0)
     results = {}
+    active = obs.current()
     while pending:
         executor = ProcessPoolExecutor(
             max_workers=min(workers, len(pending)),
@@ -214,6 +216,7 @@ def _supervised_map(jobs, workers, frame, threshold, kernel, fault_plan,
                 executor.submit(_run_batch, (bid, attempts[bid], tasks)): bid
                 for bid, tasks in sorted(pending.items())
             }
+            round_start = active.tracer.now() if active is not None else 0.0
             not_done = set(futures)
             while not_done and not broken:
                 done, not_done = wait(not_done, timeout=batch_timeout,
@@ -232,6 +235,18 @@ def _supervised_map(jobs, workers, frame, threshold, kernel, fault_plan,
                         continue
                     results[bid] = items
                     del pending[bid]
+                    if active is not None:
+                        # Dispatch-to-completion on the supervisor's
+                        # clock (batches run concurrently in workers).
+                        active.tracer.add_span(
+                            "local.batch", round_start,
+                            active.tracer.now() - round_start, tid="pool",
+                            attrs={"batch": bid, "attempt": attempts[bid],
+                                   "cuboids": len(items)}, clock="wall")
+                        active.registry.counter(
+                            "repro_local_batches_total",
+                            "Supervised local-backend batches completed.",
+                        ).inc()
         finally:
             if broken or stalled:
                 _abandon_pool(executor)
@@ -246,12 +261,24 @@ def _supervised_map(jobs, workers, frame, threshold, kernel, fault_plan,
             log.worker_crashes += 1
         if stalled:
             log.stalls += 1
+        obs.event("local.respawn", cause="crash" if broken else "stall",
+                  unfinished=len(pending))
+        if active is not None:
+            active.registry.counter(
+                "repro_local_respawns_total",
+                "Pool teardown + respawn cycles.", ("cause",)
+            ).inc(cause="crash" if broken else "stall")
         worst = None
         for bid in pending:
             attempts[bid] += 1
             log.retries += 1
             if worst is None or attempts[bid] > attempts[worst]:
                 worst = bid
+        if active is not None:
+            active.registry.counter(
+                "repro_local_retries_total",
+                "Batch re-executions after a crash or stall.",
+            ).inc(len(pending))
         if attempts[worst] > max_retries:
             raise WorkerCrashError(
                 worst, attempts[worst],
@@ -312,49 +339,59 @@ def multiprocess_iceberg_cube(relation, dims=None, minsup=1, workers=None,
     if max_retries < 0:
         raise PlanError("max_retries must be >= 0, got %r" % (max_retries,))
 
-    frame = ColumnarFrame.from_relation(relation, dims)
-    tree = ProcessingTree(dims)
-    result = CubeResult(dims)
-    result.recovery = None
+    with obs.span("local.cube") as span:
+        if span:
+            span.set(rows=len(relation), dims=len(dims), workers=workers,
+                     batch_size=batch_size, kernel=str(kernel))
+        frame = ColumnarFrame.from_relation(relation, dims)
+        tree = ProcessingTree(dims)
+        result = CubeResult(dims)
+        result.recovery = None
 
-    if workers == 1 and fault_plan is None:
-        # Inline: sequential BUC over the columnar kernel, no pool.
-        _init_worker(frame, threshold, kernel)
-        batches = {
-            bid: _run_batch((bid, 0, [task]))[1]
-            for bid, task in enumerate(binary_divide(tree, 1))
-        }
-    else:
-        tasks = binary_divide(tree, workers * TASKS_PER_WORKER)
-        # Largest subtrees first: stragglers surface early and the
-        # demand scheduler back-fills with the small tail tasks.
-        tasks.sort(key=lambda t: t.size(tree), reverse=True)
-        jobs = _batched(tasks, batch_size)
-        log = SupervisorLog()
-        batches = _supervised_map(
-            jobs, workers, frame, threshold, kernel, fault_plan,
-            batch_timeout, max_retries, backoff_s, log,
-        )
-        result.recovery = log
+        if workers == 1 and fault_plan is None:
+            # Inline: sequential BUC over the columnar kernel, no pool.
+            _init_worker(frame, threshold, kernel)
+            batches = {
+                bid: _run_batch((bid, 0, [task]))[1]
+                for bid, task in enumerate(binary_divide(tree, 1))
+            }
+        else:
+            tasks = binary_divide(tree, workers * TASKS_PER_WORKER)
+            # Largest subtrees first: stragglers surface early and the
+            # demand scheduler back-fills with the small tail tasks.
+            tasks.sort(key=lambda t: t.size(tree), reverse=True)
+            jobs = _batched(tasks, batch_size)
+            log = SupervisorLog()
+            batches = _supervised_map(
+                jobs, workers, frame, threshold, kernel, fault_plan,
+                batch_timeout, max_retries, backoff_s, log,
+            )
+            result.recovery = log
+            if span:
+                span.set(retries=log.retries, respawns=log.respawns,
+                         crashes=log.worker_crashes, stalls=log.stalls)
 
-    for bid in sorted(batches):
-        for cuboid, cells in batches[bid]:
-            # Tree division partitions the cuboids, so across-task
-            # collisions only happen at shared roots of chopped tasks;
-            # accumulate to stay correct either way.
-            mine = result.cuboids.get(cuboid)
-            if mine is None:
-                result.cuboids[cuboid] = cells
-            else:
-                for cell, (count, value) in cells.items():
-                    existing = mine.get(cell)
-                    if existing is None:
-                        mine[cell] = (count, value)
-                    else:
-                        mine[cell] = (existing[0] + count, existing[1] + value)
+        for bid in sorted(batches):
+            for cuboid, cells in batches[bid]:
+                # Tree division partitions the cuboids, so across-task
+                # collisions only happen at shared roots of chopped
+                # tasks; accumulate to stay correct either way.
+                mine = result.cuboids.get(cuboid)
+                if mine is None:
+                    result.cuboids[cuboid] = cells
+                else:
+                    for cell, (count, value) in cells.items():
+                        existing = mine.get(cell)
+                        if existing is None:
+                            mine[cell] = (count, value)
+                        else:
+                            mine[cell] = (existing[0] + count,
+                                          existing[1] + value)
 
-    count = frame.n_rows
-    total = sum(frame.measures)
-    if threshold.qualifies(count, total):
-        result.add_cell((), (), count, total)
-    return result
+        count = frame.n_rows
+        total = sum(frame.measures)
+        if threshold.qualifies(count, total):
+            result.add_cell((), (), count, total)
+        if span:
+            span.set(cells=result.total_cells())
+        return result

@@ -17,11 +17,16 @@ a site-wide stall.  Three small, thread-safe primitives give
 
 Every class takes an injectable monotonic ``clock`` so tests can drive
 state transitions without sleeping.
+
+With :func:`repro.obs.install` active, degradation turns visible on the
+trace timeline: every shed admission and every circuit-breaker state
+transition is recorded as an instant event.
 """
 
 import threading
 import time
 
+from .. import obs
 from ..errors import DeadlineExceededError, PlanError, ServerOverloadedError
 
 __all__ = ["Deadline", "AdmissionGate", "CircuitBreaker"]
@@ -90,8 +95,11 @@ class AdmissionGate:
         with self._lock:
             if self.pending >= self.limit:
                 self.shed += 1
+                pending = self.pending
+                obs.event("admission.shed", pending=pending,
+                          limit=self.limit)
                 raise ServerOverloadedError(
-                    reason, pending=self.pending, limit=self.limit
+                    reason, pending=pending, limit=self.limit
                 )
             self.pending += 1
             self.admitted += 1
@@ -163,6 +171,7 @@ class CircuitBreaker:
                 and self._clock() - self._opened_at >= self.reset_after_s):
             self._state = "half_open"
             self._probes_in_flight = 0
+            obs.event("breaker.half_open")
 
     def _trip_locked(self):
         self._state = "open"
@@ -170,6 +179,7 @@ class CircuitBreaker:
         self._consecutive_failures = 0
         self._probes_in_flight = 0
         self.trips += 1
+        obs.event("breaker.open", trips=self.trips)
 
     # -- public --------------------------------------------------------
     @property
@@ -194,6 +204,8 @@ class CircuitBreaker:
     def record_success(self):
         with self._lock:
             self._tick_locked()
+            if self._state != "closed":
+                obs.event("breaker.closed")
             self._state = "closed"
             self._consecutive_failures = 0
             self._probes_in_flight = 0

@@ -34,8 +34,16 @@ stdlib ``http.server``) for point, roll-up and drill-down queries::
     GET /query?cuboid=A&deadline_ms=50    # per-query deadline
     GET /point?cuboid=A,B&cell=3,1        # one cell, O(log n) lookup
     GET /stats                            # cache + latency + resilience
+    GET /metrics                          # Prometheus text exposition
     GET /cuboids                          # dims and stored leaves
     GET /healthz                          # liveness + degradation state
+
+``/metrics`` serves the server's :class:`~repro.obs.metrics
+.MetricsRegistry` (request counters, latency histograms, degradation
+events) in text exposition format; the counters are incremented by the
+same telemetry calls that feed ``/stats``, so the two endpoints always
+agree.  With :func:`repro.obs.install` active, each query additionally
+records a ``serve.query`` span (cache→store→compute stages as events).
 
 Errors are always structured JSON — ``400`` for malformed queries,
 ``404`` for unknown paths, ``413`` for oversized requests, ``429`` when
@@ -51,6 +59,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from time import perf_counter
 from urllib.parse import parse_qs, urlsplit
 
+from .. import obs
 from ..core.thresholds import AndThreshold, CountThreshold, SumThreshold, as_threshold
 from ..errors import (
     DeadlineExceededError,
@@ -80,7 +89,7 @@ class CubeServer:
 
     def __init__(self, store, relation=None, cache_size=256, max_workers=8,
                  fallback_workers=1, max_pending=None, default_deadline_s=None,
-                 breaker=None):
+                 breaker=None, registry=None):
         """``relation`` enables the compute fallback (and ``append``
         equivalence checks); without it, uncovered cuboids raise.
 
@@ -90,12 +99,15 @@ class CubeServer:
         own deadline (``None``: no deadline).  ``breaker`` guards the
         recompute fallback (default: a
         :class:`~repro.serve.resilience.CircuitBreaker` tripping after 5
-        consecutive failures, 5 s cool-down).
+        consecutive failures, 5 s cool-down).  ``registry`` is the
+        metrics registry behind ``GET /metrics`` (default: the installed
+        :mod:`repro.obs` registry, else a private one).
         """
         self.store = store
         self.relation = relation
         self.cache = QueryCache(cache_size)
-        self.telemetry = ServerTelemetry()
+        self.telemetry = ServerTelemetry(registry=registry)
+        self.registry = self.telemetry.registry
         self.fallback_workers = fallback_workers
         self.default_deadline_s = default_deadline_s
         if max_pending is None:
@@ -126,11 +138,18 @@ class CubeServer:
         """
         start = perf_counter()
         deadline = self._deadline(deadline_s)
-        try:
-            return self._query(cuboid, minsup, deadline, start)
-        except DeadlineExceededError:
-            self.telemetry.bump("deadline_exceeded")
-            raise
+        with obs.span("serve.query") as span:
+            try:
+                answer = self._query(cuboid, minsup, deadline, start)
+            except DeadlineExceededError:
+                self.telemetry.bump("deadline_exceeded")
+                if span:
+                    span.set(cuboid=list(cuboid), outcome="deadline_exceeded")
+                raise
+            if span:
+                span.set(cuboid=list(answer.cuboid), source=answer.source,
+                         cells=len(answer.cells))
+            return answer
 
     def _query(self, cuboid, minsup, deadline, start):
         threshold = as_threshold(minsup)
@@ -149,12 +168,14 @@ class CubeServer:
         else:
             if deadline is not None:
                 deadline.check("store scan")
+            obs.event("serve.cache_miss")
             try:
                 cells = self.store.query(canonical, minsup=threshold)
                 source = "store"
             except (PlanError, SchemaError):
                 if self.relation is None:
                     raise
+                obs.event("serve.compute_fallback")
                 cells = self._compute_guarded(canonical, threshold, deadline)
                 source = "compute"
             self.cache.put(canonical, threshold, generation, cells)
@@ -204,7 +225,13 @@ class CubeServer:
     def _admit(self, fn, *args, **kwargs):
         if self._closed:
             raise PlanError("server is closed")
-        self.gate.acquire()
+        try:
+            self.gate.acquire()
+        except ServerOverloadedError:
+            # Same counter feeds /stats events and /metrics, so the two
+            # endpoints agree on shed counts by construction.
+            self.telemetry.bump("shed")
+            raise
         try:
             future = self._pool.submit(fn, *args, **kwargs)
         except BaseException:
@@ -486,6 +513,8 @@ class _CubeRequestHandler(BaseHTTPRequestHandler):
             self._reply(200, _answer_payload(future.result()))
         elif split.path == "/stats":
             self._reply(200, server.stats())
+        elif split.path == "/metrics":
+            self._reply_text(200, server.registry.to_prometheus())
         elif split.path == "/cuboids":
             self._reply(200, {
                 "dims": list(server.store.dims),
@@ -521,9 +550,15 @@ class _CubeRequestHandler(BaseHTTPRequestHandler):
         return True
 
     def _reply(self, status, payload):
-        body = json.dumps(payload).encode()
+        self._send(status, json.dumps(payload).encode(), "application/json")
+
+    def _reply_text(self, status, text):
+        self._send(status, text.encode(),
+                   "text/plain; version=0.0.4; charset=utf-8")
+
+    def _send(self, status, body, content_type):
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)

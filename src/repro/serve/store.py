@@ -52,6 +52,7 @@ import os
 import threading
 from bisect import bisect_left
 
+from .. import obs
 from ..core.export import MANIFEST, atomic_write
 from ..core.thresholds import as_threshold
 from ..errors import PlanError, SchemaError, StoreCorruptError
@@ -238,16 +239,21 @@ class CubeStore:
         entries = {}
         loaded = {}
         for leaf in materialization.leaves:
-            items = list(materialization._items(leaf))
-            filename = _leaf_filename(leaf)
-            data, index = _encode_leaf(leaf, items)
-            atomic_write(
-                os.path.join(directory, filename),
-                lambda handle, data=data: handle.write(data),
-                binary=True,
-            )
-            entries[leaf] = _leaf_entry(leaf, filename, data, index, len(items))
-            loaded[leaf] = items
+            with obs.span("store.write_leaf") as span:
+                items = list(materialization._items(leaf))
+                filename = _leaf_filename(leaf)
+                data, index = _encode_leaf(leaf, items)
+                atomic_write(
+                    os.path.join(directory, filename),
+                    lambda handle, data=data: handle.write(data),
+                    binary=True,
+                )
+                entries[leaf] = _leaf_entry(leaf, filename, data, index,
+                                            len(items))
+                loaded[leaf] = items
+                if span:
+                    span.set(leaf="/".join(leaf), cells=len(items),
+                             bytes=len(data))
         manifest = cls._manifest_dict(
             materialization.dims, materialization.leaves, entries,
             generation=1,
@@ -299,6 +305,12 @@ class CubeStore:
         if verify != "off":
             store._sweep_orphans(recovery)
             store._verify_leaves(verify, salvage, recovery)
+        if (recovery["rolled_forward"] or recovery["orphans_removed"]
+                or recovery["salvaged"]):
+            obs.event("store.recovered",
+                      rolled_forward=recovery["rolled_forward"],
+                      orphans_removed=len(recovery["orphans_removed"]),
+                      salvaged=len(recovery["salvaged"]))
         return store
 
     # ------------------------------------------------------------------
@@ -415,7 +427,8 @@ class CubeStore:
             raise StoreCorruptError(leaf, reason, self.directory)
         with self._lock:
             for leaf, _reason in damaged:
-                self._rebuild_leaf(leaf)
+                with obs.span("store.salvage", leaf=list(leaf)):
+                    self._rebuild_leaf(leaf)
                 recovery["salvaged"].append(leaf)
             self._write_manifest()
 
@@ -634,6 +647,13 @@ class CubeStore:
         or the new generation.
         """
         self._check_open()
+        with obs.span("store.append", rows=len(relation)) as span:
+            self._append(relation)
+            if span:
+                span.set(generation=self.generation,
+                         leaves=len(self.leaves))
+
+    def _append(self, relation):
         positions = relation.dim_indices(self.dims)
         keyed = [
             (tuple(row[p] for p in positions), measure)
@@ -688,6 +708,8 @@ class CubeStore:
                 lambda handle: json.dump(journal, handle, indent=2,
                                          sort_keys=True),
             )
+            obs.event("store.journal_commit",
+                      generation=manifest["generation"])
             # Phase 2: swing the leaves, rewrite the manifest, drop the
             # journal.  Any crash in here is rolled forward on open.
             for _leaf, entry, _data, _merged in staged:

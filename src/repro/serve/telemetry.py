@@ -7,12 +7,26 @@ how long it took.  :class:`ServerTelemetry` aggregates the records into
 the numbers an operator actually watches: per-source counts, mean and
 percentile latencies.
 
+The counters live on a :class:`~repro.obs.metrics.MetricsRegistry` —
+``repro_server_requests_total{source=...}`` and
+``repro_server_events_total{event=...}`` are incremented by the same
+calls that feed :meth:`summary`, so the JSON ``/stats`` endpoint and
+the Prometheus ``/metrics`` exposition can never disagree.  Latencies
+additionally feed ``repro_server_latency_seconds{source=...}``
+histograms.
+
 Everything here is thread-safe: the server's worker threads record
 concurrently while a stats endpoint reads.
 """
 
 import threading
 from collections import namedtuple
+
+from .. import obs
+from ..obs.metrics import MetricsRegistry
+from ..obs.stats import percentile
+
+__all__ = ["QueryRecord", "ServerTelemetry", "SOURCES", "percentile"]
 
 #: One answered query.  ``latency_s`` is real wall-clock seconds;
 #: ``source`` is "cache", "store" or "compute".
@@ -23,36 +37,54 @@ QueryRecord = namedtuple(
 SOURCES = ("cache", "store", "compute")
 
 
-def percentile(sorted_values, p):
-    """Nearest-rank percentile of an ascending list (``p`` in 0..100)."""
-    if not sorted_values:
-        return 0.0
-    rank = max(1, -(-len(sorted_values) * p // 100))  # ceil without floats
-    return sorted_values[min(len(sorted_values), rank) - 1]
-
-
 class ServerTelemetry:
-    """Thread-safe accumulator of :class:`QueryRecord` entries."""
+    """Thread-safe accumulator of :class:`QueryRecord` entries.
 
-    def __init__(self, keep_records=10_000):
+    ``registry`` is the metrics registry the counters live on; the
+    default is the installed :mod:`repro.obs` registry when
+    observability is on, else a private one (so ``/metrics`` always has
+    something to serve).
+    """
+
+    def __init__(self, keep_records=10_000, registry=None):
+        if registry is None:
+            active = obs.current()
+            registry = active.registry if active is not None \
+                else MetricsRegistry()
+        self.registry = registry
         self._lock = threading.Lock()
         self._records = []
         self._keep = int(keep_records)
         self._counts = {source: 0 for source in SOURCES}
         self._latency_totals = {source: 0.0 for source in SOURCES}
-        self._events = {}
+        self._requests = registry.counter(
+            "repro_server_requests_total",
+            "Queries answered, by source (cache/store/compute).",
+            ("source",))
+        self._events = registry.counter(
+            "repro_server_events_total",
+            "Degradation events (shed, deadline_exceeded, breaker_* ...).",
+            ("event",))
+        self._latency = registry.histogram(
+            "repro_server_latency_seconds",
+            "Query latency by answer source.",
+            ("source",))
 
     def bump(self, event, n=1):
         """Count one degradation event (``shed``, ``deadline_exceeded``,
         ``breaker_open`` ...) — free-form names, surfaced in
-        :meth:`summary` under ``events``."""
-        with self._lock:
-            self._events[event] = self._events.get(event, 0) + n
+        :meth:`summary` under ``events`` and on the registry as
+        ``repro_server_events_total{event=...}``."""
+        self._events.inc(n, event=event)
 
     def event_counts(self):
-        """A snapshot of the degradation-event counters."""
-        with self._lock:
-            return dict(self._events)
+        """A snapshot of the degradation-event counters.
+
+        Read straight off the metrics registry — this *is* the
+        ``/metrics`` number.
+        """
+        return {key[0]: int(value)
+                for key, value in self._events.series().items()}
 
     def record(self, cuboid, threshold, source, latency_s):
         """Record one answered query."""
@@ -64,6 +96,8 @@ class ServerTelemetry:
             self._latency_totals[source] += entry.latency_s
             if len(self._records) < self._keep:
                 self._records.append(entry)
+        self._requests.inc(source=source)
+        self._latency.observe(entry.latency_s, source=source)
 
     def __len__(self):
         with self._lock:

@@ -1,0 +1,142 @@
+"""Observability smoke test (CI job, not pytest).
+
+Two legs, both against the real user surface:
+
+1. **CLI trace** — run ``repro-cube cube --trace-out`` on a weather
+   workload and validate the Chrome ``trace_event`` JSON: parseable,
+   both clock-domain processes declared, one simulated span per
+   scheduled task, every task span carrying ``OpStats`` attributes.
+2. **Live scrape under load** — build a store, serve it, flood it with
+   200 concurrent HTTP queries while scraping ``/metrics``, then assert
+   the Prometheus request counters agree exactly with ``/stats``
+   telemetry and with the number of requests actually sent.
+
+Run:  PYTHONPATH=src python tests/smoke_obs.py
+"""
+
+import io
+import json
+import sys
+import tempfile
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.cli import main as cli_main
+
+N_QUERIES = 200
+N_THREADS = 16
+
+
+def check(condition, message):
+    if not condition:
+        print("FAIL: %s" % message)
+        sys.exit(1)
+    print("ok: %s" % message)
+
+
+def cli_trace_leg(tmp):
+    trace_path = "%s/trace.json" % tmp
+    out = io.StringIO()
+    code = cli_main([
+        "cube", "--weather", "3000", "--dims", "5", "--minsup", "4",
+        "--algorithm", "pt", "--processors", "4",
+        "--trace-out", trace_path, "--metrics",
+    ], out=out)
+    check(code == 0, "cube --trace-out exits 0")
+    text = out.getvalue()
+    check("trace written" in text, "CLI reports the trace file")
+    check("# TYPE repro_sim_tasks_total counter" in text,
+          "--metrics prints Prometheus exposition")
+
+    with open(trace_path) as handle:
+        trace = json.load(handle)
+    events = trace["traceEvents"]
+    process_names = {e["args"]["name"] for e in events
+                     if e["ph"] == "M" and e["name"] == "process_name"}
+    check({"wall clock", "simulated cluster"} <= process_names,
+          "both clock domains declared in the trace")
+
+    sim_tasks = [e for e in events if e["ph"] == "X"
+                 and "opstats_read_tuples" in e.get("args", {})]
+    check(len(sim_tasks) > 0, "simulated task spans present")
+    counted = sum(
+        int(line.rsplit(" ", 1)[1]) for line in text.splitlines()
+        if line.startswith("repro_sim_tasks_total{"))
+    check(len(sim_tasks) == counted,
+          "trace task spans (%d) == repro_sim_tasks_total (%d)"
+          % (len(sim_tasks), counted))
+    for event in sim_tasks:
+        args = event["args"]
+        check(event["dur"] >= 0 and event["ts"] >= 0,
+              "span %s has sane ts/dur" % event["name"])
+        check("cpu_s" in args and "machine" in args,
+              "span %s carries cost-model attributes" % event["name"])
+        break  # spot-check one; the loop body guards the schema
+
+
+def scrape_leg(tmp):
+    from repro.data.synthetic import zipf_relation
+    from repro.serve import CubeServer, CubeStore
+
+    relation = zipf_relation(2_000, [9, 7, 5, 4], skew=1.0, seed=11)
+    store = CubeStore.build(relation, "%s/store" % tmp, backend="local")
+    server = CubeServer(store, cache_size=64, max_workers=N_THREADS)
+    endpoint = server.serve_http(host="127.0.0.1", port=0)
+    dims = store.dims
+
+    def fire(i):
+        cuboid = dims[i % len(dims)] if i % 3 else ",".join(dims[:2])
+        url = "%s/query?cuboid=%s&minsup=%d" % (
+            endpoint.url, cuboid, 1 + i % 2)
+        with urllib.request.urlopen(url) as response:
+            payload = json.loads(response.read())
+        if i % 17 == 0:  # scrape concurrently with the flood
+            with urllib.request.urlopen(endpoint.url + "/metrics") as resp:
+                resp.read()
+        return "error" not in payload
+
+    try:
+        with ThreadPoolExecutor(max_workers=N_THREADS) as pool:
+            answers = list(pool.map(fire, range(N_QUERIES)))
+        check(all(answers), "all %d flood queries answered" % N_QUERIES)
+        with urllib.request.urlopen(endpoint.url + "/metrics") as response:
+            content_type = response.headers["Content-Type"]
+            metrics_text = response.read().decode()
+        with urllib.request.urlopen(endpoint.url + "/stats") as response:
+            stats = json.loads(response.read())
+    finally:
+        server.close()
+        store.close()
+
+    check(content_type.startswith("text/plain"),
+          "/metrics served as text/plain")
+    check("# TYPE repro_server_requests_total counter" in metrics_text,
+          "request counter family declared")
+    served = sum(
+        int(float(line.rsplit(" ", 1)[1]))
+        for line in metrics_text.splitlines()
+        if line.startswith("repro_server_requests_total{"))
+    telemetry_total = stats["telemetry"]["queries"]
+    check(served == telemetry_total == N_QUERIES,
+          "/metrics (%d) == /stats (%d) == queries sent (%d)"
+          % (served, telemetry_total, N_QUERIES))
+    by_source = {
+        line.split('"')[1]: int(float(line.rsplit(" ", 1)[1]))
+        for line in metrics_text.splitlines()
+        if line.startswith("repro_server_requests_total{")}
+    for source, entry in stats["telemetry"]["by_source"].items():
+        check(by_source.get(source, 0) == entry["count"],
+              "per-source agreement for %r (%d)"
+              % (source, entry["count"]))
+
+
+def main():
+    with tempfile.TemporaryDirectory() as tmp:
+        cli_trace_leg(tmp)
+        scrape_leg(tmp)
+    print("OBS SMOKE PASSED")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
