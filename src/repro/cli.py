@@ -14,8 +14,14 @@ Six subcommands cover the library's everyday uses:
   them) and print the thesis-style table;
 * ``store``   — ``store build`` precomputes the leaf cuboids into a
   persistent on-disk :class:`~repro.serve.store.CubeStore`;
+  ``--shards N`` splits the leaves across N shard stores
+  (``DIR/shard-0`` .. ``DIR/shard-N-1``) by stable covering-leaf hash;
 * ``serve``   — serve iceberg queries from a built store over HTTP
-  (cache + telemetry included).
+  (cache + telemetry included); ``--shard i/N`` declares which shard
+  this replica serves (refused if the store disagrees);
+* ``router``  — front N shards x R replicas as one logical cube:
+  failover across replicas, generation-pinned fan-out, structured 503
+  when a whole shard is down.
 
 Examples::
 
@@ -26,7 +32,11 @@ Examples::
     repro-cube query --csv sales.csv --group-by city,item --min-sum 1000
     repro-cube bench fig_4_2_scalability
     repro-cube store build --weather 20000 --dims 6 --out /tmp/cube-store
+    repro-cube store build --weather 20000 --dims 6 --out /tmp/cluster --shards 3
     repro-cube serve --store /tmp/cube-store --port 8642
+    repro-cube serve --store /tmp/cluster/shard-0 --shard 0/3 --port 9001
+    repro-cube router --shard http://h1:9001,http://h2:9001 \
+        --shard http://h3:9002,http://h4:9002 --port 8642
 
 ``cube``, ``store build`` and ``serve`` all accept ``--trace-out FILE``
 (write a Chrome ``trace_event`` JSON of the run, viewable in
@@ -143,6 +153,11 @@ def build_parser():
                             "cluster model")
     build.add_argument("--processors", type=int, default=8)
     build.add_argument("--cluster", default="cluster1", choices=sorted(CLUSTERS))
+    build.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="split the leaf cuboids across N shard stores "
+                            "(written under OUT/shard-0 .. OUT/shard-N-1, "
+                            "placement by stable covering-leaf hash) instead "
+                            "of one monolithic store")
     _add_obs_options(build)
 
     serve = sub.add_parser("serve",
@@ -178,7 +193,43 @@ def build_parser():
     serve.add_argument("--self-test", type=int, metavar="N", default=None,
                        help="fire N HTTP queries at the served store, print "
                             "the stats and exit (smoke mode)")
+    serve.add_argument("--shard", default=None, metavar="I/N",
+                       help="serve as shard I of an N-shard cluster; refused "
+                            "unless the store was built as exactly that shard "
+                            "(e.g. --shard 0/3)")
     _add_obs_options(serve)
+
+    router = sub.add_parser(
+        "router", help="front sharded replica servers as one logical cube")
+    router.add_argument("--shard", action="append", required=True,
+                        metavar="URL[,URL...]", dest="shards",
+                        help="one shard's replica base URLs, comma-separated; "
+                             "repeat the flag once per shard, in shard order")
+    router.add_argument("--host", default="127.0.0.1")
+    router.add_argument("--port", type=int, default=8642,
+                        help="TCP port (0 picks a free one; default 8642)")
+    router.add_argument("--timeout", type=float, default=10.0,
+                        metavar="SECONDS",
+                        help="per-replica request timeout (default 10)")
+    router.add_argument("--health-interval", type=float, default=2.0,
+                        metavar="SECONDS",
+                        help="background /healthz sweep period; 0 disables "
+                             "(default 2)")
+    router.add_argument("--breaker-failures", type=int, default=3, metavar="N",
+                        help="consecutive replica failures that trip its "
+                             "breaker open (default 3)")
+    router.add_argument("--breaker-reset", type=float, default=2.0,
+                        metavar="SECONDS",
+                        help="replica breaker cool-down before half-open "
+                             "probes (default 2)")
+    router.add_argument("--generation-attempts", type=int, default=4,
+                        metavar="N",
+                        help="fan-out rounds allowed to pin one store "
+                             "generation before answering 503 (default 4)")
+    router.add_argument("--self-test", type=int, metavar="N", default=None,
+                        help="fire N queries through the router, print its "
+                             "health and stats, and exit (smoke mode)")
+    _add_obs_options(router)
     return parser
 
 
@@ -469,6 +520,8 @@ def cmd_store(args, out):
     cluster = CLUSTERS[args.cluster](args.processors)
     active = _setup_obs(args)
     try:
+        if args.shards is not None:
+            return _cmd_store_sharded(args, relation, dims, cluster, out)
         store = CubeStore.build(relation, args.out, dims=dims,
                                 cluster_spec=cluster, backend=args.backend)
         print("built cube store : %s (%s backend)" % (args.out, args.backend),
@@ -484,6 +537,31 @@ def cmd_store(args, out):
         _finish_obs(args, active, out)
 
 
+def _cmd_store_sharded(args, relation, dims, cluster, out):
+    """Build one shard store per shard under ``OUT/shard-<i>``."""
+    import os
+
+    from .serve import CubeStore, ShardMap
+
+    if args.shards < 1:
+        raise ReproError("--shards must be >= 1, got %d" % args.shards)
+    shard_map = ShardMap(dims or relation.dims, args.shards)
+    print("sharded build    : %d shards over %d leaf cuboids (%s backend)"
+          % (args.shards, len(shard_map.leaves), args.backend), file=out)
+    for index in range(args.shards):
+        directory = os.path.join(args.out, "shard-%d" % index)
+        store = CubeStore.build(relation, directory, dims=dims,
+                                cluster_spec=cluster, backend=args.backend,
+                                shard=(index, args.shards))
+        print("  shard %d/%d      : %s — %d leaves, %d cells"
+              % (index, args.shards, directory, len(store.leaves),
+                 store.total_cells()), file=out)
+        store.close()
+    print("serve each shard : repro-cube serve --store %s/shard-I --shard I/%d"
+          % (args.out, args.shards), file=out)
+    return 0
+
+
 def cmd_serve(args, out):
     """Serve iceberg queries from a built store over HTTP."""
     active = _setup_obs(args)
@@ -497,6 +575,18 @@ def _cmd_serve(args, out):
     from .serve import CircuitBreaker, CubeServer, CubeStore
 
     store = CubeStore.open(args.store, verify=args.verify)
+    if args.shard is not None:
+        from .serve import ShardMap
+
+        try:
+            index, of = (int(part) for part in args.shard.split("/"))
+        except ValueError:
+            raise ReproError(
+                "--shard must look like I/N (e.g. 0/3), got %r" % args.shard
+            ) from None
+        ShardMap(store.dims, of).validate_store(store, index)
+        print("shard            : %d/%d (placement validated)" % (index, of),
+              file=out)
     recovery = getattr(store, "recovery", None)
     if recovery and (recovery.get("rolled_forward")
                      or recovery.get("orphans_removed")
@@ -542,7 +632,12 @@ def _serve_self_test(n_queries, endpoint, store, out):
     import json
     from urllib.request import urlopen
 
-    cuboids = [(dim,) for dim in store.dims] + [store.leaves[0]]
+    if getattr(store, "shard", None) is not None:
+        # A shard store answers only the cuboids whose covering leaf it
+        # holds; anything else belongs to a sibling shard.
+        cuboids = [c for c in store.owned_cuboids() if c]
+    else:
+        cuboids = [(dim,) for dim in store.dims] + [store.leaves[0]]
     answered = 0
     for i in range(max(1, n_queries)):
         cuboid = cuboids[i % len(cuboids)]
@@ -565,6 +660,73 @@ def _serve_self_test(n_queries, endpoint, store, out):
           file=out)
 
 
+def cmd_router(args, out):
+    """Front sharded replica servers as one logical cube over HTTP."""
+    active = _setup_obs(args)
+    try:
+        return _cmd_router(args, out)
+    finally:
+        _finish_obs(args, active, out)
+
+
+def _cmd_router(args, out):
+    from .serve import CircuitBreaker, CubeRouter
+
+    shard_replicas = []
+    for spec in args.shards:
+        urls = [u.strip() for u in spec.split(",") if u.strip()]
+        if not urls:
+            raise ReproError("--shard needs at least one replica URL, got %r"
+                             % spec)
+        shard_replicas.append(urls)
+    router = CubeRouter(
+        shard_replicas, timeout_s=args.timeout,
+        health_interval_s=args.health_interval,
+        generation_attempts=args.generation_attempts,
+        breaker_factory=lambda: CircuitBreaker(
+            failure_threshold=args.breaker_failures,
+            reset_after_s=args.breaker_reset))
+    endpoint = router.serve_http(host=args.host, port=args.port)
+    print("routing %d shard(s), replicas per shard: %s"
+          % (router.n_shards, [len(r) for r in router.shards]), file=out)
+    print("listening on %s (GET /query /point /cube /healthz /stats /metrics, "
+          "POST /append)" % endpoint.url, file=out)
+    try:
+        if args.self_test is not None:
+            _router_self_test(args.self_test, endpoint, router, out)
+        else:
+            endpoint.join()
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    finally:
+        router.close()
+    return 0
+
+
+def _router_self_test(n_queries, endpoint, router, out):
+    """Fire queries through the live router endpoint, print health/stats."""
+    import json
+    from urllib.request import urlopen
+
+    dims = router._ensure_map().dims
+    cuboids = [(dim,) for dim in dims] + [tuple(dims[-2:])]
+    answered = failovers = 0
+    for i in range(max(1, n_queries)):
+        cuboid = cuboids[i % len(cuboids)]
+        url = "%s/query?cuboid=%s&minsup=%d" % (
+            endpoint.url, ",".join(cuboid), 1 + (i % 2))
+        with urlopen(url) as response:
+            payload = json.loads(response.read())
+        answered += 1
+        failovers += payload.get("failovers", 0)
+    health = router.health()
+    print("self-test        : %d routed queries answered (%d failovers)"
+          % (answered, failovers), file=out)
+    print("cluster health   : %s (%d shard(s), degraded: %s)"
+          % (health["status"], health["n_shards"],
+             health["degraded_shards"] or "none"), file=out)
+
+
 def main(argv=None, out=None):
     """CLI entry point; returns the process exit code."""
     out = out if out is not None else sys.stdout
@@ -578,6 +740,7 @@ def main(argv=None, out=None):
         "bench": cmd_bench,
         "store": cmd_store,
         "serve": cmd_serve,
+        "router": cmd_router,
     }
     try:
         return handlers[args.command](args, out)

@@ -115,6 +115,62 @@ class ServerOverloadedError(ReproError):
         self.limit = limit
 
 
+class ReplicaError(ReproError):
+    """One replica of a sharded serving tier failed to answer.
+
+    Raised by the router's replica client on a connection error, a
+    timeout, or a 5xx reply — the failure modes that justify failing
+    over to a sibling replica.  4xx replies are *not* wrapped: a bad
+    query stays bad on every replica.
+    """
+
+    def __init__(self, url, reason, status=None):
+        detail = "replica %s failed: %s" % (url, reason)
+        if status is not None:
+            detail += " (HTTP %d)" % status
+        super().__init__(detail)
+        self.url = url
+        self.reason = reason
+        self.status = status
+
+
+class ShardUnavailableError(ReproError):
+    """Every replica of one shard is down: a partial, honest outage.
+
+    The router raises this instead of inventing an answer when a whole
+    shard (all its replicas) fails or is breaker-open.  Maps to a
+    structured HTTP 503 naming the missing shard — never a wrong or
+    silently truncated result.
+    """
+
+    def __init__(self, shard, n_replicas, detail=""):
+        message = ("shard %d unavailable: all %d replica(s) failed"
+                   % (shard, n_replicas))
+        if detail:
+            message += " (%s)" % detail
+        super().__init__(message)
+        self.shard = shard
+        self.n_replicas = n_replicas
+
+
+class GenerationSkewError(ReproError):
+    """A fan-out query could not pin one store generation.
+
+    Raised when shards keep answering from different generations for
+    longer than the router's retry budget (appends landing faster than
+    reads can converge).  Maps to HTTP 503: the client should retry —
+    the router never merges two generations into one answer.
+    """
+
+    def __init__(self, generations, attempts):
+        super().__init__(
+            "generation skew across shards persisted for %d attempt(s): "
+            "saw generations %s" % (attempts, sorted(generations))
+        )
+        self.generations = tuple(sorted(generations))
+        self.attempts = attempts
+
+
 class DeadlineExceededError(ReproError):
     """A query (or batch) ran past its deadline.  Maps to HTTP 504."""
 

@@ -47,12 +47,24 @@ class LeafMaterialization:
     """Precomputed leaf cuboids answering arbitrary-threshold queries."""
 
     def __init__(self, relation, dims=None, cluster_spec=None, cost_model=None,
-                 backend="simulated"):
+                 backend="simulated", leaves=None):
+        """``leaves`` restricts the precompute to a subset of the
+        processing tree's leaf cuboids (one shard's worth, for the
+        sharded serving tier); the default materializes them all."""
         if dims is None:
             dims = relation.dims
         self.dims = tuple(dims)
         self._lattice = CubeLattice(self.dims)
-        self.leaves = leaf_cuboids(self.dims)
+        all_leaves = leaf_cuboids(self.dims)
+        if leaves is None:
+            self.leaves = all_leaves
+        else:
+            legal = frozenset(all_leaves)
+            self.leaves = [tuple(leaf) for leaf in leaves]
+            rogue = [leaf for leaf in self.leaves if leaf not in legal]
+            if rogue:
+                raise PlanError(
+                    "not leaf cuboids of dims %r: %r" % (self.dims, rogue))
         self._leaf_set = frozenset(self.leaves)
         if backend not in BACKENDS:
             raise PlanError(
@@ -155,6 +167,15 @@ class LeafMaterialization:
         if candidate in self._leaf_set:
             return candidate
         raise PlanError("no materialized leaf covers cuboid %r" % (cuboid,))
+
+    def owned_cuboids(self):
+        """Every cuboid whose covering leaf this materialization holds
+        (store-compatible surface; see ``CubeStore.owned_cuboids``)."""
+        owned = []
+        for leaf in self.leaves:
+            owned.append(leaf)
+            owned.append(leaf[:-1])
+        return owned
 
     def query(self, cuboid, minsup=1):
         """Answer ``GROUP BY cuboid HAVING COUNT(*) >= minsup``.

@@ -25,7 +25,8 @@ deadlocked import).  The dispatch loop is therefore a supervisor, not a
 bare ``Pool.map``: every batch is tracked individually, a worker death
 (``BrokenProcessPool``) or a stall longer than ``batch_timeout``
 seconds tears the pool down, respawns it, and retries only the
-unfinished batches — with capped exponential backoff and a per-batch
+unfinished batches — with full-jitter capped exponential backoff
+(uniform in [0, cap], seeded by the fault plan) and a per-batch
 retry budget whose exhaustion raises
 :class:`~repro.errors.WorkerCrashError`.  Recovery is testable: a
 seedable :class:`~repro.cluster.faults.FaultPlan` passed as
@@ -39,6 +40,7 @@ timing model: wall-clock here is your machine's, not the thesis'.
 """
 
 import os
+import random
 import signal
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -194,7 +196,8 @@ def _supervised_map(jobs, workers, frame, threshold, kernel, fault_plan,
     Returns ``{batch_id: [(cuboid, cells), ...]}``.  A pool whose worker
     dies (``BrokenProcessPool``) or that completes nothing for
     ``batch_timeout`` seconds is torn down and respawned; the unfinished
-    batches are retried with capped exponential backoff.  A batch that
+    batches are retried with full-jitter capped exponential backoff.
+    A batch that
     fails more than ``max_retries`` times raises
     :class:`~repro.errors.WorkerCrashError`.
     """
@@ -203,6 +206,11 @@ def _supervised_map(jobs, workers, frame, threshold, kernel, fault_plan,
     attempts = dict.fromkeys(pending, 0)
     results = {}
     active = obs.current()
+    # Full-jitter backoff: sleeping uniform(0, capped-exponential) keeps
+    # respawning supervisors from synchronizing into retry thundering
+    # herds.  Seeded from the fault plan so injected-fault runs stay
+    # reproducible; unseeded (wall-entropy) otherwise.
+    jitter = random.Random(fault_plan.seed if fault_plan is not None else None)
     while pending:
         executor = ProcessPoolExecutor(
             max_workers=min(workers, len(pending)),
@@ -283,7 +291,8 @@ def _supervised_map(jobs, workers, frame, threshold, kernel, fault_plan,
             raise WorkerCrashError(
                 worst, attempts[worst],
                 "worker died or hung on every attempt")
-        pause = min(BACKOFF_CAP_S, backoff_s * 2.0 ** (attempts[worst] - 1))
+        ceiling = min(BACKOFF_CAP_S, backoff_s * 2.0 ** (attempts[worst] - 1))
+        pause = jitter.uniform(0.0, ceiling)
         if pause > 0:
             time.sleep(pause)
             log.backoff_seconds += pause
@@ -308,8 +317,8 @@ def multiprocess_iceberg_cube(relation, dims=None, minsup=1, workers=None,
     ``batch_timeout`` seconds (default :data:`DEFAULT_BATCH_TIMEOUT`)
     becomes a retry on a respawned pool, each batch at most
     ``max_retries`` times (default: the fault plan's budget, else
-    :data:`DEFAULT_MAX_RETRIES`) with capped exponential backoff from
-    ``backoff_s``.  ``fault_plan`` injects real kills and hangs for
+    :data:`DEFAULT_MAX_RETRIES`) with full-jitter capped exponential
+    backoff from ``backoff_s``.  ``fault_plan`` injects real kills and hangs for
     testing (see :meth:`~repro.cluster.faults.FaultPlan.local_fault`).
 
     Returns a :class:`~repro.core.result.CubeResult` whose ``.recovery``

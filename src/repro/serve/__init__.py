@@ -15,12 +15,18 @@ iceberg query almost immediately — made into a serving subsystem:
   (:class:`AdmissionGate`), per-query :class:`Deadline` budgets, and a
   :class:`CircuitBreaker` around the recompute fallback;
 * :class:`ServerTelemetry` records per-query latency, source and
-  degradation events.
+  degradation events;
+* :class:`CubeRouter` (``repro.serve.cluster``) fronts N store shards
+  x R replicas as one logical cube: stable covering-leaf placement
+  (:class:`ShardMap`), per-replica circuit breakers with failover,
+  generation-pinned fan-out, and honest 503s when a whole shard is
+  down.
 """
 
 from .cache import QueryCache, cache_key
+from .cluster import CubeRouter, ReplicaClient, ShardMap, stable_shard_hash
 from .resilience import AdmissionGate, CircuitBreaker, Deadline
-from .server import CubeServer, HttpEndpoint, QueryAnswer
+from .server import CubeAnswer, CubeServer, HttpEndpoint, QueryAnswer
 from .store import CubeStore
 from .telemetry import QueryRecord, ServerTelemetry
 
@@ -31,6 +37,11 @@ __all__ = [
     "CubeServer",
     "HttpEndpoint",
     "QueryAnswer",
+    "CubeAnswer",
+    "CubeRouter",
+    "ShardMap",
+    "ReplicaClient",
+    "stable_shard_hash",
     "QueryRecord",
     "ServerTelemetry",
     "AdmissionGate",

@@ -10,6 +10,16 @@ Entries carry the *generation* of the store they were computed from.
 insert every cached answer is stale; a stale entry is dropped on access
 (and counted) instead of being served.
 
+The cache additionally keeps a monotonic *generation watermark*
+(:meth:`QueryCache.advance`, bumped by the server on every append).
+:meth:`QueryCache.put` refuses entries computed below the watermark —
+closing the check-then-act race where a thread reads the store's
+generation, computes an answer, and only then inserts it: if an append
+lands in between, the stale insert would otherwise resurrect dead data
+(and, had the generation been re-read late, could even file stale cells
+under the *new* generation key).  Rejections are counted as
+``stale_rejections``.
+
 Counters (hits / misses / evictions / invalidations) feed the server's
 stats endpoint; the acceptance workloads assert on the hit rate.
 """
@@ -47,6 +57,10 @@ class QueryCache:
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        self.stale_rejections = 0
+        #: newest generation the cache has been told about; inserts
+        #: below it are refused (see :meth:`advance`)
+        self.watermark = 0
 
     def __len__(self):
         with self._lock:
@@ -72,16 +86,41 @@ class QueryCache:
             return value
 
     def put(self, cuboid, threshold, generation, value):
-        """Cache an answer computed at ``generation``; evicts LRU-first."""
+        """Cache an answer computed at ``generation``; evicts LRU-first.
+
+        An insert below the generation watermark (an append committed
+        while this answer was being computed) is refused and counted —
+        never stored, so a pinned-generation reader can trust that a hit
+        at generation ``g`` really was computed at ``g``.
+        """
         if self.capacity == 0:
             return
         key = cache_key(cuboid, threshold)
         with self._lock:
+            if generation < self.watermark:
+                self.stale_rejections += 1
+                return
+            entry = self._entries.get(key)
+            if entry is not None and entry[0] > generation:
+                # A fresher answer is already cached; keep it.
+                self.stale_rejections += 1
+                return
             self._entries[key] = (generation, value)
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.evictions += 1
+
+    def advance(self, generation):
+        """Raise the generation watermark (monotonic; never lowers it).
+
+        Called under the same ordering as the store's generation bump:
+        once ``advance(g)`` returns, no answer computed before ``g`` can
+        enter the cache, whatever generation its writer believed in.
+        """
+        with self._lock:
+            if generation > self.watermark:
+                self.watermark = generation
 
     def clear(self):
         """Drop every entry (counts them as invalidations)."""
@@ -100,5 +139,7 @@ class QueryCache:
                 "misses": misses,
                 "evictions": self.evictions,
                 "invalidations": self.invalidations,
+                "stale_rejections": self.stale_rejections,
+                "watermark": self.watermark,
                 "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
             }

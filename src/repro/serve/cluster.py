@@ -1,0 +1,908 @@
+"""Sharded, replicated serving: one logical cube that survives node loss.
+
+The paper computes iceberg cubes on a *cluster* of commodity PCs; this
+module serves them the same way.  The leaf cuboids a
+:class:`~repro.serve.store.CubeStore` materializes are partitioned
+across N store shards by a **stable hash of the covering-leaf prefix**
+(:class:`ShardMap`), each shard runs R replica
+:class:`~repro.serve.server.CubeServer` processes over identical shard
+stores, and a stateless :class:`CubeRouter` in front fans queries out,
+merges results, and fails over — the cluster, not any one box, is the
+unit of availability.
+
+**Placement** (:class:`ShardMap`).  Every cuboid's answer comes from
+its covering leaf (``covering_leaf``: append the last dimension), so
+hashing the covering leaf places every cuboid on exactly one shard and
+keeps roll-ups of the same leaf together.  The hash is
+:func:`stable_shard_hash` — BLAKE2b over the dimension names — so
+placement survives Python hash randomization and process restarts; the
+shard's ``(index, of)`` is recorded in the store manifest and any
+mismatch (a re-shard without a rebuild) is refused, never silently
+misrouted.
+
+**Failover.**  Each replica sits behind its own
+:class:`~repro.serve.resilience.CircuitBreaker`: a timeout, connection
+error or 5xx records a failure and the query retries on a sibling
+replica immediately; a tripped breaker takes the dead replica out of
+rotation so it stops eating latency budget, and half-open probes (plus
+the optional background health checker polling ``/healthz``) bring it
+back when it recovers.  When *every* replica of a shard is down the
+router answers a structured :class:`~repro.errors.ShardUnavailableError`
+(HTTP 503 naming the shard) — an honest partial outage, never a wrong
+or silently truncated answer.
+
+**Generation consistency.**  Replicas label every answer with the store
+generation it was *verified* against (see ``CubeServer``'s double-read
+protocol).  Single-shard answers are therefore internally consistent by
+construction; cross-shard fan-outs (:meth:`CubeRouter.cube`) pin one
+generation — responses are only merged when every shard answered from
+the same generation, stale shards are re-queried, and if an append
+storm keeps the shards skewed past the retry budget the router raises
+:class:`~repro.errors.GenerationSkewError` (HTTP 503: retry) instead of
+mixing generations.
+
+Topology bootstrap is one line per shard::
+
+    router = CubeRouter([
+        ["http://10.0.0.1:8642", "http://10.0.0.2:8642"],   # shard 0
+        ["http://10.0.0.3:8642", "http://10.0.0.4:8642"],   # shard 1
+        ["http://10.0.0.5:8642", "http://10.0.0.6:8642"],   # shard 2
+    ])
+    answer = router.query(("A", "B"), minsup=2)   # routed, failed over
+    full = router.cube(minsup=5)                  # fanned out, one gen
+
+The CLI front-ends this as ``repro-cube store build --shards N``,
+``repro-cube serve --shard i/N`` and ``repro-cube router``.
+"""
+
+import json
+import threading
+from collections import namedtuple
+from concurrent.futures import ThreadPoolExecutor
+from hashlib import blake2b
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from time import perf_counter
+from urllib.error import HTTPError, URLError
+from urllib.parse import parse_qs, quote, urlsplit
+from urllib.request import Request, urlopen
+
+from .. import obs
+from ..core.thresholds import AndThreshold, CountThreshold, SumThreshold, as_threshold
+from ..errors import (
+    GenerationSkewError,
+    PlanError,
+    ReplicaError,
+    ReproError,
+    SchemaError,
+    ShardUnavailableError,
+)
+from ..lattice.lattice import CubeLattice
+from ..obs.metrics import MetricsRegistry
+from ..online.materialize import leaf_cuboids
+from .resilience import CircuitBreaker
+from .server import MAX_REQUEST_BYTES, HttpEndpoint
+
+__all__ = [
+    "ShardMap",
+    "ReplicaClient",
+    "CubeRouter",
+    "RouterAnswer",
+    "RouterCubeAnswer",
+    "stable_shard_hash",
+]
+
+#: One routed answer: where it came from (shard / replica index), how
+#: many failovers it took, and the single store generation it carries.
+RouterAnswer = namedtuple(
+    "RouterAnswer",
+    ("cuboid", "threshold", "cells", "generation", "shard", "replica",
+     "failovers", "latency_s"),
+)
+
+#: One merged cross-shard cube: every cuboid in the lattice, all read at
+#: the same pinned ``generation`` (``attempts`` counts fan-out rounds).
+RouterCubeAnswer = namedtuple(
+    "RouterCubeAnswer",
+    ("cuboids", "threshold", "generation", "attempts", "latency_s"),
+)
+
+
+def stable_shard_hash(leaf):
+    """A placement hash that never moves: BLAKE2b over the leaf's
+    ``/``-joined dimension names.
+
+    Deliberately *not* Python's ``hash()`` — that is randomized per
+    process (``PYTHONHASHSEED``), which would scatter a cuboid across
+    different shards on every restart.
+    """
+    digest = blake2b("/".join(leaf).encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class ShardMap:
+    """Stable assignment of leaf cuboids (and their covered prefixes)
+    to ``n_shards`` shards.
+
+    Every cuboid maps to exactly one shard — the one owning its
+    covering leaf — and the assignment is a pure function of the
+    dimension names and the shard count, so router, builder and every
+    replica agree without coordination.
+    """
+
+    def __init__(self, dims, n_shards):
+        if n_shards < 1:
+            raise PlanError("n_shards must be >= 1, got %r" % (n_shards,))
+        self.dims = tuple(dims)
+        if not self.dims:
+            raise PlanError("need at least one dimension")
+        self.n_shards = int(n_shards)
+        self._lattice = CubeLattice(self.dims)
+        self.leaves = leaf_cuboids(self.dims)
+        self._leaf_set = frozenset(self.leaves)
+        self._assignment = {
+            leaf: stable_shard_hash(leaf) % self.n_shards for leaf in self.leaves
+        }
+
+    def canonical(self, cuboid):
+        """Normalize a cuboid to schema order."""
+        return self._lattice.canonical(cuboid)
+
+    def covering_leaf(self, cuboid):
+        """The leaf whose shard answers ``cuboid`` (same rule as the
+        store: append the last dimension unless already present)."""
+        cuboid = self._lattice.canonical(cuboid)
+        if cuboid and cuboid[-1] == self.dims[-1]:
+            return cuboid
+        return cuboid + (self.dims[-1],)
+
+    def shard_of(self, cuboid):
+        """The one shard index that owns ``cuboid``'s covering leaf."""
+        return self._assignment[self.covering_leaf(cuboid)]
+
+    def leaves_for(self, shard):
+        """The leaf cuboids assigned to shard ``shard`` (build subset)."""
+        if not 0 <= shard < self.n_shards:
+            raise PlanError(
+                "shard index %r out of range for %d shard(s)"
+                % (shard, self.n_shards))
+        return [leaf for leaf in self.leaves
+                if self._assignment[leaf] == shard]
+
+    def counts(self):
+        """Leaves per shard (placement balance, for stats and tests)."""
+        out = [0] * self.n_shards
+        for shard in self._assignment.values():
+            out[shard] += 1
+        return out
+
+    def validate_store(self, store, shard):
+        """Refuse a store whose recorded placement disagrees with this map.
+
+        A store built as shard ``i`` of ``N`` must only ever serve as
+        shard ``i`` of ``N``: opening it under a different sharding
+        (re-shard without rebuild) or a different dimension set would
+        silently misroute queries, so it is an error, not a warning.
+        """
+        if tuple(store.dims) != self.dims:
+            raise SchemaError(
+                "store dims %r do not match the shard map's %r"
+                % (tuple(store.dims), self.dims))
+        recorded = getattr(store, "shard", None)
+        if recorded is None:
+            raise PlanError(
+                "store %r is unsharded (no shard metadata in its manifest); "
+                "rebuild it with shard=(%d, %d)"
+                % (store.directory, shard, self.n_shards))
+        if recorded != (shard, self.n_shards):
+            raise PlanError(
+                "store %r was built as shard %d/%d but is being served as "
+                "shard %d/%d — re-sharding requires a rebuild, refusing"
+                % (store.directory, recorded[0], recorded[1], shard,
+                   self.n_shards))
+        expected = frozenset(self.leaves_for(shard))
+        if frozenset(store.leaves) != expected:
+            raise PlanError(
+                "store %r leaf set does not match the stable placement for "
+                "shard %d/%d" % (store.directory, shard, self.n_shards))
+
+    def __repr__(self):
+        return "ShardMap(dims=%r, n_shards=%d, leaves=%s)" % (
+            self.dims, self.n_shards, self.counts())
+
+
+def _threshold_query(threshold):
+    """Serialize a threshold into ``/query``-style URL parameters."""
+    parts = []
+
+    def emit(t):
+        if isinstance(t, AndThreshold):
+            for condition in t.conditions:
+                emit(condition)
+        elif isinstance(t, CountThreshold):
+            parts.append("minsup=%d" % t.min_count)
+        elif isinstance(t, SumThreshold):
+            parts.append("min_sum=%s" % repr(t.min_sum))
+        else:
+            raise PlanError(
+                "the router can forward count/sum thresholds only, got %r"
+                % (t,))
+
+    emit(as_threshold(threshold))
+    return "&".join(parts)
+
+
+def _decode_cells(cells):
+    return {tuple(entry["cell"]): (entry["count"], entry["sum"])
+            for entry in cells}
+
+
+class ReplicaClient:
+    """A thin JSON/HTTP client for one replica of one shard.
+
+    Failures that justify failover — connection errors, timeouts, 5xx,
+    429 (overloaded) and 504 (deadline) — raise
+    :class:`~repro.errors.ReplicaError`; other 4xx replies mean the
+    *query* is bad and raise :class:`~repro.errors.PlanError` without
+    burning a failover (a bad query is bad on every replica).
+    """
+
+    #: statuses worth retrying on a sibling replica
+    FAILOVER_STATUSES = frozenset({429, 500, 502, 503, 504})
+
+    def __init__(self, url, timeout_s=10.0):
+        self.url = url.rstrip("/")
+        self.timeout_s = float(timeout_s)
+
+    def get_json(self, path):
+        return self._request(Request(self.url + path))
+
+    def post_json(self, path, payload):
+        body = json.dumps(payload).encode()
+        if len(body) > MAX_REQUEST_BYTES:
+            raise PlanError(
+                "append delta of %d bytes exceeds the %d byte request limit; "
+                "split it into smaller batches" % (len(body), MAX_REQUEST_BYTES))
+        request = Request(self.url + path, data=body,
+                          headers={"Content-Type": "application/json"})
+        return self._request(request)
+
+    def _request(self, request):
+        try:
+            with urlopen(request, timeout=self.timeout_s) as response:
+                return json.loads(response.read())
+        except HTTPError as exc:
+            detail = self._error_detail(exc)
+            if exc.code in self.FAILOVER_STATUSES:
+                raise ReplicaError(self.url, detail, status=exc.code) from None
+            raise PlanError(
+                "replica %s rejected the request (HTTP %d): %s"
+                % (self.url, exc.code, detail)) from None
+        except URLError as exc:
+            raise ReplicaError(self.url, str(exc.reason)) from None
+        except (TimeoutError, ConnectionError, OSError) as exc:
+            raise ReplicaError(self.url, str(exc)) from None
+        except json.JSONDecodeError as exc:
+            raise ReplicaError(self.url, "malformed JSON reply (%s)" % exc) \
+                from None
+
+    @staticmethod
+    def _error_detail(exc):
+        try:
+            return json.loads(exc.read()).get("error", "no detail")
+        except Exception:
+            return "no detail"
+
+    def __repr__(self):
+        return "ReplicaClient(%s)" % self.url
+
+
+class CubeRouter:
+    """A stateless fan-out/merge router over N shards x R replicas.
+
+    ``shard_replicas`` is a list of shards, each a list of replica base
+    URLs.  ``dims`` may be given up front; otherwise the router
+    discovers them from the first replica that answers ``/healthz`` (and
+    validates every replica's recorded shard placement against its
+    configured position — a misplaced or re-sharded replica is refused).
+
+    Thread-safe; queries may be issued concurrently.  The router keeps
+    no cube state — only breakers, health snapshots and counters — so
+    any number of routers can front the same cluster.
+    """
+
+    def __init__(self, shard_replicas, dims=None, timeout_s=10.0,
+                 breaker_factory=None, health_interval_s=0.0,
+                 generation_attempts=4, registry=None):
+        if not shard_replicas:
+            raise PlanError("need at least one shard")
+        self.shards = []
+        for urls in shard_replicas:
+            urls = list(urls)
+            if not urls:
+                raise PlanError("every shard needs at least one replica URL")
+            self.shards.append([ReplicaClient(u, timeout_s) for u in urls])
+        self.n_shards = len(self.shards)
+        if breaker_factory is None:
+            breaker_factory = lambda: CircuitBreaker(  # noqa: E731
+                failure_threshold=3, reset_after_s=2.0)
+        self.breakers = {
+            (s, r): breaker_factory()
+            for s, replicas in enumerate(self.shards)
+            for r in range(len(replicas))
+        }
+        if generation_attempts < 1:
+            raise PlanError("generation_attempts must be >= 1, got %r"
+                            % (generation_attempts,))
+        self.generation_attempts = int(generation_attempts)
+        self._shard_map = ShardMap(dims, self.n_shards) if dims else None
+        self._lock = threading.Lock()
+        self._rr = [0] * self.n_shards
+        self._health = {}  # (shard, replica) -> last /healthz snapshot
+        self._endpoints = []
+        self._closed = threading.Event()
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(4, 2 * self.n_shards),
+            thread_name_prefix="cube-router")
+        if registry is None:
+            active = obs.current()
+            registry = active.registry if active is not None \
+                else MetricsRegistry()
+        self.registry = registry
+        self._requests = registry.counter(
+            "repro_router_requests_total",
+            "Routed requests by kind and outcome.", ("kind", "outcome"))
+        self._failovers = registry.counter(
+            "repro_router_failovers_total",
+            "Replica failures that caused a failover attempt, per shard.",
+            ("shard",))
+        self._unavailable = registry.counter(
+            "repro_router_shard_unavailable_total",
+            "Requests answered 503 because a whole shard was down.",
+            ("shard",))
+        self._generation_retries = registry.counter(
+            "repro_router_generation_retries_total",
+            "Cross-shard fan-out rounds repeated to pin one generation.")
+        self._health_checks = registry.counter(
+            "repro_router_health_checks_total",
+            "Background /healthz probes by result.", ("status",))
+        self._replica_up = registry.gauge(
+            "repro_router_replica_up",
+            "1 if the replica's last health probe succeeded, else 0.",
+            ("shard", "replica"))
+        self._health_thread = None
+        self.health_interval_s = float(health_interval_s)
+        if self.health_interval_s > 0:
+            self._health_thread = threading.Thread(
+                target=self._health_loop, name="router-health", daemon=True)
+            self._health_thread.start()
+
+    # ------------------------------------------------------------------
+    # topology discovery
+    # ------------------------------------------------------------------
+    def _ensure_map(self):
+        map_ = self._shard_map
+        if map_ is not None:
+            return map_
+        errors = []
+        for shard, replicas in enumerate(self.shards):
+            for replica, client in enumerate(replicas):
+                try:
+                    health = client.get_json("/healthz")
+                except (ReplicaError, PlanError) as exc:
+                    errors.append(str(exc))
+                    continue
+                with self._lock:
+                    if self._shard_map is None:
+                        self._shard_map = ShardMap(
+                            tuple(health["dims"]), self.n_shards)
+                self._validate_placement(shard, health)
+                return self._shard_map
+        raise ShardUnavailableError(
+            0, sum(len(r) for r in self.shards),
+            "no replica answered /healthz to bootstrap the shard map: "
+            + "; ".join(errors))
+
+    def _validate_placement(self, shard, health):
+        """Refuse replicas whose recorded shard placement is wrong."""
+        recorded = health.get("shard")
+        if recorded is None:
+            if self.n_shards == 1:
+                return  # an unsharded store behind a 1-shard router is fine
+            raise PlanError(
+                "replica of shard %d serves an unsharded store but the "
+                "router is configured with %d shards" % (shard, self.n_shards))
+        if (int(recorded["index"]), int(recorded["of"])) \
+                != (shard, self.n_shards):
+            raise PlanError(
+                "replica configured as shard %d/%d reports shard %d/%d — "
+                "re-sharding requires rebuilding the stores, refusing"
+                % (shard, self.n_shards,
+                   int(recorded["index"]), int(recorded["of"])))
+
+    def shard_for(self, cuboid):
+        """Which shard answers ``cuboid`` (placement introspection)."""
+        return self._ensure_map().shard_of(cuboid)
+
+    # ------------------------------------------------------------------
+    # one-shard calls with failover
+    # ------------------------------------------------------------------
+    def _call_shard(self, shard, path, post_payload=None):
+        """Call one shard, failing over across its replicas.
+
+        Replicas are tried in round-robin rotation, skipping those whose
+        breaker is open; a :class:`~repro.errors.ReplicaError` records a
+        breaker failure and moves on to the next sibling.  Returns
+        ``(payload, replica_index, failovers)``; raises
+        :class:`~repro.errors.ShardUnavailableError` when no replica
+        could answer.
+        """
+        replicas = self.shards[shard]
+        with self._lock:
+            start = self._rr[shard]
+            self._rr[shard] += 1
+        failures = []
+        failovers = 0
+        for k in range(len(replicas)):
+            index = (start + k) % len(replicas)
+            client = replicas[index]
+            breaker = self.breakers[(shard, index)]
+            if not breaker.allow():
+                failures.append("%s: circuit breaker open" % client.url)
+                continue
+            try:
+                if post_payload is None:
+                    payload = client.get_json(path)
+                else:
+                    payload = client.post_json(path, post_payload)
+            except ReplicaError as exc:
+                breaker.record_failure()
+                failures.append(str(exc))
+                failovers += 1
+                self._failovers.inc(shard=str(shard))
+                obs.event("router.failover", shard=shard, replica=index)
+                continue
+            breaker.record_success()
+            return payload, index, failovers
+        self._unavailable.inc(shard=str(shard))
+        obs.event("router.shard_unavailable", shard=shard)
+        raise ShardUnavailableError(shard, len(replicas),
+                                    "; ".join(failures))
+
+    # ------------------------------------------------------------------
+    # query surface
+    # ------------------------------------------------------------------
+    def query(self, cuboid, minsup=1):
+        """One group-by, routed to the owning shard with failover."""
+        start = perf_counter()
+        threshold = as_threshold(minsup)
+        shard_map = self._ensure_map()
+        canonical = shard_map.canonical(cuboid)
+        shard = shard_map.shard_of(canonical)
+        path = "/query?cuboid=%s&%s" % (
+            quote(",".join(canonical), safe=","), _threshold_query(threshold))
+        with obs.span("router.query") as span:
+            try:
+                payload, replica, failovers = self._call_shard(shard, path)
+            except ReproError:
+                self._requests.inc(kind="query", outcome="error")
+                raise
+            self._requests.inc(kind="query", outcome="ok")
+            if span:
+                span.set(cuboid=list(canonical), shard=shard,
+                         replica=replica, failovers=failovers)
+        return RouterAnswer(
+            tuple(payload["cuboid"]), payload["threshold"],
+            _decode_cells(payload["cells"]), payload["generation"],
+            shard, replica, failovers, perf_counter() - start)
+
+    def point(self, cuboid, cell, minsup=1):
+        """One cell lookup, routed to the owning shard with failover."""
+        start = perf_counter()
+        threshold = as_threshold(minsup)
+        shard_map = self._ensure_map()
+        canonical = shard_map.canonical(cuboid)
+        shard = shard_map.shard_of(canonical)
+        path = "/point?cuboid=%s&cell=%s&%s" % (
+            quote(",".join(canonical), safe=","),
+            ",".join(str(int(v)) for v in cell),
+            _threshold_query(threshold))
+        with obs.span("router.point") as span:
+            try:
+                payload, replica, failovers = self._call_shard(shard, path)
+            except ReproError:
+                self._requests.inc(kind="point", outcome="error")
+                raise
+            self._requests.inc(kind="point", outcome="ok")
+            if span:
+                span.set(shard=shard, replica=replica, failovers=failovers)
+        return RouterAnswer(
+            tuple(payload["cuboid"]), payload["threshold"],
+            _decode_cells(payload["cells"]), payload["generation"],
+            shard, replica, failovers, perf_counter() - start)
+
+    def cube(self, minsup=1):
+        """The full iceberg cube, fanned out and pinned to one generation.
+
+        Every shard contributes the cuboids it owns; responses are only
+        merged when *all* shards answered from the same store
+        generation.  A stale shard (an ``append`` landed between
+        responses) is re-queried, pinning the newest generation seen;
+        after ``generation_attempts`` rounds without convergence the
+        router raises :class:`~repro.errors.GenerationSkewError` rather
+        than mixing generations.
+        """
+        start = perf_counter()
+        threshold = as_threshold(minsup)
+        self._ensure_map()
+        path = "/cube?" + _threshold_query(threshold)
+        responses = {}
+        generations = set()
+        with obs.span("router.cube") as span:
+            for attempt in range(1, self.generation_attempts + 1):
+                pinned = max((p["generation"] for p in responses.values()),
+                             default=None)
+                needed = [s for s in range(self.n_shards)
+                          if responses.get(s) is None
+                          or responses[s]["generation"] != pinned]
+                futures = {
+                    s: self._pool.submit(self._call_shard, s, path)
+                    for s in needed
+                }
+                try:
+                    for s, future in futures.items():
+                        responses[s] = future.result()[0]
+                except ReproError:
+                    self._requests.inc(kind="cube", outcome="error")
+                    raise
+                generations = {p["generation"] for p in responses.values()}
+                if len(generations) == 1:
+                    merged = {}
+                    for payload in responses.values():
+                        for entry in payload["cuboids"]:
+                            merged[tuple(entry["cuboid"])] = \
+                                _decode_cells(entry["cells"])
+                    self._requests.inc(kind="cube", outcome="ok")
+                    generation = generations.pop()
+                    if span:
+                        span.set(cuboids=len(merged), generation=generation,
+                                 attempts=attempt)
+                    return RouterCubeAnswer(
+                        merged, threshold.describe(), generation, attempt,
+                        perf_counter() - start)
+                self._generation_retries.inc()
+                obs.event("router.generation_retry",
+                          generations=sorted(generations))
+        self._requests.inc(kind="cube", outcome="generation_skew")
+        raise GenerationSkewError(generations, self.generation_attempts)
+
+    def append(self, relation):
+        """Fold a row delta into *every* replica of every shard.
+
+        Each replica applies the delta to its own store (replicas do not
+        share disks), so the cluster's generations converge as the posts
+        land; reads stay consistent throughout via the generation
+        protocol.  Returns a summary with per-replica outcomes.  A shard
+        whose replicas *all* failed the append raises
+        :class:`~repro.errors.ShardUnavailableError` — that shard would
+        otherwise be permanently stale.
+        """
+        payload = {
+            "dims": list(relation.dims),
+            "rows": [list(row) for row in relation.rows],
+            "measures": list(relation.measures),
+        }
+        outcomes = []
+        with obs.span("router.append", rows=len(relation)):
+            for shard, replicas in enumerate(self.shards):
+                failures = 0
+                for replica, client in enumerate(replicas):
+                    try:
+                        reply = client.post_json("/append", payload)
+                        outcomes.append({
+                            "shard": shard, "replica": replica, "ok": True,
+                            "generation": reply["generation"],
+                        })
+                    except (ReplicaError, PlanError) as exc:
+                        failures += 1
+                        outcomes.append({
+                            "shard": shard, "replica": replica, "ok": False,
+                            "error": str(exc),
+                        })
+                if failures == len(replicas):
+                    self._unavailable.inc(shard=str(shard))
+                    raise ShardUnavailableError(
+                        shard, len(replicas),
+                        "append failed on every replica")
+        applied = sum(1 for o in outcomes if o["ok"])
+        self._requests.inc(kind="append",
+                           outcome="ok" if applied == len(outcomes)
+                           else "partial")
+        return {"rows": len(relation), "replicas": len(outcomes),
+                "applied": applied, "outcomes": outcomes}
+
+    # ------------------------------------------------------------------
+    # health
+    # ------------------------------------------------------------------
+    def check_health(self):
+        """One synchronous sweep of every replica's ``/healthz``.
+
+        Success closes the replica's breaker (recovered replicas rejoin
+        rotation); failure records a breaker failure (dead replicas trip
+        out).  A replica reporting the wrong shard placement is marked
+        ``misplaced`` and counted as a failure — better to lose a
+        replica than to serve another shard's cuboids.
+        """
+        snapshot = {}
+        for shard, replicas in enumerate(self.shards):
+            for replica, client in enumerate(replicas):
+                key = (shard, replica)
+                breaker = self.breakers[key]
+                try:
+                    health = client.get_json("/healthz")
+                    self._validate_placement(shard, health)
+                except (ReplicaError, PlanError, SchemaError, KeyError) as exc:
+                    status = "misplaced" if isinstance(exc, PlanError) \
+                        else "down"
+                    breaker.record_failure()
+                    self._health_checks.inc(status=status)
+                    self._replica_up.set(
+                        0, shard=str(shard), replica=str(replica))
+                    snapshot[key] = {"url": client.url, "status": status,
+                                     "error": str(exc)}
+                    continue
+                breaker.record_success()
+                self._health_checks.inc(status="ok")
+                self._replica_up.set(1, shard=str(shard), replica=str(replica))
+                snapshot[key] = {
+                    "url": client.url, "status": health.get("status", "ok"),
+                    "generation": health.get("generation"),
+                    "verify": health.get("verify"),
+                    "breaker": health.get("breaker"),
+                }
+        with self._lock:
+            self._health = snapshot
+        return snapshot
+
+    def _health_loop(self):
+        while True:
+            try:
+                self.check_health()
+            except Exception:  # pragma: no cover - belt and braces
+                pass  # a health sweep must never kill the router
+            if self._closed.wait(self.health_interval_s):
+                return
+
+    def health(self):
+        """The router's own ``/healthz`` body: per-shard replica states."""
+        with self._lock:
+            snapshot = dict(self._health)
+        if not snapshot:
+            # No sweep has run yet (health checker off, or just booted):
+            # probe synchronously rather than guess the cluster is down.
+            snapshot = self.check_health()
+        shards = []
+        degraded = []
+        for shard, replicas in enumerate(self.shards):
+            entries = []
+            up = 0
+            for replica, client in enumerate(replicas):
+                state = snapshot.get((shard, replica), {"url": client.url,
+                                                        "status": "unknown"})
+                state = dict(state)
+                state["breaker_local"] = self.breakers[(shard, replica)].state
+                entries.append(state)
+                if state["status"] == "ok" \
+                        and state["breaker_local"] != "open":
+                    up += 1
+            if up == 0:
+                degraded.append(shard)
+            shards.append({"shard": shard, "replicas": entries, "up": up})
+        status = "ok" if not degraded else "degraded"
+        return {"status": status, "n_shards": self.n_shards,
+                "degraded_shards": degraded, "shards": shards}
+
+    def stats(self):
+        """Router-wide counters and per-replica breaker states."""
+        return {
+            "n_shards": self.n_shards,
+            "replicas": [len(r) for r in self.shards],
+            "generation_attempts": self.generation_attempts,
+            "breakers": {
+                "%d/%d" % key: breaker.stats()
+                for key, breaker in sorted(self.breakers.items())
+            },
+            "health": self.health(),
+        }
+
+    # ------------------------------------------------------------------
+    # HTTP endpoint + lifecycle
+    # ------------------------------------------------------------------
+    def serve_http(self, host="127.0.0.1", port=0):
+        """Expose the router over JSON HTTP (same surface shape as a
+        replica, so clients cannot tell one box from the cluster)."""
+        if self._closed.is_set():
+            raise PlanError("router is closed")
+        httpd = _RouterHTTPServer((host, port), _RouterRequestHandler)
+        httpd.cube_router = self
+        thread = threading.Thread(
+            target=httpd.serve_forever, name="router-http", daemon=True)
+        thread.start()
+        endpoint = HttpEndpoint(httpd, thread)
+        self._endpoints.append(endpoint)
+        return endpoint
+
+    def close(self):
+        """Stop the health checker, endpoints and fan-out pool."""
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        if self._health_thread is not None:
+            self._health_thread.join(timeout=5.0)
+        endpoints, self._endpoints = self._endpoints, []
+        for endpoint in endpoints:
+            endpoint.close()
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    def __repr__(self):
+        return "CubeRouter(%d shards, %s replicas)" % (
+            self.n_shards, [len(r) for r in self.shards])
+
+
+class _RouterHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    cube_router = None
+
+
+def _parse_router_threshold(params):
+    conditions = []
+    minsup = int(params.get("minsup", ["1"])[0])
+    min_sum = params.get("min_sum")
+    if minsup > 1 or min_sum is None:
+        conditions.append(CountThreshold(max(1, minsup)))
+    if min_sum is not None:
+        conditions.append(SumThreshold(float(min_sum[0])))
+    return conditions[0] if len(conditions) == 1 else AndThreshold(*conditions)
+
+
+class _RouterRequestHandler(BaseHTTPRequestHandler):
+    server_version = "repro-router/1.0"
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self):  # noqa: N802 - http.server naming
+        self._guarded(self._route)
+
+    def do_POST(self):  # noqa: N802 - http.server naming
+        self._guarded(self._route_post)
+
+    def _guarded(self, route):
+        try:
+            route()
+        except ShardUnavailableError as exc:
+            # The honest partial outage: name the shard, never guess.
+            self._reply(503, {"error": str(exc), "kind": "shard_unavailable",
+                              "shard": exc.shard})
+        except GenerationSkewError as exc:
+            self._reply(503, {"error": str(exc), "kind": "generation_skew",
+                              "generations": list(exc.generations)})
+        except (ReproError, ValueError) as exc:
+            self._reply(400, {"error": str(exc), "kind": "bad_request"})
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            pass
+        except Exception as exc:  # pragma: no cover - last-ditch guard
+            self._reply(500, {"error": "internal error (%s)"
+                              % exc.__class__.__name__, "kind": "internal"})
+
+    def _route(self):
+        split = urlsplit(self.path)
+        params = parse_qs(split.query)
+        router = self.server.cube_router
+        if split.path == "/query":
+            raw = params.get("cuboid", [""])[0]
+            cuboid = tuple(filter(None, (n.strip() for n in raw.split(","))))
+            answer = router.query(cuboid, _parse_router_threshold(params))
+            self._reply(200, _router_answer_payload(answer))
+        elif split.path == "/point":
+            raw = params.get("cuboid", [""])[0]
+            cuboid = tuple(filter(None, (n.strip() for n in raw.split(","))))
+            raw_cell = params.get("cell", [""])[0]
+            cell = tuple(int(v) for v in raw_cell.split(",") if v.strip())
+            answer = router.point(cuboid, cell, _parse_router_threshold(params))
+            self._reply(200, _router_answer_payload(answer))
+        elif split.path == "/cube":
+            answer = router.cube(_parse_router_threshold(params))
+            self._reply(200, {
+                "threshold": answer.threshold,
+                "generation": answer.generation,
+                "attempts": answer.attempts,
+                "latency_ms": round(answer.latency_s * 1000.0, 3),
+                "cuboids": [
+                    {"cuboid": list(cuboid), "cells": [
+                        {"cell": list(cell), "count": count, "sum": value}
+                        for cell, (count, value) in sorted(cells.items())
+                    ]}
+                    for cuboid, cells in sorted(answer.cuboids.items())
+                ],
+            })
+        elif split.path == "/healthz":
+            health = router.health()
+            self._reply(200 if health["status"] == "ok" else 503, health)
+        elif split.path == "/stats":
+            self._reply(200, router.stats())
+        elif split.path == "/metrics":
+            self._reply_text(200, router.registry.to_prometheus())
+        else:
+            self._reply(404, {"error": "unknown path %r" % split.path,
+                              "kind": "not_found"})
+
+    def _route_post(self):
+        split = urlsplit(self.path)
+        router = self.server.cube_router
+        if split.path != "/append":
+            self._reply(404, {"error": "unknown path %r" % split.path,
+                              "kind": "not_found"})
+            return
+        length = int(self.headers.get("Content-Length") or 0)
+        if not 0 < length <= MAX_REQUEST_BYTES:
+            self._reply(400, {"error": "append body must be 1..%d bytes"
+                              % MAX_REQUEST_BYTES, "kind": "bad_request"})
+            return
+        try:
+            payload = json.loads(self.rfile.read(length))
+            from ..data.relation import Relation
+
+            relation = Relation(
+                tuple(payload["dims"]),
+                [tuple(int(v) for v in row) for row in payload["rows"]],
+                [float(m) for m in payload["measures"]]
+                if payload.get("measures") is not None else None,
+            )
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            self._reply(400, {"error": "malformed append body (%s)" % exc,
+                              "kind": "bad_request"})
+            return
+        self._reply(200, router.append(relation))
+
+    def _reply(self, status, payload):
+        body = json.dumps(payload).encode()
+        self._send(status, body, "application/json")
+
+    def _reply_text(self, status, text):
+        self._send(status, text.encode(),
+                   "text/plain; version=0.0.4; charset=utf-8")
+
+    def _send(self, status, body, content_type):
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format, *args):  # noqa: A002 - http.server naming
+        pass
+
+    def log_request(self, code="-", size="-"):
+        pass
+
+
+def _router_answer_payload(answer):
+    return {
+        "cuboid": list(answer.cuboid),
+        "threshold": answer.threshold,
+        "generation": answer.generation,
+        "shard": answer.shard,
+        "replica": answer.replica,
+        "failovers": answer.failovers,
+        "latency_ms": round(answer.latency_s * 1000.0, 3),
+        "cells": [
+            {"cell": list(cell), "count": count, "sum": value}
+            for cell, (count, value) in sorted(answer.cells.items())
+        ],
+    }

@@ -33,10 +33,19 @@ stdlib ``http.server``) for point, roll-up and drill-down queries::
                                           #   by dropping / adding dims)
     GET /query?cuboid=A&deadline_ms=50    # per-query deadline
     GET /point?cuboid=A,B&cell=3,1        # one cell, O(log n) lookup
+    GET /cube?minsup=2                    # this store's whole cube share
+    POST /append                          # fold a JSON row delta in
     GET /stats                            # cache + latency + resilience
     GET /metrics                          # Prometheus text exposition
     GET /cuboids                          # dims and stored leaves
-    GET /healthz                          # liveness + degradation state
+    GET /healthz                          # liveness + generation + shard
+                                          #   + degradation state
+
+Every data answer carries the store ``generation`` it was *verified*
+against: the generation is read before and after the cells, and a
+mismatch (an ``append`` swung mid-read) retries the read instead of
+mislabeling it — the contract the sharded router
+(:mod:`repro.serve.cluster`) builds generation-pinned fan-outs on.
 
 ``/metrics`` serves the server's :class:`~repro.obs.metrics
 .MetricsRegistry` (request counters, latency histograms, degradation
@@ -63,6 +72,7 @@ from .. import obs
 from ..core.thresholds import AndThreshold, CountThreshold, SumThreshold, as_threshold
 from ..errors import (
     DeadlineExceededError,
+    GenerationSkewError,
     PlanError,
     ReproError,
     SchemaError,
@@ -74,14 +84,27 @@ from .resilience import AdmissionGate, CircuitBreaker, Deadline
 from .telemetry import ServerTelemetry
 
 #: One served answer: the canonical cuboid, the threshold text, the
-#: ``{cell: (count, sum)}`` dict, where it came from and how long it took.
+#: ``{cell: (count, sum)}`` dict, where it came from, how long it took,
+#: and the store generation the cells were verified against.
 QueryAnswer = namedtuple(
-    "QueryAnswer", ("cuboid", "threshold", "cells", "source", "latency_s")
+    "QueryAnswer",
+    ("cuboid", "threshold", "cells", "source", "latency_s", "generation"),
 )
 
-#: Largest request body the HTTP endpoint will accept (it serves GETs;
-#: anything bigger than this is abuse, not a query).
+#: One store-shard's share of the full iceberg cube, computed at a
+#: single verified generation (the ``/cube`` fan-out unit).
+CubeAnswer = namedtuple(
+    "CubeAnswer", ("cuboids", "threshold", "generation", "latency_s")
+)
+
+#: Largest request body the HTTP endpoint will accept (query GETs and
+#: bounded ``POST /append`` deltas; anything bigger is abuse).
 MAX_REQUEST_BYTES = 1 << 20
+
+#: How many times a read retries when an ``append`` swings the store
+#: generation mid-read before giving up with a 503.  Appends are rare
+#: and bounded, so more than a couple of laps means something is wrong.
+GENERATION_RETRY_LIMIT = 8
 
 
 class CubeServer:
@@ -161,11 +184,31 @@ class CubeServer:
             if self.relation is None:
                 raise
             canonical = self._relation_canonical(cuboid)
-        generation = self.store.generation
-        cells = self.cache.get(canonical, threshold, generation)
-        if cells is not None:
-            source = "cache"
-        else:
+        cells, source, generation = self._answer_verified(
+            canonical, threshold, deadline)
+        latency = perf_counter() - start
+        self.telemetry.record(canonical, threshold.describe(), source, latency)
+        return QueryAnswer(canonical, threshold.describe(), cells, source,
+                           latency, generation)
+
+    def _answer_verified(self, canonical, threshold, deadline):
+        """cache -> store -> compute, at one *verified* store generation.
+
+        The generation is read before and re-read after computing the
+        cells: a mismatch means an :meth:`append` swung the store
+        mid-read, so the cells could belong to either side — instead of
+        mislabeling (and possibly poisoning the cache or a
+        generation-pinned router read), the lookup is retried at the new
+        generation.  Appends are rare; the retry budget is
+        :data:`GENERATION_RETRY_LIMIT`.
+        """
+        seen = set()
+        for _attempt in range(GENERATION_RETRY_LIMIT):
+            generation = self.store.generation
+            seen.add(generation)
+            cells = self.cache.get(canonical, threshold, generation)
+            if cells is not None:
+                return cells, "cache", generation
             if deadline is not None:
                 deadline.check("store scan")
             obs.event("serve.cache_miss")
@@ -178,25 +221,77 @@ class CubeServer:
                 obs.event("serve.compute_fallback")
                 cells = self._compute_guarded(canonical, threshold, deadline)
                 source = "compute"
-            self.cache.put(canonical, threshold, generation, cells)
+            if self.store.generation == generation:
+                # Verified: nothing swung while we read, so the cells
+                # really are generation ``generation``'s.
+                self.cache.put(canonical, threshold, generation, cells)
+                if deadline is not None:
+                    # The answer is cached for the next caller either
+                    # way, but a reply past its budget is honestly late.
+                    deadline.check("reply")
+                return cells, source, generation
+            self.telemetry.bump("generation_retry")
+            obs.event("serve.generation_retry")
             if deadline is not None:
-                # The answer is cached for the next caller either way,
-                # but a reply past its budget is honestly late.
-                deadline.check("reply")
-        latency = perf_counter() - start
-        self.telemetry.record(canonical, threshold.describe(), source, latency)
-        return QueryAnswer(canonical, threshold.describe(), cells, source, latency)
+                deadline.check("generation retry")
+        raise GenerationSkewError(seen, GENERATION_RETRY_LIMIT)
 
     def point(self, cuboid, cell, minsup=1):
         """One cell of one cuboid via the store's prefix offset index."""
         start = perf_counter()
         threshold = as_threshold(minsup)
         canonical = self.store.canonical(cuboid)
-        agg = self.store.point(canonical, cell, minsup=threshold)
+        seen = set()
+        for _attempt in range(GENERATION_RETRY_LIMIT):
+            generation = self.store.generation
+            seen.add(generation)
+            agg = self.store.point(canonical, cell, minsup=threshold)
+            if self.store.generation == generation:
+                break
+            self.telemetry.bump("generation_retry")
+        else:
+            raise GenerationSkewError(seen, GENERATION_RETRY_LIMIT)
         cells = {tuple(cell): agg} if agg is not None else {}
         latency = perf_counter() - start
         self.telemetry.record(canonical, threshold.describe(), "store", latency)
-        return QueryAnswer(canonical, threshold.describe(), cells, "store", latency)
+        return QueryAnswer(canonical, threshold.describe(), cells, "store",
+                           latency, generation)
+
+    def iceberg(self, minsup=1, deadline_s=None):
+        """This store's whole share of the iceberg cube, one generation.
+
+        Answers every cuboid in ``store.owned_cuboids()`` (the full
+        lattice for an unsharded store, this shard's partition
+        otherwise) under a single verified generation — the unit a
+        :class:`~repro.serve.cluster.CubeRouter` fans out and merges.
+        Returns a :class:`CubeAnswer`.
+        """
+        start = perf_counter()
+        threshold = as_threshold(minsup)
+        deadline = self._deadline(deadline_s)
+        with obs.span("serve.cube") as span:
+            seen = set()
+            for _attempt in range(GENERATION_RETRY_LIMIT):
+                generation = self.store.generation
+                seen.add(generation)
+                cuboids = {
+                    cuboid: self.store.query(cuboid, minsup=threshold)
+                    for cuboid in self.store.owned_cuboids()
+                }
+                if self.store.generation == generation:
+                    break
+                self.telemetry.bump("generation_retry")
+                obs.event("serve.generation_retry")
+                if deadline is not None:
+                    deadline.check("generation retry")
+            else:
+                raise GenerationSkewError(seen, GENERATION_RETRY_LIMIT)
+            latency = perf_counter() - start
+            self.telemetry.record(self.store.dims, threshold.describe(),
+                                  "store", latency)
+            if span:
+                span.set(cuboids=len(cuboids), generation=generation)
+        return CubeAnswer(cuboids, threshold.describe(), generation, latency)
 
     def submit(self, cuboid, minsup=1, deadline_s=None):
         """Admit a query to the thread pool; returns a Future.
@@ -216,6 +311,10 @@ class CubeServer:
     def submit_point(self, cuboid, cell, minsup=1):
         """Admit a point lookup to the thread pool; returns a Future."""
         return self._admit(self.point, cuboid, cell, minsup)
+
+    def submit_cube(self, minsup=1, deadline_s=None):
+        """Admit a whole-share iceberg read (:meth:`iceberg`) to the pool."""
+        return self._admit(self.iceberg, minsup, deadline_s=deadline_s)
 
     def query_many(self, queries):
         """Answer ``(cuboid, minsup)`` pairs concurrently, in order."""
@@ -330,8 +429,13 @@ class CubeServer:
         """
         with self._write_lock:
             self.store.append(relation)
+            # Raise the cache watermark *after* the store swung: from
+            # here on, any insert computed before the append is refused
+            # (closing the read-compute-insert race).
+            self.cache.advance(self.store.generation)
             if self.relation is not None:
                 self.relation = self.relation.concat(relation)
+        return self.store.generation
 
     def stats(self):
         """Server-wide counters: store shape, cache, latency, resilience."""
@@ -350,11 +454,24 @@ class CubeServer:
         }
 
     def health(self):
-        """Liveness plus the degradation state (the ``/healthz`` body)."""
+        """Liveness *and* serving state (the ``/healthz`` body).
+
+        Beyond a bare liveness probe: the store generation (so a router
+        can tell "alive" from "serving a stale generation"), the
+        integrity level the store was opened at, shard placement, dims,
+        and the degradation state (admission + breaker) — everything a
+        health-checking router needs to route, pin and fail over.
+        """
         gate = self.gate.stats()
+        shard = getattr(self.store, "shard", None)
         return {
             "status": "closed" if self._closed else "ok",
             "generation": self.store.generation,
+            "verify": getattr(self.store, "verify_mode", "off"),
+            "dims": list(self.store.dims),
+            "shard": ({"index": shard[0], "of": shard[1]}
+                      if shard is not None else None),
+            "leaves": len(self.store.leaves),
             "pending": gate["pending"],
             "max_pending": gate["limit"],
             "shed": gate["shed"],
@@ -473,12 +590,22 @@ class _CubeRequestHandler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
 
     def do_GET(self):  # noqa: N802 - http.server naming
+        self._guarded(self._route)
+
+    def do_POST(self):  # noqa: N802 - http.server naming
+        self._guarded(self._route_post)
+
+    def _guarded(self, route):
         try:
-            self._route()
+            route()
         except ServerOverloadedError as exc:
             self._reply(429, {"error": str(exc), "kind": "overloaded"})
         except DeadlineExceededError as exc:
             self._reply(504, {"error": str(exc), "kind": "deadline"})
+        except GenerationSkewError as exc:
+            # Honest retry signal: the store kept swinging generations
+            # under the read; never a mislabeled or mixed answer.
+            self._reply(503, {"error": str(exc), "kind": "generation_skew"})
         except StoreCorruptError as exc:
             self._reply(500, {"error": str(exc), "kind": "corrupt"})
         except (ReproError, ValueError) as exc:
@@ -511,6 +638,11 @@ class _CubeRequestHandler(BaseHTTPRequestHandler):
                 _parse_cuboid(params), cell, _parse_threshold(params)
             )
             self._reply(200, _answer_payload(future.result()))
+        elif split.path == "/cube":
+            future = server.submit_cube(
+                _parse_threshold(params), deadline_s=_parse_deadline(params)
+            )
+            self._reply(200, _cube_payload(future.result()))
         elif split.path == "/stats":
             self._reply(200, server.stats())
         elif split.path == "/metrics":
@@ -527,6 +659,31 @@ class _CubeRequestHandler(BaseHTTPRequestHandler):
         else:
             self._reply(404, {"error": "unknown path %r" % split.path,
                               "kind": "not_found"})
+
+    def _route_post(self):
+        if not self._bounded_request():
+            return
+        split = urlsplit(self.path)
+        server = self.server.cube_server
+        if split.path != "/append":
+            self._reply(404, {"error": "unknown path %r" % split.path,
+                              "kind": "not_found"})
+            return
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            self._reply(400, {"error": "POST /append needs a JSON body",
+                              "kind": "bad_request"})
+            return
+        try:
+            payload = json.loads(self.rfile.read(length))
+            relation = _append_relation(payload, server.store.dims)
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            self._reply(400, {"error": "malformed append body (%s)" % exc,
+                              "kind": "bad_request"})
+            return
+        generation = server.append(relation)
+        self._reply(200, {"generation": generation, "rows": len(relation),
+                          "total_rows": server.store.total_rows})
 
     def _bounded_request(self):
         """Reject oversized or malformed requests before any work."""
@@ -575,9 +732,40 @@ def _answer_payload(answer):
         "cuboid": list(answer.cuboid),
         "threshold": answer.threshold,
         "source": answer.source,
+        "generation": answer.generation,
         "latency_ms": round(answer.latency_s * 1000.0, 3),
         "cells": [
             {"cell": list(cell), "count": count, "sum": value}
             for cell, (count, value) in sorted(answer.cells.items())
         ],
     }
+
+
+def _cube_payload(answer):
+    return {
+        "threshold": answer.threshold,
+        "generation": answer.generation,
+        "latency_ms": round(answer.latency_s * 1000.0, 3),
+        "cuboids": [
+            {
+                "cuboid": list(cuboid),
+                "cells": [
+                    {"cell": list(cell), "count": count, "sum": value}
+                    for cell, (count, value) in sorted(cells.items())
+                ],
+            }
+            for cuboid, cells in sorted(answer.cuboids.items())
+        ],
+    }
+
+
+def _append_relation(payload, dims):
+    """Decode a ``POST /append`` body into a :class:`Relation`."""
+    from ..data.relation import Relation
+
+    body_dims = tuple(payload.get("dims") or dims)
+    rows = [tuple(int(v) for v in row) for row in payload["rows"]]
+    measures = payload.get("measures")
+    if measures is not None:
+        measures = [float(m) for m in measures]
+    return Relation(body_dims, rows, measures)

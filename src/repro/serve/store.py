@@ -163,13 +163,28 @@ def _leaf_entry(cuboid, filename, data, index, n_cells):
 
 
 class CubeStore:
-    """Persistent, incrementally maintainable leaf-cuboid store."""
+    """Persistent, incrementally maintainable leaf-cuboid store.
+
+    A store may hold *all* leaves of its dimension set or just one
+    shard's worth (see :mod:`repro.serve.cluster`): ``build`` with
+    ``shard=(i, n)`` writes only the leaves the stable placement hash
+    assigns to shard ``i`` of ``n``, and the manifest records the
+    placement so a later open under a different sharding is refused
+    instead of silently serving the wrong subset.  ``shard`` is ``None``
+    for an unsharded store.
+    """
 
     def __init__(self, directory, manifest):
         self.directory = str(directory)
         self._check_manifest(manifest)
         self.dims = tuple(manifest["dims"])
         self._lattice = CubeLattice(self.dims)
+        shard = manifest.get("shard")
+        self.shard = ((int(shard["index"]), int(shard["of"]))
+                      if shard else None)
+        #: integrity level this store was opened at ("off" for a fresh
+        #: build); surfaced on the server's /healthz
+        self.verify_mode = "off"
         self.generation = int(manifest["generation"])
         self.total_rows = int(manifest["total_rows"])
         self.total_measure = float(manifest["total_measure"])
@@ -213,7 +228,7 @@ class CubeStore:
     # ------------------------------------------------------------------
     @classmethod
     def build(cls, relation, directory, dims=None, cluster_spec=None, cost_model=None,
-              backend="simulated"):
+              backend="simulated", shard=None):
         """Precompute the leaf cuboids of ``relation`` and persist them.
 
         Runs the same minsup-1 leaf precompute as
@@ -222,17 +237,30 @@ class CubeStore:
         aggregates the leaves over a columnar frame at machine speed
         instead of through the simulated cluster — same cells, much
         faster ingest (the CLI's default).
+
+        ``shard=(i, n)`` builds one shard of a sharded serving tier:
+        only the leaves :class:`~repro.serve.cluster.ShardMap` assigns
+        to shard ``i`` of ``n`` are computed and written, and the
+        placement is recorded in the manifest.
         """
         from ..online.materialize import LeafMaterialization
 
+        leaves = None
+        if shard is not None:
+            from .cluster import ShardMap
+
+            index, of = int(shard[0]), int(shard[1])
+            shard_map = ShardMap(tuple(dims) if dims else relation.dims, of)
+            leaves = shard_map.leaves_for(index)
+            shard = (index, of)
         materialization = LeafMaterialization(
             relation, dims=dims, cluster_spec=cluster_spec, cost_model=cost_model,
-            backend=backend,
+            backend=backend, leaves=leaves,
         )
-        return cls.from_materialization(materialization, directory)
+        return cls.from_materialization(materialization, directory, shard=shard)
 
     @classmethod
-    def from_materialization(cls, materialization, directory):
+    def from_materialization(cls, materialization, directory, shard=None):
         """Persist an in-memory :class:`LeafMaterialization` as a store."""
         directory = str(directory)
         os.makedirs(directory, exist_ok=True)
@@ -259,6 +287,7 @@ class CubeStore:
             generation=1,
             total_rows=materialization.total_rows,
             total_measure=materialization.total_measure,
+            shard=shard,
         )
         atomic_write(
             os.path.join(directory, MANIFEST),
@@ -302,6 +331,7 @@ class CubeStore:
                 ) from None
         store = cls(directory, manifest)
         store.recovery = recovery
+        store.verify_mode = verify
         if verify != "off":
             store._sweep_orphans(recovery)
             store._verify_leaves(verify, salvage, recovery)
@@ -414,6 +444,16 @@ class CubeStore:
         if not damaged:
             return
         root = self.dims
+        if root not in self._leaf_set:
+            # A shard store without the root leaf has nothing local to
+            # salvage from; its replicas are the redundancy instead.
+            leaf, reason = damaged[0]
+            raise StoreCorruptError(
+                leaf, reason + "; this shard store does not hold the root "
+                "leaf, so local salvage is impossible — rebuild the shard "
+                "or restore from a sibling replica",
+                self.directory,
+            )
         root_damage = [item for item in damaged if item[0] == root]
         if root_damage:
             leaf, reason = root_damage[0]
@@ -498,6 +538,11 @@ class CubeStore:
         candidate = cuboid + (self.dims[-1],)
         if candidate in self._leaf_set:
             return candidate
+        if self.shard is not None:
+            raise PlanError(
+                "no stored leaf covers cuboid %r on shard %d/%d (placement "
+                "assigns its covering leaf to another shard)"
+                % (cuboid, self.shard[0], self.shard[1]))
         raise PlanError("no stored leaf covers cuboid %r" % (cuboid,))
 
     def total_cells(self):
@@ -570,6 +615,32 @@ class CubeStore:
         if current is not None and threshold.qualifies(count, total):
             out[current] = (count, total)
         return out
+
+    def owned_cuboids(self):
+        """Every cuboid whose *covering leaf* this store holds.
+
+        Each stored leaf ``L`` covers exactly two cuboids whose
+        ``covering_leaf`` is ``L`` itself: ``L`` and ``L[:-1]`` (for the
+        last-dimension-only leaf that second cuboid is ``()``).  Across
+        the shards of a :class:`~repro.serve.cluster.ShardMap` these
+        sets partition the whole lattice, so a fan-out to all shards
+        covers every cuboid exactly once.
+        """
+        owned = []
+        for leaf in self.leaves:
+            owned.append(leaf)
+            owned.append(leaf[:-1])
+        return owned
+
+    def iceberg(self, minsup=1):
+        """The iceberg cube over every cuboid this store covers.
+
+        Returns ``{cuboid: {cell: (count, sum)}}`` restricted to the
+        cuboids in :meth:`owned_cuboids` — the store's share of the full
+        cube.  An unsharded store answers the entire lattice.
+        """
+        return {cuboid: self.query(cuboid, minsup=minsup)
+                for cuboid in self.owned_cuboids()}
 
     def point(self, cuboid, cell, minsup=1):
         """One cell of one cuboid: ``(count, sum)`` or ``None``.
@@ -697,6 +768,7 @@ class CubeStore:
                 generation=self.generation + 1,
                 total_rows=self.total_rows + len(relation),
                 total_measure=self.total_measure + sum(relation.measures),
+                shard=self.shard,
             )
             # Commit point: after this journal lands, the new generation
             # is durable; before it, the staged files are mere debris.
@@ -730,7 +802,7 @@ class CubeStore:
 
     @staticmethod
     def _manifest_dict(dims, leaves, entries, generation, total_rows,
-                       total_measure):
+                       total_measure, shard=None):
         return {
             "format": STORE_FORMAT,
             "format_version": STORE_FORMAT_VERSION,
@@ -738,6 +810,8 @@ class CubeStore:
             "generation": generation,
             "total_rows": total_rows,
             "total_measure": total_measure,
+            "shard": ({"index": shard[0], "of": shard[1]}
+                      if shard is not None else None),
             "leaves": [
                 {
                     "cuboid": list(leaf),
@@ -760,6 +834,7 @@ class CubeStore:
             generation=self.generation,
             total_rows=self.total_rows,
             total_measure=self.total_measure,
+            shard=self.shard,
         )
         atomic_write(
             os.path.join(self.directory, MANIFEST),
@@ -767,9 +842,11 @@ class CubeStore:
         )
 
     def __repr__(self):
-        return "CubeStore(dims=%r, leaves=%d, rows=%d, generation=%d)" % (
+        shard = (", shard=%d/%d" % self.shard) if self.shard else ""
+        return "CubeStore(dims=%r, leaves=%d, rows=%d, generation=%d%s)" % (
             self.dims,
             len(self.leaves),
             self.total_rows,
             self.generation,
+            shard,
         )

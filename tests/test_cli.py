@@ -244,3 +244,75 @@ class TestStoreAndServe:
                                 "--port", "0", "--self-test", "1"])
         assert code == 2
         assert "error:" in output
+
+
+class TestClusterCli:
+    """store build --shards, serve --shard, and the router subcommand."""
+
+    def test_sharded_build_and_shard_serve(self, sales_csv, tmp_path):
+        target = tmp_path / "cluster"
+        code, output = run_cli(["store", "build", "--csv", sales_csv,
+                                "--out", str(target), "--shards", "2"])
+        assert code == 0
+        assert "2 shards" in output
+        code, output = run_cli(["serve", "--store", str(target / "shard-0"),
+                                "--shard", "0/2", "--port", "0",
+                                "--self-test", "4"])
+        assert code == 0
+        assert "placement validated" in output
+        assert "4 HTTP queries answered" in output
+
+    def test_serve_refuses_wrong_shard_position(self, sales_csv, tmp_path):
+        target = tmp_path / "cluster"
+        run_cli(["store", "build", "--csv", sales_csv,
+                 "--out", str(target), "--shards", "2"])
+        code, output = run_cli(["serve", "--store", str(target / "shard-0"),
+                                "--shard", "1/2", "--port", "0",
+                                "--self-test", "1"])
+        assert code == 2
+        assert "error:" in output
+
+    def test_serve_rejects_malformed_shard_spec(self, sales_csv, tmp_path):
+        target = tmp_path / "mono"
+        run_cli(["store", "build", "--csv", sales_csv, "--out", str(target)])
+        code, output = run_cli(["serve", "--store", str(target),
+                                "--shard", "banana", "--port", "0",
+                                "--self-test", "1"])
+        assert code == 2
+        assert "I/N" in output
+
+    def test_router_requires_a_shard(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["router"])
+
+    def test_router_self_test_end_to_end(self, sales_csv, tmp_path):
+        import re
+        import threading
+
+        target = tmp_path / "cluster"
+        run_cli(["store", "build", "--csv", sales_csv,
+                 "--out", str(target), "--shards", "2"])
+        # Two replica servers on ephemeral ports, run in threads via the
+        # CLI itself (endpoint.join() blocks until closed).
+        from repro.serve import CubeServer, CubeStore
+
+        servers, urls = [], []
+        for shard in range(2):
+            store = CubeStore.open(str(target / ("shard-%d" % shard)))
+            server = CubeServer(store)
+            endpoint = server.serve_http(port=0)
+            servers.append((server, store, endpoint))
+            urls.append(endpoint.url)
+        try:
+            code, output = run_cli(["router", "--shard", urls[0],
+                                    "--shard", urls[1], "--port", "0",
+                                    "--self-test", "5"])
+            assert code == 0
+            assert "routing 2 shard(s)" in output
+            assert re.search(r"5 routed queries answered", output)
+            assert "cluster health   : ok" in output
+        finally:
+            for server, store, endpoint in servers:
+                endpoint.close()
+                server.close()
+                store.close()

@@ -1,0 +1,485 @@
+"""The sharded serving tier: shard map, replica client, cube router."""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.request import Request, urlopen
+
+import pytest
+
+from repro.core.naive import naive_cuboid
+from repro.data import Relation, zipf_relation
+from repro.errors import (
+    GenerationSkewError,
+    PlanError,
+    ReplicaError,
+    SchemaError,
+    ShardUnavailableError,
+)
+from repro.lattice.lattice import CubeLattice
+from repro.online.materialize import leaf_cuboids
+from repro.serve import (
+    CircuitBreaker,
+    CubeRouter,
+    CubeServer,
+    CubeStore,
+    ReplicaClient,
+    ShardMap,
+    stable_shard_hash,
+)
+
+DIMS = ("A", "B", "C", "D")
+
+
+def oracle(relation, cuboid, minsup):
+    return {
+        cell: agg
+        for cell, agg in naive_cuboid(relation, cuboid).items()
+        if agg[0] >= minsup
+    }
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return zipf_relation(400, dims=DIMS, cardinalities=(3, 4, 5, 6), seed=11)
+
+
+# ----------------------------------------------------------------------
+# stable placement hash
+# ----------------------------------------------------------------------
+class TestStableShardHash:
+    def test_golden_values(self):
+        # Hard-coded digests: placement must never move between
+        # releases, interpreters, or PYTHONHASHSEED values.  If this
+        # test fails, every deployed shard store is misplaced.
+        assert stable_shard_hash(("A", "C")) == 1378977737794177289
+        assert stable_shard_hash(("B", "C")) == 8676957610916005946
+        assert stable_shard_hash(("C",)) == 7321326824121056267
+        assert stable_shard_hash(("A", "B", "C")) == 7246433988025455002
+
+    def test_stable_across_hash_randomization(self):
+        # Run the same hash in subprocesses with different
+        # PYTHONHASHSEED values: builtin hash() would differ, ours
+        # must not.
+        code = ("import sys; sys.path.insert(0, %r); "
+                "from repro.serve.cluster import stable_shard_hash; "
+                "print(stable_shard_hash(('A', 'B', 'D')))"
+                % os.path.join(os.path.dirname(__file__), "..", "src"))
+        outputs = set()
+        for seed in ("0", "1", "424242"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            outputs.add(subprocess.run(
+                [sys.executable, "-c", code], env=env, capture_output=True,
+                text=True, check=True).stdout.strip())
+        assert len(outputs) == 1
+
+    def test_distinct_leaves_distinct_hashes(self):
+        leaves = leaf_cuboids(DIMS)
+        hashes = {stable_shard_hash(leaf) for leaf in leaves}
+        assert len(hashes) == len(leaves)
+
+
+# ----------------------------------------------------------------------
+# shard map invariants
+# ----------------------------------------------------------------------
+class TestShardMap:
+    @pytest.mark.parametrize("n_shards", [1, 2, 3, 5, 8])
+    def test_partition_is_complete_and_disjoint(self, n_shards):
+        shard_map = ShardMap(DIMS, n_shards)
+        seen = {}
+        for shard in range(n_shards):
+            for leaf in shard_map.leaves_for(shard):
+                assert leaf not in seen, "leaf %r on two shards" % (leaf,)
+                seen[leaf] = shard
+        assert set(seen) == set(leaf_cuboids(DIMS))
+        assert sum(shard_map.counts()) == len(shard_map.leaves)
+
+    @pytest.mark.parametrize("n_shards", [1, 3, 4])
+    def test_every_cuboid_maps_to_exactly_one_shard(self, n_shards):
+        shard_map = ShardMap(DIMS, n_shards)
+        lattice = CubeLattice(DIMS)
+        owned = {shard: set() for shard in range(n_shards)}
+        for shard in range(n_shards):
+            for leaf in shard_map.leaves_for(shard):
+                owned[shard].add(leaf)
+                owned[shard].add(leaf[:-1])
+        all_cuboids = list(lattice.cuboids(include_all=False)) + [()]
+        for cuboid in all_cuboids:
+            shard = shard_map.shard_of(cuboid)
+            assert 0 <= shard < n_shards
+            # the owning shard is the one holding its covering leaf...
+            assert cuboid in owned[shard]
+            # ...and no other shard holds it
+            holders = [s for s in owned if cuboid in owned[s]]
+            assert holders == [shard]
+
+    def test_shard_of_ignores_given_order(self):
+        shard_map = ShardMap(DIMS, 3)
+        assert shard_map.shard_of(("C", "A")) == shard_map.shard_of(("A", "C"))
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(PlanError):
+            ShardMap(DIMS, 0)
+        with pytest.raises(PlanError):
+            ShardMap((), 2)
+        with pytest.raises(PlanError):
+            ShardMap(DIMS, 2).leaves_for(7)
+
+    def test_validate_store_accepts_matching_shard(self, relation, tmp_path):
+        shard_map = ShardMap(DIMS, 3)
+        store = CubeStore.build(relation, tmp_path / "s2", backend="local",
+                                shard=(2, 3))
+        shard_map.validate_store(store, 2)
+        store.close()
+
+    def test_validate_store_refuses_reshard(self, relation, tmp_path):
+        # Built as 2/3 but served under a 4-shard map: the placement
+        # moved, so serving it would silently misroute — refuse.
+        store = CubeStore.build(relation, tmp_path / "s", backend="local",
+                                shard=(2, 3))
+        with pytest.raises(PlanError, match="rebuild"):
+            ShardMap(DIMS, 4).validate_store(store, 2)
+        with pytest.raises(PlanError):
+            ShardMap(DIMS, 3).validate_store(store, 1)
+        store.close()
+
+    def test_validate_store_refuses_unsharded(self, relation, tmp_path):
+        store = CubeStore.build(relation, tmp_path / "mono", backend="local")
+        with pytest.raises(PlanError, match="unsharded"):
+            ShardMap(DIMS, 3).validate_store(store, 0)
+        store.close()
+
+    def test_validate_store_refuses_wrong_dims(self, relation, tmp_path):
+        store = CubeStore.build(relation, tmp_path / "s", backend="local",
+                                shard=(0, 2))
+        with pytest.raises(SchemaError):
+            ShardMap(("A", "B", "C"), 2).validate_store(store, 0)
+        store.close()
+
+    def test_shard_recorded_in_manifest_survives_reopen(self, relation,
+                                                        tmp_path):
+        CubeStore.build(relation, tmp_path / "s", backend="local",
+                        shard=(1, 3)).close()
+        store = CubeStore.open(tmp_path / "s")
+        assert store.shard == (1, 3)
+        expected = frozenset(ShardMap(DIMS, 3).leaves_for(1))
+        assert frozenset(store.leaves) == expected
+        store.close()
+
+
+# ----------------------------------------------------------------------
+# replica client error taxonomy
+# ----------------------------------------------------------------------
+class _CannedHandler(BaseHTTPRequestHandler):
+    """Answers every GET with the server's configured status/body."""
+
+    def do_GET(self):  # noqa: N802 - http.server naming
+        status, payload = self.server.canned
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args):
+        pass
+
+
+def _canned_server(status, payload):
+    httpd = ThreadingHTTPServer(("127.0.0.1", 0), _CannedHandler)
+    httpd.canned = (status, payload)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    return httpd
+
+
+class TestReplicaClient:
+    def test_5xx_is_replica_error(self):
+        httpd = _canned_server(503, {"error": "shedding"})
+        try:
+            client = ReplicaClient("http://127.0.0.1:%d" % httpd.server_port)
+            with pytest.raises(ReplicaError) as info:
+                client.get_json("/query")
+            assert info.value.status == 503
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+
+    def test_4xx_is_permanent_plan_error(self):
+        httpd = _canned_server(400, {"error": "bad cuboid"})
+        try:
+            client = ReplicaClient("http://127.0.0.1:%d" % httpd.server_port)
+            with pytest.raises(PlanError, match="bad cuboid"):
+                client.get_json("/query")
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+
+    def test_connection_refused_is_replica_error(self):
+        client = ReplicaClient("http://127.0.0.1:1", timeout_s=0.5)
+        with pytest.raises(ReplicaError):
+            client.get_json("/healthz")
+
+
+# ----------------------------------------------------------------------
+# the router over a real in-process cluster
+# ----------------------------------------------------------------------
+N_SHARDS, N_REPLICAS = 3, 2
+
+
+class Cluster:
+    """3 shards x 2 replicas of real CubeServers over HTTP, each replica
+    on its own copy of the shard store (replicas do not share disks)."""
+
+    def __init__(self, relation, root):
+        self.relation = relation
+        self.endpoints = {}  # (shard, replica) -> HttpEndpoint
+        self.servers = {}
+        urls = []
+        for shard in range(N_SHARDS):
+            built = os.path.join(root, "build-%d" % shard)
+            CubeStore.build(relation, built, backend="local",
+                            shard=(shard, N_SHARDS)).close()
+            replica_urls = []
+            for replica in range(N_REPLICAS):
+                directory = os.path.join(root, "shard-%d-r%d"
+                                         % (shard, replica))
+                shutil.copytree(built, directory)
+                server = CubeServer(CubeStore.open(directory))
+                endpoint = server.serve_http()
+                self.servers[(shard, replica)] = server
+                self.endpoints[(shard, replica)] = endpoint
+                replica_urls.append(endpoint.url)
+            urls.append(replica_urls)
+        self.urls = urls
+
+    def kill(self, shard, replica):
+        self.endpoints.pop((shard, replica)).close()
+
+    def close(self):
+        for endpoint in self.endpoints.values():
+            endpoint.close()
+        for server in self.servers.values():
+            server.close()
+            server.store.close()
+
+
+@pytest.fixture
+def cluster(relation, tmp_path):
+    cluster = Cluster(relation, str(tmp_path))
+    yield cluster
+    cluster.close()
+
+
+def make_router(cluster, **kwargs):
+    kwargs.setdefault("timeout_s", 5.0)
+    return CubeRouter(cluster.urls, **kwargs)
+
+
+class TestRouterQueries:
+    def test_query_matches_oracle_and_names_its_shard(self, cluster, relation):
+        with make_router(cluster) as router:
+            for cuboid in [("A",), ("B", "D"), ("A", "B", "C", "D"), ("C",)]:
+                answer = router.query(cuboid, minsup=2)
+                assert answer.cells == oracle(relation, cuboid, 2)
+                assert answer.shard == router.shard_for(cuboid)
+                assert answer.generation == 1
+                assert answer.failovers == 0
+
+    def test_point_lookup(self, cluster, relation):
+        with make_router(cluster) as router:
+            full = oracle(relation, ("A", "B"), 1)
+            cell = sorted(full)[0]
+            answer = router.point(("A", "B"), cell)
+            assert answer.cells == {cell: full[cell]}
+
+    def test_cube_merges_every_cuboid_at_one_generation(self, cluster,
+                                                        relation):
+        with make_router(cluster) as router:
+            answer = router.cube(minsup=3)
+            assert answer.generation == 1
+            lattice = CubeLattice(DIMS)
+            expected_cuboids = {c for c in lattice.cuboids(include_all=False)}
+            expected_cuboids.add(())
+            assert set(answer.cuboids) == expected_cuboids
+            for cuboid, cells in answer.cuboids.items():
+                assert cells == oracle(relation, cuboid, 3), cuboid
+
+    def test_append_reaches_every_replica_then_cube_converges(
+            self, cluster, relation):
+        delta = Relation(DIMS, [(0, 0, 0, 0), (1, 1, 1, 1)], [5.0, 7.0])
+        merged = Relation(DIMS, list(relation.rows) + list(delta.rows),
+                          list(relation.measures) + list(delta.measures))
+        with make_router(cluster) as router:
+            summary = router.append(delta)
+            assert summary["applied"] == N_SHARDS * N_REPLICAS
+            answer = router.cube(minsup=3)
+            assert answer.generation == 2
+            for cuboid, cells in answer.cuboids.items():
+                assert cells == oracle(merged, cuboid, 3), cuboid
+
+
+class TestRouterFailover:
+    def test_replica_death_fails_over_to_sibling(self, cluster, relation):
+        with make_router(cluster) as router:
+            shard = router.shard_for(("A",))
+            cluster.kill(shard, 0)
+            # Every query must still be answered correctly; round-robin
+            # guarantees the dead replica is attempted within two calls.
+            failovers = 0
+            for _ in range(4):
+                answer = router.query(("A",), minsup=2)
+                assert answer.cells == oracle(relation, ("A",), 2)
+                failovers += answer.failovers
+            assert failovers >= 1
+
+    def test_whole_shard_down_is_structured_503(self, cluster):
+        with make_router(cluster) as router:
+            shard = router.shard_for(("A",))
+            router._ensure_map()
+            for replica in range(N_REPLICAS):
+                cluster.kill(shard, replica)
+            with pytest.raises(ShardUnavailableError) as info:
+                router.query(("A",), minsup=2)
+            assert info.value.shard == shard
+            # Other shards keep answering: degradation is partial.
+            other = next(c for c in [("A",), ("B",), ("C",), ("D",)]
+                         if router.shard_for(c) != shard)
+            assert router.query(other).cells
+
+    def test_open_breaker_takes_replica_out_of_rotation(self, cluster,
+                                                        relation):
+        with make_router(
+                cluster,
+                breaker_factory=lambda: CircuitBreaker(
+                    failure_threshold=1, reset_after_s=60.0)) as router:
+            shard = router.shard_for(("A",))
+            cluster.kill(shard, 0)
+            for _ in range(4):
+                router.query(("A",), minsup=2)
+            # One failure tripped the breaker; later calls skip the dead
+            # replica without re-dialling it.
+            assert router.breakers[(shard, 0)].state == "open"
+            answer = router.query(("A",), minsup=2)
+            assert answer.failovers == 0
+            assert answer.cells == oracle(relation, ("A",), 2)
+
+    def test_health_sweep_reports_down_replica(self, cluster):
+        with make_router(cluster) as router:
+            cluster.kill(1, 0)
+            snapshot = router.check_health()
+            assert snapshot[(1, 0)]["status"] == "down"
+            assert snapshot[(1, 1)]["status"] == "ok"
+            health = router.health()
+            assert health["status"] == "ok"  # a sibling still serves shard 1
+            assert health["shards"][1]["up"] == 1
+
+    def test_append_fails_when_whole_shard_down(self, cluster):
+        with make_router(cluster) as router:
+            router._ensure_map()
+            for replica in range(N_REPLICAS):
+                cluster.kill(0, replica)
+            with pytest.raises(ShardUnavailableError) as info:
+                router.append(Relation(DIMS, [(0, 0, 0, 0)], [1.0]))
+            assert info.value.shard == 0
+
+
+class TestGenerationPinning:
+    def test_skewed_shard_is_requeried_until_pinned(self, cluster, relation):
+        delta = Relation(DIMS, [(2, 2, 2, 2)], [3.0])
+        merged = Relation(DIMS, list(relation.rows) + list(delta.rows),
+                          list(relation.measures) + [3.0])
+        with make_router(cluster) as router:
+            router._ensure_map()
+            # Sneak an append onto shard 0's replicas behind the
+            # router's back: the cluster is now generation-skewed.
+            for replica in range(N_REPLICAS):
+                cluster.servers[(0, replica)].append(delta)
+            # The fan-out sees {2, 1, 1}; it must refuse to merge.
+            with pytest.raises(GenerationSkewError) as info:
+                router.cube(minsup=3)
+            assert set(info.value.generations) == {1, 2}
+            # Once the other shards catch up the same fan-out converges.
+            for shard in (1, 2):
+                for replica in range(N_REPLICAS):
+                    cluster.servers[(shard, replica)].append(delta)
+            answer = router.cube(minsup=3)
+            assert answer.generation == 2
+            for cuboid, cells in answer.cuboids.items():
+                assert cells == oracle(merged, cuboid, 3), cuboid
+
+    def test_single_shard_answers_are_single_generation(self, cluster):
+        # A point/query answer carries exactly one generation by
+        # construction — the replica's verified read.
+        with make_router(cluster) as router:
+            answer = router.query(("B",))
+            assert isinstance(answer.generation, int)
+
+
+class TestRouterValidation:
+    def test_misplaced_replica_is_refused(self, cluster):
+        # Swap two shards' URL lists: the bootstrap health check sees a
+        # replica reporting the wrong placement and refuses to route.
+        swapped = [cluster.urls[1], cluster.urls[0], cluster.urls[2]]
+        with CubeRouter(swapped, timeout_s=5.0) as router:
+            with pytest.raises(PlanError, match="re-sharding|reports"):
+                router.query(("A",))
+
+    def test_rejects_empty_topology(self):
+        with pytest.raises(PlanError):
+            CubeRouter([])
+        with pytest.raises(PlanError):
+            CubeRouter([[]])
+
+
+class TestRouterHTTP:
+    def test_http_surface(self, cluster, relation):
+        with make_router(cluster) as router:
+            endpoint = router.serve_http()
+            base = endpoint.url
+            with urlopen(base + "/query?cuboid=A,B&minsup=2") as response:
+                payload = json.loads(response.read())
+            cells = {tuple(e["cell"]): (e["count"], e["sum"])
+                     for e in payload["cells"]}
+            assert cells == oracle(relation, ("A", "B"), 2)
+            assert payload["generation"] == 1
+            with urlopen(base + "/cube?minsup=4") as response:
+                cube = json.loads(response.read())
+            assert cube["generation"] == 1
+            assert len(cube["cuboids"]) == 16
+            with urlopen(base + "/healthz") as response:
+                health = json.loads(response.read())
+            assert health["status"] == "ok"
+            assert health["n_shards"] == N_SHARDS
+            with urlopen(base + "/metrics") as response:
+                metrics = response.read().decode()
+            assert "repro_router_requests_total" in metrics
+
+    def test_http_append_and_shard_unavailable(self, cluster):
+        with make_router(cluster) as router:
+            endpoint = router.serve_http()
+            body = json.dumps({"dims": list(DIMS),
+                               "rows": [[0, 1, 2, 3]],
+                               "measures": [2.5]}).encode()
+            request = Request(endpoint.url + "/append", data=body,
+                              headers={"Content-Type": "application/json"})
+            with urlopen(request) as response:
+                summary = json.loads(response.read())
+            assert summary["applied"] == N_SHARDS * N_REPLICAS
+            shard = router.shard_for(("A",))
+            for replica in range(N_REPLICAS):
+                cluster.kill(shard, replica)
+            try:
+                urlopen(endpoint.url + "/query?cuboid=A")
+            except Exception as exc:
+                assert exc.code == 503
+                detail = json.loads(exc.read())
+                assert detail["kind"] == "shard_unavailable"
+                assert detail["shard"] == shard
+            else:  # pragma: no cover
+                pytest.fail("expected a structured 503")

@@ -759,3 +759,218 @@ class TestHttpHardening:
         finally:
             release.set()
             server.close()
+
+
+class TestQueryCacheWatermark:
+    """The check-then-act race: an insert computed before an append must
+    never land in the cache after it."""
+
+    def test_put_below_watermark_is_refused(self):
+        cache = QueryCache(capacity=4)
+        cache.advance(3)
+        cache.put(("A",), 1, 2, "stale")
+        assert len(cache) == 0
+        assert cache.stats()["stale_rejections"] == 1
+        cache.put(("A",), 1, 3, "fresh")
+        assert cache.get(("A",), 1, 3) == "fresh"
+
+    def test_advance_is_monotonic(self):
+        cache = QueryCache(capacity=4)
+        cache.advance(5)
+        cache.advance(2)  # never lowers
+        assert cache.stats()["watermark"] == 5
+
+    def test_never_overwrites_a_fresher_entry(self):
+        cache = QueryCache(capacity=4)
+        cache.put(("A",), 1, 4, "new")
+        cache.put(("A",), 1, 3, "old")  # late writer with an older answer
+        assert cache.get(("A",), 1, 4) == "new"
+        assert cache.stats()["stale_rejections"] == 1
+
+    def test_barrier_forced_interleaving(self):
+        # Deterministically force the race: a reader captures generation
+        # 1, an append advances the watermark to 2 *while the reader's
+        # answer is still in flight*, then the reader inserts.  The
+        # stale insert must vanish, under both the old and the new key.
+        cache = QueryCache(capacity=8)
+        cache.advance(1)
+        barrier = threading.Barrier(2)
+
+        def late_writer():
+            generation = 1  # read before the append committed
+            barrier.wait()  # ... append happens here ...
+            barrier.wait()
+            cache.put(("A", "B"), 2, generation, {"cell": "stale"})
+
+        thread = threading.Thread(target=late_writer)
+        thread.start()
+        barrier.wait()
+        cache.advance(2)  # the append commits and bumps the watermark
+        barrier.wait()
+        thread.join(timeout=5.0)
+        assert cache.get(("A", "B"), 2, 1) is None
+        assert cache.get(("A", "B"), 2, 2) is None
+        assert len(cache) == 0
+        assert cache.stats()["stale_rejections"] == 1
+
+
+class TestGenerationVerifiedReads:
+    """The server's double-read protocol: answers carry the generation
+    they were verified against, and an append mid-query forces a retry
+    rather than a mislabeled or cache-poisoning answer."""
+
+    def test_answers_carry_generation(self, store):
+        server = CubeServer(store)
+        try:
+            assert server.query(("A",), minsup=2).generation == 1
+            from repro.data import Relation
+            server.append(Relation(store.dims, [(0, 0, 0, 0)], [1.0]))
+            answer = server.query(("A",), minsup=2)
+            assert answer.generation == 2
+            assert server.cache.stats()["watermark"] == 2
+        finally:
+            server.close()
+
+    def test_append_during_query_retries_to_new_generation(
+            self, small_skewed, store):
+        from repro.data import Relation
+
+        server = CubeServer(store, cache_size=8)
+        entered = threading.Event()
+        release = threading.Event()
+        original = store.query
+        first = []
+
+        def slow_query(cuboid, minsup=1):
+            result = original(cuboid, minsup=minsup)
+            if not first:  # only the first call blocks
+                first.append(1)
+                entered.set()
+                release.wait(10.0)
+            return result
+
+        store.query = slow_query
+        delta = Relation(store.dims, [(0, 0, 0, 0), (1, 1, 1, 1)],
+                         [5.0, 7.0])
+        merged_rows = list(small_skewed.rows) + list(delta.rows)
+        merged = Relation(store.dims, merged_rows,
+                          list(small_skewed.measures) + [5.0, 7.0])
+        try:
+            with ThreadPoolExecutor(max_workers=1) as pool:
+                future = pool.submit(server.query, ("A", "B"), 2)
+                assert entered.wait(10.0)
+                server.append(delta)  # lands while the query is in flight
+                release.set()
+                answer = future.result(timeout=10.0)
+            # The in-flight query was re-verified: it answers the *new*
+            # generation with the *new* data, not a stale hybrid.
+            assert answer.generation == 2
+            assert answer.cells == oracle(merged, ("A", "B"), 2)
+            # ... and the cache holds nothing stale.
+            hit = server.cache.get(server.store.canonical(("A", "B")),
+                                   2, 2)
+            assert hit is None or hit == answer.cells
+        finally:
+            store.query = original
+            server.close()
+
+    def test_iceberg_share_is_one_generation(self, store, small_skewed):
+        server = CubeServer(store)
+        try:
+            answer = server.iceberg(minsup=3)
+            assert answer.generation == 1
+            assert set(answer.cuboids) == set(store.owned_cuboids())
+            for cuboid, cells in answer.cuboids.items():
+                assert cells == oracle(small_skewed, cuboid, 3), cuboid
+        finally:
+            server.close()
+
+
+class TestClusterHttpSurface:
+    """The endpoint additions the router rides on: enriched /healthz,
+    GET /cube and POST /append."""
+
+    @pytest.fixture
+    def endpoint(self, store):
+        server = CubeServer(store, max_workers=4)
+        endpoint = server.serve_http(port=0)
+        yield endpoint, server
+        server.close()
+
+    def _get(self, endpoint, path):
+        with urlopen(endpoint.url + path) as response:
+            return response.status, json.loads(response.read())
+
+    def test_healthz_reports_generation_verify_and_shard(self, endpoint):
+        endpoint, server = endpoint
+        _status, payload = self._get(endpoint, "/healthz")
+        assert payload["generation"] == server.store.generation
+        assert payload["verify"] == "off"  # freshly built, never verified
+        assert payload["shard"] is None  # monolithic store
+        assert tuple(payload["dims"]) == server.store.dims
+        assert payload["leaves"] == len(server.store.leaves)
+        assert payload["breaker"] == "closed"
+
+    def test_healthz_reports_open_verify_mode(self, store, tmp_path):
+        reopened = CubeStore.open(store.directory, verify="full")
+        server = CubeServer(reopened)
+        try:
+            assert server.health()["verify"] == "full"
+        finally:
+            server.close()
+            reopened.close()
+
+    def test_healthz_names_the_shard(self, small_skewed, tmp_path):
+        store = CubeStore.build(small_skewed, tmp_path / "sharded",
+                                backend="local", shard=(1, 2))
+        server = CubeServer(store)
+        try:
+            assert server.health()["shard"] == {"index": 1, "of": 2}
+        finally:
+            server.close()
+            store.close()
+
+    def test_query_payload_carries_generation(self, endpoint):
+        endpoint, _server = endpoint
+        _status, payload = self._get(endpoint, "/query?cuboid=A&minsup=2")
+        assert payload["generation"] == 1
+
+    def test_cube_endpoint(self, small_skewed, endpoint):
+        endpoint, server = endpoint
+        status, payload = self._get(endpoint, "/cube?minsup=3")
+        assert status == 200
+        assert payload["generation"] == 1
+        assert len(payload["cuboids"]) == len(server.store.owned_cuboids())
+        for entry in payload["cuboids"]:
+            cells = {tuple(e["cell"]): (e["count"], e["sum"])
+                     for e in entry["cells"]}
+            assert cells == oracle(small_skewed, tuple(entry["cuboid"]), 3)
+
+    def test_post_append(self, small_skewed, endpoint):
+        from urllib.request import Request
+
+        endpoint, server = endpoint
+        body = json.dumps({"dims": list(server.store.dims),
+                           "rows": [[0, 0, 0, 0], [1, 1, 1, 1]],
+                           "measures": [5.0, 7.0]}).encode()
+        request = Request(endpoint.url + "/append", data=body,
+                          headers={"Content-Type": "application/json"})
+        with urlopen(request) as response:
+            payload = json.loads(response.read())
+        assert payload["generation"] == 2
+        assert payload["rows"] == 2
+        assert payload["total_rows"] == len(small_skewed) + 2
+        _status, answer = self._get(endpoint, "/query?cuboid=A&minsup=2")
+        assert answer["generation"] == 2
+
+    def test_post_append_malformed_is_400(self, endpoint):
+        import urllib.error
+        from urllib.request import Request
+
+        endpoint, _server = endpoint
+        request = Request(endpoint.url + "/append", data=b"{not json",
+                          headers={"Content-Type": "application/json"})
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urlopen(request)
+        assert info.value.code == 400
+        assert json.loads(info.value.read())["kind"] == "bad_request"
