@@ -1,0 +1,7 @@
+"""Extension: one-round MapReduce backend vs PT-style subtree tasks."""
+
+from repro.bench.mrbench import ext_mapreduce
+
+
+def test_ext_mapreduce(run_experiment):
+    run_experiment(ext_mapreduce)

@@ -40,6 +40,7 @@ from ..data.weather import PAPER_CUBE_TUPLES, baseline_dims, dims_by_cardinality
 from ..parallel import AHT, ASL, BPP, PT, RP
 from .harness import ExperimentResult, scaled
 from .kernelbench import ext_kernel_throughput
+from .mrbench import ext_mapreduce
 
 
 def _default_tuples(minimum=3000):
@@ -505,4 +506,5 @@ ALL_EXTENSIONS = (
     ext_fault_tolerance,
     ext_serving,
     ext_kernel_throughput,
+    ext_mapreduce,
 )

@@ -50,6 +50,7 @@ registry at ``GET /metrics``::
 import argparse
 import sys
 
+from .backends import backend_names, resolve_backend
 from .cluster.spec import cluster1, cluster2, cluster3, paper_cluster
 from .core.export import save_cube
 from .core.thresholds import AndThreshold, CountThreshold, SumThreshold
@@ -79,11 +80,10 @@ def build_parser():
                           help="compute a full iceberg cube")
     _add_input_options(cube)
     _add_threshold_options(cube)
-    cube.add_argument("--backend", default="simulated",
-                      choices=["simulated", "local"],
-                      help="'simulated' reproduces the paper's cluster "
-                           "timings; 'local' computes with a real process "
-                           "pool over the columnar kernel (default: simulated)")
+    cube.add_argument("--backend", default="simulated", metavar="NAME",
+                      help="compute backend: %s (default: simulated; "
+                           "unknown names fail listing the choices)"
+                           % ", ".join(backend_names("cube")))
     cube.add_argument("--algorithm", default="pt",
                       choices=["rp", "bpp", "asl", "pt", "aht"],
                       help="parallel algorithm (default: pt, the recipe's default)")
@@ -119,6 +119,7 @@ def build_parser():
                       help="local backend: declare a batch hung after this many "
                            "seconds without any pool progress and retry it "
                            "elsewhere (default 300)")
+    _add_mr_options(cube)
     _add_obs_options(cube)
 
     query = sub.add_parser("query", help="answer one iceberg group-by")
@@ -145,12 +146,15 @@ def build_parser():
     _add_input_options(build)
     build.add_argument("--out", required=True, metavar="DIR",
                        help="directory to write the store under")
-    build.add_argument("--backend", default="local",
-                       choices=["simulated", "local"],
-                       help="leaf precompute backend: 'local' aggregates "
-                            "over the columnar kernel at machine speed "
-                            "(default), 'simulated' runs the paper's "
-                            "cluster model")
+    build.add_argument("--backend", default="local", metavar="NAME",
+                       help="leaf precompute backend: %s (default: local; "
+                            "'mapreduce' streams splits through a "
+                            "spill-to-disk shuffle for inputs larger than "
+                            "RAM)" % ", ".join(backend_names("store-build")))
+    build.add_argument("--workers", type=int, default=None,
+                       help="mapreduce backend: worker processes "
+                            "(default: CPU count, capped at 8)")
+    _add_mr_options(build)
     build.add_argument("--processors", type=int, default=8)
     build.add_argument("--cluster", default="cluster1", choices=sorted(CLUSTERS))
     build.add_argument("--shards", type=int, default=None, metavar="N",
@@ -288,6 +292,31 @@ def _add_threshold_options(parser):
                         help="HAVING SUM(measure) >= S (combines with --minsup)")
 
 
+def _add_mr_options(parser):
+    parser.add_argument("--mr-reducers", type=int, default=None, metavar="N",
+                        help="mapreduce backend: reducer partitions owning "
+                             "lattice regions (default: the worker count)")
+    parser.add_argument("--mr-memory-budget", default=None, metavar="BYTES",
+                        help="mapreduce backend: per-mapper combine-table "
+                             "budget before spilling sorted runs to disk; "
+                             "accepts k/m/g suffixes, e.g. 64m (default 64m)")
+
+
+def parse_bytes(text):
+    """Parse a byte count like ``64m``, ``1g`` or ``65536``."""
+    body = str(text).strip().lower()
+    multiplier = 1
+    if body and body[-1] in "kmg":
+        multiplier = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}[body[-1]]
+        body = body[:-1]
+    try:
+        return int(float(body) * multiplier)
+    except ValueError:
+        raise ReproError(
+            "bad byte count %r; expected e.g. 65536, 64m or 1g" % (text,)
+        ) from None
+
+
 def _load_relation(args):
     if args.csv:
         relation = load_csv(args.csv)
@@ -300,6 +329,28 @@ def _load_relation(args):
     else:
         dims = None
     return weather_relation(args.weather, dims=dims), None
+
+
+def _load_stream(args):
+    """Streaming input for the mapreduce backend.
+
+    Weather and synthetic inputs come as regenerable row splits that
+    never materialize the relation; CSV inputs are loaded (they are on
+    disk already) and wrapped split by split.
+    """
+    from .data.stream import stream_from_relation, weather_stream
+
+    if args.csv:
+        relation = load_csv(args.csv)
+        dims = tuple(args.dims.split(",")) if args.dims else None
+        return stream_from_relation(relation, dims=dims)
+    if args.dims and args.dims.isdigit():
+        dims = baseline_dims(int(args.dims))
+    elif args.dims:
+        dims = tuple(args.dims.split(","))
+    else:
+        dims = None
+    return weather_stream(args.weather, dims=dims)
 
 
 def parse_fault_spec(spec):
@@ -359,10 +410,13 @@ def _decode_cell(relation, dims, cell):
 
 def cmd_cube(args, out):
     """Compute a full iceberg cube and print a summary (optionally export)."""
-    relation, dims = _load_relation(args)
+    resolve_backend(args.backend, require={"cube"})
     threshold = _threshold(args)
     active = _setup_obs(args)
     try:
+        if args.backend == "mapreduce":
+            return _cmd_cube_mapreduce(args, threshold, out)
+        relation, dims = _load_relation(args)
         if args.backend == "local":
             return _cmd_cube_local(args, relation, dims, threshold, out)
         return _cmd_cube_simulated(args, relation, dims, threshold, out)
@@ -445,6 +499,55 @@ def _cmd_cube_local(args, relation, dims, threshold, out):
     return 0
 
 
+def _cmd_cube_mapreduce(args, threshold, out):
+    """The ``--backend mapreduce`` path: one shuffle round, real disk."""
+    from .mr import mapreduce_iceberg_cube
+
+    stream = _load_stream(args)
+    fault_plan = parse_fault_spec(args.faults) if args.faults else None
+    budget = (parse_bytes(args.mr_memory_budget)
+              if args.mr_memory_budget else None)
+    result = mapreduce_iceberg_cube(
+        stream, minsup=threshold, workers=args.workers,
+        reducers=args.mr_reducers, memory_budget=budget,
+        fault_plan=fault_plan, batch_timeout=args.batch_timeout,
+    )
+    if args.self_test:
+        _oracle_check(stream.materialize(), None, threshold, result, out)
+    stats = result.mr_stats
+    print("backend          : mapreduce (one round, spill-to-disk shuffle)",
+          file=out)
+    print("input            : %d tuples in %d splits, dims %s"
+          % (stream.n_rows, len(stream.splits), ", ".join(result.dims)),
+          file=out)
+    print("threshold        : HAVING %s" % threshold.describe(), file=out)
+    print("map phase        : %d tasks, %d spills, %.1f KB shuffled in %.3f s"
+          % (stats.map_tasks, stats.spills, stats.spill_bytes / 1024,
+             stats.map_seconds), file=out)
+    print("reduce phase     : %d tasks, %d runs merged in %.3f s"
+          % (stats.reduce_tasks, stats.runs_merged, stats.reduce_seconds),
+          file=out)
+    print("qualifying cells : %d in %d cuboids"
+          % (result.total_cells(), len(result.cuboids)), file=out)
+    print("output volume    : %.1f KB" % (result.output_bytes() / 1024),
+          file=out)
+    if fault_plan is not None:
+        for phase, recovery in (("map", stats.map_recovery),
+                                ("reduce", stats.reduce_recovery)):
+            print("%s recovery     %s: %d retries, %d pool respawns, %d worker "
+                  "crashes, %d stalls"
+                  % (phase, " " * (6 - len(phase)), recovery.retries,
+                     recovery.respawns, recovery.worker_crashes,
+                     recovery.stalls), file=out)
+        print("orphans swept    : %d spill files" % stats.orphan_files_swept,
+              file=out)
+    if args.export:
+        manifest = save_cube(result, args.export)
+        print("exported         : %d cuboid files under %s"
+              % (len(manifest["cuboids"]), args.export), file=out)
+    return 0
+
+
 def _oracle_check(relation, dims, threshold, result, out):
     """Validate ``result`` cell-for-cell against the naive oracle."""
     from .core.naive import naive_iceberg_cube
@@ -516,10 +619,13 @@ def cmd_store(args, out):
     """Build a persistent cube store from an input relation."""
     from .serve import CubeStore
 
-    relation, dims = _load_relation(args)
-    cluster = CLUSTERS[args.cluster](args.processors)
+    resolve_backend(args.backend, require={"store-build"})
     active = _setup_obs(args)
     try:
+        if args.backend == "mapreduce":
+            return _cmd_store_mapreduce(args, out)
+        relation, dims = _load_relation(args)
+        cluster = CLUSTERS[args.cluster](args.processors)
         if args.shards is not None:
             return _cmd_store_sharded(args, relation, dims, cluster, out)
         store = CubeStore.build(relation, args.out, dims=dims,
@@ -535,6 +641,52 @@ def cmd_store(args, out):
         return 0
     finally:
         _finish_obs(args, active, out)
+
+
+def _cmd_store_mapreduce(args, out):
+    """``store build --backend mapreduce``: one pass, streaming input.
+
+    Sharded builds (``--shards N``) still run a *single* MapReduce
+    round — reducers route each leaf file into its shard directory and
+    one manifest is assembled per shard.
+    """
+    from .mr import mapreduce_materialize
+
+    stream = _load_stream(args)
+    if args.shards is not None and args.shards < 1:
+        raise ReproError("--shards must be >= 1, got %d" % args.shards)
+    budget = (parse_bytes(args.mr_memory_budget)
+              if args.mr_memory_budget else None)
+    built = mapreduce_materialize(
+        stream, args.out, workers=args.workers, reducers=args.mr_reducers,
+        memory_budget=budget, shards=args.shards,
+    )
+    stores = built if isinstance(built, list) else [built]
+    stats = stores[0].mr_stats
+    print("built cube store : %s (mapreduce backend)" % args.out, file=out)
+    print("input            : %d tuples in %d splits, dims %s"
+          % (stream.n_rows, len(stream.splits), ", ".join(stores[0].dims)),
+          file=out)
+    print("map phase        : %d tasks, %d spills, %.1f KB shuffled in %.3f s"
+          % (stats.map_tasks, stats.spills, stats.spill_bytes / 1024,
+             stats.map_seconds), file=out)
+    print("reduce phase     : %d tasks, %d runs merged, %d cells in %.3f s"
+          % (stats.reduce_tasks, stats.runs_merged, stats.cells_written,
+             stats.reduce_seconds), file=out)
+    if args.shards is None:
+        print("stored leaves    : %d (sorted, prefix-indexed), %d cells"
+              % (len(stores[0].leaves), stores[0].total_cells()), file=out)
+    else:
+        for index, store in enumerate(stores):
+            print("  shard %d/%d      : %s — %d leaves, %d cells"
+                  % (index, args.shards,
+                     "%s/shard-%d" % (args.out, index),
+                     len(store.leaves), store.total_cells()), file=out)
+        print("serve each shard : repro-cube serve --store %s/shard-I "
+              "--shard I/%d" % (args.out, args.shards), file=out)
+    for store in stores:
+        store.close()
+    return 0
 
 
 def _cmd_store_sharded(args, relation, dims, cluster, out):

@@ -3,6 +3,15 @@
 from .encoding import ColumnEncoder, Dictionary
 from .io import load_csv, relation_bytes, save_csv
 from .relation import Relation, from_raw_rows
+from .stream import (
+    MaterializedSplit,
+    RelationStream,
+    SyntheticSplit,
+    stream_from_relation,
+    uniform_stream,
+    weather_stream,
+    zipf_stream,
+)
 from .synthetic import correlated_relation, dense_relation, uniform_relation, zipf_relation
 from .weather import (
     BASELINE_DIMS,
@@ -27,6 +36,13 @@ __all__ = [
     "dense_relation",
     "correlated_relation",
     "weather_relation",
+    "RelationStream",
+    "SyntheticSplit",
+    "MaterializedSplit",
+    "zipf_stream",
+    "uniform_stream",
+    "weather_stream",
+    "stream_from_relation",
     "baseline_dims",
     "dims_by_cardinality",
     "WEATHER_DIMENSIONS",

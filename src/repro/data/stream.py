@@ -1,0 +1,277 @@
+"""Streaming relations: chunked row splits for inputs larger than RAM.
+
+Every generator in :mod:`repro.data.synthetic` materializes its whole
+row list before returning — fine for the paper-scale workloads, fatal
+for the multi-million-row inputs the MapReduce backend exists for.  A
+:class:`RelationStream` is the out-of-core counterpart of a
+:class:`~repro.data.relation.Relation`: the same schema (dimension
+names, declared per-dimension code bounds, one float measure per row)
+but the rows live behind an iterator of bounded-size chunks, produced
+by a list of *splits*.
+
+Splits are small picklable descriptions of where rows come from, not
+the rows themselves:
+
+* :class:`SyntheticSplit` regenerates its rows on demand from the
+  generator parameters and a per-split derived seed — shipping one to a
+  mapper process costs a few hundred bytes regardless of ``n_rows``;
+* :class:`MaterializedSplit` wraps rows that already exist in memory
+  (the adapter :func:`stream_from_relation` uses, e.g. for CSV inputs).
+
+Because each split owns an independent RNG, ``zipf_stream(...)`` draws
+*different* rows than the monolithic ``zipf_relation(...)`` for the
+same seed — same distribution, different sample.  Code that needs an
+oracle over the exact streamed rows should compare against
+:meth:`RelationStream.materialize` (practical only at test scale).
+
+``cardinalities`` here are **code bounds**: for every dimension, all
+codes are guaranteed ``< bound``.  The MapReduce mapper plans its
+63-bit key packing from these bounds before reading a single row, so
+they must be upper bounds, not observed distinct counts.
+"""
+
+import random
+
+from ..errors import PlanError, SchemaError
+from .relation import Relation
+from .synthetic import _dim_names, _zipf_sampler
+from .weather import BASELINE_DIMS, PAPER_ONLINE_TUPLES, _BY_NAME
+
+#: Rows per split: one split is one map task, so this is the unit of
+#: parallelism and of re-execution after a worker crash.
+DEFAULT_SPLIT_ROWS = 65_536
+
+#: Rows yielded per chunk inside a split — the peak row-count a
+#: consumer holds in memory per split being read.
+DEFAULT_CHUNK_ROWS = 4_096
+
+
+def _split_seed(seed, split_id):
+    """A derived seed decorrelating split ``split_id`` from its siblings.
+
+    A fixed odd multiplier keeps the derivation reproducible across
+    interpreters (no ``hash()`` randomization) while separating the
+    streams of adjacent splits.
+    """
+    return (int(seed) * 1_000_003 + 0x9E3779B9 * (split_id + 1)) & 0x7FFFFFFF
+
+
+class SyntheticSplit:
+    """One regenerable slice of a synthetic workload.
+
+    Carries only the generator parameters; ``iter_chunks`` rebuilds the
+    samplers and draws ``n_rows`` rows chunk by chunk, never holding
+    more than ``chunk_rows`` of them at once.
+    """
+
+    __slots__ = ("split_id", "n_rows", "cardinalities", "skews", "seed",
+                 "measure_range")
+
+    def __init__(self, split_id, n_rows, cardinalities, skews, seed,
+                 measure_range=(1, 100)):
+        self.split_id = int(split_id)
+        self.n_rows = int(n_rows)
+        self.cardinalities = list(cardinalities)
+        self.skews = list(skews)
+        self.seed = int(seed)
+        self.measure_range = tuple(measure_range)
+
+    def iter_chunks(self, chunk_rows=DEFAULT_CHUNK_ROWS):
+        """Yield ``(rows, measures)`` lists of at most ``chunk_rows``."""
+        rng = random.Random(_split_seed(self.seed, self.split_id))
+        samplers = [
+            _zipf_sampler(card, exponent, rng)
+            for card, exponent in zip(self.cardinalities, self.skews)
+        ]
+        low, high = self.measure_range
+        remaining = self.n_rows
+        while remaining > 0:
+            take = min(chunk_rows, remaining)
+            rows = []
+            measures = []
+            for _ in range(take):
+                rows.append(tuple(sampler() for sampler in samplers))
+                measures.append(float(rng.randint(low, high)))
+            remaining -= take
+            yield rows, measures
+
+    def __repr__(self):
+        return "SyntheticSplit(id=%d, rows=%d)" % (self.split_id, self.n_rows)
+
+
+class MaterializedSplit:
+    """A split over rows that already exist in memory."""
+
+    __slots__ = ("split_id", "rows", "measures")
+
+    def __init__(self, split_id, rows, measures):
+        self.split_id = int(split_id)
+        self.rows = list(rows)
+        self.measures = list(measures)
+        if len(self.rows) != len(self.measures):
+            raise SchemaError(
+                "split %d: %d rows but %d measures"
+                % (split_id, len(self.rows), len(self.measures))
+            )
+
+    @property
+    def n_rows(self):
+        return len(self.rows)
+
+    def iter_chunks(self, chunk_rows=DEFAULT_CHUNK_ROWS):
+        for start in range(0, len(self.rows), chunk_rows):
+            yield (self.rows[start:start + chunk_rows],
+                   self.measures[start:start + chunk_rows])
+
+    def __repr__(self):
+        return "MaterializedSplit(id=%d, rows=%d)" % (
+            self.split_id, len(self.rows))
+
+
+class RelationStream:
+    """A relation whose rows arrive in chunks from picklable splits."""
+
+    def __init__(self, dims, splits, cardinalities, encoder=None):
+        """``cardinalities`` maps every dimension name to its code
+        bound (all codes strictly below it)."""
+        self.dims = tuple(dims)
+        if len(set(self.dims)) != len(self.dims):
+            raise SchemaError("duplicate dimension names: %r" % (self.dims,))
+        self.splits = list(splits)
+        self.cardinalities = dict(cardinalities)
+        missing = [d for d in self.dims if d not in self.cardinalities]
+        if missing:
+            raise SchemaError(
+                "stream is missing code bounds for dimensions %r" % (missing,))
+        self.encoder = encoder
+
+    @property
+    def n_rows(self):
+        return sum(split.n_rows for split in self.splits)
+
+    def __len__(self):
+        return self.n_rows
+
+    def cardinality_list(self, dims=None):
+        """Code bounds in ``dims`` order (default: the stream's order)."""
+        return [self.cardinalities[d] for d in (dims or self.dims)]
+
+    def iter_chunks(self, chunk_rows=DEFAULT_CHUNK_ROWS):
+        """Yield ``(rows, measures)`` chunks across every split in order."""
+        for split in self.splits:
+            yield from split.iter_chunks(chunk_rows)
+
+    def materialize(self):
+        """Collect every chunk into an in-memory :class:`Relation`.
+
+        For tests and oracle checks only — this is exactly the full
+        materialization the stream exists to avoid.
+        """
+        rows = []
+        measures = []
+        for chunk_rows, chunk_measures in self.iter_chunks():
+            rows.extend(chunk_rows)
+            measures.extend(chunk_measures)
+        return Relation(self.dims, rows, measures, encoder=self.encoder,
+                        cardinalities=self.cardinalities)
+
+    def __repr__(self):
+        return "RelationStream(dims=%r, rows=%d, splits=%d)" % (
+            self.dims, self.n_rows, len(self.splits))
+
+
+def _split_counts(n_rows, split_rows):
+    if n_rows < 0:
+        raise PlanError("n_rows must be >= 0, got %r" % (n_rows,))
+    if split_rows < 1:
+        raise PlanError("split_rows must be >= 1, got %r" % (split_rows,))
+    counts = []
+    remaining = n_rows
+    while remaining > 0:
+        take = min(split_rows, remaining)
+        counts.append(take)
+        remaining -= take
+    return counts or [0]
+
+
+def zipf_stream(n_rows, cardinalities, skew=1.0, seed=0, dims=None,
+                measure_range=(1, 100), split_rows=DEFAULT_SPLIT_ROWS):
+    """The streaming counterpart of :func:`~repro.data.synthetic.zipf_relation`.
+
+    Returns a :class:`RelationStream` whose splits regenerate their rows
+    on demand; nothing row-sized is allocated here.
+    """
+    cardinalities = list(cardinalities)
+    dims = _dim_names(dims, len(cardinalities))
+    if isinstance(skew, (int, float)):
+        skews = [float(skew)] * len(cardinalities)
+    else:
+        skews = [float(s) for s in skew]
+        if len(skews) != len(cardinalities):
+            raise ValueError(
+                "got %d skew exponents for %d dimensions"
+                % (len(skews), len(cardinalities)))
+    splits = [
+        SyntheticSplit(i, count, cardinalities, skews, seed,
+                       measure_range=measure_range)
+        for i, count in enumerate(_split_counts(n_rows, split_rows))
+    ]
+    return RelationStream(dims, splits, dict(zip(dims, cardinalities)))
+
+
+def uniform_stream(n_rows, cardinalities, seed=0, dims=None,
+                   measure_range=(1, 100), split_rows=DEFAULT_SPLIT_ROWS):
+    """Streaming uniform generator (Zipf with exponent 0)."""
+    return zipf_stream(n_rows, cardinalities, skew=0.0, seed=seed, dims=dims,
+                       measure_range=measure_range, split_rows=split_rows)
+
+
+def weather_stream(n_rows=PAPER_ONLINE_TUPLES, dims=None, seed=2001,
+                   split_rows=DEFAULT_SPLIT_ROWS):
+    """The chunked ``weather_relation`` path: same shape, streaming rows.
+
+    The declared weather cardinalities travel with the stream, so the
+    MapReduce planner can lay out its packed keys before any row is
+    generated.  Like the in-memory generator, ``dims`` defaults to the
+    thesis' baseline nine.
+    """
+    if dims is None:
+        dims = BASELINE_DIMS
+    dims = tuple(dims)
+    cards = []
+    skews = []
+    for name in dims:
+        if name not in _BY_NAME:
+            raise ValueError("unknown weather dimension %r" % (name,))
+        card, skew = _BY_NAME[name]
+        cards.append(card)
+        skews.append(skew)
+    return zipf_stream(n_rows, cards, skew=skews, seed=seed, dims=dims,
+                       split_rows=split_rows)
+
+
+def stream_from_relation(relation, dims=None, split_rows=DEFAULT_SPLIT_ROWS):
+    """Wrap an in-memory relation as a stream of row splits.
+
+    ``dims`` restricts (and reorders) the schema.  Code bounds are
+    computed as ``max code + 1`` per dimension — the declared
+    cardinality alone is not safe, because a relation's codes may
+    exceed its distinct-value count.
+    """
+    if dims is None:
+        dims = relation.dims
+    dims = tuple(dims)
+    positions = relation.dim_indices(dims)
+    if positions == tuple(range(len(relation.dims))) and dims == relation.dims:
+        rows = relation.rows
+    else:
+        rows = [tuple(row[p] for p in positions) for row in relation.rows]
+    bounds = {}
+    for name, p in zip(dims, range(len(dims))):
+        bounds[name] = (max(row[p] for row in rows) + 1) if rows else 1
+    splits = [
+        MaterializedSplit(i, rows[start:start + split_rows],
+                          relation.measures[start:start + split_rows])
+        for i, start in enumerate(range(0, max(1, len(rows)), split_rows))
+    ] if rows else [MaterializedSplit(0, [], [])]
+    return RelationStream(dims, splits, bounds, encoder=relation.encoder)

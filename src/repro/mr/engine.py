@@ -1,0 +1,611 @@
+"""Driver, mapper and reducer of the one-round MapReduce backend.
+
+Execution shape (one shuffle round, as in Sundararajan & Yan):
+
+1. **Map** — every input split becomes one map task.  The mapper
+   streams the split's chunks, packs each row's codes into one 63-bit
+   key, and for every leaf cuboid of the BUC processing tree combines
+   ``(leaf, masked key) -> (count, sum)`` into a bounded hash table.
+   Crossing the memory budget spills the table as sorted, hash
+   -partitioned run files (see :mod:`repro.mr.shuffle`).
+2. **Shuffle** — nothing moves: runs are already partitioned on the
+   shared filesystem.  The driver records each task's winning attempt
+   and sweeps orphaned attempt directories left by killed workers.
+3. **Reduce** — reducer ``p`` merge-streams the sorted runs of
+   partition ``p``.  In *store* mode each leaf streams through a
+   :class:`~repro.serve.store.LeafWriter` (atomic per-leaf commit) at
+   minsup 1; in *cube* mode cells pass the iceberg threshold and each
+   leaf's immediate prefix cuboid is aggregated from the same sorted
+   stream, so the two phases together cover the entire lattice
+   (every non-leaf cuboid is some leaf minus its last dimension, and
+   the apex comes from the map-phase totals).
+
+Both phases run under :func:`repro.parallel.local.supervised_map`:
+killed or hung workers (including ``--faults`` injection) are retried,
+and because run files are durable and attempt-scoped, a re-executed
+task reproduces its output byte-for-byte.
+"""
+
+import math
+import os
+import shutil
+import signal
+import tempfile
+import time
+
+from .. import obs
+from ..core.result import CubeResult
+from ..core.thresholds import as_threshold
+from ..data.stream import RelationStream, stream_from_relation
+from ..errors import PlanError
+from ..parallel.local import _HANG_SECONDS, SupervisorLog, supervised_map
+from ..serve.cluster import stable_shard_hash
+from ..serve.store import CubeStore, LeafWriter
+from .planner import plan_mapreduce
+from .shuffle import ENTRY_BYTES, attempt_dir, merge_runs, spill
+
+#: Default combiner budget per mapper (bytes of estimated table
+#: footprint before a spill).
+DEFAULT_MEMORY_BUDGET = 64 << 20
+
+#: Floor on the budget: below this the combiner cannot hold even a few
+#: thousand entries and the run explodes into tiny spills.
+MIN_MEMORY_BUDGET = 64 << 10
+
+
+class MRStats:
+    """Aggregated per-phase telemetry of one MapReduce run.
+
+    Assembled by the driver from the stats each worker returns (the
+    obs runtime is not installed in child processes, so workers report
+    and the driver records).
+    """
+
+    __slots__ = ("map_tasks", "reduce_tasks", "rows", "spills", "runs",
+                 "spill_bytes", "spill_records", "orphan_files_swept",
+                 "runs_merged", "records_reduced", "cells_written",
+                 "map_seconds", "reduce_seconds", "map_recovery",
+                 "reduce_recovery")
+
+    def __init__(self):
+        self.map_tasks = 0
+        self.reduce_tasks = 0
+        self.rows = 0
+        self.spills = 0
+        self.runs = 0
+        self.spill_bytes = 0
+        self.spill_records = 0
+        self.orphan_files_swept = 0
+        self.runs_merged = 0
+        self.records_reduced = 0
+        self.cells_written = 0
+        self.map_seconds = 0.0
+        self.reduce_seconds = 0.0
+        self.map_recovery = SupervisorLog()
+        self.reduce_recovery = SupervisorLog()
+
+    def __repr__(self):
+        return ("MRStats(maps=%d, reduces=%d, rows=%d, spills=%d, "
+                "spill_bytes=%d, cells=%d)"
+                % (self.map_tasks, self.reduce_tasks, self.rows, self.spills,
+                   self.spill_bytes, self.cells_written))
+
+
+# ----------------------------------------------------------------------
+# map side (runs in worker processes)
+# ----------------------------------------------------------------------
+
+_MAP_STATE = None
+
+
+def _init_map_worker(plan, shuffle_dir, memory_budget, row_positions,
+                     require_nonnegative, fault_plan):
+    global _MAP_STATE
+    _MAP_STATE = (plan, shuffle_dir, memory_budget, row_positions,
+                  require_nonnegative, fault_plan)
+
+
+def _map_task(job):
+    """Stream one split into combined, partitioned, sorted spill runs.
+
+    Returns ``(task_id, stats)`` where stats carries the winning
+    attempt, the run files written (paths relative to the shuffle
+    directory) and the split's row/measure totals.
+    """
+    task_id, attempt, split = job
+    (plan, shuffle_dir, memory_budget, row_positions,
+     require_nonnegative, fault_plan) = _MAP_STATE
+    directive = (fault_plan.local_fault(task_id, attempt)
+                 if fault_plan is not None else None)
+    if directive == "hang":
+        time.sleep(_HANG_SECONDS)
+    kill_pending = directive == "kill"
+
+    directory = attempt_dir(shuffle_dir, task_id, attempt)
+    os.makedirs(directory, exist_ok=True)
+    max_entries = max(1024, memory_budget // ENTRY_BYTES)
+    pack = plan.packing.pack
+    mask_pairs = plan.mask_pairs()
+    partition_of_leaf = plan.partition_of_leaf
+    n_partitions = plan.n_reducers
+
+    acc = {}
+    runs = []
+    spill_no = 0
+    rows_total = 0
+    measure_total = 0.0
+    emitted = 0
+
+    def flush():
+        nonlocal spill_no
+        written = spill(acc, partition_of_leaf, directory, spill_no,
+                        n_partitions)
+        spill_no += 1
+        acc.clear()
+        for partition, path, nbytes, records in written:
+            runs.append((partition,
+                         os.path.relpath(path, shuffle_dir),
+                         nbytes, records))
+        if kill_pending:
+            # The injected crash fires only after the spill's run files
+            # are durable — re-execution must recover from disk state a
+            # real mid-task SIGKILL would leave behind.
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    for rows, measures in split.iter_chunks():
+        if require_nonnegative and measures and min(measures) < 0:
+            raise PlanError(
+                "threshold requires non-negative measures; split %d "
+                "contains a negative measure" % split.split_id)
+        if row_positions is None:
+            for row, measure in zip(rows, measures):
+                key = pack(row)
+                for shifted_id, mask in mask_pairs:
+                    composite = shifted_id | (key & mask)
+                    entry = acc.get(composite)
+                    if entry is None:
+                        acc[composite] = [1, measure]
+                    else:
+                        entry[0] += 1
+                        entry[1] += measure
+        else:
+            for row, measure in zip(rows, measures):
+                key = pack([row[p] for p in row_positions])
+                for shifted_id, mask in mask_pairs:
+                    composite = shifted_id | (key & mask)
+                    entry = acc.get(composite)
+                    if entry is None:
+                        acc[composite] = [1, measure]
+                    else:
+                        entry[0] += 1
+                        entry[1] += measure
+        rows_total += len(rows)
+        measure_total += math.fsum(measures)
+        emitted += len(rows) * len(mask_pairs)
+        # Budget check at chunk boundaries: the table can overshoot by
+        # at most one chunk's worth of new entries (documented in
+        # DESIGN 6.11).
+        if len(acc) >= max_entries:
+            flush()
+
+    if acc or not runs:
+        flush()
+    elif kill_pending:
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    return task_id, {
+        "attempt": attempt,
+        "rows": rows_total,
+        "measure": measure_total,
+        "emitted": emitted,
+        "spills": spill_no,
+        "runs": runs,
+    }
+
+
+# ----------------------------------------------------------------------
+# reduce side (runs in worker processes)
+# ----------------------------------------------------------------------
+
+_REDUCE_STATE = None
+
+
+def _init_reduce_worker(plan, shuffle_dir, mode, out_dir, shards, threshold,
+                        n_map_tasks, fault_plan):
+    global _REDUCE_STATE
+    _REDUCE_STATE = (plan, shuffle_dir, mode, out_dir, shards, threshold,
+                     n_map_tasks, fault_plan)
+
+
+def _leaf_directory(out_dir, shards, leaf):
+    if shards is None:
+        return out_dir, None
+    shard_index = stable_shard_hash(leaf) % shards
+    return os.path.join(out_dir, "shard-%d" % shard_index), shard_index
+
+
+def _reduce_task(job):
+    """Merge one partition's runs and emit its leaves.
+
+    Store mode returns ``{leaf: (shard_index, manifest_entry)}`` after
+    committing each leaf file atomically; cube mode returns the
+    qualifying cells of every cuboid the partition owns (each leaf plus
+    its immediate prefix).
+    """
+    reduce_id, attempt, payload = job
+    partition, run_relpaths = payload
+    (plan, shuffle_dir, mode, out_dir, shards, threshold,
+     n_map_tasks, fault_plan) = _REDUCE_STATE
+    directive = (fault_plan.local_fault(reduce_id, attempt)
+                 if fault_plan is not None else None)
+    if directive == "hang":
+        time.sleep(_HANG_SECONDS)
+    kill_pending = directive == "kill"
+
+    paths = [os.path.join(shuffle_dir, rel) for rel in run_relpaths]
+    merged = merge_runs(paths)
+    stats = {"attempt": attempt, "runs_merged": len(paths),
+             "records": 0, "cells": 0}
+
+    if mode == "store":
+        entries = {}
+        writer = None
+        current_leaf_id = None
+        committed = 0
+
+        def commit():
+            nonlocal writer, committed
+            leaf = plan.leaves[current_leaf_id]
+            _dir, shard_index = _leaf_directory(out_dir, shards, leaf)
+            entries[leaf] = (shard_index, writer.commit())
+            writer = None
+            committed += 1
+            if kill_pending and committed == 1:
+                # Die only after the first leaf is durably committed:
+                # re-execution must overwrite it byte-identically and
+                # finish the rest.
+                os.kill(os.getpid(), signal.SIGKILL)
+
+        for leaf_id, key, count, total in merged:
+            stats["records"] += 1
+            if leaf_id != current_leaf_id:
+                if writer is not None:
+                    commit()
+                current_leaf_id = leaf_id
+                leaf = plan.leaves[leaf_id]
+                directory, _shard = _leaf_directory(out_dir, shards, leaf)
+                os.makedirs(directory, exist_ok=True)
+                writer = LeafWriter(directory, leaf)
+            cell = plan.packing.unpack(key, plan.leaf_positions[leaf_id])
+            writer.add(cell, count, total)
+            stats["cells"] += 1
+        if writer is not None:
+            commit()
+        if kill_pending:
+            os.kill(os.getpid(), signal.SIGKILL)
+        return reduce_id, {"stats": stats, "entries": entries}
+
+    # cube mode: threshold the leaf cells, and fold each leaf's sorted
+    # stream into its immediate prefix cuboid as groups close.
+    cells_out = []
+    current_leaf_id = None
+    leaf_cells = prefix_cells = None
+    prefix_mask = prefix_positions = positions = None
+    prefix_key = None
+    prefix_agg = None
+
+    def close_prefix():
+        if prefix_positions and prefix_agg is not None:
+            if threshold.qualifies(prefix_agg[0], prefix_agg[1]):
+                prefix_cells.append(
+                    (plan.packing.unpack(prefix_key, prefix_positions),
+                     prefix_agg[0], prefix_agg[1]))
+
+    def close_leaf():
+        close_prefix()
+        leaf = plan.leaves[current_leaf_id]
+        if leaf_cells:
+            cells_out.append((leaf, leaf_cells))
+        if prefix_positions and prefix_cells:
+            cells_out.append((leaf[:-1], prefix_cells))
+
+    for leaf_id, key, count, total in merged:
+        stats["records"] += 1
+        if leaf_id != current_leaf_id:
+            if current_leaf_id is not None:
+                close_leaf()
+            current_leaf_id = leaf_id
+            positions = plan.leaf_positions[leaf_id]
+            prefix_positions = positions[:-1]
+            prefix_mask = plan.packing.mask_for(prefix_positions)
+            leaf_cells = []
+            prefix_cells = []
+            prefix_key = None
+            prefix_agg = None
+        if threshold.qualifies(count, total):
+            leaf_cells.append(
+                (plan.packing.unpack(key, positions), count, total))
+            stats["cells"] += 1
+        if prefix_positions:
+            group = key & prefix_mask
+            if group != prefix_key:
+                close_prefix()
+                prefix_key = group
+                prefix_agg = [count, total]
+            else:
+                prefix_agg[0] += count
+                prefix_agg[1] += total
+    if current_leaf_id is not None:
+        close_leaf()
+    if kill_pending:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return reduce_id, {"stats": stats, "cells": cells_out}
+
+
+# ----------------------------------------------------------------------
+# driver
+# ----------------------------------------------------------------------
+
+def _as_stream(source, dims):
+    """Accept a Relation or a RelationStream; return (stream, dims)."""
+    if isinstance(source, RelationStream):
+        stream = source
+        dims = tuple(dims) if dims is not None else stream.dims
+        missing = [d for d in dims if d not in stream.dims]
+        if missing:
+            raise PlanError(
+                "dims %r not in stream schema %r" % (missing, stream.dims))
+        return stream, dims
+    stream = stream_from_relation(source, dims=dims)
+    return stream, stream.dims
+
+
+def _sweep_orphans(shuffle_dir, winning):
+    """Remove attempt directories that lost to a re-execution.
+
+    ``winning`` maps task id to its winning attempt.  Returns the
+    number of orphaned files (runs and torn temps) deleted.
+    """
+    removed = 0
+    try:
+        names = sorted(os.listdir(shuffle_dir))
+    except OSError:
+        return 0
+    for name in names:
+        if not name.startswith("map-"):
+            continue
+        try:
+            task_part, attempt_part = name.split("-a", 1)
+            task_id = int(task_part[len("map-"):])
+            attempt = int(attempt_part)
+        except ValueError:
+            continue
+        if winning.get(task_id) == attempt:
+            continue
+        path = os.path.join(shuffle_dir, name)
+        removed += len(os.listdir(path))
+        shutil.rmtree(path, ignore_errors=True)
+    return removed
+
+
+def _run_phases(stream, dims, mode, out_dir, shards, threshold, workers,
+                reducers, memory_budget, fault_plan, batch_timeout,
+                shuffle_dir, keep_shuffle):
+    """The shared map -> sweep -> reduce pipeline; returns
+    ``(plan, totals, reduce_results, stats)``."""
+    if memory_budget is None:
+        memory_budget = DEFAULT_MEMORY_BUDGET
+    if memory_budget < MIN_MEMORY_BUDGET:
+        raise PlanError(
+            "--mr-memory-budget must be >= %d bytes, got %d"
+            % (MIN_MEMORY_BUDGET, memory_budget))
+    if workers is None:
+        workers = min(os.cpu_count() or 1, 8)
+    if reducers is None:
+        reducers = max(1, workers)
+
+    cards = stream.cardinality_list(dims)
+    plan = plan_mapreduce(dims, cards, reducers, n_rows=stream.n_rows)
+    row_positions = None
+    if dims != stream.dims:
+        index_of = {name: i for i, name in enumerate(stream.dims)}
+        row_positions = [index_of[name] for name in dims]
+    require_nonnegative = (threshold is not None
+                           and threshold.requires_nonnegative_measures)
+
+    own_shuffle = shuffle_dir is None
+    if own_shuffle:
+        shuffle_dir = tempfile.mkdtemp(prefix="repro-mr-")
+    else:
+        os.makedirs(shuffle_dir, exist_ok=True)
+
+    stats = MRStats()
+    active = obs.current()
+    try:
+        # ---- map phase -------------------------------------------------
+        map_jobs = {i: split for i, split in enumerate(stream.splits)}
+        started = time.perf_counter()
+        with obs.span("mr.map", tasks=len(map_jobs)) as span:
+            map_results = supervised_map(
+                map_jobs, workers, _map_task, _init_map_worker,
+                (plan, shuffle_dir, memory_budget, row_positions,
+                 require_nonnegative, fault_plan),
+                fault_plan=fault_plan, batch_timeout=batch_timeout,
+                log=stats.map_recovery, name="mr_map",
+            )
+            stats.map_seconds = time.perf_counter() - started
+            stats.map_tasks = len(map_results)
+            for result in map_results.values():
+                stats.rows += result["rows"]
+                stats.spills += result["spills"]
+                stats.runs += len(result["runs"])
+                for _p, _rel, nbytes, records in result["runs"]:
+                    stats.spill_bytes += nbytes
+                    stats.spill_records += records
+            if span:
+                span.set(rows=stats.rows, spills=stats.spills,
+                         spill_bytes=stats.spill_bytes,
+                         seconds=round(stats.map_seconds, 6))
+        totals = (
+            sum(map_results[t]["rows"] for t in sorted(map_results)),
+            math.fsum(map_results[t]["measure"] for t in sorted(map_results)),
+        )
+
+        # ---- sweep orphaned attempts ----------------------------------
+        winning = {t: r["attempt"] for t, r in map_results.items()}
+        stats.orphan_files_swept = _sweep_orphans(shuffle_dir, winning)
+        if stats.orphan_files_swept:
+            obs.event("mr.orphan_sweep", files=stats.orphan_files_swept)
+        if active is not None:
+            active.registry.counter(
+                "repro_mr_spill_bytes_total",
+                "Bytes written to shuffle run files.").inc(stats.spill_bytes)
+            active.registry.counter(
+                "repro_mr_orphan_files_total",
+                "Orphaned spill files swept after the map phase.",
+            ).inc(stats.orphan_files_swept)
+
+        # ---- reduce phase ----------------------------------------------
+        by_partition = {}
+        for task_id in sorted(map_results):
+            for partition, rel, _b, _r in map_results[task_id]["runs"]:
+                by_partition.setdefault(partition, []).append(rel)
+        n_map_tasks = len(map_jobs)
+        reduce_jobs = {
+            n_map_tasks + partition: (partition, sorted(relpaths))
+            for partition, relpaths in by_partition.items()
+        }
+        started = time.perf_counter()
+        with obs.span("mr.reduce", tasks=len(reduce_jobs)) as span:
+            reduce_results = supervised_map(
+                reduce_jobs, workers, _reduce_task, _init_reduce_worker,
+                (plan, shuffle_dir, mode, out_dir, shards, threshold,
+                 n_map_tasks, fault_plan),
+                fault_plan=fault_plan, batch_timeout=batch_timeout,
+                log=stats.reduce_recovery, name="mr_reduce",
+            ) if reduce_jobs else {}
+            stats.reduce_seconds = time.perf_counter() - started
+            stats.reduce_tasks = len(reduce_results)
+            for result in reduce_results.values():
+                stats.runs_merged += result["stats"]["runs_merged"]
+                stats.records_reduced += result["stats"]["records"]
+                stats.cells_written += result["stats"]["cells"]
+            if span:
+                span.set(runs_merged=stats.runs_merged,
+                         cells=stats.cells_written,
+                         seconds=round(stats.reduce_seconds, 6))
+        if active is not None:
+            active.registry.counter(
+                "repro_mr_runs_merged_total",
+                "Shuffle runs merged by reducers.").inc(stats.runs_merged)
+            active.registry.counter(
+                "repro_mr_cells_total",
+                "Cells emitted by reducers.").inc(stats.cells_written)
+
+        # A reducer killed mid-leaf leaves its LeafWriter's ``.tmp.<pid>``
+        # file behind in the output directory; the winning attempt wrote
+        # its own temp under a different pid, so the orphan survives the
+        # commit.  Sweep them before the store is assembled.
+        if out_dir is not None:
+            torn = 0
+            for dirpath, _dirnames, filenames in os.walk(out_dir):
+                for filename in filenames:
+                    if ".tmp." in filename:
+                        os.unlink(os.path.join(dirpath, filename))
+                        torn += 1
+            if torn:
+                stats.orphan_files_swept += torn
+                obs.event("mr.torn_leaf_sweep", files=torn)
+        return plan, totals, reduce_results, stats
+    finally:
+        if own_shuffle and not keep_shuffle:
+            shutil.rmtree(shuffle_dir, ignore_errors=True)
+
+
+def mapreduce_materialize(source, directory, dims=None, workers=None,
+                          reducers=None, memory_budget=None, shards=None,
+                          fault_plan=None, batch_timeout=None,
+                          shuffle_dir=None, keep_shuffle=False):
+    """``store build --backend mapreduce``: leaves straight to disk.
+
+    ``source`` is a :class:`~repro.data.relation.Relation` or (the
+    point of this backend) a :class:`~repro.data.stream.RelationStream`
+    whose rows never fit in memory.  Leaves are written at minsup 1 —
+    the store's usual contract, so any later threshold is answerable.
+
+    With ``shards=N`` a single pass routes each leaf into
+    ``directory/shard-<i>`` by the stable covering-leaf hash and one
+    manifest is assembled per shard (same placement and totals as N
+    separate ``CubeStore.build(shard=(i, N))`` runs).  Returns the open
+    :class:`~repro.serve.store.CubeStore` — or the list of per-shard
+    stores — with the run's :class:`MRStats` attached as ``.mr_stats``.
+    """
+    stream, dims = _as_stream(source, dims)
+    if shards is not None and shards < 1:
+        raise PlanError("shards must be >= 1, got %r" % (shards,))
+    directory = str(directory)
+    plan, totals, reduce_results, stats = _run_phases(
+        stream, dims, "store", directory, shards, None, workers, reducers,
+        memory_budget, fault_plan, batch_timeout, shuffle_dir, keep_shuffle)
+
+    entries = {}
+    for result in reduce_results.values():
+        entries.update(result["entries"])
+    # A leaf receives no record only when the input is empty; the store
+    # contract still wants every leaf present.
+    for leaf in plan.leaves:
+        if leaf not in entries:
+            leaf_dir, shard_index = _leaf_directory(directory, shards, leaf)
+            os.makedirs(leaf_dir, exist_ok=True)
+            entries[leaf] = (shard_index, LeafWriter(leaf_dir, leaf).commit())
+
+    total_rows, total_measure = totals
+    if shards is None:
+        store = CubeStore.assemble(
+            directory, dims, {leaf: entry for leaf, (_s, entry) in
+                              entries.items()},
+            total_rows=total_rows, total_measure=total_measure)
+        store.mr_stats = stats
+        return store
+    stores = []
+    for index in range(shards):
+        shard_entries = {leaf: entry for leaf, (s, entry) in entries.items()
+                         if s == index}
+        store = CubeStore.assemble(
+            os.path.join(directory, "shard-%d" % index), dims, shard_entries,
+            total_rows=total_rows, total_measure=total_measure,
+            shard=(index, shards))
+        store.mr_stats = stats
+        stores.append(store)
+    return stores
+
+
+def mapreduce_iceberg_cube(source, dims=None, minsup=1, workers=None,
+                           reducers=None, memory_budget=None,
+                           fault_plan=None, batch_timeout=None,
+                           shuffle_dir=None, keep_shuffle=False):
+    """``cube --backend mapreduce``: a full iceberg CubeResult.
+
+    Collects every qualifying cell in memory, so this is the
+    verification-scale entry point; use :func:`mapreduce_materialize`
+    when the *output* is also bigger than RAM.  The returned result has
+    the run's :class:`MRStats` as ``.mr_stats`` and the supervisor's
+    recovery log as ``.recovery`` (matching the local backend).
+    """
+    stream, dims = _as_stream(source, dims)
+    threshold = as_threshold(minsup)
+    plan, totals, reduce_results, stats = _run_phases(
+        stream, dims, "cube", None, None, threshold, workers, reducers,
+        memory_budget, fault_plan, batch_timeout, shuffle_dir, keep_shuffle)
+
+    result = CubeResult(dims)
+    for reduce_id in sorted(reduce_results):
+        for cuboid, cells in reduce_results[reduce_id]["cells"]:
+            for cell, count, total in cells:
+                result.add_cell(cuboid, cell, count, total)
+    total_rows, total_measure = totals
+    if total_rows and threshold.qualifies(total_rows, total_measure):
+        result.add_cell((), (), total_rows, total_measure)
+    result.mr_stats = stats
+    result.recovery = stats.map_recovery
+    return result

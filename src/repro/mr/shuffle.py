@@ -1,0 +1,140 @@
+"""The external shuffle: sorted spill runs on disk, k-way merged.
+
+Mappers combine emissions in a bounded hash table; when the table's
+estimated footprint crosses the memory budget it is *spilled*: sorted
+once by composite key (leaf id, then packed cell key), partitioned by
+the plan's leaf-to-reducer assignment, and written as one sorted run
+file per touched partition.  Reducers later :func:`merge_runs` their
+partition's runs in a single heap pass.
+
+Durability protocol (what makes crash recovery work):
+
+* every run is written to a ``.tmp`` name and ``os.replace``d into its
+  final ``.run`` name — a SIGKILLed writer can leave ``.tmp`` debris
+  but never a short ``.run`` file;
+* runs live in *attempt-scoped* directories
+  (``map-<task>-a<attempt>/``), so a re-executed map task can never
+  mix its output with its dead predecessor's;
+* the driver records the winning attempt per task and sweeps every
+  other attempt directory before the reduce phase starts.
+
+Record format is fixed 28-byte little-endian structs
+(``leaf_id:i32, key:i64, count:i64, sum:f64``) — seek-free sequential
+reads, no parsing, byte-stable across re-executions.
+
+Merge determinism: :func:`merge_runs` keys the heap on
+``(leaf_id, key)`` only, and ``heapq.merge`` breaks ties by iterator
+position — so as long as callers pass run paths in sorted order (they
+do), equal keys always fold in the same order and float sums are
+bit-identical run to run.
+"""
+
+import heapq
+import os
+import struct
+from operator import itemgetter
+
+from .planner import KEY_MASK, LEAF_ID_SHIFT
+
+#: One shuffle record: leaf id, packed cell key, count, measure sum.
+RECORD = struct.Struct("<iqqd")
+RECORD_SIZE = RECORD.size
+
+#: Estimated resident bytes per combiner entry (int key + [count, sum]
+#: list + dict slot overhead, CPython 3.x); the budget divides by this.
+ENTRY_BYTES = 110
+
+#: Records read/written per batch (keeps I/O syscall-sized without
+#: holding a whole run in memory).
+_IO_BATCH = 4_096
+
+
+def attempt_dir(shuffle_dir, task_id, attempt):
+    """The attempt-scoped directory one map task writes its runs into."""
+    return os.path.join(shuffle_dir, "map-%05d-a%d" % (task_id, attempt))
+
+
+def run_name(partition, spill_no):
+    return "part-%03d-run-%04d.run" % (partition, spill_no)
+
+
+def write_run(path, records):
+    """Write sorted records durably; returns the byte size.
+
+    The ``.tmp`` + ``os.replace`` dance means a crash mid-write leaves
+    no ``.run`` file at all — readers never see a torn run.
+    """
+    pack = RECORD.pack
+    tmp = "%s.tmp.%d" % (path, os.getpid())
+    nbytes = 0
+    with open(tmp, "wb") as handle:
+        batch = []
+        for record in records:
+            batch.append(pack(*record))
+            if len(batch) >= _IO_BATCH:
+                nbytes += handle.write(b"".join(batch))
+                batch = []
+        if batch:
+            nbytes += handle.write(b"".join(batch))
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    return nbytes
+
+
+def iter_run(path):
+    """Yield ``(leaf_id, key, count, sum)`` records from one run file."""
+    unpack_from = RECORD.unpack_from
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(RECORD_SIZE * _IO_BATCH)
+            if not chunk:
+                return
+            for offset in range(0, len(chunk), RECORD_SIZE):
+                yield unpack_from(chunk, offset)
+
+
+def merge_runs(paths):
+    """Merge sorted runs, summing aggregates on equal (leaf_id, key).
+
+    Yields aggregated ``(leaf_id, key, count, sum)`` in global sorted
+    order.  Pass ``paths`` in sorted order for deterministic float
+    accumulation (see module docstring).
+    """
+    streams = [iter_run(path) for path in paths]
+    merged = heapq.merge(*streams, key=itemgetter(0, 1))
+    current = None
+    for leaf_id, key, count, total in merged:
+        if current is None:
+            current = [leaf_id, key, count, total]
+        elif current[0] == leaf_id and current[1] == key:
+            current[2] += count
+            current[3] += total
+        else:
+            yield tuple(current)
+            current = [leaf_id, key, count, total]
+    if current is not None:
+        yield tuple(current)
+
+
+def spill(acc, partition_of_leaf, directory, spill_no, n_partitions):
+    """Externalize one combiner table as per-partition sorted runs.
+
+    ``acc`` maps composite keys to ``[count, sum]``.  Returns
+    ``[(partition, path, bytes, records), ...]`` for the runs written
+    (empty partitions write nothing).  The caller clears ``acc``.
+    """
+    buckets = [[] for _ in range(n_partitions)]
+    for composite in sorted(acc):
+        entry = acc[composite]
+        leaf_id = composite >> LEAF_ID_SHIFT
+        buckets[partition_of_leaf[leaf_id]].append(
+            (leaf_id, composite & KEY_MASK, entry[0], entry[1]))
+    written = []
+    for partition, records in enumerate(buckets):
+        if not records:
+            continue
+        path = os.path.join(directory, run_name(partition, spill_no))
+        nbytes = write_run(path, records)
+        written.append((partition, path, nbytes, len(records)))
+    return written

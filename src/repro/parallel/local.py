@@ -189,20 +189,42 @@ def _abandon_pool(executor):
             process.join(timeout=5.0)
 
 
-def _supervised_map(jobs, workers, frame, threshold, kernel, fault_plan,
-                    batch_timeout, max_retries, backoff_s, log):
-    """Run every batch to completion under supervision.
+def supervised_map(jobs, workers, task_fn, initializer, initargs,
+                   fault_plan=None, batch_timeout=None, max_retries=None,
+                   backoff_s=0.05, log=None, name="local"):
+    """Run every job to completion on a supervised process pool.
 
-    Returns ``{batch_id: [(cuboid, cells), ...]}``.  A pool whose worker
-    dies (``BrokenProcessPool``) or that completes nothing for
-    ``batch_timeout`` seconds is torn down and respawned; the unfinished
-    batches are retried with full-jitter capped exponential backoff.
-    A batch that
-    fails more than ``max_retries`` times raises
-    :class:`~repro.errors.WorkerCrashError`.
+    The generic supervisor behind both the local cube backend and the
+    MapReduce engine (:mod:`repro.mr`).  ``jobs`` is a list of payloads
+    (ids are their indices) or a ``{job_id: payload}`` mapping;
+    ``task_fn`` is a module-level function invoked in the worker as
+    ``task_fn((job_id, attempt, payload))`` and must return
+    ``(job_id, result)``; ``initializer``/``initargs`` set up per-worker
+    state once per process.  Returns ``{job_id: result}``.
+
+    A pool whose worker dies (``BrokenProcessPool``) or that completes
+    nothing for ``batch_timeout`` seconds is torn down and respawned;
+    the unfinished jobs are retried with full-jitter capped exponential
+    backoff.  A job that fails more than ``max_retries`` times raises
+    :class:`~repro.errors.WorkerCrashError`.  ``name`` prefixes the obs
+    spans/counters (``<name>.batch``, ``repro_<name>_batches_total``,
+    ...) so each consumer's telemetry stays distinct.
     """
+    if batch_timeout is None:
+        batch_timeout = DEFAULT_BATCH_TIMEOUT
+    if max_retries is None:
+        max_retries = (fault_plan.max_retries if fault_plan is not None
+                       else DEFAULT_MAX_RETRIES)
+    if log is None:
+        log = SupervisorLog()
+    pending = dict(jobs) if isinstance(jobs, dict) else dict(enumerate(jobs))
+    if workers == 1 and fault_plan is None:
+        # Inline fast path: no fault injection means no supervision is
+        # needed, so skip the pool and run in-process.
+        initializer(*initargs)
+        return {bid: task_fn((bid, 0, payload))[1]
+                for bid, payload in sorted(pending.items())}
     context = _pool_context()
-    pending = dict(enumerate(jobs))
     attempts = dict.fromkeys(pending, 0)
     results = {}
     active = obs.current()
@@ -215,14 +237,14 @@ def _supervised_map(jobs, workers, frame, threshold, kernel, fault_plan,
         executor = ProcessPoolExecutor(
             max_workers=min(workers, len(pending)),
             mp_context=context,
-            initializer=_init_worker,
-            initargs=(frame, threshold, kernel, fault_plan),
+            initializer=initializer,
+            initargs=initargs,
         )
         broken = stalled = False
         try:
             futures = {
-                executor.submit(_run_batch, (bid, attempts[bid], tasks)): bid
-                for bid, tasks in sorted(pending.items())
+                executor.submit(task_fn, (bid, attempts[bid], payload)): bid
+                for bid, payload in sorted(pending.items())
             }
             round_start = active.tracer.now() if active is not None else 0.0
             not_done = set(futures)
@@ -247,13 +269,13 @@ def _supervised_map(jobs, workers, frame, threshold, kernel, fault_plan,
                         # Dispatch-to-completion on the supervisor's
                         # clock (batches run concurrently in workers).
                         active.tracer.add_span(
-                            "local.batch", round_start,
+                            "%s.batch" % name, round_start,
                             active.tracer.now() - round_start, tid="pool",
-                            attrs={"batch": bid, "attempt": attempts[bid],
-                                   "cuboids": len(items)}, clock="wall")
+                            attrs={"batch": bid, "attempt": attempts[bid]},
+                            clock="wall")
                         active.registry.counter(
-                            "repro_local_batches_total",
-                            "Supervised local-backend batches completed.",
+                            "repro_%s_batches_total" % name,
+                            "Supervised pool batches completed.",
                         ).inc()
         finally:
             if broken or stalled:
@@ -269,11 +291,11 @@ def _supervised_map(jobs, workers, frame, threshold, kernel, fault_plan,
             log.worker_crashes += 1
         if stalled:
             log.stalls += 1
-        obs.event("local.respawn", cause="crash" if broken else "stall",
+        obs.event("%s.respawn" % name, cause="crash" if broken else "stall",
                   unfinished=len(pending))
         if active is not None:
             active.registry.counter(
-                "repro_local_respawns_total",
+                "repro_%s_respawns_total" % name,
                 "Pool teardown + respawn cycles.", ("cause",)
             ).inc(cause="crash" if broken else "stall")
         worst = None
@@ -284,7 +306,7 @@ def _supervised_map(jobs, workers, frame, threshold, kernel, fault_plan,
                 worst = bid
         if active is not None:
             active.registry.counter(
-                "repro_local_retries_total",
+                "repro_%s_retries_total" % name,
                 "Batch re-executions after a crash or stall.",
             ).inc(len(pending))
         if attempts[worst] > max_retries:
@@ -371,9 +393,11 @@ def multiprocess_iceberg_cube(relation, dims=None, minsup=1, workers=None,
             tasks.sort(key=lambda t: t.size(tree), reverse=True)
             jobs = _batched(tasks, batch_size)
             log = SupervisorLog()
-            batches = _supervised_map(
-                jobs, workers, frame, threshold, kernel, fault_plan,
-                batch_timeout, max_retries, backoff_s, log,
+            batches = supervised_map(
+                jobs, workers, _run_batch, _init_worker,
+                (frame, threshold, kernel, fault_plan),
+                fault_plan=fault_plan, batch_timeout=batch_timeout,
+                max_retries=max_retries, backoff_s=backoff_s, log=log,
             )
             result.recovery = log
             if span:

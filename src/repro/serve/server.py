@@ -112,7 +112,7 @@ class CubeServer:
 
     def __init__(self, store, relation=None, cache_size=256, max_workers=8,
                  fallback_workers=1, max_pending=None, default_deadline_s=None,
-                 breaker=None, registry=None):
+                 breaker=None, registry=None, fallback_backend="local"):
         """``relation`` enables the compute fallback (and ``append``
         equivalence checks); without it, uncovered cuboids raise.
 
@@ -125,13 +125,20 @@ class CubeServer:
         consecutive failures, 5 s cool-down).  ``registry`` is the
         metrics registry behind ``GET /metrics`` (default: the installed
         :mod:`repro.obs` registry, else a private one).
+        ``fallback_backend`` names the compute backend behind uncovered
+        cuboids; it is validated against the backend registry's
+        ``serve-fallback`` capability at construction, not first use.
         """
+        from ..backends import resolve_backend
+
         self.store = store
         self.relation = relation
         self.cache = QueryCache(cache_size)
         self.telemetry = ServerTelemetry(registry=registry)
         self.registry = self.telemetry.registry
         self.fallback_workers = fallback_workers
+        self.fallback_backend = resolve_backend(
+            fallback_backend, require={"serve-fallback"}).name
         self.default_deadline_s = default_deadline_s
         if max_pending is None:
             max_pending = max(64, 16 * max_workers)
@@ -402,9 +409,7 @@ class CubeServer:
             return self._compute_pool
 
     def _compute(self, cuboid, threshold):
-        """Fresh compute with the local multiprocess backend."""
-        from ..parallel.local import multiprocess_iceberg_cube
-
+        """Fresh compute with the configured fallback backend."""
         if not cuboid:
             count = len(self.relation)
             total = sum(self.relation.measures)
@@ -412,9 +417,20 @@ class CubeServer:
                 return {(): (count, total)}
             return {}
         projected = self.relation.project(cuboid)
-        result = multiprocess_iceberg_cube(
-            projected, dims=cuboid, minsup=threshold, workers=self.fallback_workers
-        )
+        if self.fallback_backend == "mapreduce":
+            from ..mr import mapreduce_iceberg_cube
+
+            result = mapreduce_iceberg_cube(
+                projected, dims=cuboid, minsup=threshold,
+                workers=self.fallback_workers,
+            )
+        else:
+            from ..parallel.local import multiprocess_iceberg_cube
+
+            result = multiprocess_iceberg_cube(
+                projected, dims=cuboid, minsup=threshold,
+                workers=self.fallback_workers,
+            )
         return dict(result.cuboid(cuboid))
 
     # ------------------------------------------------------------------

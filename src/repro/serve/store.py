@@ -162,6 +162,69 @@ def _leaf_entry(cuboid, filename, data, index, n_cells):
     }
 
 
+class LeafWriter:
+    """Stream one leaf cuboid to disk without holding its cells in RAM.
+
+    Byte-for-byte identical to :func:`_encode_leaf` — same header, same
+    row formatting — but rows are appended one at a time, with the
+    sha256, byte offsets and first-coordinate index maintained
+    incrementally.  The file is written under an ``atomic_write``-style
+    temp name; nothing is visible at the real path until
+    :meth:`commit`, so a killed writer never leaves a partial leaf in
+    the store.  Cells must arrive in sorted cell order (the caller's
+    merge already guarantees it for the MapReduce reducers).
+    """
+
+    def __init__(self, directory, cuboid):
+        self.cuboid = tuple(cuboid)
+        self.filename = _leaf_filename(self.cuboid)
+        self.path = os.path.join(str(directory), self.filename)
+        self._tmp = "%s.tmp.%d" % (self.path, os.getpid())
+        header = (",".join(list(self.cuboid) + ["count", "sum"]) + "\n").encode()
+        self._handle = open(self._tmp, "wb")
+        self._handle.write(header)
+        self._digest = hashlib.sha256(header)
+        self._offset = len(header)
+        self.index = {}
+        self.cells = 0
+
+    def add(self, cell, count, value):
+        line = ",".join(
+            [str(coord) for coord in cell] + [str(count), repr(value)]
+        ).encode() + b"\n"
+        run = self.index.get(cell[0])
+        if run is None:
+            self.index[cell[0]] = [self._offset, 1]
+        else:
+            run[1] += 1
+        self._handle.write(line)
+        self._digest.update(line)
+        self._offset += len(line)
+        self.cells += 1
+
+    def commit(self):
+        """Publish the leaf atomically; returns its manifest entry."""
+        self._handle.close()
+        os.replace(self._tmp, self.path)
+        return {
+            "file": self.filename,
+            "cells": self.cells,
+            "bytes": self._offset,
+            "sha256": self._digest.hexdigest(),
+            "index": {k: tuple(v) for k, v in self.index.items()},
+        }
+
+    def abort(self):
+        """Discard the temp file; the store is untouched."""
+        try:
+            self._handle.close()
+        finally:
+            try:
+                os.remove(self._tmp)
+            except OSError:
+                pass
+
+
 class CubeStore:
     """Persistent, incrementally maintainable leaf-cuboid store.
 
@@ -296,6 +359,43 @@ class CubeStore:
         store = cls(directory, manifest)
         store._items.update(loaded)
         return store
+
+    @classmethod
+    def assemble(cls, directory, dims, entries, total_rows, total_measure,
+                 shard=None, generation=1):
+        """Write a manifest over leaf files already committed on disk.
+
+        The externalized build path: workers write leaves through
+        :class:`LeafWriter` (each commit is atomic), then the driver
+        calls ``assemble`` with the collected manifest entries (leaf
+        cuboid -> entry dict as returned by :meth:`LeafWriter.commit`)
+        to publish the store.  Leaves are ordered deterministically by
+        cuboid so the manifest is byte-stable across re-executions.
+        """
+        directory = str(directory)
+        os.makedirs(directory, exist_ok=True)
+        leaves = sorted(entries)
+        typed = {
+            leaf: {
+                "file": entry["file"],
+                "cells": int(entry["cells"]),
+                "bytes": int(entry["bytes"]),
+                "sha256": entry["sha256"],
+                "index": {int(k): tuple(v)
+                          for k, v in entry["index"].items()},
+            }
+            for leaf, entry in entries.items()
+        }
+        manifest = cls._manifest_dict(
+            dims, leaves, typed, generation=int(generation),
+            total_rows=int(total_rows), total_measure=float(total_measure),
+            shard=shard,
+        )
+        atomic_write(
+            os.path.join(directory, MANIFEST),
+            lambda handle: json.dump(manifest, handle, indent=2, sort_keys=True),
+        )
+        return cls(directory, manifest)
 
     @classmethod
     def open(cls, directory, verify="quick", salvage=True):

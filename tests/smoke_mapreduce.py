@@ -1,0 +1,179 @@
+"""MapReduce backend smoke test: out-of-core build under a hard cap (CI job).
+
+Three acts covering the acceptance criteria of the ``repro.mr``
+subsystem end-to-end, on real worker processes:
+
+1. **Oracle gate** — at verification scale the MapReduce cube must
+   match the naive single-process oracle cell-for-cell, and the store
+   it materializes must be byte-identical to the classic
+   ``CubeStore.build`` output.
+2. **Out-of-core build** — a ~1M-row streamed weather relation is
+   materialized with the combiner held to a budget more than 10x
+   smaller than the relation's in-memory footprint, under an
+   ``RLIMIT_AS`` address-space cap that would kill the run if any stage
+   materialized the input.  The shuffle must externalize (spill bytes
+   >= 10x the budget) and the finished store must reopen clean with
+   exact totals.
+3. **Spill-crash sweep** — map and reduce workers are SIGKILLed
+   mid-spill and mid-merge; re-execution from durable run files must
+   produce a byte-identical store, orphaned attempt files must be
+   swept, and no temp droppings may survive anywhere in the output.
+
+Run:  PYTHONPATH=src python tests/smoke_mapreduce.py
+"""
+
+import glob
+import math
+import os
+import sys
+import tempfile
+
+from repro.cluster.faults import FaultPlan, NodeCrash
+from repro.core.naive import naive_iceberg_cube
+from repro.data import zipf_relation
+from repro.data.stream import stream_from_relation, weather_stream
+from repro.data.weather import baseline_dims
+from repro.mr import MIN_MEMORY_BUDGET, mapreduce_materialize, \
+    mapreduce_iceberg_cube
+from repro.online.materialize import leaf_cuboids
+from repro.serve.store import CubeStore, _leaf_filename
+
+DIMS = ("d0", "d1", "d2", "d3")
+
+#: The big act's streamed input; the combiner budget is derived from
+#: the measured footprint so the >=10x gap holds at any SMOKE_MR_ROWS.
+BIG_ROWS = int(os.environ.get("SMOKE_MR_ROWS", "1000000"))
+
+
+def leaf_files(directory, dims):
+    out = {}
+    for leaf in leaf_cuboids(dims):
+        with open(os.path.join(directory, _leaf_filename(leaf)), "rb") as fh:
+            out[leaf] = fh.read()
+    return out
+
+
+def act_one_oracle_gate(tmp):
+    relation = zipf_relation(4_000, [8, 6, 5, 4], skew=1.0, seed=31,
+                             dims=DIMS)
+    stream = stream_from_relation(relation, split_rows=900)
+
+    result = mapreduce_iceberg_cube(stream, minsup=3, workers=2)
+    oracle = naive_iceberg_cube(relation, minsup=3)
+    diff = result.diff(oracle, tolerance=1e-9, limit=5)
+    assert not diff, diff
+
+    classic = CubeStore.build(relation, os.path.join(tmp, "classic"),
+                              backend="local")
+    mr = mapreduce_materialize(stream, os.path.join(tmp, "mr"), workers=2)
+    assert mr.total_rows == classic.total_rows
+    assert math.isclose(mr.total_measure, classic.total_measure, abs_tol=1e-9)
+    assert leaf_files(os.path.join(tmp, "mr"), DIMS) == \
+        leaf_files(os.path.join(tmp, "classic"), DIMS)
+    print("act 1: %d-cell cube oracle-exact; store byte-identical to the "
+          "classic build" % result.total_cells())
+
+
+def _address_space_cap(headroom_bytes):
+    """Cap RLIMIT_AS at current VmSize + headroom (Linux only)."""
+    try:
+        import resource
+
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmSize:"):
+                    vm_kib = int(line.split()[1])
+                    break
+            else:
+                return None
+        soft, hard = resource.getrlimit(resource.RLIMIT_AS)
+        cap = vm_kib * 1024 + headroom_bytes
+        resource.setrlimit(resource.RLIMIT_AS, (cap, hard))
+        return (soft, hard), cap
+    except (ImportError, OSError, ValueError):
+        return None
+
+
+def act_two_out_of_core(tmp):
+    dims = baseline_dims(5)
+    stream = weather_stream(BIG_ROWS, dims=dims, seed=2001,
+                            split_rows=131_072)
+
+    # The footprint a full materialization would need, extrapolated
+    # from one generated chunk -- the budget must be >10x smaller.
+    rows, measures = next(iter(stream.iter_chunks()))
+    per_row = (sum(sys.getsizeof(r) for r in rows[:512]) / 512) + 8 + 24
+    footprint = int(per_row * BIG_ROWS)
+    budget = min(8 << 20, max(MIN_MEMORY_BUDGET, footprint // 12))
+    assert footprint > 10 * budget, (footprint, budget)
+    del rows, measures
+
+    # Any stage that materializes the input blows this address cap.
+    restore = _address_space_cap(headroom_bytes=192 << 20)
+    try:
+        store = mapreduce_materialize(
+            stream, os.path.join(tmp, "big"), workers=2, reducers=2,
+            memory_budget=budget)
+    finally:
+        if restore:
+            import resource
+
+            resource.setrlimit(resource.RLIMIT_AS, restore[0])
+    stats = store.mr_stats
+    assert stats.rows == BIG_ROWS, stats.rows
+    assert store.total_rows == BIG_ROWS
+    assert stats.spill_bytes >= 10 * budget, stats.spill_bytes
+    assert stats.runs_merged >= stats.runs > 0
+
+    reopened = CubeStore.open(os.path.join(tmp, "big"), verify="quick")
+    assert reopened.total_rows == BIG_ROWS
+    print("act 2: %d rows (~%d MB materialized) through a %.1f MB combiner "
+          "budget%s -- %d spills, %.0f MB shuffled, store reopens clean"
+          % (BIG_ROWS, footprint >> 20, budget / (1 << 20),
+             " under RLIMIT_AS" if restore else "",
+             stats.spills, stats.spill_bytes / (1 << 20)))
+
+
+def act_three_spill_crash_sweep(tmp):
+    relation = zipf_relation(4_000, [8, 6, 5, 4], skew=1.0, seed=37,
+                             dims=DIMS)
+    stream = stream_from_relation(relation, split_rows=500)  # 8 map tasks
+
+    plain = mapreduce_materialize(
+        stream, os.path.join(tmp, "plain"), workers=2, reducers=2,
+        memory_budget=MIN_MEMORY_BUDGET)
+    # Kill map attempts 0 and 2 after their first durable spill, and
+    # reduce partition 0 (task id 8) after its first committed leaf.
+    faults = FaultPlan(crashes=[NodeCrash(0, 0.0), NodeCrash(2, 0.0),
+                                NodeCrash(8, 0.0)], seed=3)
+    faulty = mapreduce_materialize(
+        stream, os.path.join(tmp, "faulty"), workers=2, reducers=2,
+        memory_budget=MIN_MEMORY_BUDGET, fault_plan=faults, batch_timeout=30)
+
+    stats = faulty.mr_stats
+    assert stats.map_recovery.worker_crashes >= 1, stats.map_recovery
+    assert stats.reduce_recovery.worker_crashes >= 1, stats.reduce_recovery
+    assert stats.orphan_files_swept > 0, "killed attempts left no orphans?"
+    assert leaf_files(os.path.join(tmp, "faulty"), DIMS) == \
+        leaf_files(os.path.join(tmp, "plain"), DIMS)
+    strays = [p for p in glob.glob(os.path.join(tmp, "faulty", "**", "*"),
+                                   recursive=True) if ".tmp." in p]
+    assert not strays, strays
+    CubeStore.open(os.path.join(tmp, "faulty"), verify="full")
+    print("act 3: SIGKILLed 2 mappers + 1 reducer; %d orphan files swept, "
+          "store byte-identical to the fault-free run at verify=full"
+          % stats.orphan_files_swept)
+
+
+def main():
+    with tempfile.TemporaryDirectory(prefix="repro-mr-smoke-") as tmp:
+        act_one_oracle_gate(tmp)
+        act_two_out_of_core(tmp)
+        act_three_spill_crash_sweep(tmp)
+    print("PASS: mapreduce smoke survived the oracle gate, an out-of-core "
+          "build under RLIMIT_AS and the spill-crash sweep")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""Backend registry: names, capability flags, and error surfaces."""
+
+import io
+
+import pytest
+
+from repro.backends import BACKENDS, backend_names, resolve_backend
+from repro.cli import main
+from repro.data import zipf_relation
+from repro.errors import PlanError
+from repro.serve.server import CubeServer
+from repro.serve.store import CubeStore
+
+
+def test_every_registered_backend_resolves():
+    for name in BACKENDS:
+        info = resolve_backend(name)
+        assert info.name == name
+        assert info.capabilities
+        assert info.summary
+
+
+def test_backend_names_sorted_and_filterable():
+    assert backend_names() == sorted(BACKENDS)
+    assert backend_names("kernels") == ["local"]
+    assert "simulated" not in backend_names("streaming")
+    assert set(backend_names("cube")) == set(BACKENDS)
+
+
+def test_unknown_backend_lists_valid_choices():
+    with pytest.raises(PlanError) as err:
+        resolve_backend("nosuch")
+    message = str(err.value)
+    assert "nosuch" in message
+    for name in BACKENDS:
+        assert name in message
+
+
+def test_missing_capability_names_supporting_backends():
+    with pytest.raises(PlanError) as err:
+        resolve_backend("simulated", require={"streaming"})
+    message = str(err.value)
+    assert "streaming" in message
+    assert "mapreduce" in message
+
+
+def test_cli_rejects_unknown_backend():
+    out = io.StringIO()
+    code = main(["cube", "--weather", "50", "--backend", "bogus"], out=out)
+    assert code == 2
+    text = out.getvalue()
+    assert "bogus" in text
+    for name in BACKENDS:
+        assert name in text
+
+
+def test_server_validates_fallback_backend(tmp_path):
+    relation = zipf_relation(200, [6, 4], skew=0.8, seed=3)
+    store = CubeStore.build(relation, str(tmp_path / "store"))
+    with pytest.raises(PlanError):
+        CubeServer(store, relation, fallback_backend="bogus")
+    # the simulated backend cannot serve fallback computations
+    with pytest.raises(PlanError) as err:
+        CubeServer(store, relation, fallback_backend="simulated")
+    assert "local" in str(err.value)
+    server = CubeServer(store, relation, fallback_backend="mapreduce")
+    assert server.fallback_backend == "mapreduce"

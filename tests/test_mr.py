@@ -1,0 +1,223 @@
+"""The one-round MapReduce backend: planner, shuffle, engine, faults."""
+
+import glob
+import os
+
+import pytest
+
+from repro.cluster.faults import FaultPlan, NodeCrash
+from repro.online.materialize import leaf_cuboids
+from repro.core.naive import naive_iceberg_cube
+from repro.core.thresholds import SumThreshold
+from repro.data import Relation, zipf_relation
+from repro.data.stream import stream_from_relation, zipf_stream
+from repro.data.weather import _BY_NAME
+from repro.errors import PlanError
+from repro.mr import (
+    MIN_MEMORY_BUDGET,
+    mapreduce_iceberg_cube,
+    mapreduce_materialize,
+    plan_mapreduce,
+)
+from repro.serve import stable_shard_hash
+from repro.serve.store import CubeStore, _leaf_filename
+
+DIMS4 = ("d0", "d1", "d2", "d3")
+CARDS4 = [8, 6, 5, 4]
+
+
+def small_stream(n_rows=3_000, seed=7, split_rows=800):
+    return zipf_stream(n_rows, CARDS4, skew=1.0, seed=seed, dims=DIMS4,
+                       split_rows=split_rows)
+
+
+def assert_same_cube(result, oracle, tolerance=1e-6):
+    diff = result.diff(oracle, tolerance=tolerance, limit=5)
+    assert not diff, diff
+
+
+def leaf_bytes(directory, dims):
+    """Map every leaf cuboid to its on-disk file bytes."""
+    out = {}
+    for leaf in leaf_cuboids(dims):
+        path = os.path.join(directory, _leaf_filename(leaf))
+        with open(path, "rb") as handle:
+            out[leaf] = handle.read()
+    return out
+
+
+# ---------------------------------------------------------------- planner
+
+
+def test_plan_covers_every_leaf():
+    plan = plan_mapreduce(DIMS4, CARDS4, n_reducers=3)
+    leaves = leaf_cuboids(DIMS4)
+    assert sorted(plan.leaves) == sorted(leaves)
+    assert len(plan.partition_of_leaf) == len(plan.leaves)
+    assert set(plan.partition_of_leaf) == set(range(3))
+    # order-k batching balances *estimated cells*, not leaf counts: the
+    # heaviest leaf (the full-order one) must sit alone until lighter
+    # partitions catch up, so every partition ends up used
+    heavy = plan.leaves.index(DIMS4)
+    light = [plan.partition_of_leaf[i] for i, leaf in enumerate(plan.leaves)
+             if len(leaf) == 2]
+    assert plan.partition_of_leaf[heavy] not in light
+
+
+def test_plan_more_reducers_than_leaves():
+    plan = plan_mapreduce(("a", "b"), [4, 4], n_reducers=16)
+    assert plan.n_reducers == 16
+    assert len(plan.leaves) == 2
+
+
+def test_plan_rejects_keys_wider_than_63_bits():
+    names = tuple(_BY_NAME)
+    cards = [card for card, _skew in _BY_NAME.values()]
+    with pytest.raises(PlanError) as err:
+        plan_mapreduce(names, cards, n_reducers=4)
+    message = str(err.value)
+    assert "63" in message and "bit" in message
+
+
+def test_memory_budget_floor(tmp_path):
+    with pytest.raises(PlanError):
+        mapreduce_materialize(small_stream(200), str(tmp_path / "s"),
+                              workers=1, memory_budget=1024)
+
+
+# ----------------------------------------------------------- cube oracle
+
+
+@pytest.mark.parametrize("minsup", [1, 3, SumThreshold(150.0)],
+                         ids=["count1", "count3", "sum150"])
+def test_cube_matches_naive_oracle(minsup):
+    stream = small_stream()
+    result = mapreduce_iceberg_cube(stream, minsup=minsup, workers=1)
+    oracle = naive_iceberg_cube(stream.materialize(), minsup=minsup)
+    assert_same_cube(result, oracle)
+    assert result.mr_stats.rows == stream.n_rows
+
+
+def test_cube_respects_dim_projection():
+    stream = small_stream(2_000)
+    sub = ("d2", "d0", "d3")
+    result = mapreduce_iceberg_cube(stream, dims=sub, minsup=2, workers=1)
+    oracle = naive_iceberg_cube(stream.materialize(), dims=sub, minsup=2)
+    assert_same_cube(result, oracle)
+
+
+def test_sum_threshold_rejects_negative_measures():
+    relation = Relation(("a", "b"), [(0, 1), (1, 0)], [5.0, -1.0])
+    with pytest.raises(PlanError):
+        mapreduce_iceberg_cube(relation, minsup=SumThreshold(1.0), workers=1)
+
+
+def test_empty_input(tmp_path):
+    stream = zipf_stream(0, [4, 4], dims=("a", "b"), seed=0)
+    result = mapreduce_iceberg_cube(stream, minsup=1, workers=1)
+    assert result.total_cells() == 0
+    stores_dir = str(tmp_path / "empty")
+    store = mapreduce_materialize(stream, stores_dir, workers=1)
+    assert store.total_rows == 0
+    reopened = CubeStore.open(stores_dir)
+    assert reopened.total_rows == 0
+
+
+# ------------------------------------------------------ store equivalence
+
+
+def test_store_byte_identical_to_classic_build(tmp_path):
+    relation = zipf_relation(4_000, CARDS4, skew=1.0, seed=11, dims=DIMS4)
+    classic = CubeStore.build(relation, str(tmp_path / "classic"),
+                              backend="local")
+    mr = mapreduce_materialize(stream_from_relation(relation, split_rows=900),
+                               str(tmp_path / "mr"), workers=1)
+    assert mr.total_rows == classic.total_rows
+    assert mr.total_measure == pytest.approx(classic.total_measure, abs=1e-9)
+    assert leaf_bytes(str(tmp_path / "mr"), DIMS4) == \
+        leaf_bytes(str(tmp_path / "classic"), DIMS4)
+
+
+def test_starved_budget_spills_and_reproduces_exactly():
+    stream = small_stream(12_000, split_rows=6_000)
+    roomy = mapreduce_iceberg_cube(stream, minsup=2, workers=1)
+    starved = mapreduce_iceberg_cube(stream, minsup=2, workers=1,
+                                     memory_budget=MIN_MEMORY_BUDGET)
+    assert_same_cube(starved, roomy, tolerance=0.0)
+    assert starved.mr_stats.spills > roomy.mr_stats.spills
+    assert starved.mr_stats.spill_bytes > 0
+    assert starved.mr_stats.runs_merged >= starved.mr_stats.runs
+
+
+def test_sharded_store_single_pass(tmp_path):
+    stream = small_stream(2_500)
+    stores = mapreduce_materialize(stream, str(tmp_path / "sharded"),
+                                   workers=1, shards=3)
+    assert [store.shard for store in stores] == [(i, 3) for i in range(3)]
+    seen = set()
+    for index, store in enumerate(stores):
+        for leaf in store.leaves:
+            assert stable_shard_hash(leaf) % 3 == index
+            seen.add(leaf)
+        assert store.total_rows == stream.n_rows
+    assert seen == set(leaf_cuboids(DIMS4))
+
+
+# -------------------------------------------------------------- faults
+
+
+def _no_tmp_droppings(directory):
+    strays = [path for path in glob.glob(os.path.join(directory, "**", "*"),
+                                         recursive=True)
+              if ".tmp." in os.path.basename(path)]
+    assert not strays, strays
+
+
+def test_map_worker_sigkill_mid_spill_recovers(tmp_path):
+    relation = zipf_relation(4_000, CARDS4, skew=1.0, seed=23, dims=DIMS4)
+    stream = stream_from_relation(relation, split_rows=500)  # 8 map tasks
+    plain = mapreduce_materialize(stream, str(tmp_path / "plain"), workers=2,
+                                  reducers=2, memory_budget=MIN_MEMORY_BUDGET)
+    faults = FaultPlan(crashes=[NodeCrash(0, 0.0), NodeCrash(2, 0.0)], seed=3)
+    faulty = mapreduce_materialize(stream, str(tmp_path / "faulty"), workers=2,
+                                   reducers=2, memory_budget=MIN_MEMORY_BUDGET,
+                                   fault_plan=faults, batch_timeout=30)
+    log = faulty.mr_stats.map_recovery
+    assert log.worker_crashes >= 1
+    # the killed attempts left durable spill files behind; the sweep
+    # must have collected them rather than let the merge read them
+    assert faulty.mr_stats.orphan_files_swept > 0
+    assert faulty.total_rows == plain.total_rows == 4_000
+    assert leaf_bytes(str(tmp_path / "faulty"), DIMS4) == \
+        leaf_bytes(str(tmp_path / "plain"), DIMS4)
+    _no_tmp_droppings(str(tmp_path / "faulty"))
+
+
+def test_reduce_worker_sigkill_mid_merge_recovers(tmp_path):
+    relation = zipf_relation(3_000, CARDS4, skew=1.0, seed=29, dims=DIMS4)
+    stream = stream_from_relation(relation, split_rows=750)  # 4 map tasks
+    plain = mapreduce_materialize(stream, str(tmp_path / "plain"), workers=2,
+                                  reducers=2)
+    # reduce task ids start after the map tasks: kill partition 0
+    faults = FaultPlan(crashes=[NodeCrash(4, 0.0)], seed=5)
+    faulty = mapreduce_materialize(stream, str(tmp_path / "faulty"), workers=2,
+                                   reducers=2, fault_plan=faults,
+                                   batch_timeout=30)
+    assert faulty.mr_stats.reduce_recovery.worker_crashes >= 1
+    assert leaf_bytes(str(tmp_path / "faulty"), DIMS4) == \
+        leaf_bytes(str(tmp_path / "plain"), DIMS4)
+    _no_tmp_droppings(str(tmp_path / "faulty"))
+    # a half-written leaf from the killed attempt must not have leaked
+    # into the manifest: the reopened store passes full verification
+    reopened = CubeStore.open(str(tmp_path / "faulty"), verify="full")
+    assert reopened.total_rows == 3_000
+
+
+def test_cube_under_faults_matches_oracle():
+    stream = small_stream(2_000, split_rows=500)
+    faults = FaultPlan(crashes=[NodeCrash(1, 0.0)], seed=7)
+    result = mapreduce_iceberg_cube(stream, minsup=2, workers=2,
+                                    fault_plan=faults, batch_timeout=30)
+    assert result.recovery.worker_crashes >= 1
+    oracle = naive_iceberg_cube(stream.materialize(), minsup=2)
+    assert_same_cube(result, oracle)
