@@ -6,8 +6,9 @@ Six subcommands cover the library's everyday uses:
   weather workload) with any of the five parallel algorithms, print a
   summary and optionally export the cells; ``compute`` is an alias,
   and ``--backend local`` swaps the simulated cluster for a real
-  process pool over the columnar kernel (``--workers``,
-  ``--batch-size``, ``--self-test``);
+  process pool over the columnar kernel with a shared-memory data
+  plane (``--workers``, ``--batch-size``/``--calibrate``,
+  ``--no-shm``, ``--self-test``);
 * ``query``   — answer one iceberg group-by and print its cells;
 * ``recipe``  — print the Figure 4.7 recommendation for a workload;
 * ``bench``   — run one of the paper's experiments by name (or list
@@ -92,9 +93,17 @@ def build_parser():
     cube.add_argument("--workers", type=int, default=None,
                       help="local backend: worker processes "
                            "(default: CPU count, capped at 8)")
-    cube.add_argument("--batch-size", type=int, default=4,
-                      help="local backend: subtree tasks per pool batch "
-                           "(default 4)")
+    cube.add_argument("--batch-size", type=int, default=None,
+                      help="local backend: fixed subtree tasks per pool "
+                           "batch (default: auto — a calibration pass "
+                           "packs cost-balanced batches)")
+    cube.add_argument("--calibrate", action="store_true",
+                      help="local backend: force auto-calibrated batching "
+                           "even when --batch-size is given")
+    cube.add_argument("--no-shm", action="store_true",
+                      help="local backend: disable the shared-memory data "
+                           "plane (frame and results ride the pool pipe "
+                           "as pickles)")
     cube.add_argument("--kernel", default="auto",
                       choices=["auto", "columnar", "numpy"],
                       help="local backend: refinement kernel (default auto)")
@@ -152,8 +161,18 @@ def build_parser():
                             "spill-to-disk shuffle for inputs larger than "
                             "RAM)" % ", ".join(backend_names("store-build")))
     build.add_argument("--workers", type=int, default=None,
-                       help="mapreduce backend: worker processes "
-                            "(default: CPU count, capped at 8)")
+                       help="worker processes: mapreduce backend defaults "
+                            "to CPU count (capped at 8); the local backend "
+                            "aggregates in-process unless this (or "
+                            "--calibrate) asks for the pool")
+    build.add_argument("--calibrate", action="store_true",
+                       help="local backend: aggregate the leaves on the "
+                            "auto-tuned process pool (implies --workers = "
+                            "CPU count when --workers is not given)")
+    build.add_argument("--no-shm", action="store_true",
+                       help="local backend: keep the pool but ship the "
+                            "frame and results as pickles instead of "
+                            "shared-memory segments")
     _add_mr_options(build)
     build.add_argument("--processors", type=int, default=8)
     build.add_argument("--cluster", default="cluster1", choices=sorted(CLUSTERS))
@@ -466,11 +485,13 @@ def _cmd_cube_local(args, relation, dims, threshold, out):
     from .parallel.local import multiprocess_iceberg_cube
 
     fault_plan = parse_fault_spec(args.faults) if args.faults else None
+    batch_size = None if args.calibrate else args.batch_size
     started = _time.perf_counter()
     result = multiprocess_iceberg_cube(
         relation, dims=dims, minsup=threshold, workers=args.workers,
-        batch_size=args.batch_size, kernel=args.kernel,
+        batch_size=batch_size, kernel=args.kernel,
         fault_plan=fault_plan, batch_timeout=args.batch_timeout,
+        use_shm=not args.no_shm,
     )
     elapsed = _time.perf_counter() - started
     if args.self_test:
@@ -483,15 +504,17 @@ def _cmd_cube_local(args, relation, dims, threshold, out):
     print("qualifying cells : %d in %d cuboids"
           % (result.total_cells(), len(result.cuboids)), file=out)
     print("output volume    : %.1f KB" % (result.output_bytes() / 1024), file=out)
-    print("wall clock       : %.3f s (%s workers, batch size %d)"
+    print("wall clock       : %.3f s (%s workers, batch size %s%s)"
           % (elapsed, args.workers if args.workers else "auto",
-             args.batch_size), file=out)
+             batch_size if batch_size else "auto",
+             ", no shm" if args.no_shm else ""), file=out)
     recovery = getattr(result, "recovery", None)
     if fault_plan is not None and recovery is not None:
         print("recovery         : %d retries, %d pool respawns, %d worker "
-              "crashes, %d stalls, %.3f s backoff"
+              "crashes, %d stalls, %d segments swept, %.3f s backoff"
               % (recovery.retries, recovery.respawns, recovery.worker_crashes,
-                 recovery.stalls, recovery.backoff_seconds), file=out)
+                 recovery.stalls, recovery.segments_swept,
+                 recovery.backoff_seconds), file=out)
     if args.export:
         manifest = save_cube(result, args.export)
         print("exported         : %d cuboid files under %s"
@@ -615,6 +638,21 @@ def cmd_bench(args, out):
     return 0 if result.passed else 1
 
 
+def _store_workers(args):
+    """``store build``'s local-backend worker count.
+
+    ``--workers N`` is explicit; ``--calibrate`` alone asks for the
+    auto-tuned pool at CPU count (capped like the cube backend); neither
+    keeps the in-process leaf aggregation.
+    """
+    if args.workers is not None:
+        return args.workers
+    if args.calibrate:
+        import os as _os
+        return min(8, _os.cpu_count() or 1)
+    return None
+
+
 def cmd_store(args, out):
     """Build a persistent cube store from an input relation."""
     from .serve import CubeStore
@@ -629,7 +667,9 @@ def cmd_store(args, out):
         if args.shards is not None:
             return _cmd_store_sharded(args, relation, dims, cluster, out)
         store = CubeStore.build(relation, args.out, dims=dims,
-                                cluster_spec=cluster, backend=args.backend)
+                                cluster_spec=cluster, backend=args.backend,
+                                workers=_store_workers(args),
+                                use_shm=not args.no_shm)
         print("built cube store : %s (%s backend)" % (args.out, args.backend),
               file=out)
         print("input            : %d tuples, dims %s"
@@ -704,7 +744,9 @@ def _cmd_store_sharded(args, relation, dims, cluster, out):
         directory = os.path.join(args.out, "shard-%d" % index)
         store = CubeStore.build(relation, directory, dims=dims,
                                 cluster_spec=cluster, backend=args.backend,
-                                shard=(index, args.shards))
+                                shard=(index, args.shards),
+                                workers=_store_workers(args),
+                                use_shm=not args.no_shm)
         print("  shard %d/%d      : %s — %d leaves, %d cells"
               % (index, args.shards, directory, len(store.leaves),
                  store.total_cells()), file=out)

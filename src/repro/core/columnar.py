@@ -197,6 +197,67 @@ class ColumnarFrame:
         """The cell tuple of row ``i`` over ``positions`` (fallback path)."""
         return tuple(self.columns[p][i] for p in positions)
 
+    # ------------------------------------------------------------------
+    # shared-memory shipping (one copy of the input for every worker)
+    # ------------------------------------------------------------------
+    def buffer_nbytes(self):
+        """Bytes needed to lay every column buffer out contiguously."""
+        per_row = 8 * (len(self.columns) + 1 + (1 if self.keys is not None
+                                                else 0))
+        return per_row * self.n_rows
+
+    def buffer_meta(self):
+        """The picklable header that, with the raw buffer, rebuilds the
+        frame: everything except the row data itself."""
+        return {
+            "dims": self.dims,
+            "cardinalities": list(self.cardinalities),
+            "n_rows": self.n_rows,
+            "has_keys": self.keys is not None,
+        }
+
+    def write_buffers(self, buf):
+        """Copy dimension columns, measures and packed keys into ``buf``
+        (a writable buffer of at least :meth:`buffer_nbytes` bytes), in
+        the fixed layout :meth:`from_buffers` reads back."""
+        view = memoryview(buf)
+        offset = 0
+        parts = list(self.columns) + [self.measures]
+        if self.keys is not None:
+            parts.append(self.keys)
+        for part in parts:
+            raw = part.tobytes()
+            view[offset:offset + len(raw)] = raw
+            offset += len(raw)
+        return offset
+
+    @classmethod
+    def from_buffers(cls, meta, buf):
+        """Rebuild a frame over a shared buffer — zero copies of row data.
+
+        Columns come back as typed ``memoryview`` casts into ``buf``;
+        every kernel consumes them exactly like ``array`` objects
+        (indexing, ``tolist``, ``frombuffer``).  The caller must keep
+        the underlying mapping alive for the frame's lifetime.
+        """
+        dims = tuple(meta["dims"])
+        cardinalities = list(meta["cardinalities"])
+        n_rows = meta["n_rows"]
+        view = memoryview(buf)
+        stride = 8 * n_rows
+        offset = 0
+        columns = []
+        for _ in dims:
+            columns.append(view[offset:offset + stride].cast("q"))
+            offset += stride
+        measures = view[offset:offset + stride].cast("d")
+        offset += stride
+        keys = None
+        packing = KeyPacking.plan(cardinalities)
+        if meta["has_keys"]:
+            keys = view[offset:offset + stride].cast("q")
+        return cls(dims, columns, measures, cardinalities, packing, keys)
+
     def __repr__(self):
         packed = self.packing.total_bits if self.packing is not None else None
         return "ColumnarFrame(dims=%r, rows=%d, key_bits=%r)" % (

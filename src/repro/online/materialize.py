@@ -47,10 +47,16 @@ class LeafMaterialization:
     """Precomputed leaf cuboids answering arbitrary-threshold queries."""
 
     def __init__(self, relation, dims=None, cluster_spec=None, cost_model=None,
-                 backend="simulated", leaves=None):
+                 backend="simulated", leaves=None, workers=None, use_shm=True):
         """``leaves`` restricts the precompute to a subset of the
         processing tree's leaf cuboids (one shard's worth, for the
-        sharded serving tier); the default materializes them all."""
+        sharded serving tier); the default materializes them all.
+
+        ``workers`` (local backend only) aggregates the leaves on the
+        supervised process pool with shared-memory transport
+        (:func:`~repro.parallel.local.multiprocess_leaf_cells`);
+        ``None`` or ``1`` keeps the in-process path.  ``use_shm=False``
+        falls back to pickled results on the pool."""
         if dims is None:
             dims = relation.dims
         self.dims = tuple(dims)
@@ -75,12 +81,21 @@ class LeafMaterialization:
         # incremental updates.
         if backend == "local":
             started = time.perf_counter()
-            frame = ColumnarFrame.from_relation(relation, self.dims)
+            if workers is not None and workers != 1:
+                from ..parallel.local import multiprocess_leaf_cells
+                by_leaf = multiprocess_leaf_cells(
+                    relation, self.leaves, dims=self.dims, workers=workers,
+                    use_shm=use_shm)
+            else:
+                frame = ColumnarFrame.from_relation(relation, self.dims)
+                by_leaf = {
+                    leaf: aggregate_cuboid(frame, leaf)
+                    for leaf in self.leaves
+                }
             self._store = {
                 leaf: {
                     cell: [count, total]
-                    for cell, (count, total) in
-                    aggregate_cuboid(frame, leaf).items()
+                    for cell, (count, total) in by_leaf[leaf].items()
                 }
                 for leaf in self.leaves
             }

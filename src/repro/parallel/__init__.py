@@ -4,7 +4,7 @@ from .aht import AHT
 from .asl import ASL
 from .base import AlgorithmFeatures, ParallelCubeAlgorithm, ParallelRunResult
 from .bpp import BPP
-from .local import multiprocess_iceberg_cube
+from .local import multiprocess_iceberg_cube, multiprocess_leaf_cells
 from .pt import PT
 from .rp import RP
 
@@ -27,6 +27,7 @@ __all__ = [
     "ALGORITHMS",
     "features_table",
     "multiprocess_iceberg_cube",
+    "multiprocess_leaf_cells",
     "AlgorithmFeatures",
     "ParallelCubeAlgorithm",
     "ParallelRunResult",

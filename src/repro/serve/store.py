@@ -291,7 +291,7 @@ class CubeStore:
     # ------------------------------------------------------------------
     @classmethod
     def build(cls, relation, directory, dims=None, cluster_spec=None, cost_model=None,
-              backend="simulated", shard=None):
+              backend="simulated", shard=None, workers=None, use_shm=True):
         """Precompute the leaf cuboids of ``relation`` and persist them.
 
         Runs the same minsup-1 leaf precompute as
@@ -299,7 +299,10 @@ class CubeStore:
         writes the store and returns it open.  ``backend="local"``
         aggregates the leaves over a columnar frame at machine speed
         instead of through the simulated cluster — same cells, much
-        faster ingest (the CLI's default).
+        faster ingest (the CLI's default).  ``workers`` > 1 spreads the
+        local-backend leaf aggregation over the supervised process pool
+        with shared-memory transport (``use_shm=False`` keeps the pool
+        but ships pickles).
 
         ``shard=(i, n)`` builds one shard of a sharded serving tier:
         only the leaves :class:`~repro.serve.cluster.ShardMap` assigns
@@ -318,7 +321,7 @@ class CubeStore:
             shard = (index, of)
         materialization = LeafMaterialization(
             relation, dims=dims, cluster_spec=cluster_spec, cost_model=cost_model,
-            backend=backend, leaves=leaves,
+            backend=backend, leaves=leaves, workers=workers, use_shm=use_shm,
         )
         return cls.from_materialization(materialization, directory, shard=shard)
 

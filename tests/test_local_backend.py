@@ -1,14 +1,25 @@
 """The real multiprocess backend agrees with the oracle."""
 
+import os
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.cluster.faults import FaultPlan, Slowdown, TaskFailure
 from repro.core import SumThreshold
-from repro.core.columnar import HAS_NUMPY
+from repro.core.buc import buc_iceberg_cube
+from repro.core.columnar import HAS_NUMPY, ColumnarFrame, aggregate_cuboid
 from repro.core.naive import naive_iceberg_cube
 from repro.data import Relation
 from repro.errors import PlanError, WorkerCrashError
-from repro.parallel.local import multiprocess_iceberg_cube
+from repro.parallel.local import (
+    CHAOS_KILL_ENV,
+    _batched,
+    multiprocess_iceberg_cube,
+    multiprocess_leaf_cells,
+)
+from repro.parallel.shm import DEV_SHM
 
 KERNEL_NAMES = ["auto", "columnar"] + (["numpy"] if HAS_NUMPY else [])
 
@@ -166,3 +177,113 @@ class TestSupervisedChaos:
         faulted = multiprocess_iceberg_cube(small_skewed, minsup=2, workers=2,
                                             fault_plan=plan)
         assert faulted.equals(clean), faulted.diff(clean)
+
+
+def _rsm_segments():
+    """Names of repro shared-memory segments currently in /dev/shm."""
+    if not os.path.isdir(DEV_SHM):
+        return set()
+    return {entry for entry in os.listdir(DEV_SHM)
+            if entry.startswith("rsm-")}
+
+
+class TestDataPlane:
+    """The shared-memory transport, auto-calibrated batching and the
+    pickle fallback all produce exactly the oracle's cells — and leak
+    no segments, even when a writer is SIGKILLed mid-write."""
+
+    def test_auto_calibrated_batching_matches_naive(self, small_skewed):
+        # batch_size=None (the default): a calibration pass times the
+        # tail tasks in-process, then packs cost-balanced batches.
+        expected = naive_iceberg_cube(small_skewed, minsup=2)
+        got = multiprocess_iceberg_cube(small_skewed, minsup=2, workers=2,
+                                        batch_size=None)
+        assert got.equals(expected), got.diff(expected)
+
+    def test_no_shm_fallback_matches_naive(self, small_skewed):
+        # use_shm=False (CLI --no-shm): frame by fork, results pickled.
+        expected = naive_iceberg_cube(small_skewed, minsup=2)
+        got = multiprocess_iceberg_cube(small_skewed, minsup=2, workers=2,
+                                        use_shm=False)
+        assert got.equals(expected), got.diff(expected)
+        assert _rsm_segments() == set()
+
+    def test_tuple_key_overflow_relation_matches_naive(self):
+        # Cardinalities past the 63-bit packed-key budget: the frame
+        # carries packing=None and results ride the one-int64-per-
+        # coordinate fallback encoding.
+        rows = [(2 ** 40 + i % 3, i % 5, 2 ** 35 * (i % 4))
+                for i in range(60)]
+        rel = Relation(("A", "B", "C"), rows,
+                       [float(i % 7) for i in range(60)])
+        assert ColumnarFrame.from_relation(rel, rel.dims).packing is None
+        expected = naive_iceberg_cube(rel, minsup=2)
+        got = multiprocess_iceberg_cube(rel, minsup=2, workers=2)
+        assert got.equals(expected), got.diff(expected)
+
+    def test_no_segments_leak_after_a_clean_run(self, small_skewed):
+        before = _rsm_segments()
+        multiprocess_iceberg_cube(small_skewed, minsup=2, workers=2)
+        assert _rsm_segments() == before
+
+    def test_chaos_sigkill_mid_segment_write_sweeps_the_leak(
+            self, small_skewed, monkeypatch):
+        # The worker writing batch 0's result segment dies halfway
+        # through the write (a real SIGKILL, attempt 0 only).  The
+        # supervisor must respawn, sweep the orphaned segment, re-run
+        # the batch, and still hand back the oracle's cells.
+        before = _rsm_segments()
+        monkeypatch.setenv(CHAOS_KILL_ENV, "0")
+        expected = naive_iceberg_cube(small_skewed, minsup=2)
+        got = multiprocess_iceberg_cube(small_skewed, minsup=2, workers=2,
+                                        batch_size=3, backoff_s=0.01)
+        assert got.equals(expected), got.diff(expected)
+        assert got.recovery.worker_crashes >= 1
+        assert got.recovery.respawns >= 1
+        assert got.recovery.segments_swept >= 1
+        assert _rsm_segments() == before
+
+    def test_leaf_cells_match_inline_aggregation(self, small_uniform):
+        leaves = [("A", "B"), ("B", "C"), ("C", "D"), ("A",)]
+        frame = ColumnarFrame.from_relation(small_uniform,
+                                            small_uniform.dims)
+        expected = {leaf: aggregate_cuboid(frame, leaf) for leaf in leaves}
+        pooled = multiprocess_leaf_cells(small_uniform, leaves, workers=2,
+                                         batch_size=1)
+        inline = multiprocess_leaf_cells(small_uniform, leaves, workers=1)
+        assert pooled == expected
+        assert inline == expected
+        assert _rsm_segments() == set()
+
+    def test_batched_yields_lazy_index_ranges(self):
+        gen = _batched(7, 3)
+        assert iter(gen) is gen  # a generator: nothing materialized
+        assert list(gen) == [(0, 3), (3, 6), (6, 7)]
+        assert list(_batched(0, 4)) == []
+        assert list(_batched(2, 10)) == [(0, 2)]
+
+
+@st.composite
+def tiny_relations(draw):
+    n_dims = draw(st.integers(1, 3))
+    cards = [draw(st.integers(1, 4)) for _ in range(n_dims)]
+    n_rows = draw(st.integers(0, 25))
+    dims = tuple("ABC"[:n_dims])
+    rows = [tuple(draw(st.integers(0, c - 1)) for c in cards)
+            for _ in range(n_rows)]
+    measures = [float(draw(st.integers(0, 9))) for _ in range(n_rows)]
+    return Relation(dims, rows, measures)
+
+
+class TestPropertyIdentity:
+    """Property-based: the pool stays cell-identical to sequential BUC
+    with the seed python kernel on arbitrary small relations."""
+
+    @pytest.mark.parametrize("kernel", KERNEL_NAMES)
+    @settings(max_examples=5, deadline=None)
+    @given(relation=tiny_relations(), minsup=st.integers(1, 3))
+    def test_pool_matches_buc_python(self, kernel, relation, minsup):
+        expected, _stats, _writer = buc_iceberg_cube(relation, minsup=minsup)
+        got = multiprocess_iceberg_cube(relation, minsup=minsup, workers=2,
+                                        kernel=kernel)
+        assert got.equals(expected), got.diff(expected)
