@@ -1,0 +1,7 @@
+"""Extension: streaming ingestion — WAL delta appends vs leaf rewrite."""
+
+from repro.bench.extensions import ext_ingest
+
+
+def test_ext_ingest(run_experiment):
+    run_experiment(ext_ingest)

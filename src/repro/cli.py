@@ -35,6 +35,8 @@ Examples::
     repro-cube store build --weather 20000 --dims 6 --out /tmp/cube-store
     repro-cube store build --weather 20000 --dims 6 --out /tmp/cluster --shards 3
     repro-cube serve --store /tmp/cube-store --port 8642
+    repro-cube serve --store /tmp/cube-store --wal --compact-after 8
+    repro-cube store compact --store /tmp/cube-store
     repro-cube serve --store /tmp/cluster/shard-0 --shard 0/3 --port 9001
     repro-cube router --shard http://h1:9001,http://h2:9001 \
         --shard http://h3:9002,http://h4:9002 --port 8642
@@ -182,6 +184,15 @@ def build_parser():
                             "placement by stable covering-leaf hash) instead "
                             "of one monolithic store")
     _add_obs_options(build)
+    compact = store_sub.add_parser(
+        "compact", help="fold a WAL-enabled store's pending delta batches "
+                        "into its sorted leaf runs")
+    compact.add_argument("--store", required=True, metavar="DIR",
+                         help="directory written by 'store build'")
+    compact.add_argument("--verify", default="quick",
+                         choices=["off", "quick", "full"],
+                         help="store integrity check on open (default quick)")
+    _add_obs_options(compact)
 
     serve = sub.add_parser("serve",
                            help="serve iceberg queries from a store over HTTP")
@@ -220,6 +231,15 @@ def build_parser():
                        help="serve as shard I of an N-shard cluster; refused "
                             "unless the store was built as exactly that shard "
                             "(e.g. --shard 0/3)")
+    serve.add_argument("--wal", action="store_true",
+                       help="open the store with the write-ahead log: "
+                            "appends become durable, idempotent "
+                            "(batch_id-deduplicated) delta batches, "
+                            "compacted in the background")
+    serve.add_argument("--compact-after", type=int, default=None, metavar="N",
+                       help="WAL batches buffered before a background "
+                            "compaction folds them into the sorted leaf "
+                            "runs (default 8; requires --wal)")
     _add_obs_options(serve)
 
     router = sub.add_parser(
@@ -249,6 +269,27 @@ def build_parser():
                         metavar="N",
                         help="fan-out rounds allowed to pin one store "
                              "generation before answering 503 (default 4)")
+    router.add_argument("--append-retries", type=int, default=3, metavar="N",
+                        help="delivery attempts per replica per append "
+                             "(retries only run against WAL-enabled "
+                             "replicas, where idempotence keys make them "
+                             "safe; default 3)")
+    router.add_argument("--append-backoff", type=float, default=0.05,
+                        metavar="SECONDS",
+                        help="base of the capped full-jitter backoff "
+                             "between append retries (default 0.05)")
+    router.add_argument("--append-backoff-cap", type=float, default=1.0,
+                        metavar="SECONDS",
+                        help="backoff ceiling between append retries "
+                             "(default 1)")
+    router.add_argument("--append-deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock budget for one append fan-out, "
+                             "retries included (default: none)")
+    router.add_argument("--no-anti-entropy", action="store_true",
+                        help="disable the health sweep's anti-entropy "
+                             "repair (re-delivering missing WAL batches "
+                             "to generation-lagging replicas)")
     router.add_argument("--self-test", type=int, metavar="N", default=None,
                         help="fire N queries through the router, print its "
                              "health and stats, and exit (smoke mode)")
@@ -657,6 +698,12 @@ def cmd_store(args, out):
     """Build a persistent cube store from an input relation."""
     from .serve import CubeStore
 
+    if args.store_command == "compact":
+        active = _setup_obs(args)
+        try:
+            return _cmd_store_compact(args, out)
+        finally:
+            _finish_obs(args, active, out)
     resolve_backend(args.backend, require={"store-build"})
     active = _setup_obs(args)
     try:
@@ -681,6 +728,31 @@ def cmd_store(args, out):
         return 0
     finally:
         _finish_obs(args, active, out)
+
+
+def _cmd_store_compact(args, out):
+    """``store compact``: fold pending WAL batches into the leaf runs."""
+    from .serve import CubeStore
+
+    store = CubeStore.open(args.store, verify=args.verify, wal=True)
+    try:
+        stats = store.wal_stats()
+        pending = stats["pending_batches"]
+        print("store            : %s (generation %d)"
+              % (args.store, store.generation), file=out)
+        replayed = store.recovery.get("wal_replayed", 0)
+        if replayed:
+            print("wal recovery     : %d batch(es) replayed" % replayed,
+                  file=out)
+        compacted = store.compact()
+        print("compacted        : %d pending batch(es) (%d were already "
+              "folded)" % (compacted, pending - compacted
+                           if pending >= compacted else 0), file=out)
+        print("wal              : %d bytes across %d record(s) remain"
+              % (store.wal.nbytes(), len(store.wal)), file=out)
+    finally:
+        store.close()
+    return 0
 
 
 def _cmd_store_mapreduce(args, out):
@@ -768,7 +840,15 @@ def cmd_serve(args, out):
 def _cmd_serve(args, out):
     from .serve import CircuitBreaker, CubeServer, CubeStore
 
-    store = CubeStore.open(args.store, verify=args.verify)
+    if args.compact_after is not None and not args.wal:
+        raise ReproError("--compact-after requires --wal")
+    if args.wal:
+        kwargs = {"wal": True}
+        if args.compact_after is not None:
+            kwargs["compact_after"] = args.compact_after
+        store = CubeStore.open(args.store, verify=args.verify, **kwargs)
+    else:
+        store = CubeStore.open(args.store, verify=args.verify)
     if args.shard is not None:
         from .serve import ShardMap
 
@@ -789,6 +869,12 @@ def _cmd_serve(args, out):
               "%d leaves salvaged"
               % (recovery["rolled_forward"], len(recovery["orphans_removed"]),
                  len(recovery["salvaged"])), file=out)
+    if args.wal:
+        stats = store.wal_stats()
+        print("wal              : enabled (%d batch(es) replayed on open, "
+              "compaction after %d)"
+              % (recovery.get("wal_replayed", 0) if recovery else 0,
+                 stats["compact_after"]), file=out)
     deadline_s = args.deadline_ms / 1000.0 if args.deadline_ms else None
     server = CubeServer(store, cache_size=args.cache_size,
                         max_workers=args.threads,
@@ -877,6 +963,11 @@ def _cmd_router(args, out):
         shard_replicas, timeout_s=args.timeout,
         health_interval_s=args.health_interval,
         generation_attempts=args.generation_attempts,
+        append_retries=args.append_retries,
+        append_backoff_s=args.append_backoff,
+        append_backoff_cap_s=args.append_backoff_cap,
+        append_deadline_s=args.append_deadline,
+        anti_entropy=not args.no_anti_entropy,
         breaker_factory=lambda: CircuitBreaker(
             failure_threshold=args.breaker_failures,
             reset_after_s=args.breaker_reset))

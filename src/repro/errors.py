@@ -98,6 +98,21 @@ class StoreCorruptError(ReproError):
         self.directory = directory
 
 
+class WalCorruptError(ReproError):
+    """A write-ahead-log record failed verification.
+
+    Raised by :mod:`repro.serve.ingest` when a WAL record's checksum,
+    magic or structure does not parse — a torn write that survived the
+    atomic-rename protocol (e.g. disk corruption) or foreign debris in
+    the WAL directory.  ``path`` names the offending record file.
+    """
+
+    def __init__(self, path, reason):
+        super().__init__("WAL record %s corrupt: %s" % (path, reason))
+        self.path = path
+        self.reason = reason
+
+
 class ServerOverloadedError(ReproError):
     """The server shed this query instead of queueing it unboundedly.
 

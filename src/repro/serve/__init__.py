@@ -20,18 +20,29 @@ iceberg query almost immediately — made into a serving subsystem:
   x R replicas as one logical cube: stable covering-leaf placement
   (:class:`ShardMap`), per-replica circuit breakers with failover,
   generation-pinned fan-out, and honest 503s when a whole shard is
-  down.
+  down;
+* :class:`WriteAheadLog` (``repro.serve.ingest``) makes appends durable
+  and idempotent: checksummed batch-id-stamped delta records fsync'd
+  before acknowledgement, replayed on restart, deduplicated on retry
+  (:class:`AppendResult`), compacted in the background, and re-delivered
+  to lagging replicas by the router's anti-entropy sweep (retries paced
+  by :class:`RetryPolicy`).
 """
 
 from .cache import QueryCache, cache_key
 from .cluster import CubeRouter, ReplicaClient, ShardMap, stable_shard_hash
-from .resilience import AdmissionGate, CircuitBreaker, Deadline
+from .ingest import WalRecord, WriteAheadLog
+from .resilience import AdmissionGate, CircuitBreaker, Deadline, RetryPolicy
 from .server import CubeAnswer, CubeServer, HttpEndpoint, QueryAnswer
-from .store import CubeStore
+from .store import AppendResult, CubeStore
 from .telemetry import QueryRecord, ServerTelemetry
 
 __all__ = [
     "CubeStore",
+    "AppendResult",
+    "WriteAheadLog",
+    "WalRecord",
+    "RetryPolicy",
     "QueryCache",
     "cache_key",
     "CubeServer",

@@ -67,9 +67,18 @@ class QueryCache:
             return len(self._entries)
 
     def get(self, cuboid, threshold, generation):
-        """The cached answer, or ``None`` on a miss or stale entry."""
+        """The cached answer, or ``None`` on a miss or stale entry.
+
+        A lookup is also an observation: seeing generation ``g`` raises
+        the watermark to ``g``, so even when appends bypass the server's
+        explicit :meth:`advance` call (e.g. WAL delta-runs applied
+        replica-side by anti-entropy repair), an in-flight insert
+        computed before ``g`` can no longer resurrect dead data.
+        """
         key = cache_key(cuboid, threshold)
         with self._lock:
+            if generation > self.watermark:
+                self.watermark = generation
             entry = self._entries.get(key)
             if entry is None:
                 self.misses += 1

@@ -31,6 +31,18 @@ router answers a structured :class:`~repro.errors.ShardUnavailableError`
 (HTTP 503 naming the shard) — an honest partial outage, never a wrong
 or silently truncated answer.
 
+**Durable fan-out** (:meth:`CubeRouter.append`).  Row deltas are
+delivered to every replica in parallel, each delivery retried under a
+capped full-jitter :class:`~repro.serve.resilience.RetryPolicy` and
+gated on the replica's circuit breaker, and the whole batch travels
+under one idempotence key — WAL-enabled replicas acknowledge a replayed
+batch instead of re-applying it, so the router (or a client whose
+router died mid-call) can always retry safely.  The background health
+sweep doubles as **anti-entropy repair**: a replica whose generation
+lags its shard's freshest sibling gets the missing WAL batches fetched
+from that sibling (``GET /wal``) and re-delivered with their original
+batch ids, converging the shard without operator action.
+
 **Generation consistency.**  Replicas label every answer with the store
 generation it was *verified* against (see ``CubeServer``'s double-read
 protocol).  Single-shard answers are therefore internally consistent by
@@ -65,6 +77,7 @@ from time import perf_counter
 from urllib.error import HTTPError, URLError
 from urllib.parse import parse_qs, quote, urlsplit
 from urllib.request import Request, urlopen
+from uuid import uuid4
 
 from .. import obs
 from ..core.thresholds import AndThreshold, CountThreshold, SumThreshold, as_threshold
@@ -79,7 +92,7 @@ from ..errors import (
 from ..lattice.lattice import CubeLattice
 from ..obs.metrics import MetricsRegistry
 from ..online.materialize import leaf_cuboids
-from .resilience import CircuitBreaker
+from .resilience import CircuitBreaker, Deadline, RetryPolicy
 from .server import MAX_REQUEST_BYTES, HttpEndpoint
 
 __all__ = [
@@ -312,7 +325,10 @@ class CubeRouter:
 
     def __init__(self, shard_replicas, dims=None, timeout_s=10.0,
                  breaker_factory=None, health_interval_s=0.0,
-                 generation_attempts=4, registry=None):
+                 generation_attempts=4, registry=None,
+                 append_retries=3, append_backoff_s=0.05,
+                 append_backoff_cap_s=1.0, append_deadline_s=None,
+                 anti_entropy=True, retry_policy=None):
         if not shard_replicas:
             raise PlanError("need at least one shard")
         self.shards = []
@@ -341,8 +357,19 @@ class CubeRouter:
         self._endpoints = []
         self._closed = threading.Event()
         self._pool = ThreadPoolExecutor(
-            max_workers=max(4, 2 * self.n_shards),
+            max_workers=max(4, 2 * self.n_shards,
+                            sum(len(r) for r in self.shards)),
             thread_name_prefix="cube-router")
+        if retry_policy is None:
+            retry_policy = RetryPolicy(
+                attempts=append_retries, base_s=append_backoff_s,
+                cap_s=append_backoff_cap_s)
+        self.append_policy = retry_policy
+        if append_deadline_s is not None and float(append_deadline_s) <= 0:
+            raise PlanError("append_deadline_s must be > 0, got %r"
+                            % (append_deadline_s,))
+        self.append_deadline_s = append_deadline_s
+        self.anti_entropy = bool(anti_entropy)
         if registry is None:
             active = obs.current()
             registry = active.registry if active is not None \
@@ -365,6 +392,13 @@ class CubeRouter:
         self._health_checks = registry.counter(
             "repro_router_health_checks_total",
             "Background /healthz probes by result.", ("status",))
+        self._append_retries = registry.counter(
+            "repro_router_append_retries_total",
+            "Append attempts that failed and were retried, per shard.",
+            ("shard",))
+        self._anti_entropy = registry.counter(
+            "repro_router_anti_entropy_total",
+            "Anti-entropy repair actions by outcome.", ("outcome",))
         self._replica_up = registry.gauge(
             "repro_router_replica_up",
             "1 if the replica's last health probe succeeded, else 0.",
@@ -575,62 +609,179 @@ class CubeRouter:
         self._requests.inc(kind="cube", outcome="generation_skew")
         raise GenerationSkewError(generations, self.generation_attempts)
 
-    def append(self, relation):
+    def _cluster_wal_enabled(self):
+        """Whether every reachable replica can dedupe idempotent appends.
+
+        Answered from the last health sweep; if none has run, the
+        replicas are probed without persisting the snapshot (a stale
+        copy stored mid-append would mask later failures from
+        :meth:`health`).  Retrying an append is only safe when the
+        replica remembers batch ids, so a cluster with any WAL-less
+        replica is driven in legacy single-attempt mode.
+        """
+        with self._lock:
+            snapshot = dict(self._health)
+        if not snapshot:
+            snapshot = self.check_health(store=False)
+        saw_replica = False
+        for state in snapshot.values():
+            if state.get("status") != "ok":
+                continue
+            saw_replica = True
+            wal = state.get("wal")
+            if not (wal and wal.get("enabled")):
+                return False
+        return saw_replica
+
+    def _append_replica(self, shard, replica, payload, deadline, attempts):
+        """Deliver one append to one replica, retrying with backoff.
+
+        Consults the replica's circuit breaker before every try (a
+        tripped replica is skipped and left to anti-entropy repair, the
+        same way the query path skips it) and records every outcome on
+        it.  Transient :class:`~repro.errors.ReplicaError` failures are
+        retried under the router's :class:`RetryPolicy`; a
+        :class:`~repro.errors.PlanError` (the replica answered, and said
+        no) is permanent.  ``attempts`` is 1 unless the delivery carries
+        an idempotence key — only then is a retry safe: a replica that
+        applied the batch but lost the reply just acknowledges the
+        duplicate.
+        """
+        client = self.shards[shard][replica]
+        breaker = self.breakers[(shard, replica)]
+        outcome = {"shard": shard, "replica": replica, "ok": False}
+        last_error = "no attempt made"
+        for attempt in range(attempts):
+            if not breaker.allow():
+                outcome["error"] = "circuit breaker open"
+                outcome["skipped"] = True
+                obs.event("router.append_breaker_skip",
+                          shard=shard, replica=replica)
+                return outcome
+            if deadline is not None and deadline.expired():
+                outcome["error"] = ("append deadline exceeded after %d "
+                                    "attempts (%s)" % (attempt, last_error))
+                return outcome
+            try:
+                reply = client.post_json("/append", payload)
+            except ReplicaError as exc:
+                breaker.record_failure()
+                last_error = str(exc)
+                self._failovers.inc(shard=str(shard))
+                if attempt + 1 < attempts:
+                    self._append_retries.inc(shard=str(shard))
+                    obs.event("router.append_retry", shard=shard,
+                              replica=replica, attempt=attempt)
+                    if self.append_policy.pause(attempt, deadline):
+                        continue
+                    outcome["error"] = ("append deadline cannot absorb "
+                                        "backoff (%s)" % last_error)
+                    return outcome
+                outcome["error"] = last_error
+                outcome["attempts"] = attempt + 1
+                return outcome
+            except PlanError as exc:
+                outcome["error"] = str(exc)
+                outcome["permanent"] = True
+                outcome["attempts"] = attempt + 1
+                return outcome
+            breaker.record_success()
+            outcome.update(
+                ok=True, generation=reply.get("generation"),
+                applied=reply.get("applied", True),
+                attempts=attempt + 1)
+            return outcome
+        return outcome  # pragma: no cover - loop always returns
+
+    def append(self, relation, batch_id=None, deadline_s=None):
         """Fold a row delta into *every* replica of every shard.
 
         Each replica applies the delta to its own store (replicas do not
         share disks), so the cluster's generations converge as the posts
         land; reads stay consistent throughout via the generation
-        protocol.  Returns a summary with per-replica outcomes.  A shard
-        whose replicas *all* failed the append raises
+        protocol.  Deliveries run in parallel; when the cluster can
+        dedupe (every replica WAL-enabled, or the caller supplied a
+        ``batch_id``) the whole batch travels under one idempotence key
+        and each replica gets a full retry budget (capped full-jitter
+        backoff, breaker-aware — see :meth:`_append_replica`), so
+        retries — including a *client* retrying this very call after a
+        crash — can never double-count rows.  Against WAL-less replicas
+        the router stays in legacy mode: one attempt each, no key, no
+        blind re-post.
+
+        Returns a summary with per-replica outcomes (``applied`` counts
+        acknowledgements, ``duplicates`` the acks that were replays).  A
+        shard whose replicas *all* failed raises
         :class:`~repro.errors.ShardUnavailableError` — that shard would
-        otherwise be permanently stale.
+        otherwise be permanently stale; re-calling with the same
+        ``batch_id`` is the safe recovery.
         """
+        idempotent = batch_id is not None or self._cluster_wal_enabled()
+        if idempotent and batch_id is None:
+            batch_id = uuid4().hex
+        batch_id = str(batch_id) if batch_id is not None else None
         payload = {
             "dims": list(relation.dims),
             "rows": [list(row) for row in relation.rows],
             "measures": list(relation.measures),
         }
-        outcomes = []
-        with obs.span("router.append", rows=len(relation)):
+        if idempotent:
+            payload["batch_id"] = batch_id
+        attempts = self.append_policy.attempts if idempotent else 1
+        if deadline_s is None:
+            deadline_s = self.append_deadline_s
+        deadline = Deadline(deadline_s) if deadline_s is not None else None
+        with obs.span("router.append", rows=len(relation),
+                      batch_id=batch_id) as span:
+            futures = {
+                (shard, replica): self._pool.submit(
+                    self._append_replica, shard, replica, payload,
+                    deadline, attempts)
+                for shard, replicas in enumerate(self.shards)
+                for replica in range(len(replicas))
+            }
+            outcomes = [futures[key].result() for key in sorted(futures)]
             for shard, replicas in enumerate(self.shards):
-                failures = 0
-                for replica, client in enumerate(replicas):
-                    try:
-                        reply = client.post_json("/append", payload)
-                        outcomes.append({
-                            "shard": shard, "replica": replica, "ok": True,
-                            "generation": reply["generation"],
-                        })
-                    except (ReplicaError, PlanError) as exc:
-                        failures += 1
-                        outcomes.append({
-                            "shard": shard, "replica": replica, "ok": False,
-                            "error": str(exc),
-                        })
-                if failures == len(replicas):
+                ok = sum(1 for o in outcomes
+                         if o["shard"] == shard and o["ok"])
+                if ok == 0:
+                    errors = "; ".join(
+                        o.get("error", "?") for o in outcomes
+                        if o["shard"] == shard)
                     self._unavailable.inc(shard=str(shard))
-                    raise ShardUnavailableError(
-                        shard, len(replicas),
-                        "append failed on every replica")
-        applied = sum(1 for o in outcomes if o["ok"])
-        self._requests.inc(kind="append",
-                           outcome="ok" if applied == len(outcomes)
-                           else "partial")
+                    obs.event("router.shard_unavailable", shard=shard)
+                    self._requests.inc(kind="append", outcome="unavailable")
+                    detail = "append failed on every replica (%s)" % errors
+                    if idempotent:
+                        detail += ("; batch %s is safe to resubmit — "
+                                   "idempotence keys deduplicate" % batch_id)
+                    raise ShardUnavailableError(shard, len(replicas), detail)
+            applied = sum(1 for o in outcomes if o["ok"])
+            duplicates = sum(1 for o in outcomes
+                             if o["ok"] and not o.get("applied", True))
+            self._requests.inc(kind="append",
+                               outcome="ok" if applied == len(outcomes)
+                               else "partial")
+            if span:
+                span.set(applied=applied, duplicates=duplicates)
         return {"rows": len(relation), "replicas": len(outcomes),
-                "applied": applied, "outcomes": outcomes}
+                "applied": applied, "duplicates": duplicates,
+                "batch_id": batch_id, "idempotent": idempotent,
+                "outcomes": outcomes}
 
     # ------------------------------------------------------------------
     # health
     # ------------------------------------------------------------------
-    def check_health(self):
+    def check_health(self, store=True):
         """One synchronous sweep of every replica's ``/healthz``.
 
         Success closes the replica's breaker (recovered replicas rejoin
         rotation); failure records a breaker failure (dead replicas trip
         out).  A replica reporting the wrong shard placement is marked
         ``misplaced`` and counted as a failure — better to lose a
-        replica than to serve another shard's cuboids.
+        replica than to serve another shard's cuboids.  ``store=False``
+        probes without remembering the snapshot or running the
+        anti-entropy sweep (the append path's WAL-capability probe).
         """
         snapshot = {}
         for shard, replicas in enumerate(self.shards):
@@ -658,10 +809,124 @@ class CubeRouter:
                     "generation": health.get("generation"),
                     "verify": health.get("verify"),
                     "breaker": health.get("breaker"),
+                    "wal": health.get("wal"),
                 }
-        with self._lock:
-            self._health = snapshot
+        if store:
+            with self._lock:
+                self._health = snapshot
+            if self.anti_entropy:
+                self._anti_entropy_sweep(snapshot)
         return snapshot
+
+    # ------------------------------------------------------------------
+    # anti-entropy repair
+    # ------------------------------------------------------------------
+    def _anti_entropy_sweep(self, snapshot):
+        """Re-deliver missing WAL batches to generation-lagging replicas.
+
+        For every shard, the freshest healthy WAL-enabled replica is the
+        repair *source*: its pending (un-compacted) WAL batches are
+        fetched over ``GET /wal`` and re-POSTed — original batch ids and
+        all — to every healthy sibling whose generation lags.  Replays
+        land in WAL order and duplicates are acknowledged idempotently,
+        so repair converges the replicas to cell-exact equality without
+        any coordination beyond the health sweep that is already
+        running.  A replica that lags below the source's WAL *base*
+        (those batches were compacted away) is counted ``unrepairable``
+        — it needs a store resync, which repair will not guess at.
+        """
+        for shard in range(self.n_shards):
+            states = {}
+            for replica in range(len(self.shards[shard])):
+                state = snapshot.get((shard, replica))
+                if not state or state.get("status") != "ok":
+                    continue
+                generation = state.get("generation")
+                if generation is None:
+                    continue
+                states[replica] = (int(generation), state.get("wal"))
+            if len(states) < 2:
+                continue
+            target = max(generation for generation, _ in states.values())
+            laggards = [r for r, (g, wal) in sorted(states.items())
+                        if g < target]
+            if not laggards:
+                continue
+            sources = [r for r, (g, wal) in sorted(states.items())
+                       if g == target and wal and wal.get("enabled")]
+            if not sources:
+                self._anti_entropy.inc(outcome="no_source",
+                                       amount=len(laggards))
+                obs.event("router.anti_entropy_no_source", shard=shard,
+                          laggards=laggards)
+                continue
+            source = sources[0]
+            source_base = int(states[source][1].get(
+                "base_generation", target))
+            for replica in laggards:
+                generation, wal = states[replica]
+                if not wal or not wal.get("enabled"):
+                    self._anti_entropy.inc(outcome="unrepairable")
+                    obs.event("router.anti_entropy_unrepairable",
+                              shard=shard, replica=replica,
+                              reason="replica has no WAL")
+                    continue
+                if generation < source_base:
+                    # The batches it missed predate the source's last
+                    # compaction — the WAL can no longer replay them.
+                    self._anti_entropy.inc(outcome="unrepairable")
+                    obs.event("router.anti_entropy_unrepairable",
+                              shard=shard, replica=replica,
+                              reason="lags below the source WAL base "
+                                     "(%d < %d): store resync required"
+                                     % (generation, source_base))
+                    continue
+                self._repair_replica(shard, replica, source, source_base)
+
+    def _repair_replica(self, shard, replica, source, source_base):
+        """Fetch the source's pending WAL batches and re-POST them all.
+
+        Every pending batch is re-delivered (the lagging replica's own
+        generation cannot name *which* batches it missed when failures
+        interleaved), relying on idempotence keys to turn the already-
+        applied ones into cheap duplicate acks and the missing ones into
+        real appends — after which both replicas have applied the same
+        batch set and their generations agree.
+        """
+        source_client = self.shards[shard][source]
+        client = self.shards[shard][replica]
+        try:
+            reply = source_client.get_json("/wal?since=%d" % source_base)
+        except (ReplicaError, PlanError) as exc:
+            self._anti_entropy.inc(outcome="fetch_failed")
+            obs.event("router.anti_entropy_fetch_failed", shard=shard,
+                      source=source, error=str(exc))
+            return
+        if reply.get("truncated"):
+            self._anti_entropy.inc(outcome="unrepairable")
+            obs.event("router.anti_entropy_unrepairable", shard=shard,
+                      replica=replica,
+                      reason="source WAL truncated during repair")
+            return
+        delivered = applied = 0
+        for batch in reply.get("batches", []):
+            payload = {"dims": batch["dims"], "rows": batch["rows"],
+                       "measures": batch["measures"],
+                       "batch_id": batch["batch_id"]}
+            try:
+                ack = client.post_json("/append", payload)
+            except (ReplicaError, PlanError) as exc:
+                self._anti_entropy.inc(outcome="redeliver_failed")
+                obs.event("router.anti_entropy_redeliver_failed",
+                          shard=shard, replica=replica, error=str(exc))
+                return
+            delivered += 1
+            if ack.get("applied", True):
+                applied += 1
+        self._anti_entropy.inc(outcome="repaired")
+        obs.event("router.anti_entropy_repaired", shard=shard,
+                  replica=replica, source=source, delivered=delivered,
+                  applied=applied)
 
     def _health_loop(self):
         while True:
@@ -868,7 +1133,8 @@ class _RouterRequestHandler(BaseHTTPRequestHandler):
             self._reply(400, {"error": "malformed append body (%s)" % exc,
                               "kind": "bad_request"})
             return
-        self._reply(200, router.append(relation))
+        batch_id = payload.get("batch_id")
+        self._reply(200, router.append(relation, batch_id=batch_id))
 
     def _reply(self, status, payload):
         body = json.dumps(payload).encode()

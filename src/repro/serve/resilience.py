@@ -23,13 +23,64 @@ trace timeline: every shed admission and every circuit-breaker state
 transition is recorded as an instant event.
 """
 
+import random
 import threading
 import time
 
 from .. import obs
 from ..errors import DeadlineExceededError, PlanError, ServerOverloadedError
 
-__all__ = ["Deadline", "AdmissionGate", "CircuitBreaker"]
+__all__ = ["Deadline", "AdmissionGate", "CircuitBreaker", "RetryPolicy"]
+
+
+class RetryPolicy:
+    """Capped full-jitter exponential backoff for idempotent retries.
+
+    ``attempts`` is the *total* number of tries.  The delay before retry
+    ``k`` (0-based) is drawn uniformly from ``[0, min(cap_s, base_s *
+    2**k)]`` — AWS-style full jitter, which decorrelates a thundering
+    herd of retriers better than truncated or equal jitter.  ``rng`` and
+    ``sleep`` are injectable so tests can drive the schedule without
+    wall-clock time.
+
+    The policy itself is stateless and thread-safe; it only computes
+    delays and sleeps.  Callers that need per-attempt bookkeeping (e.g.
+    the router's circuit breakers) loop over ``range(attempts)`` and
+    call :meth:`backoff_s` / :meth:`pause` themselves.
+    """
+
+    def __init__(self, attempts=3, base_s=0.05, cap_s=1.0,
+                 rng=None, sleep=time.sleep):
+        if attempts < 1:
+            raise PlanError("retry attempts must be >= 1, got %r" % (attempts,))
+        if base_s < 0 or cap_s < 0:
+            raise PlanError(
+                "retry backoff must be >= 0 seconds, got base=%r cap=%r"
+                % (base_s, cap_s))
+        self.attempts = int(attempts)
+        self.base_s = float(base_s)
+        self.cap_s = float(cap_s)
+        self._rng = rng if rng is not None else random.Random()
+        self._sleep = sleep
+
+    def backoff_s(self, attempt):
+        """The jittered delay before retrying after try ``attempt``."""
+        ceiling = min(self.cap_s, self.base_s * (2 ** attempt))
+        return self._rng.uniform(0.0, ceiling)
+
+    def pause(self, attempt, deadline=None):
+        """Sleep the backoff for ``attempt``; False if ``deadline`` can't
+        absorb the delay (the caller should stop retrying)."""
+        delay = self.backoff_s(attempt)
+        if deadline is not None and deadline.remaining() <= delay:
+            return False
+        if delay > 0:
+            self._sleep(delay)
+        return True
+
+    def __repr__(self):
+        return "RetryPolicy(attempts=%d, base=%.3fs, cap=%.3fs)" % (
+            self.attempts, self.base_s, self.cap_s)
 
 
 class Deadline:

@@ -35,6 +35,11 @@ stdlib ``http.server``) for point, roll-up and drill-down queries::
     GET /point?cuboid=A,B&cell=3,1        # one cell, O(log n) lookup
     GET /cube?minsup=2                    # this store's whole cube share
     POST /append                          # fold a JSON row delta in
+                                          #   (idempotent with batch_id
+                                          #   on a WAL-enabled store)
+    GET /wal?since=3                      # pending WAL batches newer
+                                          #   than generation 3 (replica
+                                          #   repair / anti-entropy)
     GET /stats                            # cache + latency + resilience
     GET /metrics                          # Prometheus text exposition
     GET /cuboids                          # dims and stored leaves
@@ -137,8 +142,14 @@ class CubeServer:
         self.telemetry = ServerTelemetry(registry=registry)
         self.registry = self.telemetry.registry
         self.fallback_workers = fallback_workers
+        required = {"serve-fallback"}
+        if getattr(store, "wal", None) is not None:
+            # A WAL-enabled store serves idempotent streaming appends;
+            # the fallback backend must be able to live behind that
+            # (see the ``ingest`` capability in repro.backends).
+            required.add("ingest")
         self.fallback_backend = resolve_backend(
-            fallback_backend, require={"serve-fallback"}).name
+            fallback_backend, require=required).name
         self.default_deadline_s = default_deadline_s
         if max_pending is None:
             max_pending = max(64, 16 * max_workers)
@@ -436,22 +447,59 @@ class CubeServer:
     # ------------------------------------------------------------------
     # maintenance and stats
     # ------------------------------------------------------------------
-    def append(self, relation):
+    def append(self, relation, batch_id=None):
         """Fold new rows into the store; cached answers go stale.
 
         Serialized against other appends; in-flight readers see either
         the old or the new leaf lists (both internally consistent), and
         the generation bump keeps the cache from mixing the two.
+
+        ``batch_id`` (WAL-enabled stores only) makes the append
+        idempotent: a batch the store already applied is acknowledged
+        with ``applied=False`` instead of double-counting — the contract
+        that lets clients and the router retry ``POST /append`` freely.
+        Returns an :class:`~repro.serve.store.AppendResult`.
         """
+        from .store import AppendResult
+
         with self._write_lock:
-            self.store.append(relation)
+            if getattr(self.store, "wal", None) is not None:
+                result = self.store.append(relation, batch_id=batch_id)
+            else:
+                if batch_id is not None:
+                    raise PlanError(
+                        "idempotent appends (batch_id=%r) need a WAL-enabled "
+                        "store; serve with --wal" % (batch_id,))
+                result = self.store.append(relation)
+            applied = getattr(result, "applied", True)
             # Raise the cache watermark *after* the store swung: from
             # here on, any insert computed before the append is refused
             # (closing the read-compute-insert race).
             self.cache.advance(self.store.generation)
-            if self.relation is not None:
+            if applied and self.relation is not None:
                 self.relation = self.relation.concat(relation)
-        return self.store.generation
+        return AppendResult(self.store.generation, applied,
+                            getattr(result, "batch_id", batch_id))
+
+    def wal_batches(self, since):
+        """Pending WAL batches newer than generation ``since`` as JSON
+        (the ``GET /wal`` body the router's anti-entropy sweep reads)."""
+        reply = self.store.wal_batches_since(int(since))
+        return {
+            "generation": reply["generation"],
+            "base_generation": reply["base_generation"],
+            "truncated": reply["truncated"],
+            "batches": [
+                {
+                    "generation": record.generation,
+                    "batch_id": record.batch_id,
+                    "dims": list(record.dims),
+                    "rows": [list(row) for row in record.rows],
+                    "measures": list(record.measures),
+                }
+                for record in reply["batches"]
+            ],
+        }
 
     def stats(self):
         """Server-wide counters: store shape, cache, latency, resilience."""
@@ -480,6 +528,7 @@ class CubeServer:
         """
         gate = self.gate.stats()
         shard = getattr(self.store, "shard", None)
+        wal_stats = getattr(self.store, "wal_stats", None)
         return {
             "status": "closed" if self._closed else "ok",
             "generation": self.store.generation,
@@ -492,6 +541,7 @@ class CubeServer:
             "max_pending": gate["limit"],
             "shed": gate["shed"],
             "breaker": self.breaker.state,
+            "wal": wal_stats() if wal_stats is not None else None,
         }
 
     # ------------------------------------------------------------------
@@ -669,6 +719,9 @@ class _CubeRequestHandler(BaseHTTPRequestHandler):
                 "leaves": [list(leaf) for leaf in server.store.leaves],
                 "generation": server.store.generation,
             })
+        elif split.path == "/wal":
+            since = int(params.get("since", ["0"])[0])
+            self._reply(200, server.wal_batches(since))
         elif split.path == "/healthz":
             health = server.health()
             self._reply(200 if health["status"] == "ok" else 503, health)
@@ -693,13 +746,19 @@ class _CubeRequestHandler(BaseHTTPRequestHandler):
         try:
             payload = json.loads(self.rfile.read(length))
             relation = _append_relation(payload, server.store.dims)
+            batch_id = payload.get("batch_id")
+            if batch_id is not None:
+                batch_id = str(batch_id)
         except (json.JSONDecodeError, KeyError, TypeError) as exc:
             self._reply(400, {"error": "malformed append body (%s)" % exc,
                               "kind": "bad_request"})
             return
-        generation = server.append(relation)
-        self._reply(200, {"generation": generation, "rows": len(relation),
-                          "total_rows": server.store.total_rows})
+        result = server.append(relation, batch_id=batch_id)
+        self._reply(200, {"generation": result.generation,
+                          "rows": len(relation),
+                          "total_rows": server.store.total_rows,
+                          "applied": result.applied,
+                          "batch_id": result.batch_id})
 
     def _bounded_request(self):
         """Reject oversized or malformed requests before any work."""

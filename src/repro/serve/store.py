@@ -51,12 +51,15 @@ import json
 import os
 import threading
 from bisect import bisect_left
+from collections import namedtuple
+from uuid import uuid4
 
 from .. import obs
 from ..core.export import MANIFEST, atomic_write
 from ..core.thresholds import as_threshold
-from ..errors import PlanError, SchemaError, StoreCorruptError
+from ..errors import PlanError, SchemaError, StoreCorruptError, WalCorruptError
 from ..lattice.lattice import CubeLattice
+from .ingest import WriteAheadLog, chaos_kill
 
 STORE_FORMAT = "repro-cube-store/1"
 STORE_FORMAT_VERSION = 2
@@ -71,6 +74,24 @@ STAGED_SUFFIX = ".staged"
 
 #: Verification levels accepted by :meth:`CubeStore.open`.
 VERIFY_LEVELS = ("off", "quick", "full")
+
+#: Subdirectory holding the write-ahead log (see :mod:`repro.serve.ingest`).
+WAL_DIR = "wal"
+
+#: Auto-compaction threshold: pending WAL batches before a background
+#: compaction folds them into the leaf files.  ``None`` disables.
+DEFAULT_COMPACT_AFTER = 8
+
+#: How many applied batch ids the manifest remembers after compaction.
+#: Bounds the idempotence window: a duplicate arriving more than this
+#: many batches late is no longer recognized.  Client retries happen
+#: within seconds; 1024 batches is orders of magnitude more than that.
+APPLIED_BATCH_WINDOW = 1024
+
+#: What :meth:`CubeStore.append` returns.  ``applied`` is False when the
+#: batch id was already applied (the duplicate is acknowledged at the
+#: current generation, not re-applied).
+AppendResult = namedtuple("AppendResult", ("generation", "applied", "batch_id"))
 
 
 def _leaf_filename(cuboid):
@@ -265,9 +286,27 @@ class CubeStore:
                 "index": {int(k): tuple(v) for k, v in entry["index"].items()},
             }
         self._leaf_set = frozenset(self.leaves)
-        self._items = {}  # leaf -> sorted [(cell, (count, sum))], lazy
+        self._items = {}  # leaf -> sorted base [(cell, (count, sum))], lazy
         self._lock = threading.RLock()
         self._closed = False
+        #: the write-ahead log, or None when the store was opened without
+        #: one (the legacy rewrite-per-append path)
+        self.wal = None
+        self.compact_after = None
+        #: leaf -> sorted delta items accumulated from WAL'd appends but
+        #: not yet compacted into the leaf files
+        self._delta_items = {}
+        self._merged = {}  # leaf -> base (+) delta, lazy merged view
+        #: WAL'd batches awaiting compaction: [{generation, batch_id, rows}]
+        self._pending = []
+        #: batch_id -> generation for every applied batch still in the
+        #: idempotence window (manifest window + pending WAL records)
+        self._applied_batches = {
+            str(batch): int(generation)
+            for batch, generation in manifest.get("applied_batches", {}).items()
+        }
+        self._compacting = False
+        self._compact_thread = None
         #: what `open` had to repair: rolled_forward / orphans_removed /
         #: salvaged (empty for a clean open or a fresh build)
         self.recovery = {
@@ -401,7 +440,8 @@ class CubeStore:
         return cls(directory, manifest)
 
     @classmethod
-    def open(cls, directory, verify="quick", salvage=True):
+    def open(cls, directory, verify="quick", salvage=True, wal=False,
+             compact_after=DEFAULT_COMPACT_AFTER):
         """Attach to a store previously written by :meth:`build`.
 
         ``verify`` controls the integrity pass: ``"quick"`` (default)
@@ -413,6 +453,16 @@ class CubeStore:
         the root leaf itself is damaged —
         :class:`~repro.errors.StoreCorruptError` names the leaf.  What
         was repaired is reported in the returned store's ``.recovery``.
+
+        ``wal=True`` attaches the write-ahead log (see
+        :mod:`repro.serve.ingest`): appends become durable idempotent
+        delta records applied as in-memory delta runs, pending records
+        are replayed on open, and a background compaction folds them
+        into the leaf files every ``compact_after`` batches
+        (``None`` = only on explicit :meth:`compact`).  Opening a store
+        that has un-compacted WAL records *without* ``wal=True`` is
+        refused — those batches are durable and must not be silently
+        dropped.
         """
         if verify not in VERIFY_LEVELS:
             raise PlanError(
@@ -438,6 +488,10 @@ class CubeStore:
         if verify != "off":
             store._sweep_orphans(recovery)
             store._verify_leaves(verify, salvage, recovery)
+        if wal:
+            store._attach_wal(compact_after, recovery)
+        else:
+            store._refuse_pending_wal()
         if (recovery["rolled_forward"] or recovery["orphans_removed"]
                 or recovery["salvaged"]):
             obs.event("store.recovered",
@@ -445,6 +499,50 @@ class CubeStore:
                       orphans_removed=len(recovery["orphans_removed"]),
                       salvaged=len(recovery["salvaged"]))
         return store
+
+    def _refuse_pending_wal(self):
+        """Refuse a WAL-less open that would strand durable batches."""
+        wal_dir = os.path.join(self.directory, WAL_DIR)
+        if not os.path.isdir(wal_dir):
+            return
+        pending = [g for g in WriteAheadLog(wal_dir).generations()
+                   if g > self.generation]
+        if pending:
+            raise PlanError(
+                "store %r has %d un-compacted WAL batch(es) (generations "
+                "up to %d); open with wal=True to replay them — opening "
+                "without the WAL would silently drop durable appends"
+                % (self.directory, len(pending), max(pending)))
+
+    def _attach_wal(self, compact_after, recovery):
+        """Attach the WAL and replay records newer than the manifest."""
+        self.wal = WriteAheadLog(os.path.join(self.directory, WAL_DIR))
+        self.compact_after = (None if compact_after is None
+                              else max(1, int(compact_after)))
+        self.wal.sweep()
+        # Records at or below the manifest generation were compacted in
+        # (a crash between the manifest swing and WAL truncation).
+        pruned = self.wal.truncate_through(self.generation)
+        replayed = 0
+        for record in self.wal.replay():
+            if record.generation != self.generation + 1:
+                raise WalCorruptError(
+                    self.wal.path_for(record.generation),
+                    "generation gap: record %d follows store generation %d"
+                    % (record.generation, self.generation))
+            if record.dims != self.dims:
+                raise WalCorruptError(
+                    self.wal.path_for(record.generation),
+                    "dims %r do not match store dims %r"
+                    % (record.dims, self.dims))
+            self._apply_delta(record.rows, record.measures,
+                              record.generation, record.batch_id)
+            replayed += 1
+        recovery["wal_replayed"] = replayed
+        recovery["wal_pruned"] = pruned
+        if replayed or pruned:
+            obs.event("ingest.wal_recovered", replayed=replayed,
+                      pruned=pruned, generation=self.generation)
 
     # ------------------------------------------------------------------
     # crash recovery
@@ -610,9 +708,18 @@ class CubeStore:
     # lifecycle
     # ------------------------------------------------------------------
     def close(self):
-        """Release in-memory leaf data; further queries raise."""
+        """Release in-memory leaf data; further queries raise.
+
+        Pending WAL batches are *not* compacted — they are already
+        durable and will replay on the next ``wal=True`` open.
+        """
+        thread = self._compact_thread
+        if (thread is not None and thread.is_alive()
+                and thread is not threading.current_thread()):
+            thread.join()
         with self._lock:
             self._items.clear()
+            self._merged.clear()
             self._closed = True
 
     def __enter__(self):
@@ -658,8 +765,28 @@ class CubeStore:
             return sorted(self._items)
 
     def leaf_items(self, leaf):
-        """The leaf's cells in sorted order, loading from disk on first use."""
+        """The leaf's cells in sorted order, loading from disk on first use.
+
+        With a WAL attached this is the *merged view*: the on-disk base
+        run plus the in-memory delta run of every not-yet-compacted
+        append, merged lazily and cached until the next append or
+        compaction — so append cost never includes a leaf rewrite.
+        """
         self._check_open()
+        if self.wal is None or not self._delta_items:
+            return self._base_items(leaf)
+        with self._lock:
+            delta = self._delta_items.get(leaf)
+            if not delta:
+                return self._base_items(leaf)
+            merged = self._merged.get(leaf)
+            if merged is None:
+                merged = _merge_sorted(self._base_items(leaf), delta)
+                self._merged[leaf] = merged
+            return merged
+
+    def _base_items(self, leaf):
+        """The leaf's compacted on-disk cells (no delta run)."""
         items = self._items.get(leaf)
         if items is not None:
             return items
@@ -765,12 +892,18 @@ class CubeStore:
                 % (cell, len(cell), cuboid, len(cuboid))
             )
         leaf = self.covering_leaf(cuboid)
-        items = self._items.get(leaf)
-        if items is None:
-            items = self._run_items(leaf, cell[0])
-            start = 0
-        else:
+        if self.wal is not None and self._delta_items.get(leaf):
+            # Pending delta run: answer from the merged view so un-
+            # compacted appends are visible to point lookups too.
+            items = self.leaf_items(leaf)
             start = bisect_left(items, (cell,))
+        else:
+            items = self._items.get(leaf)
+            if items is None:
+                items = self._run_items(leaf, cell[0])
+                start = 0
+            else:
+                start = bisect_left(items, (cell,))
         width = len(cell)
         count = 0
         total = 0.0
@@ -805,27 +938,254 @@ class CubeStore:
     # ------------------------------------------------------------------
     # incremental maintenance
     # ------------------------------------------------------------------
-    def append(self, relation):
+    def append(self, relation, batch_id=None):
         """Fold new rows into every stored leaf (delta maintenance).
 
         Mirrors ``LeafMaterialization.insert``: the leaves hold
         unfiltered minsup-1 cells, so appending is pure accumulation —
         each leaf gets a sorted delta merged into its sorted items — and
         ``generation`` is bumped so caches invalidate.  No rescan of
-        previously stored data.
+        previously stored data.  Returns an :class:`AppendResult`.
 
-        The rewrite is journalled two-phase (see the module docstring):
-        stage every new leaf file, atomically commit a journal naming
-        the complete next generation, then swing the live files.  A
-        crash at any point leaves the store openable at exactly the old
-        or the new generation.
+        **With a WAL attached** (``open(..., wal=True)``) the batch is
+        first made durable as a checksummed WAL record, then applied as
+        an in-memory delta run — O(batch x leaves), independent of the
+        store's size — and leaf files are only rewritten by the
+        (background) :meth:`compact`.  ``batch_id`` makes the append
+        idempotent: a batch id the store already applied is acknowledged
+        (``applied=False``) without being re-applied, so clients retry
+        freely after a dropped ACK.
+
+        **Without a WAL** the legacy journalled two-phase rewrite runs
+        (see the module docstring): stage every new leaf file, commit a
+        journal, swing the live files.  A crash at any point leaves the
+        store openable at exactly the old or the new generation.
+        ``batch_id`` is refused — there is no durable record to
+        deduplicate against.
         """
         self._check_open()
+        if self.wal is not None:
+            return self._append_wal(relation, batch_id)
+        if batch_id is not None:
+            raise PlanError(
+                "idempotent appends (batch_id=%r) require a WAL-enabled "
+                "store; open with wal=True" % (batch_id,))
         with obs.span("store.append", rows=len(relation)) as span:
             self._append(relation)
             if span:
                 span.set(generation=self.generation,
                          leaves=len(self.leaves))
+        return AppendResult(self.generation, True, None)
+
+    def _append_wal(self, relation, batch_id):
+        """Durable WAL write + in-memory delta-run visibility."""
+        positions = relation.dim_indices(self.dims)
+        with self._lock:
+            if batch_id is None:
+                batch_id = uuid4().hex
+            batch_id = str(batch_id)
+            if batch_id in self._applied_batches:
+                obs.event("ingest.duplicate", batch_id=batch_id,
+                          generation=self._applied_batches[batch_id])
+                self._ingest_counter("repro_ingest_duplicates_total")
+                return AppendResult(self.generation, False, batch_id)
+            keyed = [tuple(row[p] for p in positions)
+                     for row in relation.rows]
+            measures = list(relation.measures)
+            generation = self.generation + 1
+            with obs.span("ingest.wal", rows=len(keyed)) as span:
+                nbytes = self.wal.append(generation, batch_id, self.dims,
+                                         keyed, measures)
+                self._apply_delta(keyed, measures, generation, batch_id)
+                if span:
+                    span.set(generation=generation, bytes=nbytes,
+                             pending=len(self._pending))
+            self._ingest_counter("repro_ingest_appends_total")
+            self._maybe_compact_locked()
+            return AppendResult(generation, True, batch_id)
+
+    def _apply_delta(self, keyed_rows, measures, generation, batch_id):
+        """Fold one batch (rows already in store-dims order) into the
+        per-leaf delta runs and advance the generation."""
+        for leaf in self.leaves:
+            leaf_positions = [self.dims.index(d) for d in leaf]
+            delta = {}
+            for key, measure in zip(keyed_rows, measures):
+                cell = tuple(key[p] for p in leaf_positions)
+                acc = delta.get(cell)
+                if acc is None:
+                    delta[cell] = [1, measure]
+                else:
+                    acc[0] += 1
+                    acc[1] += measure
+            delta_items = sorted(
+                (cell, (acc[0], acc[1])) for cell, acc in delta.items()
+            )
+            existing = self._delta_items.get(leaf)
+            self._delta_items[leaf] = (
+                _merge_sorted(existing, delta_items) if existing
+                else delta_items)
+            self._merged.pop(leaf, None)
+        self._pending.append({"generation": generation,
+                              "batch_id": batch_id,
+                              "rows": len(keyed_rows)})
+        self._applied_batches[batch_id] = generation
+        self.total_rows += len(keyed_rows)
+        self.total_measure += sum(measures)
+        self.generation = generation
+
+    @staticmethod
+    def _ingest_counter(name, amount=1, **labels):
+        active = obs.current()
+        if active is not None:
+            active.registry.counter(
+                name, labelnames=tuple(sorted(labels))).inc(amount, **labels)
+
+    def _maybe_compact_locked(self):
+        """Kick a background compaction once enough batches are pending."""
+        if (self.compact_after is None or self._compacting
+                or len(self._pending) < self.compact_after):
+            return
+        self._compacting = True
+        thread = threading.Thread(target=self._compact_background,
+                                  name="cubestore-compact", daemon=True)
+        self._compact_thread = thread
+        thread.start()
+
+    def _compact_background(self):
+        try:
+            self.compact()
+        except Exception as exc:  # the WAL keeps every batch durable
+            obs.event("ingest.compact_failed", error=str(exc))
+        finally:
+            self._compacting = False
+
+    def compact(self):
+        """Fold every pending WAL batch into the leaf files (crash-safe).
+
+        Reuses the journalled two-phase rewrite: the merged view of each
+        leaf is staged, a journal naming the complete state is committed
+        atomically, the live files are swung, and only then is the WAL
+        truncated.  A crash before the journal rolls *back* (the WAL
+        replays the batches on reopen); after it rolls *forward* (the
+        replayed-in manifest generation makes the WAL records stale and
+        they are pruned).  Either way nothing is lost or double-counted.
+        Returns the number of batches compacted.
+        """
+        self._check_open()
+        if self.wal is None:
+            raise PlanError(
+                "store %r has no write-ahead log to compact; open with "
+                "wal=True" % (self.directory,))
+        with self._lock:
+            if not self._pending:
+                return 0
+            n_batches = len(self._pending)
+            with obs.span("ingest.compact", batches=n_batches) as span:
+                staged = []  # (leaf, entry, data, merged)
+                for leaf in self.leaves:
+                    merged = self.leaf_items(leaf)
+                    data, index = _encode_leaf(leaf, merged)
+                    filename = self._entries[leaf]["file"]
+                    staged.append((
+                        leaf,
+                        _leaf_entry(leaf, filename, data, index, len(merged)),
+                        data,
+                        merged,
+                    ))
+                for _leaf, entry, data, _merged in staged:
+                    atomic_write(
+                        os.path.join(self.directory,
+                                     entry["file"] + STAGED_SUFFIX),
+                        lambda handle, data=data: handle.write(data),
+                        binary=True,
+                    )
+                chaos_kill("compact.staged")
+                new_entries = {leaf: entry
+                               for leaf, entry, _data, _merged in staged}
+                window = dict(sorted(
+                    self._applied_batches.items(), key=lambda kv: kv[1]
+                )[-APPLIED_BATCH_WINDOW:])
+                manifest = self._manifest_dict(
+                    self.dims, self.leaves, new_entries,
+                    generation=self.generation,
+                    total_rows=self.total_rows,
+                    total_measure=self.total_measure,
+                    shard=self.shard,
+                    applied_batches=window,
+                )
+                journal = {"format": JOURNAL_FORMAT,
+                           "generation": manifest["generation"],
+                           "manifest": manifest}
+                atomic_write(
+                    os.path.join(self.directory, JOURNAL),
+                    lambda handle: json.dump(journal, handle, indent=2,
+                                             sort_keys=True),
+                )
+                obs.event("store.journal_commit",
+                          generation=manifest["generation"])
+                chaos_kill("compact.journalled")
+                for _leaf, entry, _data, _merged in staged:
+                    path = os.path.join(self.directory, entry["file"])
+                    os.replace(path + STAGED_SUFFIX, path)
+                atomic_write(
+                    os.path.join(self.directory, MANIFEST),
+                    lambda handle: json.dump(manifest, handle, indent=2,
+                                             sort_keys=True),
+                )
+                os.unlink(os.path.join(self.directory, JOURNAL))
+                for leaf, entry, _data, merged in staged:
+                    self._entries[leaf] = entry
+                    self._items[leaf] = merged
+                self._delta_items.clear()
+                self._merged.clear()
+                self._pending = []
+                self._applied_batches = window
+                self.wal.truncate_through(self.generation)
+                if span:
+                    span.set(generation=self.generation)
+            self._ingest_counter("repro_ingest_compactions_total")
+            obs.event("ingest.compacted", batches=n_batches,
+                      generation=self.generation)
+            return n_batches
+
+    def wal_stats(self):
+        """Ingestion state for health/stats endpoints (None without WAL)."""
+        if self.wal is None:
+            return None
+        with self._lock:
+            return {
+                "enabled": True,
+                "pending_batches": len(self._pending),
+                "base_generation": self.generation - len(self._pending),
+                "generation": self.generation,
+                "wal_bytes": self.wal.nbytes(),
+                "compact_after": self.compact_after,
+                "applied_window": len(self._applied_batches),
+            }
+
+    def wal_batches_since(self, since):
+        """Pending batches newer than generation ``since``, for replica
+        repair (the router's anti-entropy sweep re-delivers them).
+
+        Returns ``{generation, base_generation, truncated, batches}``;
+        ``truncated`` is True when ``since`` predates the oldest WAL
+        record (the gap was compacted away and cannot be re-delivered).
+        """
+        self._check_open()
+        if self.wal is None:
+            raise PlanError(
+                "store %r has no write-ahead log" % (self.directory,))
+        with self._lock:
+            base = self.generation - len(self._pending)
+            batches = [record for record in self.wal.replay()
+                       if record.generation > since]
+            return {
+                "generation": self.generation,
+                "base_generation": base,
+                "truncated": since < base,
+                "batches": batches,
+            }
 
     def _append(self, relation):
         positions = relation.dim_indices(self.dims)
@@ -872,6 +1232,7 @@ class CubeStore:
                 total_rows=self.total_rows + len(relation),
                 total_measure=self.total_measure + sum(relation.measures),
                 shard=self.shard,
+                applied_batches=self._applied_batches,
             )
             # Commit point: after this journal lands, the new generation
             # is durable; before it, the staged files are mere debris.
@@ -905,7 +1266,7 @@ class CubeStore:
 
     @staticmethod
     def _manifest_dict(dims, leaves, entries, generation, total_rows,
-                       total_measure, shard=None):
+                       total_measure, shard=None, applied_batches=None):
         return {
             "format": STORE_FORMAT,
             "format_version": STORE_FORMAT_VERSION,
@@ -913,6 +1274,7 @@ class CubeStore:
             "generation": generation,
             "total_rows": total_rows,
             "total_measure": total_measure,
+            "applied_batches": dict(applied_batches or {}),
             "shard": ({"index": shard[0], "of": shard[1]}
                       if shard is not None else None),
             "leaves": [
@@ -938,6 +1300,7 @@ class CubeStore:
             total_rows=self.total_rows,
             total_measure=self.total_measure,
             shard=self.shard,
+            applied_batches=self._applied_batches,
         )
         atomic_write(
             os.path.join(self.directory, MANIFEST),

@@ -31,7 +31,7 @@ class TestRegistry:
 
     def test_ablations_and_extensions_registered(self):
         assert len(ALL_ABLATIONS) == 6
-        assert len(ALL_EXTENSIONS) == 9
+        assert len(ALL_EXTENSIONS) == 10
 
     def test_all_experiments_documented(self):
         for fn in ALL_EXPERIMENTS + ALL_ABLATIONS + ALL_EXTENSIONS:

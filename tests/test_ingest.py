@@ -1,0 +1,636 @@
+"""Durable exactly-once ingestion: WAL codec, store deltas, router repair."""
+
+import json
+import os
+import struct
+import subprocess
+import sys
+import time
+from urllib.request import Request, urlopen
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import backends
+from repro.core.naive import naive_cuboid
+from repro.data import Relation
+from repro.errors import (
+    PlanError,
+    ReplicaError,
+    ShardUnavailableError,
+    WalCorruptError,
+)
+from repro.serve import CubeRouter, CubeServer, CubeStore, RetryPolicy
+from repro.serve.ingest import (
+    MAX_COORD,
+    MODE_COLUMNS,
+    MODE_PACKED,
+    WriteAheadLog,
+    decode_record,
+    encode_record,
+)
+
+DIMS = ("A", "B", "C")
+
+
+def base_relation():
+    rows = [(i % 3, (i * 7) % 5, i % 2) for i in range(60)]
+    return Relation(DIMS, rows, [float(i % 4 + 1) for i in range(60)])
+
+
+def delta_relation(seed, n=8):
+    rows = [((seed + i) % 3, (seed * 3 + i) % 5, (seed + i) % 2)
+            for i in range(n)]
+    return Relation(DIMS, rows, [float(seed + i) for i in range(n)])
+
+
+def combined(*relations):
+    rows, measures = [], []
+    for relation in relations:
+        rows.extend(relation.rows)
+        measures.extend(relation.measures)
+    return Relation(DIMS, rows, measures)
+
+
+def oracle(relation, cuboid, minsup=1):
+    return {cell: agg for cell, agg in naive_cuboid(relation, cuboid).items()
+            if agg[0] >= minsup}
+
+
+def assert_store_matches(store, relation):
+    for cuboid in ((), ("A",), ("A", "B"), DIMS):
+        for minsup in (1, 2):
+            assert store.query(cuboid, minsup) == oracle(
+                relation, cuboid, minsup)
+
+
+# ---------------------------------------------------------------------------
+# WAL record codec
+# ---------------------------------------------------------------------------
+class TestWalCodec:
+    @given(st.lists(
+        st.tuples(st.integers(0, 500), st.integers(0, 9), st.integers(0, 3)),
+        max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_packed(self, rows):
+        measures = [float(i) * 0.5 for i in range(len(rows))]
+        data = encode_record(7, "batch-7", DIMS, rows, measures)
+        mode = struct.unpack_from("<4sHHQI", data)[2]
+        assert mode == MODE_PACKED
+        record = decode_record(data)
+        assert record.generation == 7
+        assert record.batch_id == "batch-7"
+        assert record.dims == DIMS
+        assert [tuple(r) for r in record.rows] == [tuple(r) for r in rows]
+        assert record.measures == measures
+
+    @given(st.lists(
+        st.tuples(st.integers(0, MAX_COORD), st.integers(0, MAX_COORD),
+                  st.integers(0, MAX_COORD)),
+        min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_any_coordinate_width(self, rows):
+        """Keys wider than 63 bits fall back to i64 columns, exactly."""
+        measures = [1.0] * len(rows)
+        data = encode_record(3, "wide", DIMS, rows, measures)
+        record = decode_record(data)
+        assert [tuple(r) for r in record.rows] == [tuple(r) for r in rows]
+
+    def test_overflow_keys_use_column_mode(self):
+        rows = [(MAX_COORD, MAX_COORD, MAX_COORD), (1, 2, 3)]
+        data = encode_record(1, "x", DIMS, rows, [1.0, 2.0])
+        assert struct.unpack_from("<4sHHQI", data)[2] == MODE_COLUMNS
+        assert [tuple(r) for r in decode_record(data).rows] == rows
+
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_any_flipped_byte_is_detected(self, data_strategy):
+        data = encode_record(5, "b", DIMS, [(1, 2, 1), (0, 4, 0)], [1.0, 2.0])
+        index = data_strategy.draw(st.integers(0, len(data) - 1))
+        flip = data_strategy.draw(st.integers(1, 255))
+        corrupt = bytearray(data)
+        corrupt[index] ^= flip
+        with pytest.raises(WalCorruptError):
+            decode_record(bytes(corrupt))
+
+    def test_truncated_record_is_detected(self):
+        data = encode_record(5, "b", DIMS, [(1, 2, 1)], [1.0])
+        for cut in (0, 10, len(data) - 1):
+            with pytest.raises(WalCorruptError):
+                decode_record(data[:cut])
+
+    def test_row_measure_mismatch_rejected(self):
+        with pytest.raises(PlanError):
+            encode_record(1, "b", DIMS, [(1, 2, 3)], [1.0, 2.0])
+
+    def test_out_of_range_coordinates_rejected(self):
+        with pytest.raises(PlanError):
+            encode_record(1, "b", DIMS, [(-1, 0, 0)], [1.0])
+        with pytest.raises(PlanError):
+            encode_record(1, "b", DIMS, [(MAX_COORD + 1, 0, 0)], [1.0])
+
+
+# ---------------------------------------------------------------------------
+# WriteAheadLog file lifecycle
+# ---------------------------------------------------------------------------
+class TestWriteAheadLog:
+    def test_lifecycle(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        for generation in (2, 3, 4):
+            wal.append(generation, "b%d" % generation, DIMS,
+                       [(generation, 0, 1)], [float(generation)])
+        assert wal.generations() == [2, 3, 4]
+        assert len(wal) == 3
+        assert wal.nbytes() > 0
+        replayed = list(wal.replay())
+        assert [r.generation for r in replayed] == [2, 3, 4]
+        assert [r.batch_id for r in replayed] == ["b2", "b3", "b4"]
+        assert wal.truncate_through(3) == 2
+        assert wal.generations() == [4]
+
+    def test_sweep_removes_tmp_debris(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.append(2, "b", DIMS, [(1, 1, 1)], [1.0])
+        debris = os.path.join(wal.directory, "0000000000000009.wal.tmp.123")
+        with open(debris, "wb") as handle:
+            handle.write(b"torn")
+        assert wal.sweep() == [os.path.basename(debris)]
+        assert not os.path.exists(debris)
+        assert wal.generations() == [2]
+
+    def test_corrupt_record_refused_on_read(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.append(2, "b", DIMS, [(1, 1, 1)], [1.0])
+        path = wal.path_for(2)
+        with open(path, "r+b") as handle:
+            handle.seek(6)
+            byte = handle.read(1)
+            handle.seek(6)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        with pytest.raises(WalCorruptError):
+            wal.read(2)
+
+
+# ---------------------------------------------------------------------------
+# WAL-enabled CubeStore: visibility, idempotence, compaction
+# ---------------------------------------------------------------------------
+@pytest.fixture
+def wal_store(tmp_path):
+    CubeStore.build(base_relation(), tmp_path / "s", backend="local").close()
+    store = CubeStore.open(tmp_path / "s", wal=True, compact_after=10_000)
+    yield store
+    store.close()
+
+
+class TestWalStore:
+    def test_delta_visible_and_oracle_exact(self, wal_store):
+        delta = delta_relation(1)
+        result = wal_store.append(delta, batch_id="b1")
+        assert result.applied and result.batch_id == "b1"
+        assert result.generation == 2
+        everything = combined(base_relation(), delta)
+        assert_store_matches(wal_store, everything)
+        # point queries go through the merged delta view too
+        cell = delta.rows[0][:2]
+        assert wal_store.point(("A", "B"), cell, 1) == \
+            oracle(everything, ("A", "B"), 1).get(tuple(cell))
+
+    def test_duplicate_batch_acknowledged_not_reapplied(self, wal_store):
+        delta = delta_relation(2)
+        first = wal_store.append(delta, batch_id="dup")
+        rows_after = wal_store.total_rows
+        again = wal_store.append(delta, batch_id="dup")
+        assert not again.applied
+        assert again.generation == first.generation
+        assert wal_store.total_rows == rows_after
+        assert_store_matches(wal_store, combined(base_relation(), delta))
+
+    def test_replay_after_reopen(self, tmp_path, wal_store):
+        d1, d2 = delta_relation(3), delta_relation(4)
+        wal_store.append(d1, batch_id="r1")
+        wal_store.append(d2, batch_id="r2")
+        wal_store.close()
+        reopened = CubeStore.open(tmp_path / "s", wal=True,
+                                  compact_after=10_000)
+        try:
+            assert reopened.recovery["wal_replayed"] == 2
+            assert reopened.generation == 3
+            assert_store_matches(reopened, combined(base_relation(), d1, d2))
+            # idempotence survives the restart: the WAL remembers ids
+            assert not reopened.append(d1, batch_id="r1").applied
+        finally:
+            reopened.close()
+
+    def test_compaction_folds_and_truncates(self, tmp_path, wal_store):
+        deltas = [delta_relation(s) for s in (5, 6, 7)]
+        for i, delta in enumerate(deltas):
+            wal_store.append(delta, batch_id="c%d" % i)
+        generation = wal_store.generation
+        everything = combined(base_relation(), *deltas)
+        assert wal_store.compact() == 3
+        assert wal_store.generation == generation  # compaction ≠ new data
+        assert len(wal_store.wal) == 0
+        assert wal_store.wal_stats()["pending_batches"] == 0
+        assert_store_matches(wal_store, everything)
+        # compacted batch ids stay deduplicated via the manifest window
+        assert not wal_store.append(deltas[0], batch_id="c0").applied
+        wal_store.close()
+        # and the folded store equals a from-scratch rebuild, cell-exact
+        rebuilt_dir = tmp_path / "rebuilt"
+        rebuilt = CubeStore.build(everything, rebuilt_dir, backend="local")
+        reopened = CubeStore.open(tmp_path / "s", wal=True)
+        try:
+            for cuboid in ((), ("A",), ("B", "C"), DIMS):
+                assert reopened.query(cuboid, 1) == rebuilt.query(cuboid, 1)
+        finally:
+            rebuilt.close()
+            reopened.close()
+
+    def test_background_compaction_triggers(self, tmp_path):
+        CubeStore.build(base_relation(), tmp_path / "bg",
+                        backend="local").close()
+        store = CubeStore.open(tmp_path / "bg", wal=True, compact_after=2)
+        try:
+            store.append(delta_relation(1), batch_id="a")
+            store.append(delta_relation(2), batch_id="b")
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if store.wal_stats()["pending_batches"] == 0:
+                    break
+                time.sleep(0.02)
+            assert store.wal_stats()["pending_batches"] == 0
+            assert_store_matches(store, combined(
+                base_relation(), delta_relation(1), delta_relation(2)))
+        finally:
+            store.close()
+
+    def test_plain_open_refuses_pending_wal(self, tmp_path, wal_store):
+        wal_store.append(delta_relation(8), batch_id="p")
+        wal_store.close()
+        with pytest.raises(PlanError, match="WAL"):
+            CubeStore.open(tmp_path / "s")
+
+    def test_legacy_append_rejects_batch_id(self, tmp_path):
+        CubeStore.build(base_relation(), tmp_path / "plain",
+                        backend="local").close()
+        store = CubeStore.open(tmp_path / "plain")
+        try:
+            with pytest.raises(PlanError, match="WAL"):
+                store.append(delta_relation(1), batch_id="b")
+            with pytest.raises(PlanError):
+                store.compact()
+        finally:
+            store.close()
+
+    def test_wal_batches_since(self, wal_store):
+        d1, d2 = delta_relation(1), delta_relation(2)
+        wal_store.append(d1, batch_id="w1")
+        wal_store.append(d2, batch_id="w2")
+        feed = wal_store.wal_batches_since(wal_store.generation - 2)
+        assert not feed["truncated"]
+        assert [b.batch_id for b in feed["batches"]] == ["w1", "w2"]
+        newer = wal_store.wal_batches_since(wal_store.generation - 1)
+        assert [b.batch_id for b in newer["batches"]] == ["w2"]
+        stale = wal_store.wal_batches_since(0)
+        assert stale["truncated"]
+
+
+# ---------------------------------------------------------------------------
+# Crash windows: SIGKILL at every chaos point, then recover
+# ---------------------------------------------------------------------------
+CRASH_CHILD = r"""
+import os, sys
+sys.path.insert(0, %(src)r)
+from repro.data import Relation
+from repro.serve import CubeStore
+
+def delta_relation(seed, n=8):
+    rows = [((seed + i) %% 3, (seed * 3 + i) %% 5, (seed + i) %% 2)
+            for i in range(n)]
+    return Relation(("A", "B", "C"), rows, [float(seed + i) for i in range(n)])
+
+store = CubeStore.open(%(store)r, wal=True, compact_after=10_000)
+store.append(delta_relation(1), batch_id="k1")
+store.append(delta_relation(2), batch_id="k2")
+store.compact()
+os._exit(3)  # only reached if the chaos point never fired
+"""
+
+
+class TestCrashWindows:
+    @pytest.mark.parametrize("point", [
+        "wal.pre_publish", "wal.post_publish",
+        "compact.staged", "compact.journalled",
+    ])
+    def test_sigkill_then_recover(self, tmp_path, point):
+        directory = str(tmp_path / "crash")
+        CubeStore.build(base_relation(), directory, backend="local").close()
+        env = dict(os.environ)
+        env["REPRO_INGEST_CHAOS_KILL"] = point
+        child = subprocess.run(
+            [sys.executable, "-c",
+             CRASH_CHILD % {"src": _SRC, "store": directory}],
+            env=env, capture_output=True, timeout=120)
+        assert child.returncode == -9, child.stderr.decode()
+
+        store = CubeStore.open(directory, wal=True, compact_after=10_000)
+        try:
+            d1, d2 = delta_relation(1), delta_relation(2)
+            if point == "wal.pre_publish":
+                # killed before the first record published: nothing applied,
+                # the un-acked batch is safe to retry
+                assert store.recovery["wal_replayed"] == 0
+                assert store.append(d1, batch_id="k1").applied
+                assert_store_matches(store, combined(base_relation(), d1))
+            elif point == "wal.post_publish":
+                # killed after publishing the first record: replay applies
+                # it, and the client's retry is deduplicated
+                assert store.recovery["wal_replayed"] == 1
+                assert not store.append(d1, batch_id="k1").applied
+                assert_store_matches(store, combined(base_relation(), d1))
+            elif point == "compact.staged":
+                # killed before the compaction journal committed: rollback,
+                # both batches replay from the WAL, compaction re-runs
+                assert not store.recovery["rolled_forward"]
+                assert store.recovery["wal_replayed"] == 2
+                assert store.compact() == 2
+                assert_store_matches(store, combined(base_relation(), d1, d2))
+            else:  # compact.journalled
+                # killed after the journal committed: roll-forward finishes
+                # the compaction, stale WAL records are pruned
+                assert store.recovery["rolled_forward"]
+                assert store.recovery["wal_pruned"] == 2
+                assert store.wal_stats()["pending_batches"] == 0
+                assert not store.append(d1, batch_id="k1").applied
+                assert_store_matches(store, combined(base_relation(), d1, d2))
+        finally:
+            store.close()
+
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                    "src")
+
+
+# ---------------------------------------------------------------------------
+# HTTP surface: duplicated POST /append, GET /wal, capability gating
+# ---------------------------------------------------------------------------
+def _post_append(url, relation, batch_id):
+    body = json.dumps({
+        "dims": list(relation.dims),
+        "rows": [list(r) for r in relation.rows],
+        "measures": list(relation.measures),
+        "batch_id": batch_id,
+    }).encode()
+    request = Request(url + "/append", data=body,
+                      headers={"Content-Type": "application/json"})
+    with urlopen(request, timeout=10) as response:
+        return json.loads(response.read())
+
+
+def _get_json(url):
+    with urlopen(url, timeout=10) as response:
+        return json.loads(response.read())
+
+
+class TestIngestHttp:
+    @pytest.fixture
+    def served(self, tmp_path):
+        CubeStore.build(base_relation(), tmp_path / "s",
+                        backend="local").close()
+        store = CubeStore.open(tmp_path / "s", wal=True, compact_after=10_000)
+        server = CubeServer(store)
+        endpoint = server.serve_http(port=0)
+        yield endpoint.url, server
+        server.close()
+        store.close()
+
+    def test_duplicated_post_is_exactly_once(self, served):
+        url, server = served
+        delta = delta_relation(1)
+        first = _post_append(url, delta, "http-dup")
+        again = _post_append(url, delta, "http-dup")
+        assert first["applied"] and not again["applied"]
+        assert again["generation"] == first["generation"]
+        everything = combined(base_relation(), delta)
+        answer = _get_json(url + "/query?cuboid=A,B&minsup=1")
+        got = {tuple(c["cell"]): (c["count"], c["sum"])
+               for c in answer["cells"]}
+        assert got == oracle(everything, ("A", "B"), 1)
+
+    def test_wal_feed_over_http(self, served):
+        url, _ = served
+        _post_append(url, delta_relation(1), "feed-1")
+        _post_append(url, delta_relation(2), "feed-2")
+        health = _get_json(url + "/healthz")
+        assert health["wal"]["enabled"]
+        base = health["wal"]["base_generation"]
+        feed = _get_json(url + "/wal?since=%d" % base)
+        assert [b["batch_id"] for b in feed["batches"]] == ["feed-1", "feed-2"]
+
+    def test_wal_store_requires_ingest_capable_backend(self, tmp_path,
+                                                       monkeypatch):
+        monkeypatch.setitem(
+            backends.BACKENDS, "no-ingest",
+            backends.BackendInfo("no-ingest", "test double",
+                                 {"serve-fallback"}))
+        CubeStore.build(base_relation(), tmp_path / "s",
+                        backend="local").close()
+        plain = CubeStore.open(tmp_path / "s")
+        CubeServer(plain, fallback_backend="no-ingest").close()
+        plain.close()
+        store = CubeStore.open(tmp_path / "s", wal=True)
+        try:
+            with pytest.raises(PlanError, match="ingest"):
+                CubeServer(store, fallback_backend="no-ingest")
+        finally:
+            store.close()
+
+    def test_resolve_backend_gates_ingest(self):
+        with pytest.raises(PlanError, match="ingest"):
+            backends.resolve_backend("simulated", require={"ingest"})
+
+
+# ---------------------------------------------------------------------------
+# RetryPolicy
+# ---------------------------------------------------------------------------
+class _UpperBoundRng:
+    def uniform(self, low, high):
+        return high
+
+
+class TestRetryPolicy:
+    def test_backoff_doubles_then_caps(self):
+        policy = RetryPolicy(attempts=5, base_s=0.1, cap_s=0.35,
+                             rng=_UpperBoundRng(), sleep=lambda s: None)
+        assert [policy.backoff_s(k) for k in range(4)] == \
+            [0.1, 0.2, 0.35, 0.35]
+
+    def test_pause_refuses_when_deadline_cannot_absorb(self):
+        from repro.serve import Deadline
+
+        slept = []
+        policy = RetryPolicy(attempts=3, base_s=0.5, cap_s=0.5,
+                             rng=_UpperBoundRng(), sleep=slept.append)
+        clock = iter([0.0, 0.0, 0.1]).__next__
+        deadline = Deadline(0.2, clock=clock)
+        assert not policy.pause(0, deadline)
+        assert slept == []
+        assert policy.pause(0, None)
+        assert slept == [0.5]
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(PlanError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(PlanError):
+            RetryPolicy(base_s=-1)
+
+
+# ---------------------------------------------------------------------------
+# Router fan-out: retries, breaker consultation, anti-entropy repair
+# ---------------------------------------------------------------------------
+class _StubClient:
+    """A scripted replica: each element of ``script`` answers one call."""
+
+    def __init__(self, url, script):
+        self.url = url
+        self.script = list(script)
+        self.calls = 0
+
+    def post_json(self, path, payload):
+        self.calls += 1
+        action = self.script.pop(0) if self.script else "ok"
+        if action == "fail":
+            raise ReplicaError(self.url, "injected failure")
+        if action == "reject":
+            raise PlanError("injected rejection")
+        return {"generation": 2, "applied": True, "batch_id":
+                payload.get("batch_id"), "rows": len(payload["rows"])}
+
+    def get_json(self, path):
+        raise ReplicaError(self.url, "stub has no GET surface")
+
+
+def make_stub_router(scripts, **kwargs):
+    kwargs.setdefault("retry_policy", RetryPolicy(
+        attempts=3, base_s=0.0, cap_s=0.0, sleep=lambda s: None))
+    kwargs.setdefault("anti_entropy", False)
+    router = CubeRouter([["http://stub-%d" % i] for i in range(len(scripts))],
+                        dims=DIMS, **kwargs)
+    for shard, script in enumerate(scripts):
+        router.shards[shard][0] = _StubClient("http://stub-%d" % shard, script)
+    return router
+
+
+class TestRouterAppend:
+    def test_transient_failures_are_retried_to_success(self):
+        router = make_stub_router([["fail", "fail", "ok"]])
+        try:
+            summary = router.append(delta_relation(1), batch_id="retry-me")
+            assert summary["applied"] == 1
+            assert summary["batch_id"] == "retry-me"
+            assert summary["outcomes"][0]["attempts"] == 3
+            assert router.shards[0][0].calls == 3
+        finally:
+            router.close()
+
+    def test_retry_budget_exhausted_is_honest(self):
+        router = make_stub_router([["fail", "fail", "fail"]])
+        try:
+            with pytest.raises(ShardUnavailableError, match="safe to resubmit"):
+                router.append(delta_relation(1), batch_id="doomed")
+        finally:
+            router.close()
+
+    def test_permanent_rejection_is_not_retried(self):
+        router = make_stub_router([["reject"]])
+        try:
+            with pytest.raises(ShardUnavailableError):
+                router.append(delta_relation(1), batch_id="rejected")
+            assert router.shards[0][0].calls == 1
+        finally:
+            router.close()
+
+    def test_append_consults_the_circuit_breaker(self):
+        """Satellite: the append path skips tripped replicas like the
+        query path does, instead of hammering a dead box."""
+        router = make_stub_router([["ok"]])
+        try:
+            breaker = router.breakers[(0, 0)]
+            for _ in range(breaker.failure_threshold):
+                breaker.record_failure()
+            assert breaker.state == "open"
+            with pytest.raises(ShardUnavailableError,
+                               match="circuit breaker open"):
+                router.append(delta_relation(1), batch_id="skipped")
+            assert router.shards[0][0].calls == 0
+        finally:
+            router.close()
+
+    def test_breaker_skip_leaves_healthy_sibling_serving(self):
+        router = make_stub_router([["ok"]])
+        try:
+            stub = _StubClient("http://stub-0b", ["ok"])
+            router.shards[0].append(stub)
+            from repro.serve import CircuitBreaker
+
+            router.breakers[(0, 1)] = CircuitBreaker(
+                failure_threshold=1, reset_after_s=60.0)
+            router.breakers[(0, 1)].record_failure()
+            summary = router.append(delta_relation(1), batch_id="partial")
+            assert summary["applied"] == 1
+            skipped = [o for o in summary["outcomes"] if o.get("skipped")]
+            assert len(skipped) == 1 and skipped[0]["replica"] == 1
+        finally:
+            router.close()
+
+
+class TestAntiEntropy:
+    def test_lagging_replica_is_repaired_from_sibling_wal(self, tmp_path):
+        """Kill a replica, append through the router, restart the replica:
+        the health sweep re-delivers the missed WAL batches and the two
+        replicas converge to cell-exact equality."""
+        import shutil
+
+        CubeStore.build(base_relation(), tmp_path / "a",
+                        backend="local").close()
+        shutil.copytree(tmp_path / "a", tmp_path / "b")
+
+        def serve(directory, port=0):
+            store = CubeStore.open(directory, wal=True, compact_after=10_000)
+            server = CubeServer(store)
+            endpoint = server.serve_http(port=port)
+            return store, server, endpoint
+
+        store_a, server_a, ep_a = serve(tmp_path / "a")
+        store_b, server_b, ep_b = serve(tmp_path / "b")
+        port_b = ep_b.port
+        router = CubeRouter([[ep_a.url, ep_b.url]], dims=DIMS,
+                            retry_policy=RetryPolicy(
+                                attempts=2, base_s=0.0, cap_s=0.0,
+                                sleep=lambda s: None))
+        try:
+            # replica B goes dark; two batches land on A alone
+            ep_b.close()
+            server_b.close()
+            store_b.close()
+            d1, d2 = delta_relation(1), delta_relation(2)
+            s1 = router.append(d1, batch_id="ae-1")
+            s2 = router.append(d2, batch_id="ae-2")
+            assert s1["applied"] == 1 and s2["applied"] == 1
+
+            # B restarts on the same port, generations now skewed
+            store_b, server_b, ep_b = serve(tmp_path / "b", port=port_b)
+            assert store_b.generation < store_a.generation
+
+            router.check_health()  # the sweep runs anti-entropy repair
+
+            everything = combined(base_relation(), d1, d2)
+            assert store_b.generation == store_a.generation
+            assert_store_matches(store_b, everything)
+            # a later append must not be confused by the repair
+            assert not store_b.append(d1, batch_id="ae-1").applied
+        finally:
+            router.close()
+            for closable in (server_a, store_a, server_b, store_b):
+                closable.close()
