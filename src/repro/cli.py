@@ -293,6 +293,10 @@ def build_parser():
     router.add_argument("--self-test", type=int, metavar="N", default=None,
                         help="fire N queries through the router, print its "
                              "health and stats, and exit (smoke mode)")
+    router.add_argument("--slow-query-ms", type=float, default=None,
+                        metavar="MS",
+                        help="log routed requests slower than MS with an "
+                             "exemplar trace id (GET /stats, slow_queries)")
     _add_obs_options(router)
     return parser
 
@@ -968,14 +972,16 @@ def _cmd_router(args, out):
         append_backoff_cap_s=args.append_backoff_cap,
         append_deadline_s=args.append_deadline,
         anti_entropy=not args.no_anti_entropy,
+        slow_query_s=(args.slow_query_ms / 1000.0
+                      if args.slow_query_ms is not None else None),
         breaker_factory=lambda: CircuitBreaker(
             failure_threshold=args.breaker_failures,
             reset_after_s=args.breaker_reset))
     endpoint = router.serve_http(host=args.host, port=args.port)
     print("routing %d shard(s), replicas per shard: %s"
           % (router.n_shards, [len(r) for r in router.shards]), file=out)
-    print("listening on %s (GET /query /point /cube /healthz /stats /metrics, "
-          "POST /append)" % endpoint.url, file=out)
+    print("listening on %s (GET /query /point /cube /healthz /stats /metrics "
+          "/trace /trace/cluster, POST /append)" % endpoint.url, file=out)
     try:
         if args.self_test is not None:
             _router_self_test(args.self_test, endpoint, router, out)
@@ -984,8 +990,47 @@ def _cmd_router(args, out):
     except KeyboardInterrupt:  # pragma: no cover - interactive exit
         pass
     finally:
+        _export_router_obs(args, router, out)
         router.close()
     return 0
+
+
+def _export_router_obs(args, router, out):
+    """Cluster-level exports for the router's ``--trace-out``/``--metrics``.
+
+    The router's exports cover the *cluster*, not just its own process:
+    the trace file is the merged multi-node Chrome trace (one process
+    track per replica) and the metrics page is the federated scrape.
+    Successful exports null out the args so the generic
+    :func:`_finish_obs` does not overwrite them with the local-only
+    view; a failed scrape falls back to it instead of losing the run.
+    """
+    from . import obs
+
+    if obs.current() is None:
+        return
+    if args.trace_out:
+        try:
+            merged = router.collect_trace(path=args.trace_out)
+        except Exception as exc:
+            print("cluster trace collection failed (%s); writing the "
+                  "router-local trace instead" % exc, file=out)
+        else:
+            n_spans = sum(1 for event in merged["traceEvents"]
+                          if event.get("ph") in ("X", "i"))
+            dropped = merged["otherData"]["dropped_spans"]
+            print("cluster trace    : %s (%d events%s)"
+                  % (args.trace_out, n_spans,
+                     ", %d dropped" % dropped if dropped else ""), file=out)
+            args.trace_out = None
+    if args.metrics:
+        try:
+            out.write(router.federated_metrics())
+        except Exception as exc:
+            print("metrics federation failed (%s); printing router-local "
+                  "metrics instead" % exc, file=out)
+        else:
+            args.metrics = False
 
 
 def _router_self_test(n_queries, endpoint, router, out):

@@ -112,7 +112,12 @@ def _map_task(job):
     attempt, the run files written (paths relative to the shuffle
     directory) and the split's row/measure totals.
     """
-    task_id, attempt, split = job
+    task_id, attempt, split, traceparent = job
+    with obs.activate(traceparent):
+        return _map_task_impl(task_id, attempt, split)
+
+
+def _map_task_impl(task_id, attempt, split):
     (plan, shuffle_dir, memory_budget, row_positions,
      require_nonnegative, fault_plan) = _MAP_STATE
     directive = (fault_plan.local_fault(task_id, attempt)
@@ -232,7 +237,12 @@ def _reduce_task(job):
     qualifying cells of every cuboid the partition owns (each leaf plus
     its immediate prefix).
     """
-    reduce_id, attempt, payload = job
+    reduce_id, attempt, payload, traceparent = job
+    with obs.activate(traceparent):
+        return _reduce_task_impl(reduce_id, attempt, payload)
+
+
+def _reduce_task_impl(reduce_id, attempt, payload):
     partition, run_relpaths = payload
     (plan, shuffle_dir, mode, out_dir, shards, threshold,
      n_map_tasks, fault_plan) = _REDUCE_STATE

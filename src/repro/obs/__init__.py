@@ -34,11 +34,14 @@ The CLI wires the same switch as ``--trace-out FILE`` / ``--metrics``
 on ``cube``, ``store build`` and ``serve``.
 """
 
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                      federate_prometheus, merge_histogram_buckets,
+                      parse_prometheus, quantile_from_buckets)
 from .stats import percentile
-from .trace import Span, Tracer
+from .trace import (Span, SpanContext, Tracer, format_traceparent,
+                    merge_chrome_traces, parse_traceparent)
 
 __all__ = [
     "Observability",
@@ -48,13 +51,26 @@ __all__ = [
     "current",
     "span",
     "event",
+    "context",
+    "inject",
+    "extract",
+    "activate",
+    "trace_id",
     "MetricsRegistry",
     "Counter",
     "Gauge",
     "Histogram",
     "Tracer",
     "Span",
+    "SpanContext",
     "percentile",
+    "format_traceparent",
+    "parse_traceparent",
+    "merge_chrome_traces",
+    "parse_prometheus",
+    "federate_prometheus",
+    "merge_histogram_buckets",
+    "quantile_from_buckets",
 ]
 
 
@@ -66,6 +82,11 @@ class Observability:
     def __init__(self, registry=None, tracer=None, max_spans=20_000):
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer(max_spans)
+        # Ring-buffer evictions were silent; surface them as a counter
+        # so a scrape shows when a trace export is incomplete.
+        self.tracer.on_drop = self.registry.counter(
+            "repro_obs_spans_dropped_total",
+            "Spans evicted from the tracer ring buffer").inc
 
     def __repr__(self):
         return "Observability(%d spans, %d metric families)" % (
@@ -153,3 +174,46 @@ def event(name, **attrs):
     active = _active
     if active is not None:
         active.tracer.event(name, **attrs)
+
+
+def context():
+    """The calling thread's :class:`SpanContext`, or ``None``."""
+    active = _active
+    if active is None:
+        return None
+    return active.tracer.current_context()
+
+
+def inject():
+    """The current trace position as a ``traceparent`` header value,
+    or ``None`` when uninstalled / no context — callers add the header
+    only when one comes back."""
+    active = _active
+    if active is None:
+        return None
+    return active.tracer.inject()
+
+
+def extract(header):
+    """Parse a ``traceparent`` header into a :class:`SpanContext`.
+
+    Works even when instrumentation is off (parsing is stateless), so
+    handlers can unconditionally extract-then-activate.
+    """
+    return parse_traceparent(header)
+
+
+def activate(ctx):
+    """Context manager installing ``ctx`` (a :class:`SpanContext`, a
+    raw ``traceparent`` string, or ``None``) as the thread's remote
+    parent; a no-op when uninstalled or ``ctx`` is ``None``."""
+    active = _active
+    if active is None or ctx is None:
+        return nullcontext()
+    return active.tracer.activate(ctx)
+
+
+def trace_id():
+    """The current trace id (32 hex chars), or ``None``."""
+    ctx = context()
+    return ctx.trace_id if ctx is not None else None

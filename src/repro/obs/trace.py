@@ -10,23 +10,84 @@ evicted, eviction counted).  Two clock domains coexist:
 * ``sim`` — already-timed intervals (the cluster simulator's virtual
   processor clocks) recorded whole with :meth:`Tracer.add_span`.
 
+**Distributed context.**  Every span belongs to a *trace*: a 128-bit
+trace id shared by every span of one request, across every process it
+touches.  Span ids are random 64-bit values (unique without
+coordination), so a context can hop processes as a W3C
+``traceparent``-style header::
+
+    00-<32 hex trace id>-<16 hex parent span id>-01
+
+:meth:`Tracer.inject` renders the calling thread's current context as
+that header; :meth:`Tracer.extract` parses one (tolerantly — a
+malformed header is ``None``, never an error); :meth:`Tracer.activate`
+installs an extracted :class:`SpanContext` as the thread's *remote
+parent*, so the next root span opened on the thread joins the caller's
+trace instead of starting its own.  The serve stack threads this
+through HTTP request headers and the worker-pool job tuples.
+
 :meth:`Tracer.chrome_trace` renders everything as Chrome
 ``trace_event`` JSON — load the file in ``chrome://tracing`` or
 `Perfetto <https://ui.perfetto.dev>`_ and a whole cube build (or a
 fault-recovery episode) sits on one timeline, wall and simulated time
-side by side as two named processes.
+side by side as two named processes.  :func:`merge_chrome_traces` does
+the same for a *cluster*: one process track per node, every node's
+spans aligned on a shared wall-clock axis, correlated by trace id.
 """
 
-import itertools
 import json
+import os
+import random
+import re
 import threading
 import time
+from collections import namedtuple
+from contextlib import contextmanager
 
-__all__ = ["Span", "Tracer", "WALL_PID", "SIM_PID"]
+__all__ = [
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "format_traceparent",
+    "parse_traceparent",
+    "merge_chrome_traces",
+    "WALL_PID",
+    "SIM_PID",
+]
 
 #: Chrome-trace process ids for the two clock domains.
 WALL_PID = 1
 SIM_PID = 2
+
+#: One propagated trace position: the 32-hex-char trace id and the
+#: integer span id of the remote parent.
+SpanContext = namedtuple("SpanContext", ("trace_id", "span_id"))
+
+_TRACEPARENT_RE = re.compile(
+    r"^00-([0-9a-f]{32})-([0-9a-f]{16})-[0-9a-f]{2}$")
+
+
+def format_traceparent(trace_id, span_id):
+    """Render a context as a ``traceparent``-style header value."""
+    return "00-%s-%016x-01" % (trace_id, span_id)
+
+
+def parse_traceparent(header):
+    """Parse a ``traceparent`` header into a :class:`SpanContext`.
+
+    Tolerant by design: anything malformed — wrong version, wrong
+    width, all-zero ids, not a string — returns ``None``.  A bad
+    header from a peer must degrade to "no context", never to a 500.
+    """
+    if not isinstance(header, str):
+        return None
+    match = _TRACEPARENT_RE.match(header.strip().lower())
+    if match is None:
+        return None
+    trace_id, span_hex = match.groups()
+    if trace_id == "0" * 32 or span_hex == "0" * 16:
+        return None
+    return SpanContext(trace_id, int(span_hex, 16))
 
 
 class Span:
@@ -43,15 +104,17 @@ class Span:
     set after exit are not seen by exports already taken.
     """
 
-    __slots__ = ("name", "span_id", "parent_id", "tid", "start", "duration",
-                 "attrs", "events", "clock", "_tracer")
+    __slots__ = ("name", "trace_id", "span_id", "parent_id", "tid",
+                 "start", "duration", "attrs", "events", "clock", "seq",
+                 "_tracer")
 
     def __init__(self, tracer, name, span_id, parent_id, tid, start,
-                 attrs=None, clock="wall", duration=None):
+                 attrs=None, clock="wall", duration=None, trace_id=None):
         # The span takes ownership of ``attrs`` (no defensive copy):
         # this runs per cuboid on the hot path.
         self._tracer = tracer
         self.name = name
+        self.trace_id = trace_id
         self.span_id = span_id
         self.parent_id = parent_id
         self.tid = tid
@@ -60,6 +123,11 @@ class Span:
         self.attrs = attrs if attrs is not None else {}
         self.events = None  # lazily created; most spans have none
         self.clock = clock
+        self.seq = 0  # buffer sequence number, assigned at record time
+
+    def context(self):
+        """This span's position as a :class:`SpanContext`."""
+        return SpanContext(self.trace_id, self.span_id)
 
     def set(self, **attrs):
         """Attach (or overwrite) attributes on the span."""
@@ -83,8 +151,9 @@ class Span:
 
     def __repr__(self):
         dur = "%.6fs" % self.duration if self.duration is not None else "?"
-        return "Span(%r, id=%d, parent=%r, %s, %s)" % (
-            self.name, self.span_id, self.parent_id, dur, self.clock)
+        return "Span(%r, id=%d, parent=%r, trace=%s, %s, %s)" % (
+            self.name, self.span_id, self.parent_id, self.trace_id, dur,
+            self.clock)
 
 
 class Tracer:
@@ -96,13 +165,83 @@ class Tracer:
         self.max_spans = int(max_spans)
         self._clock = clock
         self._epoch = clock()
+        #: wall-clock seconds (``time.time``) at the tracer's epoch;
+        #: lets exports from different processes share one time axis.
+        self.epoch_unix = time.time()
         self._lock = threading.Lock()
         self._buffer = []
         self._head = 0  # ring-buffer write position once full
-        self._ids = itertools.count(1)  # next() is atomic in CPython
+        self._seq = 0  # monotonically increasing record counter
         #: spans evicted from the buffer (oldest-first) since creation
         self.dropped = 0
+        #: optional hook called with the eviction count after each drop
+        #: (the installed registry wires a counter here)
+        self.on_drop = None
         self._local = threading.local()
+        # Random ids must stay unique across forked workers: remember
+        # the seeding pid and reseed in any child before first use.
+        self._pid = os.getpid()
+        self._rand = random.Random(int.from_bytes(os.urandom(16), "big"))
+
+    # ------------------------------------------------------------------
+    # ids and context
+    # ------------------------------------------------------------------
+    def _randbits(self, n_bits):
+        if os.getpid() != self._pid:  # forked child: parent's stream
+            self._pid = os.getpid()
+            self._rand = random.Random(int.from_bytes(os.urandom(16), "big"))
+        return self._rand.getrandbits(n_bits)
+
+    def _new_span_id(self):
+        value = 0
+        while not value:
+            value = self._randbits(64)
+        return value
+
+    def _new_trace_id(self):
+        value = 0
+        while not value:
+            value = self._randbits(128)
+        return "%032x" % value
+
+    def current_context(self):
+        """The thread's trace position: innermost open span, else the
+        remote parent installed by :meth:`activate`, else ``None``."""
+        stack = self._stack()
+        if stack:
+            return stack[-1].context()
+        return getattr(self._local, "remote", None)
+
+    def inject(self):
+        """The current context as a ``traceparent`` header, or ``None``."""
+        context = self.current_context()
+        if context is None:
+            return None
+        return format_traceparent(context.trace_id, context.span_id)
+
+    def extract(self, header):
+        """Parse a ``traceparent`` header (``None`` when malformed)."""
+        return parse_traceparent(header)
+
+    @contextmanager
+    def activate(self, context):
+        """Install ``context`` as this thread's remote parent.
+
+        ``context`` may be a :class:`SpanContext`, a raw ``traceparent``
+        header string, or ``None`` (no-op).  While active, a root span
+        opened on this thread adopts the context's trace id and parents
+        under its span id — the receiving half of cross-process
+        propagation.
+        """
+        if isinstance(context, str):
+            context = parse_traceparent(context)
+        self._stack()  # ensure the thread-local exists
+        previous = getattr(self._local, "remote", None)
+        self._local.remote = context
+        try:
+            yield context
+        finally:
+            self._local.remote = previous
 
     # ------------------------------------------------------------------
     # recording
@@ -121,10 +260,8 @@ class Tracer:
         except AttributeError:
             local.stack = []
             local.tid = threading.current_thread().name
+            local.remote = None
             return local.stack
-
-    def _new_id(self):
-        return next(self._ids)
 
     def current_span(self):
         """The innermost open span on this thread, or ``None``."""
@@ -132,13 +269,26 @@ class Tracer:
         return stack[-1] if stack else None
 
     def span(self, name, **attrs):
-        """Open a nested wall-clock span on the calling thread."""
+        """Open a nested wall-clock span on the calling thread.
+
+        Parentage: under the innermost open span when one exists; else
+        under the remote parent installed by :meth:`activate` (joining
+        the caller's trace); else a fresh root with a new trace id.
+        """
         stack = self._stack()
-        parent = stack[-1] if stack else None
+        if stack:
+            parent = stack[-1]
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        else:
+            remote = self._local.remote
+            if remote is not None:
+                trace_id, parent_id = remote.trace_id, remote.span_id
+            else:
+                trace_id, parent_id = self._new_trace_id(), None
         span = Span(
-            self, name, next(self._ids),
-            parent.span_id if parent is not None else None,
+            self, name, self._new_span_id(), parent_id,
             self._local.tid, self._clock() - self._epoch, attrs,
+            trace_id=trace_id,
         )
         stack.append(span)
         return span
@@ -149,21 +299,26 @@ class Tracer:
         if current is not None:
             current.event(name, **attrs)
             return
-        span = Span(self, name, next(self._ids), None,
-                    self._local.tid, self.now(), attrs)
+        remote = getattr(self._local, "remote", None)
+        span = Span(self, name, self._new_span_id(),
+                    remote.span_id if remote is not None else None,
+                    self._local.tid, self.now(), attrs,
+                    trace_id=remote.trace_id if remote is not None else None)
         self._record(span)  # duration None -> rendered as an instant
 
     def add_span(self, name, start, duration, tid="sim", parent_id=None,
-                 attrs=None, clock="sim"):
+                 attrs=None, clock="sim", trace_id=None):
         """Record an already-timed interval (e.g. simulated time).
 
         ``start``/``duration`` are seconds on the caller's clock;
         ``clock="sim"`` renders under the simulated-cluster process in
         the Chrome export, keeping virtual and wall timelines apart.
+        ``trace_id``/``parent_id`` link the interval into a distributed
+        trace when the caller has one.
         """
-        span = Span(self, name, self._new_id(), parent_id, tid,
+        span = Span(self, name, self._new_span_id(), parent_id, tid,
                     float(start), attrs, clock=clock,
-                    duration=float(duration))
+                    duration=float(duration), trace_id=trace_id)
         self._record(span)
         return span
 
@@ -179,13 +334,19 @@ class Tracer:
         self._record(span)
 
     def _record(self, span):
+        dropped = False
         with self._lock:
+            self._seq += 1
+            span.seq = self._seq
             if len(self._buffer) < self.max_spans:
                 self._buffer.append(span)
             else:
                 self._buffer[self._head] = span
                 self._head = (self._head + 1) % self.max_spans
                 self.dropped += 1
+                dropped = True
+        if dropped and self.on_drop is not None:
+            self.on_drop(1)
 
     # ------------------------------------------------------------------
     # reading and export
@@ -201,6 +362,56 @@ class Tracer:
     def __len__(self):
         with self._lock:
             return len(self._buffer)
+
+    def spans_json(self, since=0):
+        """Recorded spans with buffer sequence number > ``since`` as
+        JSON-ready dicts, oldest first (the ``GET /trace?since=`` body).
+
+        The returned ``seq`` values are this process's buffer positions;
+        a collector passes the largest one back as ``since`` to page
+        incrementally.
+        """
+        since = int(since)
+        out = []
+        for span in self.spans():
+            if span.seq <= since:
+                continue
+            entry = {
+                "seq": span.seq,
+                "name": span.name,
+                "trace_id": span.trace_id,
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "tid": str(span.tid),
+                "start": span.start,
+                "duration": span.duration,
+                "clock": span.clock,
+                "attrs": {str(k): _jsonable(v)
+                          for k, v in span.attrs.items()},
+            }
+            if span.events:
+                entry["events"] = [
+                    [name, ts, {str(k): _jsonable(v)
+                                for k, v in attrs.items()}]
+                    for name, ts, attrs in span.events
+                ]
+            out.append(entry)
+        return out
+
+    def payload(self, since=0, node=None):
+        """One process's trace export: identity, drop count and spans.
+
+        The unit :func:`merge_chrome_traces` consumes — served by the
+        replica and router ``GET /trace`` endpoints.
+        """
+        return {
+            "enabled": True,
+            "node": node,
+            "pid": os.getpid(),
+            "epoch_unix": self.epoch_unix,
+            "dropped": self.dropped,
+            "spans": self.spans_json(since=since),
+        }
 
     def chrome_trace(self):
         """The buffer as a Chrome ``trace_event`` JSON object.
@@ -230,27 +441,12 @@ class Tracer:
         for span in self.spans():
             pid = SIM_PID if span.clock == "sim" else WALL_PID
             tid = tid_for(pid, span.tid)
-            ts = span.start * 1e6
-            args = {key: _jsonable(value)
-                    for key, value in span.attrs.items()}
-            if span.parent_id is not None:
-                args["parent_span_id"] = span.parent_id
-            args["span_id"] = span.span_id
-            if span.duration is None:
-                events.append({"name": span.name, "ph": "i", "s": "t",
-                               "pid": pid, "tid": tid, "ts": ts,
-                               "args": args})
-            else:
-                events.append({"name": span.name, "ph": "X", "pid": pid,
-                               "tid": tid, "ts": ts,
-                               "dur": span.duration * 1e6, "args": args})
-            for name, ts_event, attrs in span.events or ():
-                events.append({
-                    "name": name, "ph": "i", "s": "t", "pid": pid,
-                    "tid": tid, "ts": ts_event * 1e6,
-                    "args": {key: _jsonable(value)
-                             for key, value in attrs.items()},
-                })
+            _render_span_events(events, {
+                "name": span.name, "trace_id": span.trace_id,
+                "span_id": span.span_id, "parent_id": span.parent_id,
+                "start": span.start, "duration": span.duration,
+                "attrs": span.attrs, "events": span.events,
+            }, pid, tid)
         return {"traceEvents": events, "displayTimeUnit": "ms",
                 "otherData": {"dropped_spans": self.dropped}}
 
@@ -261,6 +457,95 @@ class Tracer:
             json.dump(trace, handle, indent=1)
             handle.write("\n")
         return trace
+
+
+def _render_span_events(events, span, pid, tid, ts_offset=0.0):
+    """Append one span's Chrome events (duration/instant + its events).
+
+    ``span`` is a dict (a :meth:`Tracer.spans_json` entry or the
+    equivalent built from a live :class:`Span`); ``ts_offset`` shifts
+    its process-relative timestamps onto the merged axis.
+    """
+    ts = (span["start"] + ts_offset) * 1e6
+    args = {key: _jsonable(value)
+            for key, value in (span.get("attrs") or {}).items()}
+    if span.get("parent_id") is not None:
+        args["parent_span_id"] = span["parent_id"]
+    args["span_id"] = span["span_id"]
+    if span.get("trace_id") is not None:
+        args["trace_id"] = span["trace_id"]
+    if span.get("duration") is None:
+        events.append({"name": span["name"], "ph": "i", "s": "t",
+                       "pid": pid, "tid": tid, "ts": ts, "args": args})
+    else:
+        events.append({"name": span["name"], "ph": "X", "pid": pid,
+                       "tid": tid, "ts": ts,
+                       "dur": span["duration"] * 1e6, "args": args})
+    for name, ts_event, attrs in span.get("events") or ():
+        events.append({
+            "name": name, "ph": "i", "s": "t", "pid": pid, "tid": tid,
+            "ts": (ts_event + ts_offset) * 1e6,
+            "args": {key: _jsonable(value)
+                     for key, value in (attrs or {}).items()},
+        })
+
+
+def merge_chrome_traces(processes):
+    """Merge per-process trace payloads into one Chrome trace.
+
+    ``processes`` is a list of ``(label, payload)`` pairs, each payload
+    a :meth:`Tracer.payload` dict (typically scraped from a node's
+    ``GET /trace``).  Every process gets its own Chrome process track
+    named ``label``; wall spans are aligned on a shared axis via each
+    payload's ``epoch_unix`` anchor, so one request's spans line up
+    across router and replicas (correlate them by ``trace_id`` in the
+    span args).  Simulated-clock spans keep their own timebase under a
+    ``sim:``-prefixed thread.  Disabled payloads (a node running
+    without obs installed) contribute no spans but are named in the
+    metadata so their absence is visible, not silent.
+    """
+    events = []
+    tids = {}
+    dropped = {}
+    disabled = []
+    anchors = [p.get("epoch_unix") for _label, p in processes
+               if p.get("enabled") and p.get("epoch_unix") is not None]
+    base = min(anchors) if anchors else 0.0
+
+    def tid_for(pid, label):
+        key = (pid, str(label))
+        if key not in tids:
+            tids[key] = len(tids) + 1
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": pid,
+                "tid": tids[key], "args": {"name": str(label)},
+            })
+        return tids[key]
+
+    for pid, (label, payload) in enumerate(processes, start=1):
+        events.append({"name": "process_name", "ph": "M", "pid": pid,
+                       "args": {"name": str(label)}})
+        if not payload.get("enabled"):
+            disabled.append(str(label))
+            continue
+        dropped[str(label)] = int(payload.get("dropped") or 0)
+        offset = (payload.get("epoch_unix") or base) - base
+        for span in payload.get("spans") or ():
+            if span.get("clock") == "sim":
+                tid = tid_for(pid, "sim:%s" % span.get("tid", "sim"))
+                _render_span_events(events, span, pid, tid)
+            else:
+                tid = tid_for(pid, span.get("tid", "main"))
+                _render_span_events(events, span, pid, tid, ts_offset=offset)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "dropped_spans": sum(dropped.values()),
+            "dropped_by_process": dropped,
+            "disabled_processes": disabled,
+        },
+    }
 
 
 def _jsonable(value):

@@ -207,32 +207,35 @@ def _ship_result(state, batch_id, attempt, items):
 def _run_batch(job):
     """Run one batch of subtree tasks; returns ``(batch_id, shipped)``.
 
-    ``job`` is ``(batch_id, attempt, (lo, hi))`` where ``lo:hi`` is an
-    index range into the task list shipped once at pool init; the id
-    and attempt feed the fault injector so kills and hangs are
-    deterministic per plan.
+    ``job`` is ``(batch_id, attempt, (lo, hi), traceparent)`` where
+    ``lo:hi`` is an index range into the task list shipped once at pool
+    init; the id and attempt feed the fault injector so kills and hangs
+    are deterministic per plan, and ``traceparent`` (or ``None``)
+    carries the submitting run's trace context across the pool pipe.
     """
-    batch_id, attempt, (lo, hi) = job
+    batch_id, attempt, (lo, hi), traceparent = job
     state = _STATE
     _inject_fault(state, batch_id, attempt)
-    writer = ResultWriter(state.dims)
-    state.engine.writer = writer
-    for task in state.tasks[lo:hi]:
-        state.engine.run_task(task, breadth_first=True, cache=state.cache)
-    items = list(writer.result.cuboids.items())
-    return batch_id, _ship_result(state, batch_id, attempt, items)
+    with obs.activate(traceparent):
+        writer = ResultWriter(state.dims)
+        state.engine.writer = writer
+        for task in state.tasks[lo:hi]:
+            state.engine.run_task(task, breadth_first=True, cache=state.cache)
+        items = list(writer.result.cuboids.items())
+        return batch_id, _ship_result(state, batch_id, attempt, items)
 
 
 def _run_leaf_batch(job):
     """Aggregate one batch of leaf cuboids (minsup-1 store precompute)."""
-    batch_id, attempt, (lo, hi) = job
+    batch_id, attempt, (lo, hi), traceparent = job
     state = _STATE
     _inject_fault(state, batch_id, attempt)
-    items = [
-        (leaf, aggregate_cuboid(state.frame, leaf))
-        for leaf in state.tasks[lo:hi]
-    ]
-    return batch_id, _ship_result(state, batch_id, attempt, items)
+    with obs.activate(traceparent):
+        items = [
+            (leaf, aggregate_cuboid(state.frame, leaf))
+            for leaf in state.tasks[lo:hi]
+        ]
+        return batch_id, _ship_result(state, batch_id, attempt, items)
 
 
 def _batched(n_tasks, batch_size):
@@ -320,9 +323,13 @@ def supervised_map(jobs, workers, task_fn, initializer, initargs,
     MapReduce engine (:mod:`repro.mr`).  ``jobs`` is a list of payloads
     (ids are their indices) or a ``{job_id: payload}`` mapping;
     ``task_fn`` is a module-level function invoked in the worker as
-    ``task_fn((job_id, attempt, payload))`` and must return
+    ``task_fn((job_id, attempt, payload, traceparent))`` and must return
     ``(job_id, result)``; ``initializer``/``initargs`` set up per-worker
-    state once per process.  Returns ``{job_id: result}``.
+    state once per process.  The ``traceparent`` element (a header
+    string or ``None``) carries the caller's distributed-trace context
+    across the pool pipe — task functions re-activate it so any spans
+    they record join the submitting request's trace.  Returns
+    ``{job_id: result}``.
 
     ``on_result(job_id, raw)`` — when given — transforms each completed
     job's return value the moment its future resolves (the stored value
@@ -348,13 +355,17 @@ def supervised_map(jobs, workers, task_fn, initializer, initargs,
     if log is None:
         log = SupervisorLog()
     pending = dict(jobs) if isinstance(jobs, dict) else dict(enumerate(jobs))
+    # The caller's trace position, captured once: every job ships it
+    # over the pool pipe, and every <name>.batch span links to it.
+    ctx = obs.context()
+    traceparent = obs.inject()
     if workers == 1 and fault_plan is None:
         # Inline fast path: no fault injection means no supervision is
         # needed, so skip the pool and run in-process.
         initializer(*initargs)
         out = {}
         for bid, payload in sorted(pending.items()):
-            raw = task_fn((bid, 0, payload))[1]
+            raw = task_fn((bid, 0, payload, traceparent))[1]
             out[bid] = on_result(bid, raw) if on_result is not None else raw
         return out
     context = _pool_context()
@@ -376,7 +387,8 @@ def supervised_map(jobs, workers, task_fn, initializer, initargs,
         broken = stalled = False
         try:
             futures = {
-                executor.submit(task_fn, (bid, attempts[bid], payload)): bid
+                executor.submit(
+                    task_fn, (bid, attempts[bid], payload, traceparent)): bid
                 for bid, payload in sorted(pending.items())
             }
             round_start = active.tracer.now() if active is not None else 0.0
@@ -407,7 +419,9 @@ def supervised_map(jobs, workers, task_fn, initializer, initargs,
                             "%s.batch" % name, round_start,
                             active.tracer.now() - round_start, tid="pool",
                             attrs={"batch": bid, "attempt": attempts[bid]},
-                            clock="wall")
+                            clock="wall",
+                            trace_id=ctx.trace_id if ctx else None,
+                            parent_id=ctx.span_id if ctx else None)
                         active.registry.counter(
                             "repro_%s_batches_total" % name,
                             "Supervised pool batches completed.",
@@ -612,7 +626,7 @@ def multiprocess_iceberg_cube(relation, dims=None, minsup=1, workers=None,
             # no transport.
             _init_worker(("direct", frame), threshold, kernel,
                          tasks=binary_divide(tree, 1))
-            _, shipped = _run_batch((0, 0, (0, 1)))
+            _, shipped = _run_batch((0, 0, (0, 1), obs.inject()))
             merge(shipped[1])
         else:
             # Tasks stay in tree (DFS) order: consecutive tasks share

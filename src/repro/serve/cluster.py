@@ -69,7 +69,8 @@ The CLI front-ends this as ``repro-cube store build --shards N``,
 
 import json
 import threading
-from collections import namedtuple
+import time
+from collections import deque, namedtuple
 from concurrent.futures import ThreadPoolExecutor
 from hashlib import blake2b
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -77,7 +78,6 @@ from time import perf_counter
 from urllib.error import HTTPError, URLError
 from urllib.parse import parse_qs, quote, urlsplit
 from urllib.request import Request, urlopen
-from uuid import uuid4
 
 from .. import obs
 from ..core.thresholds import AndThreshold, CountThreshold, SumThreshold, as_threshold
@@ -90,8 +90,16 @@ from ..errors import (
     ShardUnavailableError,
 )
 from ..lattice.lattice import CubeLattice
-from ..obs.metrics import MetricsRegistry
+from ..obs.metrics import (
+    MetricsRegistry,
+    federate_prometheus,
+    merge_histogram_buckets,
+    parse_prometheus,
+    quantile_from_buckets,
+)
+from ..obs.trace import merge_chrome_traces
 from ..online.materialize import leaf_cuboids
+from .ingest import stamped_batch_id
 from .resilience import CircuitBreaker, Deadline, RetryPolicy
 from .server import MAX_REQUEST_BYTES, HttpEndpoint
 
@@ -269,6 +277,13 @@ class ReplicaClient:
     def get_json(self, path):
         return self._request(Request(self.url + path))
 
+    def get_text(self, path):
+        """Fetch a raw text body (the replica's ``/metrics`` page).
+
+        Same failure mapping as the JSON calls, minus the decode step.
+        """
+        return self._request(Request(self.url + path), decode_json=False)
+
     def post_json(self, path, payload):
         body = json.dumps(payload).encode()
         if len(body) > MAX_REQUEST_BYTES:
@@ -279,10 +294,18 @@ class ReplicaClient:
                           headers={"Content-Type": "application/json"})
         return self._request(request)
 
-    def _request(self, request):
+    def _request(self, request, decode_json=True):
+        # Every outbound call carries the caller's trace position, so
+        # replica-side spans parent under the router span that caused
+        # them.  No context, no header — the replica starts fresh.
+        traceparent = obs.inject()
+        if traceparent is not None:
+            request.add_header("traceparent", traceparent)
         try:
             with urlopen(request, timeout=self.timeout_s) as response:
-                return json.loads(response.read())
+                body = response.read()
+                return json.loads(body) if decode_json \
+                    else body.decode("utf-8")
         except HTTPError as exc:
             detail = self._error_detail(exc)
             if exc.code in self.FAILOVER_STATUSES:
@@ -328,7 +351,7 @@ class CubeRouter:
                  generation_attempts=4, registry=None,
                  append_retries=3, append_backoff_s=0.05,
                  append_backoff_cap_s=1.0, append_deadline_s=None,
-                 anti_entropy=True, retry_policy=None):
+                 anti_entropy=True, retry_policy=None, slow_query_s=None):
         if not shard_replicas:
             raise PlanError("need at least one shard")
         self.shards = []
@@ -403,6 +426,26 @@ class CubeRouter:
             "repro_router_replica_up",
             "1 if the replica's last health probe succeeded, else 0.",
             ("shard", "replica"))
+        self._replica_lag = registry.gauge(
+            "repro_router_replica_lag",
+            "Generations the replica lags its shard's freshest sibling "
+            "(anti-entropy's repair signal).", ("shard", "replica"))
+        self._scrape_failures = registry.counter(
+            "repro_router_scrape_failures_total",
+            "Replica scrapes (federation/trace collection) that failed.",
+            ("kind",))
+        self._slow_queries = registry.counter(
+            "repro_router_slow_queries_total",
+            "Routed requests slower than the slow-query threshold.",
+            ("kind",))
+        if slow_query_s is not None and float(slow_query_s) <= 0:
+            raise PlanError("slow_query_s must be > 0, got %r"
+                            % (slow_query_s,))
+        self.slow_query_s = float(slow_query_s) \
+            if slow_query_s is not None else None
+        #: most recent slow queries, each with an exemplar trace id —
+        #: the jump-off point from a p99 outlier to its full trace
+        self._slow_log = deque(maxlen=64)
         self._health_thread = None
         self.health_interval_s = float(health_interval_s)
         if self.health_interval_s > 0:
@@ -502,6 +545,42 @@ class CubeRouter:
         raise ShardUnavailableError(shard, len(replicas),
                                     "; ".join(failures))
 
+    @staticmethod
+    def _traced(ctx, fn, *args):
+        """Run ``fn`` on a pool thread under the submitter's trace
+        context (pool threads otherwise start their own traces)."""
+        with obs.activate(ctx):
+            return fn(*args)
+
+    def _observe_slow(self, kind, cuboid, latency_s, shard):
+        """Log a request that blew the slow-query threshold.
+
+        The log entry carries the live trace id as an exemplar, so an
+        operator can jump from the ``/stats`` outlier straight to the
+        request's full cross-process trace in the merged export.
+        """
+        if self.slow_query_s is None or latency_s < self.slow_query_s:
+            return
+        self._slow_queries.inc(kind=kind)
+        entry = {
+            "kind": kind,
+            "cuboid": list(cuboid),
+            "shard": shard,
+            "latency_ms": round(latency_s * 1000.0, 3),
+            "threshold_ms": round(self.slow_query_s * 1000.0, 3),
+            "trace_id": obs.trace_id(),
+            "at": time.time(),
+        }
+        with self._lock:
+            self._slow_log.append(entry)
+        obs.event("router.slow_query", kind=kind,
+                  latency_ms=entry["latency_ms"])
+
+    def slow_queries(self):
+        """The slow-query log, oldest first (empty when no threshold)."""
+        with self._lock:
+            return list(self._slow_log)
+
     # ------------------------------------------------------------------
     # query surface
     # ------------------------------------------------------------------
@@ -524,10 +603,12 @@ class CubeRouter:
             if span:
                 span.set(cuboid=list(canonical), shard=shard,
                          replica=replica, failovers=failovers)
+            latency = perf_counter() - start
+            self._observe_slow("query", canonical, latency, shard)
         return RouterAnswer(
             tuple(payload["cuboid"]), payload["threshold"],
             _decode_cells(payload["cells"]), payload["generation"],
-            shard, replica, failovers, perf_counter() - start)
+            shard, replica, failovers, latency)
 
     def point(self, cuboid, cell, minsup=1):
         """One cell lookup, routed to the owning shard with failover."""
@@ -549,10 +630,12 @@ class CubeRouter:
             self._requests.inc(kind="point", outcome="ok")
             if span:
                 span.set(shard=shard, replica=replica, failovers=failovers)
+            latency = perf_counter() - start
+            self._observe_slow("point", canonical, latency, shard)
         return RouterAnswer(
             tuple(payload["cuboid"]), payload["threshold"],
             _decode_cells(payload["cells"]), payload["generation"],
-            shard, replica, failovers, perf_counter() - start)
+            shard, replica, failovers, latency)
 
     def cube(self, minsup=1):
         """The full iceberg cube, fanned out and pinned to one generation.
@@ -572,6 +655,10 @@ class CubeRouter:
         responses = {}
         generations = set()
         with obs.span("router.cube") as span:
+            # Fan-out threads have no span stack of their own; hand them
+            # this thread's context so the traceparent each ReplicaClient
+            # injects names the router.cube span as parent.
+            ctx = obs.context()
             for attempt in range(1, self.generation_attempts + 1):
                 pinned = max((p["generation"] for p in responses.values()),
                              default=None)
@@ -579,7 +666,8 @@ class CubeRouter:
                           if responses.get(s) is None
                           or responses[s]["generation"] != pinned]
                 futures = {
-                    s: self._pool.submit(self._call_shard, s, path)
+                    s: self._pool.submit(self._traced, ctx,
+                                         self._call_shard, s, path)
                     for s in needed
                 }
                 try:
@@ -600,9 +688,11 @@ class CubeRouter:
                     if span:
                         span.set(cuboids=len(merged), generation=generation,
                                  attempts=attempt)
+                    latency = perf_counter() - start
+                    self._observe_slow("cube", ("*",), latency, None)
                     return RouterCubeAnswer(
                         merged, threshold.describe(), generation, attempt,
-                        perf_counter() - start)
+                        latency)
                 self._generation_retries.inc()
                 obs.event("router.generation_retry",
                           generations=sorted(generations))
@@ -716,27 +806,32 @@ class CubeRouter:
         otherwise be permanently stale; re-calling with the same
         ``batch_id`` is the safe recovery.
         """
-        idempotent = batch_id is not None or self._cluster_wal_enabled()
-        if idempotent and batch_id is None:
-            batch_id = uuid4().hex
-        batch_id = str(batch_id) if batch_id is not None else None
-        payload = {
-            "dims": list(relation.dims),
-            "rows": [list(row) for row in relation.rows],
-            "measures": list(relation.measures),
-        }
-        if idempotent:
-            payload["batch_id"] = batch_id
-        attempts = self.append_policy.attempts if idempotent else 1
-        if deadline_s is None:
-            deadline_s = self.append_deadline_s
-        deadline = Deadline(deadline_s) if deadline_s is not None else None
-        with obs.span("router.append", rows=len(relation),
-                      batch_id=batch_id) as span:
+        with obs.span("router.append", rows=len(relation)) as span:
+            idempotent = batch_id is not None or self._cluster_wal_enabled()
+            if idempotent and batch_id is None:
+                # Stamp the batch with the live trace id: every later
+                # sighting of this id — replica WAL, retry, anti-entropy
+                # re-delivery — correlates back to this append's trace.
+                batch_id = stamped_batch_id(obs.trace_id())
+            batch_id = str(batch_id) if batch_id is not None else None
+            if span and batch_id is not None:
+                span.set(batch_id=batch_id)
+            payload = {
+                "dims": list(relation.dims),
+                "rows": [list(row) for row in relation.rows],
+                "measures": list(relation.measures),
+            }
+            if idempotent:
+                payload["batch_id"] = batch_id
+            attempts = self.append_policy.attempts if idempotent else 1
+            if deadline_s is None:
+                deadline_s = self.append_deadline_s
+            deadline = Deadline(deadline_s) if deadline_s is not None else None
+            ctx = obs.context()
             futures = {
                 (shard, replica): self._pool.submit(
-                    self._append_replica, shard, replica, payload,
-                    deadline, attempts)
+                    self._traced, ctx, self._append_replica, shard, replica,
+                    payload, deadline, attempts)
                 for shard, replicas in enumerate(self.shards)
                 for replica in range(len(replicas))
             }
@@ -811,6 +906,22 @@ class CubeRouter:
                     "breaker": health.get("breaker"),
                     "wal": health.get("wal"),
                 }
+        # Per-replica generation lag against the shard's freshest healthy
+        # sibling — the number anti-entropy repairs by, now exported
+        # instead of discarded after the sweep.
+        for shard in range(self.n_shards):
+            generations = {
+                replica: int(state["generation"])
+                for (s, replica), state in snapshot.items()
+                if s == shard and state.get("status") == "ok"
+                and state.get("generation") is not None
+            }
+            if not generations:
+                continue
+            target = max(generations.values())
+            for replica, generation in generations.items():
+                self._replica_lag.set(target - generation,
+                                      shard=str(shard), replica=str(replica))
         if store:
             with self._lock:
                 self._health = snapshot
@@ -947,6 +1058,7 @@ class CubeRouter:
             snapshot = self.check_health()
         shards = []
         degraded = []
+        red = self.red_summary()
         for shard, replicas in enumerate(self.shards):
             entries = []
             up = 0
@@ -961,7 +1073,8 @@ class CubeRouter:
                     up += 1
             if up == 0:
                 degraded.append(shard)
-            shards.append({"shard": shard, "replicas": entries, "up": up})
+            shards.append({"shard": shard, "replicas": entries, "up": up,
+                           "red": red.get(str(shard))})
         status = "ok" if not degraded else "degraded"
         return {"status": status, "n_shards": self.n_shards,
                 "degraded_shards": degraded, "shards": shards}
@@ -972,12 +1085,138 @@ class CubeRouter:
             "n_shards": self.n_shards,
             "replicas": [len(r) for r in self.shards],
             "generation_attempts": self.generation_attempts,
+            "slow_query_threshold_s": self.slow_query_s,
+            "slow_queries": self.slow_queries(),
             "breakers": {
                 "%d/%d" % key: breaker.stats()
                 for key, breaker in sorted(self.breakers.items())
             },
             "health": self.health(),
         }
+
+    # ------------------------------------------------------------------
+    # observability: trace collection + metrics federation
+    # ------------------------------------------------------------------
+    def _scrape_replicas(self, path, kind, json_body=False):
+        """Fetch ``path`` from every replica in parallel.
+
+        Returns ``{(shard, replica): body}`` for the replicas that
+        answered.  A failed scrape is counted and skipped — federation
+        degrades to the reachable subset instead of failing the page
+        (the ``shard``/``replica`` labels make the gap visible).
+        """
+        def fetch(client):
+            return client.get_json(path) if json_body \
+                else client.get_text(path)
+
+        futures = {
+            (shard, replica): self._pool.submit(fetch, client)
+            for shard, replicas in enumerate(self.shards)
+            for replica, client in enumerate(replicas)
+        }
+        out = {}
+        for key, future in futures.items():
+            try:
+                out[key] = future.result()
+            except (ReplicaError, PlanError):
+                self._scrape_failures.inc(kind=kind)
+        return out
+
+    def federated_metrics(self):
+        """One Prometheus page for the whole cluster.
+
+        The router's own registry passes through unlabelled; every
+        replica's scrape is relabelled with ``shard``/``replica`` before
+        merging, so per-replica series stay distinguishable and summing
+        them back (``sum by (shard)``, or plain ``sum``) reproduces each
+        replica's own totals exactly.
+        """
+        sources = [({}, self.registry.to_prometheus())]
+        scrapes = self._scrape_replicas("/metrics", "metrics")
+        for (shard, replica) in sorted(scrapes):
+            sources.append((
+                {"shard": str(shard), "replica": str(replica)},
+                scrapes[(shard, replica)]))
+        return federate_prometheus(sources)
+
+    def trace_payload(self, since=0):
+        """The router's own span export (``GET /trace?since=`` body)."""
+        active = obs.current()
+        if active is None:
+            return {"enabled": False, "node": "router", "spans": []}
+        return active.tracer.payload(since=since, node="router")
+
+    def collect_trace(self, path=None):
+        """Merge the whole cluster's spans into one Chrome trace.
+
+        Scrapes every replica's ``GET /trace`` and merges with the
+        router's own buffer: one process track per node, spans aligned
+        on the shared wall clock, correlated by trace id.  With ``path``
+        the merged JSON is also written to disk (the ``router
+        --trace-out`` artifact).
+        """
+        processes = [("router", self.trace_payload())]
+        scrapes = self._scrape_replicas("/trace?since=0", "trace",
+                                        json_body=True)
+        for (shard, replica) in sorted(scrapes):
+            processes.append((
+                "shard%d/replica%d" % (shard, replica),
+                scrapes[(shard, replica)]))
+        merged = merge_chrome_traces(processes)
+        if path is not None:
+            with open(path, "w") as handle:
+                json.dump(merged, handle, indent=1)
+                handle.write("\n")
+        return merged
+
+    def red_summary(self, scrapes=None):
+        """Rate/Errors/Duration per shard, from replica ``/metrics``.
+
+        Requests and errors are sums over the shard's replicas (errors =
+        sheds + deadline overruns + breaker rejections); latency
+        quantiles come from the replicas' *merged* histogram buckets —
+        a true shard-level distribution, not an average of averages.
+        """
+        if scrapes is None:
+            scrapes = self._scrape_replicas("/metrics", "red")
+        parsed = {}
+        for key, text in scrapes.items():
+            try:
+                parsed[key] = parse_prometheus(text)
+            except ValueError:
+                self._scrape_failures.inc(kind="red")
+        out = {}
+        for shard in range(self.n_shards):
+            requests = errors = 0.0
+            bucket_series = []
+            for (s, _replica), families in parsed.items():
+                if s != shard:
+                    continue
+                for _name, _labels, value in families.get(
+                        "repro_server_requests_total", {}).get("samples", ()):
+                    requests += value
+                for _name, labels, value in families.get(
+                        "repro_server_events_total", {}).get("samples", ()):
+                    if labels.get("event") in ("shed", "deadline_exceeded",
+                                               "breaker_rejected"):
+                        errors += value
+                series = [
+                    (labels["le"], value)
+                    for name, labels, value in families.get(
+                        "repro_server_latency_seconds", {}).get("samples", ())
+                    if name.endswith("_bucket") and "le" in labels
+                ]
+                if series:
+                    bucket_series.append(series)
+            merged = merge_histogram_buckets(bucket_series)
+            out[str(shard)] = {
+                "requests": requests,
+                "errors": errors,
+                "p50_s": quantile_from_buckets(merged, 0.50),
+                "p95_s": quantile_from_buckets(merged, 0.95),
+                "p99_s": quantile_from_buckets(merged, 0.99),
+            }
+        return out
 
     # ------------------------------------------------------------------
     # HTTP endpoint + lifecycle
@@ -1049,7 +1288,8 @@ class _RouterRequestHandler(BaseHTTPRequestHandler):
 
     def _guarded(self, route):
         try:
-            route()
+            with obs.activate(obs.extract(self.headers.get("traceparent"))):
+                route()
         except ShardUnavailableError as exc:
             # The honest partial outage: name the shard, never guess.
             self._reply(503, {"error": str(exc), "kind": "shard_unavailable",
@@ -1102,7 +1342,14 @@ class _RouterRequestHandler(BaseHTTPRequestHandler):
         elif split.path == "/stats":
             self._reply(200, router.stats())
         elif split.path == "/metrics":
-            self._reply_text(200, router.registry.to_prometheus())
+            # The federated page: this router's registry plus every
+            # replica's scrape, relabelled shard/replica and merged.
+            self._reply_text(200, router.federated_metrics())
+        elif split.path == "/trace":
+            since = int(params.get("since", ["0"])[0])
+            self._reply(200, router.trace_payload(since))
+        elif split.path == "/trace/cluster":
+            self._reply(200, router.collect_trace())
         else:
             self._reply(404, {"error": "unknown path %r" % split.path,
                               "kind": "not_found"})

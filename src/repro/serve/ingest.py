@@ -57,8 +57,10 @@ window recovers.
 import hashlib
 import json
 import os
+import re
 import signal
 import struct
+import uuid
 
 from .. import obs
 from ..core.columnar import KeyPacking, bits_for
@@ -66,7 +68,7 @@ from ..errors import PlanError, WalCorruptError
 
 __all__ = [
     "WriteAheadLog", "WalRecord", "encode_record", "decode_record",
-    "CHAOS_KILL_ENV",
+    "CHAOS_KILL_ENV", "stamped_batch_id", "trace_id_of",
 ]
 
 #: Environment hook for crash testing: when set to one of the named
@@ -94,6 +96,32 @@ def chaos_kill(point):
     """SIGKILL the process if the chaos env names this kill point."""
     if os.environ.get(CHAOS_KILL_ENV) == point:
         os.kill(os.getpid(), signal.SIGKILL)
+
+
+_STAMPED_RE = re.compile(r"^([0-9a-f]{32})-[0-9a-f]+$")
+
+
+def stamped_batch_id(trace_id=None):
+    """Mint a batch id, trace-stamped when a trace id is in hand.
+
+    ``<32-hex trace id>-<16-hex random>`` when tracing is on, else a
+    bare ``uuid4().hex``.  The batch id is an opaque idempotence string
+    everywhere in the WAL/append path, so stamping changes no format —
+    it just makes every re-delivery of the batch (router retry,
+    anti-entropy repair) correlatable with the trace that first wrote
+    it via :func:`trace_id_of`.
+    """
+    if trace_id:
+        return "%s-%s" % (trace_id, uuid.uuid4().hex[:16])
+    return uuid.uuid4().hex
+
+
+def trace_id_of(batch_id):
+    """The trace id a batch id was stamped with, or ``None``."""
+    if not isinstance(batch_id, str):
+        return None
+    match = _STAMPED_RE.match(batch_id)
+    return match.group(1) if match else None
 
 
 class WalRecord:

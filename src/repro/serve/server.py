@@ -42,6 +42,8 @@ stdlib ``http.server``) for point, roll-up and drill-down queries::
                                           #   repair / anti-entropy)
     GET /stats                            # cache + latency + resilience
     GET /metrics                          # Prometheus text exposition
+    GET /trace?since=7                    # span export newer than buffer
+                                          #   seq 7 (router trace collector)
     GET /cuboids                          # dims and stored leaves
     GET /healthz                          # liveness + generation + shard
                                           #   + degradation state
@@ -85,6 +87,7 @@ from ..errors import (
     StoreCorruptError,
 )
 from .cache import QueryCache
+from .ingest import trace_id_of
 from .resilience import AdmissionGate, CircuitBreaker, Deadline
 from .telemetry import ServerTelemetry
 
@@ -349,6 +352,16 @@ class CubeServer:
             # endpoints agree on shed counts by construction.
             self.telemetry.bump("shed")
             raise
+        # Pool threads have their own (empty) span stacks; carry the
+        # submitting thread's trace context across so serve.* spans
+        # opened in the worker parent under the caller's span.
+        ctx = obs.context()
+        if ctx is not None:
+            inner = fn
+
+            def fn(*a, **k):
+                with obs.activate(ctx):
+                    return inner(*a, **k)
         try:
             future = self._pool.submit(fn, *args, **kwargs)
         except BaseException:
@@ -493,6 +506,7 @@ class CubeServer:
                 {
                     "generation": record.generation,
                     "batch_id": record.batch_id,
+                    "trace_id": trace_id_of(record.batch_id),
                     "dims": list(record.dims),
                     "rows": [list(row) for row in record.rows],
                     "measures": list(record.measures),
@@ -500,6 +514,22 @@ class CubeServer:
                 for record in reply["batches"]
             ],
         }
+
+    def trace_payload(self, since=0):
+        """This process's span export (the ``GET /trace?since=`` body).
+
+        ``since`` pages by buffer sequence number; the router collector
+        passes the largest ``seq`` it has seen back on the next scrape.
+        A server running without obs installed reports
+        ``enabled: false`` so the collector can name the gap instead of
+        silently missing a node.
+        """
+        active = obs.current()
+        shard = getattr(self.store, "shard", None)
+        node = "shard%d" % shard[0] if shard else "store"
+        if active is None:
+            return {"enabled": False, "node": node, "spans": []}
+        return active.tracer.payload(since=since, node=node)
 
     def stats(self):
         """Server-wide counters: store shape, cache, latency, resilience."""
@@ -663,7 +693,11 @@ class _CubeRequestHandler(BaseHTTPRequestHandler):
 
     def _guarded(self, route):
         try:
-            route()
+            # Join the caller's distributed trace for the whole request:
+            # any span opened while routing (serve.query, store.append,
+            # …) parents under the router span named in the header.
+            with obs.activate(obs.extract(self.headers.get("traceparent"))):
+                route()
         except ServerOverloadedError as exc:
             self._reply(429, {"error": str(exc), "kind": "overloaded"})
         except DeadlineExceededError as exc:
@@ -722,6 +756,9 @@ class _CubeRequestHandler(BaseHTTPRequestHandler):
         elif split.path == "/wal":
             since = int(params.get("since", ["0"])[0])
             self._reply(200, server.wal_batches(since))
+        elif split.path == "/trace":
+            since = int(params.get("since", ["0"])[0])
+            self._reply(200, server.trace_payload(since))
         elif split.path == "/healthz":
             health = server.health()
             self._reply(200 if health["status"] == "ok" else 503, health)

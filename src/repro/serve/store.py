@@ -52,14 +52,13 @@ import os
 import threading
 from bisect import bisect_left
 from collections import namedtuple
-from uuid import uuid4
 
 from .. import obs
 from ..core.export import MANIFEST, atomic_write
 from ..core.thresholds import as_threshold
 from ..errors import PlanError, SchemaError, StoreCorruptError, WalCorruptError
 from ..lattice.lattice import CubeLattice
-from .ingest import WriteAheadLog, chaos_kill
+from .ingest import WriteAheadLog, chaos_kill, stamped_batch_id
 
 STORE_FORMAT = "repro-cube-store/1"
 STORE_FORMAT_VERSION = 2
@@ -821,30 +820,34 @@ class CubeStore:
         self._check_open()
         threshold = as_threshold(minsup)
         cuboid = self._lattice.canonical(cuboid)
-        if not cuboid:
-            if threshold.qualifies(self.total_rows, self.total_measure):
-                return {(): (self.total_rows, self.total_measure)}
-            return {}
-        leaf = self.covering_leaf(cuboid)
-        items = self.leaf_items(leaf)
-        width = len(cuboid)
-        out = {}
-        current = None
-        count = 0
-        total = 0.0
-        for cell, (c, v) in items:
-            prefix = cell[:width]
-            if prefix != current:
-                if current is not None and threshold.qualifies(count, total):
-                    out[current] = (count, total)
-                current = prefix
-                count = 0
-                total = 0.0
-            count += c
-            total += v
-        if current is not None and threshold.qualifies(count, total):
-            out[current] = (count, total)
-        return out
+        with obs.span("store.query", cuboid="/".join(cuboid)) as span:
+            if not cuboid:
+                if threshold.qualifies(self.total_rows, self.total_measure):
+                    return {(): (self.total_rows, self.total_measure)}
+                return {}
+            leaf = self.covering_leaf(cuboid)
+            items = self.leaf_items(leaf)
+            width = len(cuboid)
+            out = {}
+            current = None
+            count = 0
+            total = 0.0
+            for cell, (c, v) in items:
+                prefix = cell[:width]
+                if prefix != current:
+                    if current is not None and threshold.qualifies(count,
+                                                                   total):
+                        out[current] = (count, total)
+                    current = prefix
+                    count = 0
+                    total = 0.0
+                count += c
+                total += v
+            if current is not None and threshold.qualifies(count, total):
+                out[current] = (count, total)
+            if span:
+                span.set(cells=len(out))
+            return out
 
     def owned_cuboids(self):
         """Every cuboid whose *covering leaf* this store holds.
@@ -982,7 +985,7 @@ class CubeStore:
         positions = relation.dim_indices(self.dims)
         with self._lock:
             if batch_id is None:
-                batch_id = uuid4().hex
+                batch_id = stamped_batch_id(obs.trace_id())
             batch_id = str(batch_id)
             if batch_id in self._applied_batches:
                 obs.event("ingest.duplicate", batch_id=batch_id,
